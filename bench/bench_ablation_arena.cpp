@@ -1,0 +1,69 @@
+// Ablation (google-benchmark): per-thread arena allocation versus the system
+// heap under concurrency — the mechanism behind Bor-ALM (§2.2).  The system
+// allocator serializes threads on shared state; the arenas never touch
+// shared state after warm-up.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "pprim/arena.hpp"
+#include "pprim/rng.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace {
+
+using namespace smp;
+
+constexpr int kAllocsPerTask = 20000;
+
+/// Allocation-size schedule shaped like Bor-AL's scratch buffers.
+std::vector<std::size_t> sizes() {
+  std::vector<std::size_t> s(kAllocsPerTask);
+  Rng rng(3);
+  for (auto& x : s) x = 8 + rng.next_below(120);  // 8..127 elements
+  return s;
+}
+
+void BM_HeapAllocConcurrent(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadTeam team(threads);
+  const auto sched = sizes();
+  for (auto _ : state) {
+    team.run([&](TeamCtx&) {
+      for (const std::size_t count : sched) {
+        auto buf = std::make_unique<std::uint64_t[]>(count);
+        buf[0] = count;
+        benchmark::DoNotOptimize(buf.get());
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kAllocsPerTask * threads);
+}
+BENCHMARK(BM_HeapAllocConcurrent)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ArenaAllocConcurrent(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadTeam team(threads);
+  ThreadArenas arenas(threads);
+  const auto sched = sizes();
+  for (auto _ : state) {
+    team.run([&](TeamCtx& ctx) {
+      auto& arena = arenas.local(ctx.tid());
+      for (const std::size_t count : sched) {
+        auto buf = arena.alloc_array<std::uint64_t>(count);
+        buf[0] = count;
+        benchmark::DoNotOptimize(buf.data());
+      }
+    });
+    arenas.reset_all();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kAllocsPerTask * threads);
+}
+BENCHMARK(BM_ArenaAllocConcurrent)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Ablation: MST-BC's sequential-base-size knob.  §4 notes the algorithm
+// behaves as Prim at p=1 and Borůvka at p=n; the base size decides how much
+// of the recursion tail is handed to sequential Kruskal.  Sweep it on a
+// random graph and a structured worst case.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+
+using namespace smp;
+using namespace smp::graph;
+
+namespace {
+
+void sweep(const char* name, const EdgeList& g, const bench::Args& args) {
+  bench::banner(name, g);
+  std::printf("  %-12s", "base size");
+  for (int p = 1; p <= args.max_threads; p *= 2) std::printf(" %9s%d", "p=", p);
+  std::printf("\n");
+  for (const VertexId base : {0u, 64u, 512u, 4096u, 32768u}) {
+    std::printf("  %-12u", base);
+    for (int p = 1; p <= args.max_threads; p *= 2) {
+      core::MsfOptions opts;
+      opts.algorithm = core::Algorithm::kMstBC;
+      opts.threads = p;
+      opts.bc_base_size = base;
+      opts.seed = args.seed;
+      const double s = bench::time_best_of(
+          args.reps, [&] { (void)core::minimum_spanning_forest(g, opts); });
+      std::printf(" %9.3fs", s);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto n = static_cast<VertexId>(args.size(100000, 1000000));
+  sweep("MST-BC base sweep / random m=6n",
+        random_graph(n, 6 * static_cast<EdgeId>(n), args.seed), args);
+  sweep("MST-BC base sweep / str0", structured_graph(0, n, args.seed), args);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation (google-benchmark): the insertion-sort cutoff in Bor-AL's
+// per-adjacency-list sorts.  §2.2 of the paper observes that ~80% of the
+// lists of a very sparse random graph have 1–100 elements and picks
+// insertion sort for those; this bench sweeps the cutoff over a realistic
+// list-length distribution (the degree distribution of a random graph).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "pprim/rng.hpp"
+#include "pprim/seq_sort.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+struct Workload {
+  // Concatenated lists with their extents, mirroring adjacency arrays.
+  std::vector<std::uint64_t> data;
+  std::vector<std::size_t> offsets;
+};
+
+/// Lists sized like the adjacency lists of random_graph(n, 3n).
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload wl;
+    const EdgeList g = random_graph(20000, 60000, 42);
+    const CsrGraph c(g);
+    Rng rng(7);
+    wl.offsets.push_back(0);
+    for (VertexId v = 0; v < c.num_vertices(); ++v) {
+      for (std::size_t i = 0; i < c.degree(v); ++i) wl.data.push_back(rng.next());
+      wl.offsets.push_back(wl.data.size());
+    }
+    return wl;
+  }();
+  return w;
+}
+
+void BM_PerListSort(benchmark::State& state) {
+  const auto cutoff = static_cast<std::size_t>(state.range(0));
+  const Workload& w = workload();
+  std::vector<std::uint64_t> buf;
+  std::vector<std::uint64_t> scratch;
+  for (auto _ : state) {
+    for (std::size_t v = 0; v + 1 < w.offsets.size(); ++v) {
+      const std::size_t len = w.offsets[v + 1] - w.offsets[v];
+      buf.assign(w.data.begin() + static_cast<std::ptrdiff_t>(w.offsets[v]),
+                 w.data.begin() + static_cast<std::ptrdiff_t>(w.offsets[v + 1]));
+      scratch.resize(len);
+      seq_sort(std::span<std::uint64_t>(buf), std::span<std::uint64_t>(scratch),
+               std::less<>{}, cutoff);
+      benchmark::DoNotOptimize(buf.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.data.size()));
+}
+
+// cutoff 0 = always merge sort; huge cutoff = always insertion sort.
+BENCHMARK(BM_PerListSort)->Arg(0)->Arg(8)->Arg(32)->Arg(100)->Arg(256)->Arg(4096);
+
+void BM_WholeArraySortBaseline(benchmark::State& state) {
+  // For contrast: one flat std::sort of all list data (ignores bucketing —
+  // what Bor-EL effectively pays per iteration, sans parallelism).
+  const Workload& w = workload();
+  for (auto _ : state) {
+    auto copy = w.data;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_WholeArraySortBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Extension bench: the 2004 designs versus their modern successor.  Bor-UF
+// (Borůvka over a shared lock-free union-find, the structure Galois and
+// PBBS/GBBS later converged on) never materializes the contracted graph —
+// comparing it with the paper's best two variants shows how much of their
+// compact-graph engineering the union-find sidesteps.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/bor_uf.hpp"
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+
+using namespace smp;
+using namespace smp::graph;
+
+namespace {
+
+void run_case(const char* name, const EdgeList& g, const bench::Args& args) {
+  bench::banner(name, g);
+  std::printf("  %-10s %12s %12s %12s\n", "p", "Bor-ALM", "Bor-FAL", "Bor-UF");
+  for (int p = 1; p <= args.max_threads; p *= 2) {
+    double t_alm = 0, t_fal = 0, t_uf = 0;
+    {
+      core::MsfOptions opts;
+      opts.threads = p;
+      opts.algorithm = core::Algorithm::kBorALM;
+      t_alm = bench::time_best_of(
+          args.reps, [&] { (void)core::minimum_spanning_forest(g, opts); });
+      opts.algorithm = core::Algorithm::kBorFAL;
+      t_fal = bench::time_best_of(
+          args.reps, [&] { (void)core::minimum_spanning_forest(g, opts); });
+    }
+    t_uf = bench::time_best_of(args.reps, [&] { (void)core::bor_uf_msf(g, p); });
+    std::printf("  %-10d %11.3fs %11.3fs %11.3fs\n", p, t_alm, t_fal, t_uf);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto n = static_cast<VertexId>(args.size(100000, 1000000));
+  run_case("2004 vs modern / random m=6n",
+           random_graph(n, 6 * static_cast<EdgeId>(n), args.seed), args);
+  run_case("2004 vs modern / mesh2d60",
+           mesh2d_p(static_cast<VertexId>(args.size(316, 1000)),
+                    static_cast<VertexId>(args.size(316, 1000)), 0.6, args.seed),
+           args);
+  run_case("2004 vs modern / rmat m=8n", rmat_graph(17, 8ull << 17, args.seed),
+           args);
+  run_case("2004 vs modern / str0", structured_graph(0, n, args.seed), args);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Extension bench: the max-flow substrate (the paper's §6 future work) —
+// Dinic versus FIFO push-relabel on random sparse networks, layered DAGs,
+// and unit-capacity bipartite matchings.
+#include <cstdio>
+
+#include "common.hpp"
+#include "flow/flow_network.hpp"
+#include "pprim/rng.hpp"
+#include "pprim/timer.hpp"
+
+using namespace smp;
+using namespace smp::flow;
+using graph::VertexId;
+
+namespace {
+
+FlowNetwork random_network(VertexId n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  FlowNetwork net(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n - 1));
+    if (v >= u) ++v;
+    net.add_edge(u, v, static_cast<Cap>(1 + rng.next_below(1000)));
+  }
+  return net;
+}
+
+FlowNetwork layered_dag(VertexId layers, VertexId width, std::uint64_t seed) {
+  Rng rng(seed);
+  FlowNetwork net(layers * width + 2);
+  const VertexId s = layers * width, t = s + 1;
+  for (VertexId w = 0; w < width; ++w) {
+    net.add_edge(s, w, static_cast<Cap>(1 + rng.next_below(100)));
+    net.add_edge((layers - 1) * width + w, t, static_cast<Cap>(1 + rng.next_below(100)));
+  }
+  for (VertexId l = 0; l + 1 < layers; ++l) {
+    for (VertexId w = 0; w < width; ++w) {
+      for (int k = 0; k < 3; ++k) {
+        const auto to = static_cast<VertexId>(rng.next_below(width));
+        net.add_edge(l * width + w, (l + 1) * width + to,
+                     static_cast<Cap>(1 + rng.next_below(100)));
+      }
+    }
+  }
+  return net;
+}
+
+FlowNetwork bipartite(VertexId k, std::uint64_t seed) {
+  Rng rng(seed);
+  FlowNetwork net(2 * k + 2);
+  const VertexId s = 2 * k, t = s + 1;
+  for (VertexId i = 0; i < k; ++i) {
+    net.add_edge(s, i, 1);
+    net.add_edge(k + i, t, 1);
+    for (int d = 0; d < 4; ++d) {
+      net.add_edge(i, k + static_cast<VertexId>(rng.next_below(k)), 1);
+    }
+  }
+  return net;
+}
+
+template <class Make>
+void run_case(const char* name, Make&& make, VertexId s, VertexId t, int reps) {
+  double td = 0, tp = 0;
+  Cap fd = 0, fp = 0;
+  td = bench::time_best_of(reps, [&] {
+    FlowNetwork net = make();
+    fd = max_flow_dinic(net, s, t);
+  });
+  tp = bench::time_best_of(reps, [&] {
+    FlowNetwork net = make();
+    fp = max_flow_push_relabel(net, s, t);
+  });
+  std::printf("%-28s dinic %8.3fs   push-relabel %8.3fs   flow %lld%s\n", name,
+              td, tp, static_cast<long long>(fd), fd == fp ? "" : "  MISMATCH!");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto n = static_cast<VertexId>(args.size(50000, 200000));
+  const auto layers = static_cast<VertexId>(args.size(40, 80));
+  const auto width = static_cast<VertexId>(args.size(500, 2000));
+  const auto k = static_cast<VertexId>(args.size(30000, 200000));
+
+  run_case("random sparse m=8n", [&] { return random_network(n, 8ull * n, args.seed); },
+           0, n - 1, args.reps);
+  run_case("layered DAG", [&] { return layered_dag(layers, width, args.seed); },
+           layers * width, layers * width + 1, args.reps);
+  run_case("unit bipartite matching", [&] { return bipartite(k, args.seed); },
+           2 * k, 2 * k + 1, args.reps);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 2 of the paper: breakdown of the running time into the three Borůvka
+// steps (find-min / connect-components / compact-graph) for Bor-EL, Bor-AL,
+// Bor-ALM and Bor-FAL, on random graphs with fixed n and m = 4n, 6n, 10n.
+//
+// The paper's claims to check:
+//   * compact-graph dominates for Bor-EL and Bor-AL,
+//   * Bor-EL is much slower than Bor-AL and degrades as density grows,
+//   * Bor-FAL's compact-graph time is tiny and nearly independent of m,
+//   * Bor-FAL's find-min grows (it rescans all m edges each iteration),
+//   * connect-components is a small fraction everywhere.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+
+using namespace smp;
+using namespace smp::graph;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto n = static_cast<VertexId>(args.size(100000, 1000000));
+
+  const core::Algorithm algs[] = {core::Algorithm::kBorEL, core::Algorithm::kBorAL,
+                                  core::Algorithm::kBorALM, core::Algorithm::kBorFAL};
+  for (const int density : {4, 6, 10}) {
+    const auto m = static_cast<EdgeId>(density) * n;
+    const EdgeList g = random_graph(n, m, args.seed + static_cast<std::uint64_t>(density));
+    bench::banner("Fig 2 / random", g);
+    std::printf("  %-8s %10s %10s %10s %10s %10s\n", "alg", "find-min",
+                "connect", "compact", "other", "total");
+    for (const auto alg : algs) {
+      core::StepTimes best{};
+      double best_total = 1e300;
+      for (int r = 0; r < args.reps; ++r) {
+        core::StepTimes st;
+        core::MsfOptions opts;
+        opts.algorithm = alg;
+        opts.threads = args.max_threads;
+        opts.step_times = &st;
+        (void)core::minimum_spanning_forest(g, opts);
+        if (st.total() < best_total) {
+          best_total = st.total();
+          best = st;
+        }
+      }
+      std::printf("  %-8s %9.3fs %9.3fs %9.3fs %9.3fs %9.3fs\n",
+                  std::string(core::to_string(alg)).c_str(), best.find_min,
+                  best.connect, best.compact, best.other, best.total());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fig. 4 of the paper: all five parallel algorithms versus the best
+// sequential algorithm on random graphs with n fixed and m = 4n, 6n, 10n,
+// 20n, across a thread sweep.  The paper's headline: Bor-FAL reaches ~5x
+// speedup at p=8 on the 1M/20M input (against sequential Prim).
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+using namespace smp;
+using namespace smp::graph;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto n = static_cast<VertexId>(args.size(100000, 1000000));
+  for (const int density : {4, 6, 10, 20}) {
+    const auto m = static_cast<EdgeId>(density) * n;
+    const EdgeList g = random_graph(n, m, args.seed + static_cast<std::uint64_t>(density));
+    bench::banner("Fig 4 / random", g);
+    bench::run_parallel_comparison(g, args);
+  }
+  return 0;
+}

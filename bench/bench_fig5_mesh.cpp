@@ -1,0 +1,38 @@
+// Fig. 5 of the paper: regular and irregular meshes plus a fixed-degree
+// geometric graph — regular mesh, geometric k=6, 2D60, 3D40 — parallel
+// algorithms versus best sequential across a thread sweep.  The paper finds
+// Bor-ALM often best here.
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+using namespace smp;
+using namespace smp::graph;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto side = static_cast<VertexId>(args.size(316, 1000));   // side^2 ≈ n
+  const auto side3 = static_cast<VertexId>(args.size(46, 100));    // side3^3 ≈ n
+  const auto n = static_cast<VertexId>(args.size(100000, 1000000));
+
+  {
+    const EdgeList g = mesh2d(side, side, args.seed);
+    bench::banner("Fig 5 / regular mesh", g);
+    bench::run_parallel_comparison(g, args);
+  }
+  {
+    const EdgeList g = geometric_knn(n, 6, args.seed);
+    bench::banner("Fig 5 / geometric k=6", g);
+    bench::run_parallel_comparison(g, args);
+  }
+  {
+    const EdgeList g = mesh2d_p(side, side, 0.6, args.seed);
+    bench::banner("Fig 5 / 2D60", g);
+    bench::run_parallel_comparison(g, args);
+  }
+  {
+    const EdgeList g = mesh3d_p(side3, side3, side3, 0.4, args.seed);
+    bench::banner("Fig 5 / 3D40", g);
+    bench::run_parallel_comparison(g, args);
+  }
+  return 0;
+}

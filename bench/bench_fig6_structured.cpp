@@ -1,0 +1,24 @@
+// Fig. 6 of the paper: the Chung–Condon structured graphs str0–str3 —
+// degenerate tree inputs that are worst cases for Borůvka's iteration count.
+// The paper finds MST-BC is often the only algorithm beating the best
+// sequential one here (with modest speedups).
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+using namespace smp;
+using namespace smp::graph;
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const auto n = static_cast<VertexId>(args.size(262144, 1048576));
+  for (int variant = 0; variant < 4; ++variant) {
+    const EdgeList g = structured_graph(variant, n, args.seed);
+    char title[32];
+    std::snprintf(title, sizeof title, "Fig 6 / str%d", variant);
+    bench::banner(title, g);
+    bench::run_parallel_comparison(g, args);
+  }
+  return 0;
+}

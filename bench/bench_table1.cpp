@@ -1,0 +1,68 @@
+// Table 1 of the paper: rate of decrease of the number m of edges per
+// Borůvka iteration (Bor-EL) for two random sparse graphs.
+//
+//   G1 = 1,000,000 vertices, 6,000,006 edges   (default run: scaled down)
+//   G2 =    10,000 vertices,    30,024 edges   (always at paper size)
+//
+// Columns: iteration, 2m (size of the directed edge list), decrease, % dec.,
+// and m/n (density), exactly as the paper prints them.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+
+using namespace smp;
+using namespace smp::graph;
+
+namespace {
+
+void run_case(const char* name, VertexId n, EdgeId m, std::uint64_t seed) {
+  const EdgeList g = random_graph(n, m, seed);
+  bench::banner(name, g);
+
+  std::vector<core::IterationStat> stats;
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorEL;
+  opts.threads = 1;
+  opts.iteration_stats = &stats;
+  (void)core::minimum_spanning_forest(g, opts);
+
+  std::printf("%-10s %14s %14s %8s %10s\n", "iteration", "2m", "decrease",
+              "% dec.", "m/n");
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const double mm = static_cast<double>(stats[i].directed_edges) / 2.0;
+    const double nn = static_cast<double>(stats[i].vertices);
+    if (i == 0) {
+      std::printf("%-10zu %14llu %14s %8s %10.1f\n", i + 1,
+                  static_cast<unsigned long long>(stats[i].directed_edges), "N/A",
+                  "N/A", mm / nn);
+    } else {
+      const auto prev = stats[i - 1].directed_edges;
+      const auto cur = stats[i].directed_edges;
+      const auto dec = prev - cur;
+      std::printf("%-10zu %14llu %14llu %7.1f%% %10.1f\n", i + 1,
+                  static_cast<unsigned long long>(cur),
+                  static_cast<unsigned long long>(dec),
+                  100.0 * static_cast<double>(dec) / static_cast<double>(prev),
+                  mm / nn);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  // G1: the paper uses n = 1M, m = 6,000,006.  Scaled default: n = 100k.
+  const auto n1 = static_cast<VertexId>(args.size(100000, 1000000));
+  const auto m1 = static_cast<EdgeId>(6 * static_cast<EdgeId>(n1) + 6);
+  run_case("Table 1 / G1 (random)", n1, m1, args.seed);
+
+  // G2 is small enough to always run at paper size.
+  run_case("Table 1 / G2 (random)", 10000, 30024, args.seed + 1);
+  return 0;
+}

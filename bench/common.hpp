@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "pprim/timer.hpp"
+
+namespace bench {
+
+/// Shared command line of all paper-reproduction benches.
+///
+///   --scale F     multiply default problem sizes by F (default 1.0)
+///   --paper       use the paper's full sizes (n = 1M etc.)
+///   --threads N   max thread count for sweeps (default 8)
+///   --seed S      generator seed
+///   --reps R      timing repetitions, best-of (default 1)
+struct Args {
+  double scale = 1.0;
+  bool paper = false;
+  int max_threads = 8;
+  std::uint64_t seed = 12345;
+  int reps = 1;
+
+  /// Scaled size: `paper_value` when --paper, else `default_value * scale`.
+  [[nodiscard]] std::size_t size(std::size_t default_value, std::size_t paper_value) const {
+    if (paper) return paper_value;
+    return static_cast<std::size_t>(static_cast<double>(default_value) * scale);
+  }
+};
+
+Args parse_args(int argc, char** argv);
+
+/// Best-of-`reps` wall time of `fn`, in seconds.
+double time_best_of(int reps, const std::function<void()>& fn);
+
+/// Prints "name  n=<n> m=<m>" style banner.
+void banner(const std::string& title, const smp::graph::EdgeList& g);
+
+/// Times the three sequential baselines; prints one row per algorithm and
+/// returns the best (name, seconds) — the paper's speedup reference.
+struct SeqBest {
+  std::string name;
+  double seconds = 0;
+};
+SeqBest run_sequential_baselines(const smp::graph::EdgeList& g, int reps);
+
+/// The Fig. 4/5/6 harness: per parallel algorithm × thread count, wall time
+/// and speedup versus the best sequential algorithm on this input.
+void run_parallel_comparison(const smp::graph::EdgeList& g, const Args& args);
+
+}  // namespace bench

@@ -1,0 +1,63 @@
+// Maze generation — the classic playful MST application.  A perfect maze is
+// exactly a uniform-ish spanning tree of the grid: assign random weights to
+// the grid graph's edges, take the MST, and knock down the wall for every
+// tree edge.  Every pair of cells then has exactly one path between them.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smp;
+  using namespace smp::graph;
+
+  const int cols = argc > 1 ? std::atoi(argv[1]) : 39;
+  const int rows = argc > 2 ? std::atoi(argv[2]) : 15;
+  if (cols < 2 || rows < 2 || cols > 500 || rows > 500) {
+    std::fprintf(stderr, "usage: maze_generation [cols rows]  (2..500)\n");
+    return 2;
+  }
+
+  // Grid graph with uniform random weights; its MST is the maze.
+  const EdgeList g =
+      mesh2d(static_cast<VertexId>(rows), static_cast<VertexId>(cols), 2024);
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorFAL;
+  opts.threads = 2;
+  const MsfResult mst = core::minimum_spanning_forest(g, opts);
+
+  // Wall bitmap: open[cell][direction] with 0=east, 1=south.
+  std::vector<std::array<bool, 2>> open(g.num_vertices, {false, false});
+  for (const auto& e : mst.edges) {
+    const VertexId a = std::min(e.u, e.v);
+    const VertexId b = std::max(e.u, e.v);
+    if (b == a + 1) {
+      open[a][0] = true;  // east
+    } else {
+      open[a][1] = true;  // south
+    }
+  }
+
+  // Render: each cell is 2x1 characters plus a border.
+  std::string top(static_cast<std::size_t>(2 * cols + 1), '_');
+  std::printf(" %s\n", top.c_str() + 1);
+  for (int r = 0; r < rows; ++r) {
+    std::string line = "|";
+    for (int c = 0; c < cols; ++c) {
+      const auto cell = static_cast<VertexId>(r) * static_cast<VertexId>(cols) +
+                        static_cast<VertexId>(c);
+      const bool south = open[cell][1];
+      const bool east = open[cell][0];
+      line += south ? ' ' : '_';
+      line += east ? (south ? ' ' : '_') : '|';
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("%d x %d maze, %zu corridors (tree edges)\n", cols, rows,
+              mst.edges.size());
+
+  // A perfect maze has exactly rows*cols - 1 corridors.
+  return mst.edges.size() == static_cast<std::size_t>(rows) * cols - 1 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Quickstart: build a graph, compute its minimum spanning forest with the
+// parallel Bor-FAL algorithm, and inspect the result.
+#include <cstdio>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+int main() {
+  using namespace smp;
+  using namespace smp::graph;
+
+  // A random sparse graph: 50,000 vertices, 200,000 edges, uniform weights.
+  const EdgeList g = random_graph(50000, 200000, /*seed=*/7);
+  std::printf("graph: %u vertices, %llu edges\n", g.num_vertices,
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // Pick an algorithm and a thread count; everything else is defaulted.
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorFAL;
+  opts.threads = 4;
+
+  const MsfResult msf = core::minimum_spanning_forest(g, opts);
+  std::printf("forest: %zu edges, total weight %.6f, %zu tree(s)\n",
+              msf.edges.size(), msf.total_weight, msf.num_trees);
+
+  // Every result can be validated structurally against the input.
+  const auto check = validate_spanning_forest(g, msf.edges);
+  std::printf("validation: %s\n", check.ok ? "OK" : check.error.c_str());
+
+  // Forest edges reference the input: edge_ids[i] indexes g.edges.
+  std::printf("first forest edge: (%u, %u) w=%.6f  [input edge #%llu]\n",
+              msf.edges[0].u, msf.edges[0].v, msf.edges[0].w,
+              static_cast<unsigned long long>(msf.edge_ids[0]));
+  return check.ok ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <atomic>
+
+#include "graph/types.hpp"
+
+namespace smp::core {
+
+/// Lock-free write-min: install `cand` into `slot` if it beats the current
+/// occupant under `better(cand, cur)`.  `slot` holds an opaque id (e.g. an
+/// arc index) with kInvalidEdge meaning empty.
+///
+/// This is the concurrent heart of the parallel find-min step: every thread
+/// races to publish the lightest edge it has seen for a supervertex.
+template <class Better>
+void atomic_write_min(std::atomic<graph::EdgeId>& slot, graph::EdgeId cand,
+                      Better&& better) {
+  graph::EdgeId cur = slot.load(std::memory_order_relaxed);
+  while (cur == graph::kInvalidEdge || better(cand, cur)) {
+    if (slot.compare_exchange_weak(cur, cand, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+    if (cand == cur) return;
+  }
+}
+
+}  // namespace smp::core

@@ -1,0 +1,303 @@
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/detail.hpp"
+#include "core/hook_jump.hpp"
+#include "core/msf.hpp"
+#include "pprim/arena.hpp"
+#include "pprim/parallel_for.hpp"
+#include "pprim/prefix_sum.hpp"
+#include "pprim/sample_sort.hpp"
+#include "pprim/seq_sort.hpp"
+#include "pprim/timer.hpp"
+
+namespace smp::core {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::kInvalidEdge;
+using graph::MsfResult;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightOrder;
+
+namespace {
+
+/// One entry of a vertex's adjacency array.
+struct AdjArc {
+  VertexId target;
+  Weight w;
+  EdgeId orig;
+
+  [[nodiscard]] WeightOrder order() const { return {w, orig}; }
+};
+
+/// Mutable adjacency-array graph (offsets + packed arc records).
+struct AdjGraph {
+  VertexId n = 0;
+  std::vector<EdgeId> offsets;  // n + 1
+  std::vector<AdjArc> arcs;
+};
+
+AdjGraph build_adj(const EdgeList& g) {
+  AdjGraph a;
+  a.n = g.num_vertices;
+  a.offsets.assign(static_cast<std::size_t>(a.n) + 1, 0);
+  for (const auto& e : g.edges) {
+    ++a.offsets[e.u + 1];
+    ++a.offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < a.offsets.size(); ++i) a.offsets[i] += a.offsets[i - 1];
+  a.arcs.resize(a.offsets.back());
+  std::vector<EdgeId> cur(a.offsets.begin(), a.offsets.end() - 1);
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    const auto& e = g.edges[i];
+    a.arcs[cur[e.u]++] = {e.v, e.w, i};
+    a.arcs[cur[e.v]++] = {e.u, e.w, i};
+  }
+  return a;
+}
+
+/// Scratch allocation policy: Bor-AL takes per-task buffers from the system
+/// heap (every list sort and k-way merge pays `operator new`, serializing on
+/// the shared allocator exactly as the paper's Bor-AL pays `malloc`);
+/// Bor-ALM draws from per-thread arenas instead (§2.2's custom memory
+/// management), making steady-state allocation synchronization-free.
+class Scratch {
+ public:
+  explicit Scratch(ThreadArenas* arenas) : arenas_(arenas) {}
+
+  template <class T>
+  std::span<T> get(int tid, std::size_t count, std::unique_ptr<T[]>& owned) {
+    if (count == 0) return {};
+    if (arenas_ != nullptr) {
+      return arenas_->local(tid).alloc_array<T>(count);
+    }
+    owned = std::make_unique<T[]>(count);
+    return {owned.get(), count};
+  }
+
+  void next_iteration() {
+    if (arenas_ != nullptr) arenas_->reset_all();
+  }
+
+ private:
+  ThreadArenas* arenas_;
+};
+
+/// Cursor over one member's sorted adjacency slice during the k-way merge.
+struct MergeCursor {
+  EdgeId pos;
+  EdgeId end;
+};
+
+/// Dynamic loop with thread id (the plain parallel_for_dynamic hides it, and
+/// the scratch policy needs the tid to find its arena).
+template <class Fn>
+void dynamic_for_tid(ThreadTeam& team, std::size_t n, std::size_t chunk, Fn&& fn) {
+  if (team.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  team.run([&](TeamCtx& ctx) {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = begin + chunk < n ? begin + chunk : n;
+      for (std::size_t i = begin; i < end; ++i) fn(ctx.tid(), i);
+    }
+  });
+}
+
+MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts,
+                      ThreadArenas* arenas) {
+  StepTimes st;
+  WallTimer phase;
+
+  AdjGraph adj = build_adj(g);
+  Scratch scratch(arenas);
+  detail::EdgeCollector collector(team.size());
+  std::vector<EdgeId> best(adj.n);
+  std::vector<VertexId> parent(adj.n);
+  st.other += phase.elapsed_s();
+
+  while (!adj.arcs.empty()) {
+    const VertexId cur_n = adj.n;
+    if (opts.iteration_stats) {
+      opts.iteration_stats->push_back({cur_n, adj.arcs.size()});
+    }
+
+    // --- find-min: per-vertex scan of its adjacency array -----------------
+    phase.reset();
+    parallel_for_dynamic(team, cur_n, 128, [&](std::size_t v) {
+      EdgeId b = kInvalidEdge;
+      for (EdgeId a = adj.offsets[v]; a < adj.offsets[v + 1]; ++a) {
+        if (b == kInvalidEdge || adj.arcs[a].order() < adj.arcs[b].order()) b = a;
+      }
+      best[v] = b;
+    });
+    st.find_min += phase.elapsed_s();
+
+    // --- connect-components ------------------------------------------------
+    phase.reset();
+    team.run([&](TeamCtx& ctx) {
+      for_range(ctx, cur_n, [&](std::size_t v) {
+        const EdgeId b = best[v];
+        if (b == kInvalidEdge) {
+          parent[v] = static_cast<VertexId>(v);
+          return;
+        }
+        const AdjArc& e = adj.arcs[b];
+        parent[v] = e.target;
+        const EdgeId ob = best[e.target];
+        const bool other_also_chose = ob != kInvalidEdge && adj.arcs[ob].orig == e.orig;
+        if (!(other_also_chose && e.target < v)) {
+          collector.add(ctx.tid(), e.orig);
+        }
+      });
+    });
+    pointer_jump_components(team, std::span<VertexId>(parent.data(), cur_n));
+    const VertexId next_n =
+        densify_labels(team, std::span<VertexId>(parent.data(), cur_n));
+    st.connect += phase.elapsed_s();
+
+    // --- compact-graph ------------------------------------------------------
+    phase.reset();
+
+    // (a) Sort the vertex array by supervertex label (parallel sample sort),
+    //     so members of one supervertex become contiguous (§2.2).
+    std::vector<VertexId> order(cur_n);
+    parallel_for(team, cur_n, [&](std::size_t v) {
+      order[v] = static_cast<VertexId>(v);
+    });
+    sample_sort(team, order, [&](VertexId a, VertexId b) {
+      return parent[a] != parent[b] ? parent[a] < parent[b] : a < b;
+    });
+
+    // (b) Concurrently sort each vertex's adjacency list by the supervertex
+    //     of the other endpoint (insertion sort for short lists, bottom-up
+    //     merge sort for long — the paper's hybrid).
+    const auto arc_less = [&](const AdjArc& x, const AdjArc& y) {
+      const VertexId lx = parent[x.target];
+      const VertexId ly = parent[y.target];
+      return lx != ly ? lx < ly : x.order() < y.order();
+    };
+    dynamic_for_tid(team, cur_n, 64, [&](int tid, std::size_t v) {
+      const EdgeId lo = adj.offsets[v];
+      const EdgeId len = adj.offsets[v + 1] - lo;
+      std::span<AdjArc> list(adj.arcs.data() + lo, len);
+      std::unique_ptr<AdjArc[]> owned;
+      std::span<AdjArc> buf;
+      if (len > kInsertionSortCutoff) buf = scratch.get<AdjArc>(tid, len, owned);
+      seq_sort(list, buf, arc_less);
+    });
+
+    // (c) Group boundaries: labels along `order` are non-decreasing and
+    //     dense, so supervertex s owns order[group_start[s]..group_start[s+1]).
+    std::vector<EdgeId> group_start(static_cast<std::size_t>(next_n) + 1, 0);
+    parallel_for(team, cur_n, [&](std::size_t i) {
+      if (i == 0 || parent[order[i]] != parent[order[i - 1]]) {
+        group_start[parent[order[i]]] = i;
+      }
+    });
+    group_start[next_n] = cur_n;
+
+    // (d) Count pass: k-way merge of member lists per supervertex, dropping
+    //     self-loops and all but the lightest multi-edge.
+    std::vector<EdgeId> new_size(static_cast<std::size_t>(next_n) + 1, 0);
+    const auto merge_group = [&](int tid, VertexId s, AdjArc* out, EdgeId* count) {
+      const EdgeId gs = group_start[s];
+      const EdgeId ge = group_start[s + 1];
+      const auto k = static_cast<std::size_t>(ge - gs);
+      std::unique_ptr<MergeCursor[]> owned;
+      std::span<MergeCursor> heap = scratch.get<MergeCursor>(tid, k, owned);
+      // Build a binary min-heap of non-empty member cursors.
+      const auto cursor_key = [&](const MergeCursor& c) { return adj.arcs[c.pos]; };
+      const auto cursor_less = [&](const MergeCursor& x, const MergeCursor& y) {
+        return arc_less(cursor_key(x), cursor_key(y));
+      };
+      std::size_t hn = 0;
+      for (EdgeId gi = gs; gi < ge; ++gi) {
+        const VertexId member = order[gi];
+        const EdgeId lo = adj.offsets[member];
+        const EdgeId hi = adj.offsets[member + 1];
+        if (lo < hi) heap[hn++] = {lo, hi};
+      }
+      for (std::size_t i = hn / 2; i-- > 0;) {  // heapify (sift down)
+        std::size_t j = i;
+        for (;;) {
+          std::size_t c = 2 * j + 1;
+          if (c >= hn) break;
+          if (c + 1 < hn && cursor_less(heap[c + 1], heap[c])) ++c;
+          if (!cursor_less(heap[c], heap[j])) break;
+          std::swap(heap[j], heap[c]);
+          j = c;
+        }
+      }
+      EdgeId written = 0;
+      VertexId last_label = graph::kInvalidVertex;
+      while (hn > 0) {
+        const AdjArc& a = adj.arcs[heap[0].pos];
+        const VertexId lbl = parent[a.target];
+        if (lbl != s && lbl != last_label) {
+          if (out != nullptr) out[written] = {lbl, a.w, a.orig};
+          ++written;
+          last_label = lbl;
+        }
+        // Advance the top cursor and restore the heap.
+        if (++heap[0].pos == heap[0].end) heap[0] = heap[--hn];
+        std::size_t j = 0;
+        for (;;) {
+          std::size_t c = 2 * j + 1;
+          if (c >= hn) break;
+          if (c + 1 < hn && cursor_less(heap[c + 1], heap[c])) ++c;
+          if (!cursor_less(heap[c], heap[j])) break;
+          std::swap(heap[j], heap[c]);
+          j = c;
+        }
+      }
+      *count = written;
+    };
+    dynamic_for_tid(team, next_n, 16, [&](int tid, std::size_t s) {
+      merge_group(tid, static_cast<VertexId>(s), nullptr, &new_size[s]);
+    });
+    const EdgeId new_arc_count =
+        exclusive_scan(team, std::span<EdgeId>(new_size.data(), next_n + 1));
+
+    // (e) Fill pass into the fresh adjacency arrays.
+    AdjGraph next;
+    next.n = next_n;
+    next.offsets.assign(new_size.begin(), new_size.end());
+    next.offsets.back() = new_arc_count;
+    next.arcs.resize(new_arc_count);
+    dynamic_for_tid(team, next_n, 16, [&](int tid, std::size_t s) {
+      EdgeId written = 0;
+      merge_group(tid, static_cast<VertexId>(s), next.arcs.data() + next.offsets[s],
+                  &written);
+    });
+    adj = std::move(next);
+    scratch.next_iteration();
+    st.compact += phase.elapsed_s();
+  }
+
+  phase.reset();
+  MsfResult res = detail::assemble_result(g, collector.gather());
+  st.other += phase.elapsed_s();
+  if (opts.step_times) *opts.step_times += st;
+  return res;
+}
+
+}  // namespace
+
+MsfResult bor_al_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
+  return bor_al_impl(team, g, opts, nullptr);
+}
+
+MsfResult bor_alm_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
+  ThreadArenas arenas(team.size());
+  return bor_al_impl(team, g, opts, &arenas);
+}
+
+}  // namespace smp::core

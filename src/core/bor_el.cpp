@@ -1,0 +1,102 @@
+#include <atomic>
+#include <vector>
+
+#include "core/atomic_min.hpp"
+#include "core/detail.hpp"
+#include "core/hook_jump.hpp"
+#include "core/msf.hpp"
+#include "pprim/parallel_for.hpp"
+#include "pprim/timer.hpp"
+
+namespace smp::core {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::kInvalidEdge;
+using graph::MsfResult;
+using graph::VertexId;
+
+/// Bor-EL (§2.1): edge-list representation.  find-min races atomic
+/// write-mins per vertex; compact-graph is one global parallel sample sort
+/// of the directed edge list by ⟨supervertex(u), supervertex(v), weight⟩
+/// followed by a prefix-sum merge of self-loops and multi-edges.
+MsfResult bor_el_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
+  const VertexId n = g.num_vertices;
+  StepTimes st;
+  WallTimer phase;
+
+  // Each undirected edge appears in both directions, as in the paper.
+  std::vector<DirEdge> arcs;
+  arcs.reserve(2 * g.edges.size());
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    const auto& e = g.edges[i];
+    arcs.push_back({e.u, e.v, e.w, i});
+    arcs.push_back({e.v, e.u, e.w, i});
+  }
+
+  detail::EdgeCollector collector(team.size());
+  std::vector<std::atomic<EdgeId>> best(n);
+  std::vector<VertexId> parent(n);
+  VertexId cur_n = n;
+  st.other += phase.elapsed_s();
+
+  while (!arcs.empty()) {
+    if (opts.iteration_stats) {
+      opts.iteration_stats->push_back({cur_n, arcs.size()});
+    }
+
+    // --- find-min ---------------------------------------------------------
+    phase.reset();
+    parallel_for(team, cur_n, [&](std::size_t v) {
+      best[v].store(kInvalidEdge, std::memory_order_relaxed);
+    });
+    const auto better = [&](EdgeId a, EdgeId b) {
+      return arcs[a].order() < arcs[b].order();
+    };
+    parallel_for(team, arcs.size(), [&](std::size_t i) {
+      atomic_write_min(best[arcs[i].u], static_cast<EdgeId>(i), better);
+    });
+    st.find_min += phase.elapsed_s();
+
+    // --- connect-components ------------------------------------------------
+    phase.reset();
+    // Record chosen edges (each mutual-minimum pair exactly once) and set up
+    // the pseudo-forest parent pointers.
+    team.run([&](TeamCtx& ctx) {
+      for_range(ctx, cur_n, [&](std::size_t v) {
+        const EdgeId b = best[v].load(std::memory_order_relaxed);
+        if (b == kInvalidEdge) {
+          parent[v] = static_cast<VertexId>(v);
+          return;
+        }
+        const DirEdge& e = arcs[b];
+        parent[v] = e.v;
+        const EdgeId ob = best[e.v].load(std::memory_order_relaxed);
+        const bool other_also_chose =
+            ob != kInvalidEdge && arcs[ob].orig == e.orig;
+        if (!(other_also_chose && e.v < v)) {
+          collector.add(ctx.tid(), e.orig);
+        }
+      });
+    });
+    pointer_jump_components(team, std::span<VertexId>(parent.data(), cur_n));
+    const VertexId next_n =
+        densify_labels(team, std::span<VertexId>(parent.data(), cur_n));
+    st.connect += phase.elapsed_s();
+
+    // --- compact-graph ------------------------------------------------------
+    phase.reset();
+    arcs = detail::compact_arcs(team, std::move(arcs),
+                                std::span<const VertexId>(parent.data(), cur_n));
+    cur_n = next_n;
+    st.compact += phase.elapsed_s();
+  }
+
+  phase.reset();
+  MsfResult res = detail::assemble_result(g, collector.gather());
+  st.other += phase.elapsed_s();
+  if (opts.step_times) *opts.step_times += st;
+  return res;
+}
+
+}  // namespace smp::core

@@ -1,0 +1,118 @@
+#include <atomic>
+#include <vector>
+
+#include "core/atomic_min.hpp"
+#include "core/detail.hpp"
+#include "core/hook_jump.hpp"
+#include "core/msf.hpp"
+#include "graph/flex_adj_list.hpp"
+#include "pprim/parallel_for.hpp"
+#include "pprim/timer.hpp"
+
+namespace smp::core {
+
+using graph::CsrGraph;
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::FlexAdjList;
+using graph::kInvalidEdge;
+using graph::MsfResult;
+using graph::VertexId;
+using graph::WeightOrder;
+
+/// Bor-FAL (§2.3): the flexible adjacency list keeps the original edge
+/// arrays intact forever.  compact-graph degenerates to a small sort of the
+/// supervertices plus O(n) pointer appends and a lookup-table update; in
+/// exchange, find-min rescans all m edges every iteration, filtering
+/// self-loops and multi-edges through the lookup table.  Fewer memory writes
+/// per iteration — the property the paper targets on SMPs.
+MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
+  const VertexId n = g.num_vertices;
+  StepTimes st;
+  WallTimer phase;
+
+  const CsrGraph csr(g);
+  FlexAdjList fal(csr);
+  const auto& targets = csr.targets();
+  const auto& weights = csr.arc_weights();
+  const auto& origs = csr.arc_origs();
+  const auto& offsets = csr.offsets();
+
+  detail::EdgeCollector collector(team.size());
+  std::vector<std::atomic<EdgeId>> best(n);  // per supervertex: best arc index
+  std::vector<VertexId> parent(n);
+  st.other += phase.elapsed_s();
+
+  for (;;) {
+    const VertexId cur_n = fal.num_super();
+    if (opts.iteration_stats) {
+      // m never shrinks under Bor-FAL; the live edge list is always 2m.
+      opts.iteration_stats->push_back({cur_n, csr.num_arcs()});
+    }
+
+    // --- find-min -----------------------------------------------------------
+    // All m edges are checked, each processor covering O(m/p) of them: we
+    // scan per *original* vertex (balanced) and race atomic write-mins into
+    // the owning supervertex's slot, filtering via the lookup table.
+    phase.reset();
+    parallel_for(team, cur_n, [&](std::size_t s) {
+      best[s].store(kInvalidEdge, std::memory_order_relaxed);
+    });
+    const auto better = [&](EdgeId a, EdgeId b) {
+      return WeightOrder{weights[a], origs[a]} < WeightOrder{weights[b], origs[b]};
+    };
+    const auto labels = fal.labels();
+    parallel_for(team, n, [&](std::size_t x) {
+      const VertexId s = labels[x];
+      for (EdgeId a = offsets[x]; a < offsets[x + 1]; ++a) {
+        if (labels[targets[a]] == s) continue;  // self-loop at supervertex level
+        atomic_write_min(best[s], a, better);
+      }
+    });
+    st.find_min += phase.elapsed_s();
+
+    // --- connect-components -------------------------------------------------
+    phase.reset();
+    std::atomic<bool> any{false};
+    team.run([&](TeamCtx& ctx) {
+      bool local_any = false;
+      for_range(ctx, cur_n, [&](std::size_t s) {
+        const EdgeId b = best[s].load(std::memory_order_relaxed);
+        if (b == kInvalidEdge) {
+          parent[s] = static_cast<VertexId>(s);
+          return;
+        }
+        local_any = true;
+        const VertexId other = labels[targets[b]];
+        parent[s] = other;
+        const EdgeId ob = best[other].load(std::memory_order_relaxed);
+        const bool other_also_chose = ob != kInvalidEdge && origs[ob] == origs[b];
+        if (!(other_also_chose && other < s)) {
+          collector.add(ctx.tid(), origs[b]);
+        }
+      });
+      if (local_any) any.store(true, std::memory_order_relaxed);
+    });
+    if (!any.load(std::memory_order_relaxed)) {
+      st.connect += phase.elapsed_s();
+      break;  // every component fully contracted
+    }
+    pointer_jump_components(team, std::span<VertexId>(parent.data(), cur_n));
+    const VertexId next_n =
+        densify_labels(team, std::span<VertexId>(parent.data(), cur_n));
+    st.connect += phase.elapsed_s();
+
+    // --- compact-graph: sort + pointer ops + lookup-table update ------------
+    phase.reset();
+    fal.contract(team, std::span<const VertexId>(parent.data(), cur_n), next_n);
+    st.compact += phase.elapsed_s();
+  }
+
+  phase.reset();
+  MsfResult res = detail::assemble_result(g, collector.gather());
+  st.other += phase.elapsed_s();
+  if (opts.step_times) *opts.step_times += st;
+  return res;
+}
+
+}  // namespace smp::core

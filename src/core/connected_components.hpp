@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp::core {
+
+/// Result of a connected-components computation.
+struct CcResult {
+  /// Dense component label in [0, num_components) per vertex.
+  std::vector<graph::VertexId> label;
+  std::size_t num_components = 0;
+};
+
+/// Parallel connected components by Shiloach–Vishkin-style hooking plus
+/// pointer jumping — the paper lists connected components as the natural
+/// next application of its SMP techniques (§6), and the MSF algorithms
+/// already contain the machinery.
+///
+/// Deterministic: hooks always point the larger root at the smaller one, so
+/// labels are independent of scheduling and thread count.
+CcResult connected_components(ThreadTeam& team, const graph::EdgeList& g);
+
+/// Convenience overload owning a temporary team.
+CcResult connected_components(const graph::EdgeList& g, int threads = 1);
+
+}  // namespace smp::core

@@ -1,0 +1,100 @@
+#include "core/dendrogram.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "seq/union_find.hpp"
+
+namespace smp::core {
+
+using graph::EdgeId;
+using graph::kInvalidVertex;
+using graph::MsfResult;
+using graph::VertexId;
+using graph::Weight;
+using graph::WeightOrder;
+
+Dendrogram::Dendrogram(VertexId num_vertices, const MsfResult& msf)
+    : n_(num_vertices) {
+  const std::size_t k = msf.edges.size();
+  parent_.assign(static_cast<std::size_t>(n_) + k, kInvalidVertex);
+  merge_height_.reserve(k);
+
+  // Kruskal order over the forest edges (ties by edge id, as everywhere).
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return WeightOrder{msf.edges[a].w, msf.edge_ids[a]} <
+           WeightOrder{msf.edges[b].w, msf.edge_ids[b]};
+  });
+
+  // cluster_node[r]: current dendrogram node representing root r's cluster.
+  std::vector<VertexId> cluster_node(n_);
+  std::iota(cluster_node.begin(), cluster_node.end(), VertexId{0});
+  seq::UnionFind uf(n_);
+  for (const std::size_t i : order) {
+    const auto& e = msf.edges[i];
+    const VertexId ru = uf.find(e.u);
+    const VertexId rv = uf.find(e.v);
+    // MSF edges never close a cycle.
+    const auto merge_node = static_cast<VertexId>(n_ + merge_height_.size());
+    parent_[cluster_node[ru]] = merge_node;
+    parent_[cluster_node[rv]] = merge_node;
+    merge_height_.push_back(e.w);
+    uf.unite(ru, rv);
+    cluster_node[uf.find(ru)] = merge_node;
+  }
+}
+
+std::vector<VertexId> Dendrogram::labels_keeping(std::size_t merges_kept,
+                                                 std::size_t* num_clusters) const {
+  // Keep leaves plus the first `merges_kept` merge nodes; a node is a
+  // cluster root if it has no kept parent.  Resolve each leaf upward.
+  const std::size_t total = parent_.size();
+  const std::size_t kept_limit = static_cast<std::size_t>(n_) + merges_kept;
+  std::vector<VertexId> top(total, kInvalidVertex);
+  // Merge nodes were appended in ascending height, so node ids below
+  // kept_limit are exactly the kept ones; process top-down (descending id)
+  // so `top` of a parent is final before its children ask.
+  const auto top_of = [&](VertexId node) {
+    const VertexId p = parent_[node];
+    if (p == kInvalidVertex || p >= kept_limit) return node;
+    return top[p];
+  };
+  for (std::size_t node = total; node-- > 0;) {
+    top[node] = top_of(static_cast<VertexId>(node));
+  }
+
+  // Densify cluster roots into labels.
+  std::vector<VertexId> label(n_);
+  std::vector<VertexId> dense(total, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    const VertexId root = top[v];
+    if (dense[root] == kInvalidVertex) dense[root] = next++;
+    label[v] = dense[root];
+  }
+  if (num_clusters != nullptr) *num_clusters = next;
+  return label;
+}
+
+std::vector<VertexId> Dendrogram::cut_at(Weight threshold,
+                                         std::size_t* num_clusters) const {
+  const auto it =
+      std::upper_bound(merge_height_.begin(), merge_height_.end(), threshold);
+  return labels_keeping(static_cast<std::size_t>(it - merge_height_.begin()),
+                        num_clusters);
+}
+
+std::vector<VertexId> Dendrogram::cut_into(std::size_t k,
+                                           std::size_t* num_clusters) const {
+  // With c initial components and j merges kept, clusters = n - ... easier:
+  // every merge reduces the cluster count by one from n.
+  const std::size_t clusters_all_kept = static_cast<std::size_t>(n_) - num_merges();
+  const std::size_t want = std::max(k, clusters_all_kept);
+  const std::size_t kept =
+      want >= static_cast<std::size_t>(n_) ? 0 : static_cast<std::size_t>(n_) - want;
+  return labels_keeping(std::min(kept, num_merges()), num_clusters);
+}
+
+}  // namespace smp::core

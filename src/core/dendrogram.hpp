@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/msf_result.hpp"
+#include "graph/types.hpp"
+
+namespace smp::core {
+
+/// Single-linkage dendrogram over the vertices of a graph, built from its
+/// MSF in one Kruskal-ordered union pass (the "Kruskal reconstruction
+/// tree").  Single-linkage clustering is exactly MST clustering — the
+/// paper's §1 motivates MST with this family of applications (cancer
+/// detection, proteomics) — and the dendrogram is its complete output:
+/// every cut of the tree at a height yields the clustering at that linkage
+/// distance.
+///
+/// Nodes 0..n-1 are the leaves (input vertices); nodes n..n+k-1 are merge
+/// nodes in ascending merge-height order.  Vertices in different components
+/// of the input are never merged (the forest case is preserved).
+class Dendrogram {
+ public:
+  /// Builds from a graph's MSF result (edges need not be sorted).
+  Dendrogram(graph::VertexId num_vertices, const graph::MsfResult& msf);
+
+  [[nodiscard]] graph::VertexId num_leaves() const { return n_; }
+  [[nodiscard]] std::size_t num_merges() const { return merge_height_.size(); }
+
+  /// Height (edge weight) of merge node `n_ + i`.  Non-decreasing in i.
+  [[nodiscard]] graph::Weight merge_height(std::size_t i) const {
+    return merge_height_[i];
+  }
+
+  /// Parent of any node (kInvalidVertex for roots).
+  [[nodiscard]] graph::VertexId parent(graph::VertexId node) const {
+    return parent_[node];
+  }
+
+  /// Cluster labels after cutting all merges with height > `threshold`:
+  /// label[v] in [0, k), k returned via the out-param if non-null.
+  [[nodiscard]] std::vector<graph::VertexId> cut_at(
+      graph::Weight threshold, std::size_t* num_clusters = nullptr) const;
+
+  /// Cluster labels for exactly `k` clusters (undoing the k-1 heaviest
+  /// merges of a connected input; with c components, k >= c is required).
+  [[nodiscard]] std::vector<graph::VertexId> cut_into(
+      std::size_t k, std::size_t* num_clusters = nullptr) const;
+
+ private:
+  [[nodiscard]] std::vector<graph::VertexId> labels_keeping(
+      std::size_t merges_kept, std::size_t* num_clusters) const;
+
+  graph::VertexId n_ = 0;
+  // Tree over n_ + num_merges() nodes.
+  std::vector<graph::VertexId> parent_;
+  std::vector<graph::Weight> merge_height_;  // ascending
+};
+
+}  // namespace smp::core

@@ -1,0 +1,73 @@
+#include "core/detail.hpp"
+
+#include <algorithm>
+
+#include "pprim/parallel_for.hpp"
+#include "pprim/prefix_sum.hpp"
+#include "pprim/sample_sort.hpp"
+
+namespace smp::core::detail {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::MsfResult;
+using graph::VertexId;
+
+MsfResult assemble_result(const EdgeList& input, std::vector<EdgeId> ids) {
+  MsfResult res;
+  res.edge_ids = std::move(ids);
+  // Canonical order: makes the result (including the floating-point sum)
+  // bit-identical across thread counts and scheduling.
+  std::sort(res.edge_ids.begin(), res.edge_ids.end());
+  res.edges.reserve(res.edge_ids.size());
+  for (const EdgeId id : res.edge_ids) {
+    const auto& e = input.edges[id];
+    res.edges.push_back(e);
+    res.total_weight += e.w;
+  }
+  res.num_trees = input.num_vertices - res.edges.size();
+  return res;
+}
+
+std::vector<DirEdge> compact_arcs(ThreadTeam& team, std::vector<DirEdge>&& arcs,
+                                  std::span<const VertexId> labels) {
+  const std::size_t m = arcs.size();
+
+  // Relabel and mark survivors (non-self-loops) in one pass.
+  std::vector<EdgeId> keep(m);
+  parallel_for(team, m, [&](std::size_t i) {
+    DirEdge& e = arcs[i];
+    e.u = labels[e.u];
+    e.v = labels[e.v];
+    keep[i] = e.u != e.v ? 1 : 0;
+  });
+  const EdgeId survivors = exclusive_scan(team, std::span<EdgeId>(keep));
+  std::vector<DirEdge> filtered(survivors);
+  parallel_for(team, m, [&](std::size_t i) {
+    const bool live = (i + 1 < m ? keep[i + 1] : survivors) != keep[i];
+    if (live) filtered[keep[i]] = arcs[i];
+  });
+  arcs.clear();
+  arcs.shrink_to_fit();
+
+  // Sort so that multi-edges between the same supervertex pair become
+  // consecutive with the lightest first, then prefix-sum-compact the heads.
+  sample_sort(team, filtered, DirEdgeCompactLess{});
+  const std::size_t f = filtered.size();
+  std::vector<EdgeId> head(f);
+  parallel_for(team, f, [&](std::size_t i) {
+    head[i] = (i == 0 || filtered[i].u != filtered[i - 1].u ||
+               filtered[i].v != filtered[i - 1].v)
+                  ? 1
+                  : 0;
+  });
+  const EdgeId uniques = exclusive_scan(team, std::span<EdgeId>(head));
+  std::vector<DirEdge> out(uniques);
+  parallel_for(team, f, [&](std::size_t i) {
+    const bool is_head = (i + 1 < f ? head[i + 1] : uniques) != head[i];
+    if (is_head) out[head[i]] = filtered[i];
+  });
+  return out;
+}
+
+}  // namespace smp::core::detail

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dir_edge.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/msf_result.hpp"
+#include "pprim/cacheline.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp::core::detail {
+
+/// Per-thread buffers for MSF edge ids found during parallel phases; avoids
+/// any synchronization on the hot path and concatenates once at the end.
+class EdgeCollector {
+ public:
+  explicit EdgeCollector(int nthreads) : slots_(static_cast<std::size_t>(nthreads)) {}
+
+  void add(int tid, graph::EdgeId orig) {
+    slots_[static_cast<std::size_t>(tid)].value.push_back(orig);
+  }
+
+  [[nodiscard]] std::size_t total() const {
+    std::size_t s = 0;
+    for (const auto& sl : slots_) s += sl.value.size();
+    return s;
+  }
+
+  /// Move all buffers into one vector (tid order; within a tid, find order).
+  std::vector<graph::EdgeId> gather() {
+    std::vector<graph::EdgeId> out;
+    out.reserve(total());
+    for (auto& sl : slots_) {
+      out.insert(out.end(), sl.value.begin(), sl.value.end());
+      sl.value.clear();
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Padded<std::vector<graph::EdgeId>>> slots_;
+};
+
+/// Builds the public result from the collected input-edge indices.
+graph::MsfResult assemble_result(const graph::EdgeList& input,
+                                 std::vector<graph::EdgeId> ids);
+
+/// compact-graph for edge-list representations (Bor-EL §2.1; also MST-BC's
+/// between-rounds contraction): relabel endpoints through `labels`, drop
+/// self-loops, parallel sample sort by ⟨u, v, weight⟩, and keep only the
+/// lightest edge of every (u, v) group.
+std::vector<DirEdge> compact_arcs(ThreadTeam& team, std::vector<DirEdge>&& arcs,
+                                  std::span<const graph::VertexId> labels);
+
+}  // namespace smp::core::detail

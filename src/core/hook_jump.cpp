@@ -1,0 +1,54 @@
+#include "core/hook_jump.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "pprim/parallel_for.hpp"
+#include "pprim/prefix_sum.hpp"
+
+namespace smp::core {
+
+using graph::VertexId;
+
+void pointer_jump_components(ThreadTeam& team, std::span<VertexId> parent) {
+  const std::size_t n = parent.size();
+
+  // Break mutual-minimum 2-cycles: keep the smaller endpoint as root.
+  parallel_for(team, n, [&](std::size_t v) {
+    const VertexId p = parent[v];
+    if (parent[p] == v && v < p) parent[v] = static_cast<VertexId>(v);
+  });
+
+  // Pointer jumping to the roots.  Each round halves every chain length, so
+  // this converges in O(log n) rounds; `changed` detects the fixpoint.
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    parallel_for(team, n, [&](std::size_t v) {
+      const VertexId p = parent[v];
+      const VertexId gp = parent[p];
+      if (p != gp) {
+        parent[v] = gp;
+        if (!changed.load(std::memory_order_relaxed)) {
+          changed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+}
+
+VertexId densify_labels(ThreadTeam& team, std::span<VertexId> parent) {
+  const std::size_t n = parent.size();
+  std::vector<VertexId> rank(n);
+  parallel_for(team, n, [&](std::size_t v) {
+    rank[v] = parent[v] == v ? 1u : 0u;
+  });
+  const VertexId num_roots =
+      static_cast<VertexId>(exclusive_scan(team, std::span<VertexId>(rank)));
+  parallel_for(team, n, [&](std::size_t v) {
+    parent[v] = rank[parent[v]];
+  });
+  return num_roots;
+}
+
+}  // namespace smp::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+
+#include "graph/types.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp::core {
+
+/// Connected components of the pseudo-forest induced by the find-min step.
+///
+/// `parent[v]` must hold the other endpoint of v's chosen minimum edge (or v
+/// itself if v chose nothing).  Under a strict total edge order the only
+/// cycles such pointers can form are mutual-minimum 2-cycles; this routine
+/// breaks them toward the smaller id and then pointer-jumps (Chung & Condon
+/// style [7]) until every vertex points at its component root.
+void pointer_jump_components(ThreadTeam& team, std::span<graph::VertexId> parent);
+
+/// Rewrites root labels to dense ids 0..n'-1.
+///
+/// Precondition: `parent[v]` is a root label (parent[root] == root), i.e.
+/// pointer_jump_components has run.  Returns n', the number of roots (the
+/// supervertex count after this Borůvka iteration).
+graph::VertexId densify_labels(ThreadTeam& team, std::span<graph::VertexId> parent);
+
+}  // namespace smp::core

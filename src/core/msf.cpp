@@ -1,0 +1,85 @@
+#include "core/msf.hpp"
+
+#include <stdexcept>
+
+#include "core/bor_uf.hpp"
+#include "core/filter_kruskal.hpp"
+#include "core/sample_filter.hpp"
+#include "seq/seq_msf.hpp"
+
+namespace smp::core {
+
+std::string_view to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBorEL:
+      return "Bor-EL";
+    case Algorithm::kBorAL:
+      return "Bor-AL";
+    case Algorithm::kBorALM:
+      return "Bor-ALM";
+    case Algorithm::kBorFAL:
+      return "Bor-FAL";
+    case Algorithm::kMstBC:
+      return "MST-BC";
+    case Algorithm::kSeqPrim:
+      return "Prim";
+    case Algorithm::kSeqKruskal:
+      return "Kruskal";
+    case Algorithm::kSeqBoruvka:
+      return "Boruvka";
+    case Algorithm::kParKruskal:
+      return "Par-Kruskal";
+    case Algorithm::kFilterKruskal:
+      return "Filter-Kruskal";
+    case Algorithm::kSampleFilter:
+      return "Sample-Filter";
+    case Algorithm::kBorUF:
+      return "Bor-UF";
+  }
+  return "?";
+}
+
+graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
+                                         const MsfOptions& opts) {
+  for (const auto& e : g.edges) {
+    if (e.u == e.v || e.u >= g.num_vertices || e.v >= g.num_vertices) {
+      throw std::invalid_argument(
+          "minimum_spanning_forest: self-loop or out-of-range endpoint");
+    }
+  }
+  switch (opts.algorithm) {
+    case Algorithm::kSeqPrim:
+      return seq::prim_msf(g);
+    case Algorithm::kSeqKruskal:
+      return seq::kruskal_msf(g);
+    case Algorithm::kSeqBoruvka:
+      return seq::boruvka_msf(g);
+    default:
+      break;
+  }
+  ThreadTeam team(opts.threads);
+  switch (opts.algorithm) {
+    case Algorithm::kBorEL:
+      return bor_el_msf(team, g, opts);
+    case Algorithm::kBorAL:
+      return bor_al_msf(team, g, opts);
+    case Algorithm::kBorALM:
+      return bor_alm_msf(team, g, opts);
+    case Algorithm::kBorFAL:
+      return bor_fal_msf(team, g, opts);
+    case Algorithm::kMstBC:
+      return mst_bc_msf(team, g, opts);
+    case Algorithm::kParKruskal:
+      return par_kruskal_msf(team, g, opts);
+    case Algorithm::kFilterKruskal:
+      return filter_kruskal_msf(team, g);
+    case Algorithm::kSampleFilter:
+      return sample_filter_msf(team, g, opts.seed);
+    case Algorithm::kBorUF:
+      return bor_uf_msf(team, g);
+    default:
+      throw std::logic_error("minimum_spanning_forest: unknown algorithm");
+  }
+}
+
+}  // namespace smp::core

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/msf_result.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp::core {
+
+/// The algorithms of the paper.  kBorEL/kBorAL/kBorALM/kBorFAL are the four
+/// parallel Borůvka variants of §2; kMstBC is the new Prim/Borůvka hybrid of
+/// §4; the kSeq* entries are the sequential baselines of §5.2 routed through
+/// the same interface.
+enum class Algorithm {
+  kBorEL,
+  kBorAL,
+  kBorALM,
+  kBorFAL,
+  kMstBC,
+  kSeqPrim,
+  kSeqKruskal,
+  kSeqBoruvka,
+  // Extensions beyond the paper (see DESIGN.md):
+  kParKruskal,     ///< Kruskal with a parallel sample sort of the edges
+  kFilterKruskal,  ///< cycle-property filtering (§3's hinted approach)
+  kSampleFilter,   ///< Cole–Klein–Tarjan random sampling + filtering
+  kBorUF,          ///< Borůvka over a lock-free union-find (GBBS/Galois style)
+};
+
+[[nodiscard]] std::string_view to_string(Algorithm a);
+
+/// The paper's five parallel algorithms, for iteration in tests/benches.
+inline constexpr Algorithm kParallelAlgorithms[] = {
+    Algorithm::kBorEL, Algorithm::kBorAL, Algorithm::kBorALM,
+    Algorithm::kBorFAL, Algorithm::kMstBC};
+
+/// Extension algorithms (not part of the paper's evaluation).
+inline constexpr Algorithm kExtensionAlgorithms[] = {
+    Algorithm::kParKruskal, Algorithm::kFilterKruskal, Algorithm::kSampleFilter,
+    Algorithm::kBorUF};
+
+/// Wall-clock seconds spent in each step of the Borůvka iteration — the
+/// instrumentation behind the Fig. 2 breakdown.
+struct StepTimes {
+  double find_min = 0;
+  double connect = 0;
+  double compact = 0;
+  double other = 0;  ///< setup, result assembly, base-case solve (MST-BC)
+
+  [[nodiscard]] double total() const { return find_min + connect + compact + other; }
+
+  StepTimes& operator+=(const StepTimes& o) {
+    find_min += o.find_min;
+    connect += o.connect;
+    compact += o.compact;
+    other += o.other;
+    return *this;
+  }
+};
+
+/// Per-iteration size trace (Table 1: how fast the edge list shrinks).
+struct IterationStat {
+  graph::VertexId vertices = 0;    ///< supervertices at iteration start
+  graph::EdgeId directed_edges = 0;  ///< live directed edges (the "2m" column)
+};
+
+struct MsfOptions {
+  Algorithm algorithm = Algorithm::kBorFAL;
+  /// Worker threads (the paper's p).  <= 1 runs inline.
+  int threads = 1;
+  /// Seed for MST-BC's random vertex permutation.
+  std::uint64_t seed = 1;
+  /// MST-BC: below this many supervertices the rest is solved sequentially.
+  graph::VertexId bc_base_size = 512;
+  /// MST-BC: randomly reorder the vertex set (guarantees progress w.h.p.).
+  bool bc_permute = true;
+  /// Optional out-params for instrumentation; may be nullptr.
+  StepTimes* step_times = nullptr;
+  std::vector<IterationStat>* iteration_stats = nullptr;
+};
+
+/// Compute the minimum spanning forest of `g`.
+///
+/// All algorithms resolve equal weights by input edge index, so the forest
+/// (as a set of input edge indices) is unique and identical across
+/// algorithms and thread counts.
+graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
+                                         const MsfOptions& opts = {});
+
+/// Entry points taking an existing thread team (reused across calls; the
+/// team's size is the p of the run).  These are what the dispatcher calls.
+graph::MsfResult bor_el_msf(ThreadTeam& team, const graph::EdgeList& g,
+                            const MsfOptions& opts = {});
+graph::MsfResult bor_al_msf(ThreadTeam& team, const graph::EdgeList& g,
+                            const MsfOptions& opts = {});
+graph::MsfResult bor_alm_msf(ThreadTeam& team, const graph::EdgeList& g,
+                             const MsfOptions& opts = {});
+graph::MsfResult bor_fal_msf(ThreadTeam& team, const graph::EdgeList& g,
+                             const MsfOptions& opts = {});
+graph::MsfResult mst_bc_msf(ThreadTeam& team, const graph::EdgeList& g,
+                            const MsfOptions& opts = {});
+
+/// Kruskal with a parallel sample sort of the edge array (the union-find
+/// scan stays sequential) — the natural "just parallelize the sort" baseline
+/// that the paper's algorithms are implicitly measured against.
+graph::MsfResult par_kruskal_msf(ThreadTeam& team, const graph::EdgeList& g,
+                                 const MsfOptions& opts = {});
+
+}  // namespace smp::core

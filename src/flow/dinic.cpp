@@ -1,0 +1,116 @@
+#include <limits>
+#include <vector>
+
+#include "flow/flow_network.hpp"
+
+namespace smp::flow {
+
+using graph::VertexId;
+
+namespace {
+
+/// Dinic state reused across phases.
+struct DinicState {
+  std::vector<std::uint32_t> level;
+  std::vector<std::uint32_t> current;  // current-arc per vertex
+  std::vector<VertexId> queue;
+
+  explicit DinicState(VertexId n) : level(n), current(n), queue() {
+    queue.reserve(n);
+  }
+};
+
+constexpr std::uint32_t kUnreached = 0xFFFFFFFFu;
+
+/// BFS from s over positive-residual arcs; true if t is reachable.
+bool build_levels(const FlowNetwork& net, VertexId s, VertexId t, DinicState& st) {
+  std::fill(st.level.begin(), st.level.end(), kUnreached);
+  st.queue.clear();
+  st.level[s] = 0;
+  st.queue.push_back(s);
+  for (std::size_t qi = 0; qi < st.queue.size(); ++qi) {
+    const VertexId x = st.queue[qi];
+    for (std::uint32_t a = net.first_arc(x); a != FlowNetwork::kNone;
+         a = net.next_arc(a)) {
+      const VertexId y = net.arc_target(a);
+      if (net.residual(a) > 0 && st.level[y] == kUnreached) {
+        st.level[y] = st.level[x] + 1;
+        st.queue.push_back(y);
+      }
+    }
+  }
+  return st.level[t] != kUnreached;
+}
+
+/// Iterative blocking-flow DFS pushing up to `limit` from s to t.
+Cap blocking_flow(FlowNetwork& net, VertexId s, VertexId t, DinicState& st) {
+  Cap total = 0;
+  // Path stack of arcs.
+  std::vector<std::uint32_t> path;
+  for (;;) {
+    // Advance from the tip of the current path.
+    const VertexId x = path.empty() ? s : net.arc_target(path.back());
+    if (x == t) {
+      // Found an augmenting path: push its bottleneck.
+      Cap bottleneck = std::numeric_limits<Cap>::max();
+      for (const std::uint32_t a : path) bottleneck = std::min(bottleneck, net.residual(a));
+      for (const std::uint32_t a : path) net.push(a, bottleneck);
+      total += bottleneck;
+      // Retreat to before the first saturated arc.
+      std::size_t cut = 0;
+      while (cut < path.size() && net.residual(path[cut]) > 0) ++cut;
+      path.resize(cut);
+      continue;
+    }
+    // Scan x's current arc.
+    std::uint32_t& a = st.current[x];
+    while (a != FlowNetwork::kNone &&
+           !(net.residual(a) > 0 &&
+             st.level[net.arc_target(a)] == st.level[x] + 1)) {
+      a = net.next_arc(a);
+    }
+    if (a == FlowNetwork::kNone) {
+      // Dead end: retreat (or finish if at the source).
+      if (path.empty()) break;
+      st.level[x] = kUnreached;  // prune x for this phase
+      path.pop_back();
+    } else {
+      path.push_back(a);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+Cap max_flow_dinic(FlowNetwork& net, VertexId s, VertexId t) {
+  if (s == t) return 0;
+  DinicState st(net.num_vertices());
+  Cap flow = 0;
+  while (build_levels(net, s, t, st)) {
+    for (VertexId v = 0; v < net.num_vertices(); ++v) st.current[v] = net.first_arc(v);
+    flow += blocking_flow(net, s, t, st);
+  }
+  return flow;
+}
+
+std::vector<bool> min_cut_side(const FlowNetwork& net, VertexId s) {
+  std::vector<bool> side(net.num_vertices(), false);
+  std::vector<VertexId> stack{s};
+  side[s] = true;
+  while (!stack.empty()) {
+    const VertexId x = stack.back();
+    stack.pop_back();
+    for (std::uint32_t a = net.first_arc(x); a != FlowNetwork::kNone;
+         a = net.next_arc(a)) {
+      const VertexId y = net.arc_target(a);
+      if (net.residual(a) > 0 && !side[y]) {
+        side[y] = true;
+        stack.push_back(y);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace smp::flow

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace smp::flow {
+
+using Cap = std::int64_t;
+
+/// Directed flow network in residual-arc-pair form: arc 2i is the forward
+/// copy of input edge i, arc 2i+1 its reverse; `rev(a) == a ^ 1`.  Residual
+/// capacity lives directly on the arcs, so pushing flow is two updates.
+///
+/// §6 of the paper lists maximum flow among the problems its SMP techniques
+/// should transfer to; this network plus the two solvers in this directory
+/// are that substrate.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(graph::VertexId n) : head_(n, kNone) {}
+
+  [[nodiscard]] graph::VertexId num_vertices() const {
+    return static_cast<graph::VertexId>(head_.size());
+  }
+  [[nodiscard]] std::size_t num_arcs() const { return to_.size(); }
+
+  /// Adds a directed edge u→v with capacity `cap` (and an optional reverse
+  /// capacity, e.g. for undirected networks).  Returns the forward arc id.
+  std::uint32_t add_edge(graph::VertexId u, graph::VertexId v, Cap cap,
+                         Cap rev_cap = 0) {
+    assert(u < num_vertices() && v < num_vertices() && cap >= 0 && rev_cap >= 0);
+    const auto a = static_cast<std::uint32_t>(to_.size());
+    to_.push_back(v);
+    residual_.push_back(cap);
+    next_.push_back(head_[u]);
+    head_[u] = a;
+    to_.push_back(u);
+    residual_.push_back(rev_cap);
+    next_.push_back(head_[v]);
+    head_[v] = a + 1;
+    return a;
+  }
+
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::uint32_t first_arc(graph::VertexId v) const { return head_[v]; }
+  [[nodiscard]] std::uint32_t next_arc(std::uint32_t a) const { return next_[a]; }
+  [[nodiscard]] graph::VertexId arc_target(std::uint32_t a) const { return to_[a]; }
+  [[nodiscard]] Cap residual(std::uint32_t a) const { return residual_[a]; }
+  static constexpr std::uint32_t rev(std::uint32_t a) { return a ^ 1u; }
+
+  /// Push `amount` along arc a (must not exceed its residual).
+  void push(std::uint32_t a, Cap amount) {
+    assert(amount >= 0 && amount <= residual_[a]);
+    residual_[a] -= amount;
+    residual_[rev(a)] += amount;
+  }
+
+  /// Flow currently on forward arc 2i = what its reverse has accumulated
+  /// beyond the initial reverse capacity; valid for edges added with
+  /// rev_cap = 0.
+  [[nodiscard]] Cap flow_on(std::uint32_t forward_arc) const {
+    return residual_[rev(forward_arc)];
+  }
+
+  /// Reset all residuals to the original capacities.
+  void reset() {
+    if (original_.empty()) return;
+    residual_ = original_;
+  }
+
+  /// Snapshot capacities so reset() can restore them (call once, after
+  /// building).
+  void freeze() { original_ = residual_; }
+
+ private:
+  std::vector<std::uint32_t> head_;      // per vertex: first arc
+  std::vector<graph::VertexId> to_;      // per arc
+  std::vector<Cap> residual_;            // per arc
+  std::vector<std::uint32_t> next_;      // per arc: next arc of same source
+  std::vector<Cap> original_;
+};
+
+/// Maximum s–t flow via Dinic's algorithm: BFS level graph + blocking-flow
+/// DFS with the current-arc optimization.  O(V^2 E) worst case, O(E sqrt(V))
+/// on unit-capacity networks (bipartite matching).
+Cap max_flow_dinic(FlowNetwork& net, graph::VertexId s, graph::VertexId t);
+
+/// Maximum s–t flow via FIFO push–relabel with the gap heuristic and
+/// periodic global relabeling; O(V^3), typically the fastest sequential
+/// choice on hard instances.
+Cap max_flow_push_relabel(FlowNetwork& net, graph::VertexId s, graph::VertexId t);
+
+/// Returns the s-side of a minimum cut in the *residual* network (call after
+/// a max-flow run): vertices reachable from s over positive-residual arcs.
+std::vector<bool> min_cut_side(const FlowNetwork& net, graph::VertexId s);
+
+}  // namespace smp::flow

@@ -1,0 +1,170 @@
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "flow/flow_network.hpp"
+
+namespace smp::flow {
+
+using graph::VertexId;
+
+namespace {
+
+/// FIFO push–relabel with the gap heuristic and periodic global relabeling.
+class PushRelabel {
+ public:
+  PushRelabel(FlowNetwork& net, VertexId s, VertexId t)
+      : net_(net),
+        s_(s),
+        t_(t),
+        n_(net.num_vertices()),
+        height_(n_, 0),
+        excess_(n_, 0),
+        current_(n_, FlowNetwork::kNone),
+        height_count_(2 * static_cast<std::size_t>(n_) + 1, 0),
+        active_(),
+        in_queue_(n_, false) {}
+
+  Cap run() {
+    // Saturate all source arcs.
+    height_[s_] = n_;
+    for (std::uint32_t a = net_.first_arc(s_); a != FlowNetwork::kNone;
+         a = net_.next_arc(a)) {
+      const Cap c = net_.residual(a);
+      if (c > 0) {
+        net_.push(a, c);
+        excess_[net_.arc_target(a)] += c;
+        excess_[s_] -= c;
+        enqueue(net_.arc_target(a));
+      }
+    }
+    global_relabel();
+    for (VertexId v = 0; v < n_; ++v) ++height_count_[height_[v]];
+
+    std::size_t work = 0;
+    const std::size_t relabel_period = 8 * static_cast<std::size_t>(n_) + net_.num_arcs();
+    while (!active_.empty()) {
+      const VertexId v = active_.front();
+      active_.pop_front();
+      in_queue_[v] = false;
+      work += discharge(v);
+      if (work > relabel_period) {
+        work = 0;
+        std::fill(height_count_.begin(), height_count_.end(), 0);
+        global_relabel();
+        for (VertexId x = 0; x < n_; ++x) ++height_count_[height_[x]];
+      }
+    }
+    return excess_[t_];
+  }
+
+ private:
+  void enqueue(VertexId v) {
+    if (v != s_ && v != t_ && !in_queue_[v] && excess_[v] > 0 &&
+        height_[v] < 2 * n_) {
+      in_queue_[v] = true;
+      active_.push_back(v);
+    }
+  }
+
+  /// Push from v while it has excess; relabel when no admissible arc is
+  /// left.  Returns a work estimate for the global-relabel trigger.
+  std::size_t discharge(VertexId v) {
+    std::size_t work = 0;
+    while (excess_[v] > 0) {
+      if (current_[v] == FlowNetwork::kNone) {
+        // Relabel: one above the lowest admissible neighbour.
+        const std::uint32_t old_height = height_[v];
+        std::uint32_t best = 2 * n_;
+        for (std::uint32_t a = net_.first_arc(v); a != FlowNetwork::kNone;
+             a = net_.next_arc(a)) {
+          ++work;
+          if (net_.residual(a) > 0) {
+            best = std::min(best, height_[net_.arc_target(a)] + 1);
+          }
+        }
+        // Gap heuristic: if v was the only vertex at its height, every
+        // vertex above the gap is unreachable from t — lift them all.
+        if (--height_count_[old_height] == 0 && old_height < n_) {
+          for (VertexId x = 0; x < n_; ++x) {
+            if (x != s_ && height_[x] > old_height &&
+                height_[x] <= static_cast<std::uint32_t>(n_)) {
+              --height_count_[height_[x]];
+              height_[x] = n_ + 1;
+              ++height_count_[height_[x]];
+            }
+          }
+        }
+        height_[v] = best;
+        ++height_count_[best];
+        if (best >= 2 * n_) break;  // v can never push again
+        current_[v] = net_.first_arc(v);
+      }
+      std::uint32_t& a = current_[v];
+      while (a != FlowNetwork::kNone) {
+        ++work;
+        const VertexId u = net_.arc_target(a);
+        if (net_.residual(a) > 0 && height_[v] == height_[u] + 1) {
+          const Cap amount = std::min(excess_[v], net_.residual(a));
+          net_.push(a, amount);
+          excess_[v] -= amount;
+          excess_[u] += amount;
+          enqueue(u);
+          if (excess_[v] == 0) break;
+        } else {
+          a = net_.next_arc(a);
+        }
+      }
+      if (excess_[v] > 0 && a == FlowNetwork::kNone) {
+        continue;  // triggers a relabel at the loop top
+      }
+    }
+    return work;
+  }
+
+  /// Exact heights = BFS distance to t in the residual graph (reverse arcs).
+  void global_relabel() {
+    std::fill(height_.begin(), height_.end(), 2 * n_);
+    std::vector<VertexId> queue;
+    queue.reserve(n_);
+    height_[t_] = 0;
+    queue.push_back(t_);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const VertexId x = queue[qi];
+      for (std::uint32_t a = net_.first_arc(x); a != FlowNetwork::kNone;
+           a = net_.next_arc(a)) {
+        // Arc x→y exists; flow could move y→x if rev(a) has residual.
+        const VertexId y = net_.arc_target(a);
+        if (net_.residual(FlowNetwork::rev(a)) > 0 && height_[y] == 2 * n_ && y != s_) {
+          height_[y] = height_[x] + 1;
+          queue.push_back(y);
+        }
+      }
+    }
+    height_[s_] = n_;
+    for (VertexId v = 0; v < n_; ++v) {
+      current_[v] = net_.first_arc(v);
+      enqueue(v);
+    }
+  }
+
+  FlowNetwork& net_;
+  VertexId s_, t_;
+  std::uint32_t n_;
+  std::vector<std::uint32_t> height_;
+  std::vector<Cap> excess_;
+  std::vector<std::uint32_t> current_;
+  std::vector<std::uint32_t> height_count_;
+  std::deque<VertexId> active_;
+  std::vector<bool> in_queue_;
+};
+
+}  // namespace
+
+Cap max_flow_push_relabel(FlowNetwork& net, VertexId s, VertexId t) {
+  if (s == t) return 0;
+  PushRelabel pr(net, s, t);
+  return pr.run();
+}
+
+}  // namespace smp::flow

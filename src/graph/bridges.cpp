@@ -1,0 +1,71 @@
+#include "graph/bridges.hpp"
+
+#include <algorithm>
+
+#include "graph/csr.hpp"
+
+namespace smp::graph {
+
+CutStructure find_cut_structure(const EdgeList& g) {
+  const CsrGraph csr(g);
+  const VertexId n = csr.num_vertices();
+  CutStructure res;
+
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> disc(n, kUnvisited);  // discovery time
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<char> is_ap(n, 0);
+
+  // Iterative DFS frame: vertex, index of next arc to scan, the arc's
+  // original edge id used to enter the vertex (to skip the tree-parent edge
+  // without being confused by parallel edges).
+  struct Frame {
+    VertexId v;
+    EdgeId arc;
+    EdgeId entered_via;  // original edge id, kInvalidEdge at roots
+  };
+  std::vector<Frame> stack;
+  std::uint32_t timer = 0;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    std::uint32_t root_children = 0;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, csr.offsets()[root], kInvalidEdge});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.arc < csr.offsets()[f.v + 1]) {
+        const EdgeId a = f.arc++;
+        const VertexId u = csr.targets()[a];
+        const EdgeId orig = csr.arc_origs()[a];
+        if (orig == f.entered_via) continue;  // the tree edge upward
+        if (disc[u] == kUnvisited) {
+          if (f.v == root) ++root_children;
+          disc[u] = low[u] = timer++;
+          stack.push_back({u, csr.offsets()[u], orig});
+        } else {
+          low[f.v] = std::min(low[f.v], disc[u]);  // back edge
+        }
+      } else {
+        // Done with f.v: fold its low into the parent and test the edge.
+        const Frame done = f;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.v] = std::min(low[parent.v], low[done.v]);
+          if (low[done.v] > disc[parent.v]) res.bridges.push_back(done.entered_via);
+          if (parent.v != root && low[done.v] >= disc[parent.v]) is_ap[parent.v] = 1;
+        }
+      }
+    }
+    if (root_children >= 2) is_ap[root] = 1;
+  }
+
+  std::sort(res.bridges.begin(), res.bridges.end());
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_ap[v]) res.articulation_points.push_back(v);
+  }
+  return res;
+}
+
+}  // namespace smp::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace smp::graph {
+
+/// Cut edges (bridges) and articulation points of an undirected graph, by
+/// one iterative Tarjan DFS over the CSR form; O(n + m).
+///
+/// Bridges relate tightly to spanning forests: a bridge lies in *every*
+/// spanning forest, so `bridges(g) ⊆ msf(g).edge_ids` is an invariant the
+/// test suite checks across all MSF algorithms.
+struct CutStructure {
+  /// Indices into EdgeList::edges of the bridge edges, ascending.
+  std::vector<EdgeId> bridges;
+  /// Vertices whose removal disconnects their component, ascending.
+  std::vector<VertexId> articulation_points;
+};
+
+CutStructure find_cut_structure(const EdgeList& g);
+
+}  // namespace smp::graph

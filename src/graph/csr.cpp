@@ -1,0 +1,32 @@
+#include "graph/csr.hpp"
+
+namespace smp::graph {
+
+CsrGraph::CsrGraph(const EdgeList& g) {
+  const VertexId n = g.num_vertices;
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : g.edges) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+  const EdgeId arcs = offsets_.back();
+  targets_.resize(arcs);
+  weights_.resize(arcs);
+  arc_orig_.resize(arcs);
+  std::vector<EdgeId> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    const WEdge& e = g.edges[i];
+    EdgeId a = cursor[e.u]++;
+    targets_[a] = e.v;
+    weights_[a] = e.w;
+    arc_orig_[a] = i;
+    a = cursor[e.v]++;
+    targets_[a] = e.u;
+    weights_[a] = e.w;
+    arc_orig_[a] = i;
+  }
+}
+
+}  // namespace smp::graph

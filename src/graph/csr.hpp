@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace smp::graph {
+
+/// Cache-friendly adjacency arrays (CSR), the representation the paper
+/// prefers over pointer-chasing adjacency lists [Park, Penner & Prasanna].
+///
+/// Every undirected edge appears as two directed arcs.  Each arc remembers
+/// the index of the originating undirected edge (`arc_orig`) so that MSF
+/// edges selected deep inside a contraction cascade can be reported in terms
+/// of the caller's edge list.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from an edge list; O(n + m), two passes.
+  explicit CsrGraph(const EdgeList& g);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_arcs() const { return targets_.size(); }
+
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Arc range of v: parallel spans into targets/weights/orig ids.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const Weight> weights(VertexId v) const {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const EdgeId> origs(VertexId v) const {
+    return {arc_orig_.data() + offsets_[v], arc_orig_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] const std::vector<EdgeId>& offsets() const { return offsets_; }
+  [[nodiscard]] const std::vector<VertexId>& targets() const { return targets_; }
+  [[nodiscard]] const std::vector<Weight>& arc_weights() const { return weights_; }
+  [[nodiscard]] const std::vector<EdgeId>& arc_origs() const { return arc_orig_; }
+
+ private:
+  std::vector<EdgeId> offsets_;  // n + 1
+  std::vector<VertexId> targets_;
+  std::vector<Weight> weights_;
+  std::vector<EdgeId> arc_orig_;
+};
+
+}  // namespace smp::graph

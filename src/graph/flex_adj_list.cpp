@@ -1,0 +1,76 @@
+#include "graph/flex_adj_list.hpp"
+
+#include <numeric>
+
+#include "pprim/parallel_for.hpp"
+#include "pprim/sample_sort.hpp"
+
+namespace smp::graph {
+
+FlexAdjList::FlexAdjList(const CsrGraph& csr)
+    : csr_(&csr), num_super_(csr.num_vertices()) {
+  const VertexId n = num_super_;
+  label_.resize(n);
+  head_.resize(n);
+  tail_.resize(n);
+  next_.assign(n, kInvalidVertex);
+  std::iota(label_.begin(), label_.end(), VertexId{0});
+  std::iota(head_.begin(), head_.end(), VertexId{0});
+  std::iota(tail_.begin(), tail_.end(), VertexId{0});
+}
+
+std::size_t FlexAdjList::member_count(VertexId s) const {
+  std::size_t c = 0;
+  for_each_member(s, [&](VertexId) { ++c; });
+  return c;
+}
+
+void FlexAdjList::contract(ThreadTeam& team, std::span<const VertexId> new_label,
+                           VertexId new_n) {
+  const auto cur_n = static_cast<VertexId>(new_label.size());
+
+  // Sort the current supervertices by their new label so merging groups are
+  // contiguous ("compact-graph first sorts the n vertices", §3).
+  std::vector<VertexId> order(cur_n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  sample_sort(team, order, [&](VertexId a, VertexId b) {
+    return new_label[a] != new_label[b] ? new_label[a] < new_label[b] : a < b;
+  });
+
+  // Group starts: new labels are dense, every group non-empty.
+  std::vector<VertexId> group_start(static_cast<std::size_t>(new_n) + 1, 0);
+  parallel_for(team, cur_n, [&](std::size_t i) {
+    if (i == 0 || new_label[order[i]] != new_label[order[i - 1]]) {
+      group_start[new_label[order[i]]] = static_cast<VertexId>(i);
+    }
+  });
+  group_start[new_n] = cur_n;
+
+  // O(n) pointer appends: chain the member lists of each group.
+  std::vector<VertexId> new_head(new_n);
+  std::vector<VertexId> new_tail(new_n);
+  parallel_for_dynamic(team, new_n, 64, [&](std::size_t s) {
+    const VertexId gs = group_start[s];
+    const VertexId ge = group_start[s + 1];
+    new_head[s] = head_[order[gs]];
+    VertexId t = tail_[order[gs]];
+    for (VertexId gi = gs + 1; gi < ge; ++gi) {
+      const VertexId o = order[gi];
+      next_[t] = head_[o];
+      t = tail_[o];
+    }
+    new_tail[s] = t;
+  });
+  head_.swap(new_head);
+  tail_.swap(new_tail);
+  head_.resize(new_n);
+  tail_.resize(new_n);
+
+  // Lookup-table update: original vertex → new supervertex.
+  parallel_for(team, label_.size(), [&](std::size_t x) {
+    label_[x] = new_label[label_[x]];
+  });
+  num_super_ = new_n;
+}
+
+}  // namespace smp::graph

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp::graph {
+
+/// Flexible adjacency list (§2.3 of the paper).
+///
+/// Augments plain adjacency arrays by letting each *supervertex* hold a
+/// linked list of adjacency arrays: contraction appends each member vertex's
+/// original (immutable) adjacency array to its supervertex's list with O(1)
+/// pointer operations, instead of sorting and copying edges.  Self-loops and
+/// multi-edges are *not* removed — the find-min step filters them lazily
+/// through the vertex → supervertex lookup table (`super_of`).
+///
+/// Because every original vertex contributes exactly one segment, the
+/// segment list of a supervertex is simply the linked list of its member
+/// vertices; each member's segment is its slice of the original CSR.
+class FlexAdjList {
+ public:
+  /// Start state: every vertex is its own supervertex with one segment.
+  explicit FlexAdjList(const CsrGraph& csr);
+
+  [[nodiscard]] VertexId num_super() const { return num_super_; }
+  [[nodiscard]] const CsrGraph& csr() const { return *csr_; }
+
+  /// Current supervertex of an original vertex (the lookup table).
+  [[nodiscard]] VertexId super_of(VertexId orig) const { return label_[orig]; }
+  [[nodiscard]] std::span<const VertexId> labels() const { return label_; }
+
+  /// Visit every member (original vertex) of supervertex `s`.
+  template <class Fn>
+  void for_each_member(VertexId s, Fn&& fn) const {
+    for (VertexId x = head_[s]; x != kInvalidVertex; x = next_[x]) fn(x);
+  }
+
+  /// Number of members of supervertex `s` (walks the list; for tests).
+  [[nodiscard]] std::size_t member_count(VertexId s) const;
+
+  /// compact-graph: merge supervertices according to `new_label`, which maps
+  /// every current supervertex id to its new dense id in [0, new_n).
+  ///
+  /// Cost per the paper: one parallel sort of the current supervertices (to
+  /// group those merging together), O(current n) pointer appends, and the
+  /// lookup-table update — no edge is touched or copied.
+  void contract(ThreadTeam& team, std::span<const VertexId> new_label, VertexId new_n);
+
+ private:
+  const CsrGraph* csr_;
+  VertexId num_super_;
+  std::vector<VertexId> label_;  // per original vertex
+  std::vector<VertexId> head_;   // per supervertex: first member
+  std::vector<VertexId> tail_;   // per supervertex: last member
+  std::vector<VertexId> next_;   // per original vertex: next member in list
+};
+
+}  // namespace smp::graph

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace smp::graph {
+
+/// The sparse-graph families of §5.1 of the paper.  All generators are
+/// deterministic under `seed` and produce edge weights that are distinct
+/// under WeightOrder (random weights, ties broken by edge index).
+
+/// Arbitrary random graph: m unique edges added to n vertices (the LEDA
+/// construction), uniform random weights in [0, 1).
+EdgeList random_graph(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// Regular 2D mesh: rows x cols grid, 4-neighbour connectivity, uniform
+/// random weights.
+EdgeList mesh2d(VertexId rows, VertexId cols, std::uint64_t seed);
+
+/// "2D60": 2D mesh where each potential edge is present with probability
+/// 0.6 (the DIMACS connected-components input family).
+EdgeList mesh2d_p(VertexId rows, VertexId cols, double p, std::uint64_t seed);
+
+/// "3D40": 3D mesh where each potential edge is present with probability 0.4.
+EdgeList mesh3d_p(VertexId nx, VertexId ny, VertexId nz, double p, std::uint64_t seed);
+
+/// Geometric graph (Moret & Shapiro): n points uniform in the unit square,
+/// each vertex connected to its k nearest neighbours; symmetrized; weights
+/// are Euclidean distances.
+EdgeList geometric_knn(VertexId n, int k, std::uint64_t seed);
+
+/// Chung–Condon structured graphs: degenerate inputs (already trees) with a
+/// recursive structure that mirrors the Borůvka iteration.
+///
+///   str0: with n vertices, pairs form — vertex count exactly halves per
+///         iteration (worst case in iteration count).
+///   str1: with n vertices, chains of √n vertices form (monotone weights
+///         along a chain make it contract fully in one iteration).
+///   str2: with n vertices, n/2 form one chain and n/2 form pairs.
+///   str3: with n vertices, groups of √n vertices form complete binary trees.
+EdgeList structured_graph(int variant, VertexId n, std::uint64_t seed);
+
+/// R-MAT power-law graph (Chakrabarti–Zhan–Faloutsos) — not in the paper,
+/// but the standard skewed-degree workload of the studies that followed it
+/// (GAP, PBBS/GBBS); included as an extension family.  `scale` gives
+/// n = 2^scale vertices; exactly `m` distinct undirected non-loop edges are
+/// produced (duplicates redrawn), with recursive quadrant probabilities
+/// (a, b, c, 1−a−b−c) and uniform random weights.
+EdgeList rmat_graph(int scale, EdgeId m, double a, double b, double c,
+                    std::uint64_t seed);
+
+/// R-MAT with the customary (0.57, 0.19, 0.19, 0.05) skew.
+EdgeList rmat_graph(int scale, EdgeId m, std::uint64_t seed);
+
+}  // namespace smp::graph

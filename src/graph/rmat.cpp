@@ -1,0 +1,85 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "pprim/rng.hpp"
+
+namespace smp::graph {
+
+namespace {
+
+/// One R-MAT edge draw: descend `scale` levels of the recursive quadrant
+/// matrix, with light probability smoothing per level to avoid the
+/// degenerate exact-self-similarity artifacts (standard practice).
+std::pair<VertexId, VertexId> rmat_draw(int scale, double a, double b, double c,
+                                        smp::Rng& rng) {
+  std::uint64_t u = 0, v = 0;
+  for (int level = 0; level < scale; ++level) {
+    const double noise = 0.9 + 0.2 * rng.next_double();  // multiplicative ±10%
+    const double aa = a * noise;
+    const double bb = b * (2.0 - noise);
+    const double cc = c * (2.0 - noise);
+    const double r = rng.next_double() * (aa + bb + cc + (1.0 - a - b - c));
+    u <<= 1;
+    v <<= 1;
+    if (r < aa) {
+      // top-left quadrant: no bits set
+    } else if (r < aa + bb) {
+      v |= 1;
+    } else if (r < aa + bb + cc) {
+      u |= 1;
+    } else {
+      u |= 1;
+      v |= 1;
+    }
+  }
+  return {static_cast<VertexId>(u), static_cast<VertexId>(v)};
+}
+
+}  // namespace
+
+EdgeList rmat_graph(int scale, EdgeId m, double a, double b, double c,
+                    std::uint64_t seed) {
+  if (scale < 1 || scale > 30) throw std::invalid_argument("rmat_graph: scale 1..30");
+  if (a <= 0 || b < 0 || c < 0 || a + b + c >= 1.0) {
+    throw std::invalid_argument("rmat_graph: need a>0, b,c>=0, a+b+c<1");
+  }
+  const auto n = static_cast<VertexId>(VertexId{1} << scale);
+  const auto max_edges =
+      static_cast<EdgeId>(n) * (static_cast<EdgeId>(n) - 1) / 2;
+  if (m > max_edges / 2) {
+    // The skewed distribution revisits hot pairs; demanding more than half
+    // of all pairs makes the redraw loop pathological.
+    throw std::invalid_argument("rmat_graph: m too large for this scale");
+  }
+
+  smp::Rng rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(m);
+  while (keys.size() < m) {
+    const EdgeId need = m - static_cast<EdgeId>(keys.size());
+    for (EdgeId i = 0; i < need; ++i) {
+      auto [u, v] = rmat_draw(scale, a, b, c, rng);
+      if (u == v) continue;  // redraw self-loops via the top-up loop
+      if (u > v) std::swap(u, v);
+      keys.push_back((static_cast<std::uint64_t>(u) << 32) | v);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+
+  EdgeList g(n);
+  g.edges.reserve(m);
+  for (const std::uint64_t k : keys) {
+    g.add_edge(static_cast<VertexId>(k >> 32), static_cast<VertexId>(k & 0xFFFFFFFFu),
+               rng.next_double());
+  }
+  return g;
+}
+
+EdgeList rmat_graph(int scale, EdgeId m, std::uint64_t seed) {
+  return rmat_graph(scale, m, 0.57, 0.19, 0.19, seed);
+}
+
+}  // namespace smp::graph

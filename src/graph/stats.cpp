@@ -1,0 +1,46 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "seq/union_find.hpp"
+
+namespace smp::graph {
+
+std::size_t num_components(const EdgeList& g) {
+  smp::seq::UnionFind uf(g.num_vertices);
+  for (const auto& e : g.edges) uf.unite(e.u, e.v);
+  return uf.num_sets();
+}
+
+DegreeStats degree_stats(const EdgeList& g) {
+  std::vector<std::size_t> deg(g.num_vertices, 0);
+  for (const auto& e : g.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  DegreeStats s;
+  if (deg.empty()) return s;
+  s.min_degree = *std::min_element(deg.begin(), deg.end());
+  s.max_degree = *std::max_element(deg.begin(), deg.end());
+  s.mean_degree = g.num_vertices == 0
+                      ? 0.0
+                      : 2.0 * static_cast<double>(g.num_edges()) /
+                            static_cast<double>(g.num_vertices);
+  return s;
+}
+
+bool is_simple(const EdgeList& g) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(g.edges.size());
+  for (const auto& e : g.edges) {
+    if (e.u == e.v) return false;
+    VertexId a = e.u, b = e.v;
+    if (a > b) std::swap(a, b);
+    keys.push_back((static_cast<std::uint64_t>(a) << 32) | b);
+  }
+  std::sort(keys.begin(), keys.end());
+  return std::adjacent_find(keys.begin(), keys.end()) == keys.end();
+}
+
+}  // namespace smp::graph

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/edge_list.hpp"
+
+namespace smp::graph {
+
+/// Number of connected components (isolated vertices count).
+std::size_t num_components(const EdgeList& g);
+
+/// Degree statistics of the undirected graph.
+struct DegreeStats {
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+};
+DegreeStats degree_stats(const EdgeList& g);
+
+/// True if the graph has no self loops and no duplicate undirected edges.
+bool is_simple(const EdgeList& g);
+
+}  // namespace smp::graph

@@ -1,0 +1,105 @@
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "pprim/rng.hpp"
+
+namespace smp::graph {
+
+namespace {
+
+/// Chain `verts` with weights strictly increasing along the chain, all inside
+/// [base, base + 0.9).  Monotone weights make a chain contract to a single
+/// supervertex in one Borůvka iteration (every vertex's minimum incident edge
+/// points "left", so the picked edges connect the whole chain).
+void add_chain(EdgeList& g, const std::vector<VertexId>& verts, std::size_t lo,
+               std::size_t hi, double base) {
+  const std::size_t len = hi - lo;
+  if (len < 2) return;
+  const double step = 0.9 / static_cast<double>(len);
+  for (std::size_t j = lo + 1; j < hi; ++j) {
+    g.add_edge(verts[j - 1], verts[j], base + static_cast<double>(j - lo) * step);
+  }
+}
+
+}  // namespace
+
+EdgeList structured_graph(int variant, VertexId n, std::uint64_t seed) {
+  if (variant < 0 || variant > 3) throw std::invalid_argument("structured_graph: variant 0..3");
+  if (n == 0) return EdgeList(0);
+
+  smp::Rng rng(seed);
+  EdgeList g(n);
+  g.edges.reserve(static_cast<std::size_t>(n) - 1);
+
+  std::vector<VertexId> active(n);
+  for (VertexId i = 0; i < n; ++i) active[i] = i;
+  std::vector<VertexId> next;
+  double base = 0.0;
+
+  while (active.size() > 1) {
+    const std::size_t sz = active.size();
+    next.clear();
+    switch (variant) {
+      case 0: {  // pairs: vertex count exactly halves (iteration-count worst case)
+        for (std::size_t i = 0; i < sz; i += 2) {
+          if (i + 1 < sz) {
+            g.add_edge(active[i], active[i + 1], base + 0.9 * rng.next_double());
+          }
+          next.push_back(active[i]);
+        }
+        break;
+      }
+      case 1: {  // chains of ~sqrt(sz) vertices
+        const auto gsz = static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(sz))));
+        for (std::size_t lo = 0; lo < sz; lo += gsz) {
+          const std::size_t hi = std::min(lo + gsz, sz);
+          add_chain(g, active, lo, hi, base);
+          next.push_back(active[lo]);
+        }
+        break;
+      }
+      case 2: {  // half a chain, half pairs
+        if (sz <= 3) {
+          add_chain(g, active, 0, sz, base);
+          next.push_back(active[0]);
+          break;
+        }
+        const std::size_t half = sz / 2;
+        add_chain(g, active, 0, half, base);
+        next.push_back(active[0]);
+        for (std::size_t i = half; i < sz; i += 2) {
+          if (i + 1 < sz) {
+            g.add_edge(active[i], active[i + 1], base + 0.9 * rng.next_double());
+          }
+          next.push_back(active[i]);
+        }
+        break;
+      }
+      case 3: {  // complete binary trees of ~sqrt(sz) vertices
+        const auto gsz = static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(sz))));
+        for (std::size_t lo = 0; lo < sz; lo += gsz) {
+          const std::size_t hi = std::min(lo + gsz, sz);
+          const std::size_t len = hi - lo;
+          const double step = 0.9 / static_cast<double>(len + 1);
+          for (std::size_t j = 1; j < len; ++j) {  // heap-shaped tree on the group
+            g.add_edge(active[lo + j], active[lo + (j - 1) / 2],
+                       base + static_cast<double>(j) * step);
+          }
+          next.push_back(active[lo]);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    active.swap(next);
+    base += 1.0;
+  }
+  return g;
+}
+
+}  // namespace smp::graph

@@ -1,0 +1,51 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+
+#include "seq/union_find.hpp"
+
+namespace smp::graph {
+
+EdgeList induced_subgraph(const EdgeList& g, const std::vector<bool>& keep,
+                          std::vector<VertexId>* old_of_new) {
+  std::vector<VertexId> new_id(g.num_vertices, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    if (keep[v]) new_id[v] = next++;
+  }
+  EdgeList out(next);
+  if (old_of_new != nullptr) {
+    old_of_new->clear();
+    old_of_new->reserve(next);
+    for (VertexId v = 0; v < g.num_vertices; ++v) {
+      if (keep[v]) old_of_new->push_back(v);
+    }
+  }
+  for (const auto& e : g.edges) {
+    if (keep[e.u] && keep[e.v]) out.add_edge(new_id[e.u], new_id[e.v], e.w);
+  }
+  return out;
+}
+
+EdgeList largest_component(const EdgeList& g, std::vector<VertexId>* old_of_new) {
+  seq::UnionFind uf(g.num_vertices);
+  for (const auto& e : g.edges) uf.unite(e.u, e.v);
+  std::vector<std::size_t> size(g.num_vertices, 0);
+  for (VertexId v = 0; v < g.num_vertices; ++v) ++size[uf.find(v)];
+  VertexId best_root = 0;
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    if (size[v] > size[best_root]) best_root = v;
+  }
+  std::vector<bool> keep(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) keep[v] = uf.find(v) == best_root;
+  return induced_subgraph(g, keep, old_of_new);
+}
+
+EdgeList negate_weights(const EdgeList& g) {
+  EdgeList out(g.num_vertices);
+  out.edges.reserve(g.edges.size());
+  for (const auto& e : g.edges) out.edges.push_back({e.u, e.v, -e.w});
+  return out;
+}
+
+}  // namespace smp::graph

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace smp::graph {
+
+/// Graph surgery helpers used by applications and tests.
+
+/// The subgraph induced by `keep[v] == true`, with vertices renumbered
+/// densely in ascending original order.  `old_of_new` (optional out) maps
+/// new ids back to original ids.
+EdgeList induced_subgraph(const EdgeList& g, const std::vector<bool>& keep,
+                          std::vector<VertexId>* old_of_new = nullptr);
+
+/// The subgraph of the largest connected component (ties broken toward the
+/// component with the smallest vertex id).
+EdgeList largest_component(const EdgeList& g,
+                           std::vector<VertexId>* old_of_new = nullptr);
+
+/// A copy with every weight negated.  minimum_spanning_forest of the result
+/// is the *maximum* spanning forest of `g` (same edge ids; weights flip
+/// back trivially).
+EdgeList negate_weights(const EdgeList& g);
+
+}  // namespace smp::graph

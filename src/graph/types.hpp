@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace smp::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+using Weight = double;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// One undirected weighted edge.
+struct WEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight w = 0;
+
+  friend bool operator==(const WEdge&, const WEdge&) = default;
+};
+
+/// Total order on (weight, original-edge-id) pairs.
+///
+/// The paper's correctness proofs assume distinct edge weights (Appendix B).
+/// We realize that assumption for arbitrary inputs by breaking weight ties
+/// with the edge's index in the input edge list; every algorithm in this
+/// repo — sequential and parallel — uses this same order, so they all
+/// compute the *identical* spanning forest, which the tests exploit.
+struct WeightOrder {
+  Weight w;
+  EdgeId orig;
+
+  friend bool operator<(const WeightOrder& a, const WeightOrder& b) {
+    if (a.w != b.w) return a.w < b.w;
+    return a.orig < b.orig;
+  }
+  friend bool operator==(const WeightOrder&, const WeightOrder&) = default;
+};
+
+}  // namespace smp::graph

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace smp::graph {
+
+/// Result of checking a claimed minimum spanning forest.
+struct ForestCheck {
+  bool ok = false;
+  std::string error;          ///< empty when ok
+  std::size_t num_trees = 0;  ///< number of trees in the forest
+  Weight total_weight = 0;    ///< sum of forest edge weights
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Structural validation of `forest` against `g`:
+///   * every forest edge is an edge of g (same endpoints and weight),
+///   * the forest is acyclic,
+///   * the forest is maximal: it has exactly n − #components(g) edges,
+///     i.e. it spans every connected component.
+///
+/// Minimality is *not* checked here (use verify_cut_property or compare the
+/// total weight with a reference algorithm).
+ForestCheck validate_spanning_forest(const EdgeList& g, std::span<const WEdge> forest);
+
+/// Full minimality check via the cut property: for every forest edge e, e is
+/// the lightest edge (under WeightOrder with the forest edge's position as
+/// tie-break proxy) crossing the cut defined by removing e from its tree.
+/// O(m · t) where t = forest size — use on small graphs in tests only.
+bool verify_cut_property(const EdgeList& g, std::span<const WEdge> forest,
+                         std::string* error = nullptr);
+
+}  // namespace smp::graph

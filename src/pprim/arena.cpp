@@ -1,0 +1,49 @@
+#include "pprim/arena.hpp"
+
+#include <algorithm>
+
+namespace smp {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (current_ < chunks_.size()) {
+      Chunk& c = chunks_[current_];
+      const auto base = reinterpret_cast<std::uintptr_t>(c.mem.get());
+      const std::size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+      // `base` is max_align-aligned from new[]; align relative offsets only.
+      if (aligned + bytes <= c.capacity) {
+        offset_ = aligned + bytes;
+        bytes_in_use_ += bytes;
+        return reinterpret_cast<void*>(base + aligned);
+      }
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    // Need a fresh chunk; size it to fit oversized requests.
+    const std::size_t cap = std::max(chunk_bytes_, bytes + align);
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(cap), cap});
+    bytes_reserved_ += cap;
+  }
+}
+
+void Arena::reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_in_use_ = 0;
+}
+
+ThreadArenas::ThreadArenas(int nthreads, std::size_t chunk_bytes) {
+  slots_.reserve(static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) {
+    slots_.emplace_back();
+    slots_.back().value = Arena(chunk_bytes);
+  }
+}
+
+void ThreadArenas::reset_all() {
+  for (auto& s : slots_) s.value.reset();
+}
+
+}  // namespace smp

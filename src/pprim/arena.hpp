@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pprim/cacheline.hpp"
+
+namespace smp {
+
+/// Chunked bump allocator backing one thread's scratch allocations.
+///
+/// This is the repo's stand-in for Bor-ALM's Solaris per-thread memory
+/// segments (§2.2): the system `malloc` serializes threads on a shared
+/// kernel/heap lock, so each thread instead carves POD arrays out of private
+/// chunks it requests from the OS in large units.  `reset()` recycles all
+/// chunks without returning them, so steady-state iterations allocate with
+/// zero synchronization and zero system calls.
+///
+/// Only trivially-destructible types may be allocated (no destructors run).
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = std::size_t{1} << 20)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  template <class T>
+  std::span<T> alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    if (count == 0) return {};
+    auto* p = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    return {p, count};
+  }
+
+  /// Recycle every chunk; previously returned pointers become invalid.
+  void reset();
+
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+  [[nodiscard]] std::size_t bytes_in_use() const { return bytes_in_use_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t capacity = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // index of the chunk being bumped
+  std::size_t offset_ = 0;   // bump offset within chunks_[current_]
+  std::size_t bytes_reserved_ = 0;
+  std::size_t bytes_in_use_ = 0;
+};
+
+/// One Arena per team thread, cache-line isolated.
+class ThreadArenas {
+ public:
+  explicit ThreadArenas(int nthreads, std::size_t chunk_bytes = std::size_t{1} << 20);
+
+  Arena& local(int tid) { return slots_[static_cast<std::size_t>(tid)].value; }
+
+  void reset_all();
+
+  [[nodiscard]] int size() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  std::vector<Padded<Arena>> slots_;
+};
+
+}  // namespace smp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace smp {
+
+/// Lock-free concurrent union-find (wait-free finds, CAS-based unions with
+/// hook-to-smaller-root ordering).
+///
+/// This is the building block of the *modern* descendants of the paper's
+/// Borůvka variants (Galois, GBBS): instead of materializing the contracted
+/// graph, components are tracked in a shared disjoint-set structure that all
+/// threads update concurrently.  Hooks always point the larger root at the
+/// smaller one, so parent values only decrease — that monotonicity rules out
+/// cycles under any interleaving and makes the structure ABA-free.
+class AtomicUnionFind {
+ public:
+  explicit AtomicUnionFind(std::uint32_t n) : parent_(n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      parent_[i].store(i, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(parent_.size());
+  }
+
+  /// Root of x's set, with path halving (benign concurrent writes: parents
+  /// only ever move closer to a root).
+  std::uint32_t find(std::uint32_t x) {
+    for (;;) {
+      std::uint32_t p = parent_[x].load(std::memory_order_relaxed);
+      if (p == x) return x;
+      const std::uint32_t gp = parent_[p].load(std::memory_order_relaxed);
+      if (p == gp) return p;
+      // Halve: x -> grandparent.  Failure is fine; someone else improved it.
+      parent_[x].compare_exchange_weak(p, gp, std::memory_order_relaxed,
+                                       std::memory_order_relaxed);
+      x = gp;
+    }
+  }
+
+  /// Merge the sets of a and b; returns true iff this call performed the
+  /// merge (exactly one winner per logical union under races).
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    for (;;) {
+      a = find(a);
+      b = find(b);
+      if (a == b) return false;
+      if (a > b) std::swap(a, b);  // hook larger root under smaller
+      std::uint32_t expected = b;
+      if (parent_[b].compare_exchange_strong(expected, a,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        return true;
+      }
+      // b gained a parent concurrently; retry from the new roots.
+    }
+  }
+
+  /// True if currently in the same set (racy under concurrent unions, exact
+  /// once unions have quiesced).
+  bool connected(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+  /// Number of sets; call only after concurrent phases have quiesced.
+  [[nodiscard]] std::size_t num_sets() {
+    std::size_t roots = 0;
+    for (std::uint32_t i = 0; i < size(); ++i) roots += find(i) == i;
+    return roots;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> parent_;
+};
+
+}  // namespace smp

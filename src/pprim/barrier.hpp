@@ -1,0 +1,56 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "pprim/cacheline.hpp"
+
+namespace smp {
+
+/// Centralized generation-counting barrier.
+///
+/// The last arriver of each phase resets the count and bumps the generation;
+/// everyone else waits for the generation to move.  Unlike a classic
+/// sense-reversing barrier this keeps *no per-thread state*, so it stays
+/// correct when participants are destroyed and recreated between phases
+/// (exactly what happens between two ThreadTeam::run regions, which build
+/// fresh TeamCtx objects each time).
+///
+/// Blocking uses C++20 atomic wait/notify (futex-backed on Linux) rather
+/// than spinning, so the barrier stays cheap when threads are oversubscribed
+/// onto few cores — the common case for this repo's thread-sweep benchmarks.
+class SenseBarrier {
+ public:
+  /// Kept for API symmetry; carries no state in the generation scheme.
+  struct LocalSense {};
+
+  explicit SenseBarrier(int num_threads) : n_(num_threads), count_(num_threads) {}
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  /// Block until all `num_threads` participants arrive.
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      count_.store(n_, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+      generation_.notify_all();
+    } else {
+      std::uint64_t observed = generation_.load(std::memory_order_acquire);
+      while (observed == gen) {
+        generation_.wait(observed, std::memory_order_acquire);
+        observed = generation_.load(std::memory_order_acquire);
+      }
+    }
+  }
+
+  void arrive_and_wait(LocalSense&) { arrive_and_wait(); }
+
+ private:
+  int n_;
+  alignas(kCacheLineBytes) std::atomic<int> count_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace smp

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace smp {
+
+/// Size used to pad per-thread hot state so neighbouring slots never share a
+/// cache line (false sharing is the classic SMP scalability killer the paper
+/// engineers around).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// A value of T padded out to a whole number of cache lines.
+template <class T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace smp

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace smp {
+
+/// Half-open index range [begin, end).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+};
+
+/// Contiguous block of `n` items assigned to thread `tid` of `nthreads`,
+/// balanced to within one element.
+inline IndexRange block_range(std::size_t n, int tid, int nthreads) {
+  const auto p = static_cast<std::size_t>(nthreads);
+  const auto t = static_cast<std::size_t>(tid);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t begin = t * base + (t < extra ? t : extra);
+  const std::size_t len = base + (t < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace smp

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "pprim/rng.hpp"
+#include "pprim/sample_sort.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp {
+
+/// Sequential Fisher–Yates permutation of 0..n-1.
+inline std::vector<std::uint32_t> random_permutation(std::uint32_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(seed);
+  for (std::uint32_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+/// Parallel random permutation by sorting random keys (Sanders [30] observes
+/// this is simple and work-efficient in practice).  MST-BC uses this to
+/// reorder the vertex set, guaranteeing progress w.h.p. (§4 of the paper).
+inline std::vector<std::uint32_t> random_permutation(ThreadTeam& team, std::uint32_t n,
+                                                     std::uint64_t seed) {
+  struct Keyed {
+    std::uint64_t key;
+    std::uint32_t idx;
+  };
+  std::vector<Keyed> keyed(n);
+  team.run([&](TeamCtx& ctx) {
+    Rng rng = Rng(seed).fork(static_cast<std::uint64_t>(ctx.tid()));
+    const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      keyed[i] = {rng.next(), static_cast<std::uint32_t>(i)};
+    }
+  });
+  sample_sort(team, keyed, [](const Keyed& a, const Keyed& b) {
+    return a.key < b.key || (a.key == b.key && a.idx < b.idx);
+  });
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm[i] = keyed[i].idx;
+  return perm;
+}
+
+}  // namespace smp

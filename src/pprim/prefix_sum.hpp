@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pprim/cacheline.hpp"
+#include "pprim/partition.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp {
+
+/// In-place exclusive prefix sum; returns the grand total.
+template <class T>
+T exclusive_scan_seq(std::span<T> data) {
+  T running{};
+  for (auto& x : data) {
+    const T v = x;
+    x = running;
+    running += v;
+  }
+  return running;
+}
+
+/// Two-pass parallel exclusive prefix sum (the workhorse behind every
+/// compaction/scatter in the Borůvka variants).  `data` is replaced by its
+/// exclusive prefix sums; returns the grand total.
+template <class T>
+T exclusive_scan(ThreadTeam& team, std::span<T> data) {
+  const std::size_t n = data.size();
+  if (team.size() == 1 || n < 1u << 14) return exclusive_scan_seq(data);
+
+  const int p = team.size();
+  // Slot p holds the grand total after the serial scan of block sums.
+  std::vector<Padded<T>> block_total(static_cast<std::size_t>(p) + 1);
+  team.run([&](TeamCtx& ctx) {
+    const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
+    T sum{};
+    for (std::size_t i = r.begin; i < r.end; ++i) sum += data[i];
+    block_total[static_cast<std::size_t>(ctx.tid())].value = sum;
+    ctx.barrier();
+    if (ctx.tid() == 0) {
+      T running{};
+      for (int t = 0; t <= p; ++t) {
+        T v{};
+        if (t < p) v = block_total[static_cast<std::size_t>(t)].value;
+        block_total[static_cast<std::size_t>(t)].value = running;
+        running += v;
+      }
+    }
+    ctx.barrier();
+    T running = block_total[static_cast<std::size_t>(ctx.tid())].value;
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const T v = data[i];
+      data[i] = running;
+      running += v;
+    }
+  });
+  return block_total[static_cast<std::size_t>(p)].value;
+}
+
+}  // namespace smp

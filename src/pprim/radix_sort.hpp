@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pprim/partition.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp {
+
+/// Parallel LSD radix sort by a 64-bit unsigned key, 8 bits per pass.
+///
+/// Stable.  Passes over all-zero high bytes are skipped, so sorting keys
+/// that only occupy k bits costs ceil(k/8) scatters.  An alternative to
+/// sample sort when the key is a machine integer (e.g. packed supervertex
+/// pairs in compact-graph); see bench_ablation_radix for the comparison.
+///
+/// `key` must be pure (called several times per element).
+template <class T, class KeyFn>
+void radix_sort_by_key(ThreadTeam& team, std::vector<T>& data, KeyFn&& key) {
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  constexpr int kBits = 8;
+  constexpr std::size_t kBuckets = std::size_t{1} << kBits;
+  const auto p = static_cast<std::size_t>(team.size());
+
+  // Which byte positions actually vary?  OR of all keys tells us.
+  std::uint64_t key_or = 0;
+  {
+    std::vector<std::uint64_t> partial(p, 0);
+    team.run([&](TeamCtx& ctx) {
+      std::uint64_t acc = 0;
+      const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
+      for (std::size_t i = r.begin; i < r.end; ++i) acc |= key(data[i]);
+      partial[static_cast<std::size_t>(ctx.tid())] = acc;
+    });
+    for (const auto v : partial) key_or |= v;
+  }
+
+  std::vector<T> aux(n);
+  std::vector<std::uint64_t> counts(kBuckets * p);
+  T* src = data.data();
+  T* dst = aux.data();
+  bool flipped = false;
+
+  for (int shift = 0; shift < 64; shift += kBits) {
+    if (((key_or >> shift) & (kBuckets - 1)) == 0) continue;  // constant byte
+    std::fill(counts.begin(), counts.end(), 0);
+    team.run([&](TeamCtx& ctx) {
+      const auto t = static_cast<std::size_t>(ctx.tid());
+      const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        const std::size_t b = (key(src[i]) >> shift) & (kBuckets - 1);
+        ++counts[b * p + t];
+      }
+      ctx.barrier();
+      if (ctx.tid() == 0) {
+        std::uint64_t running = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+          for (std::size_t t2 = 0; t2 < p; ++t2) {
+            const std::uint64_t c = counts[b * p + t2];
+            counts[b * p + t2] = running;
+            running += c;
+          }
+        }
+      }
+      ctx.barrier();
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        const std::size_t b = (key(src[i]) >> shift) & (kBuckets - 1);
+        dst[counts[b * p + t]++] = src[i];
+      }
+    });
+    std::swap(src, dst);
+    flipped = !flipped;
+  }
+  if (flipped) data.swap(aux);
+}
+
+}  // namespace smp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pprim/cacheline.hpp"
+#include "pprim/partition.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp {
+
+/// Parallel reduction: combine(fn(i)) over i in [0, n) with an associative,
+/// commutative `combine` and identity `init`.  Per-thread partials are
+/// cache-line padded; the final fold is serial over p values.
+template <class T, class Map, class Combine>
+T parallel_reduce(ThreadTeam& team, std::size_t n, T init, Map&& map,
+                  Combine&& combine) {
+  if (team.size() == 1 || n < 4096) {
+    T acc = init;
+    for (std::size_t i = 0; i < n; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  std::vector<Padded<T>> partial(static_cast<std::size_t>(team.size()), Padded<T>{init});
+  team.run([&](TeamCtx& ctx) {
+    T acc = init;
+    const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
+    for (std::size_t i = r.begin; i < r.end; ++i) acc = combine(acc, map(i));
+    partial[static_cast<std::size_t>(ctx.tid())].value = acc;
+  });
+  T acc = init;
+  for (const auto& p : partial) acc = combine(acc, p.value);
+  return acc;
+}
+
+/// Convenience sum.
+template <class T, class Map>
+T parallel_sum(ThreadTeam& team, std::size_t n, Map&& map) {
+  return parallel_reduce(team, n, T{}, std::forward<Map>(map),
+                         [](T a, T b) { return a + b; });
+}
+
+}  // namespace smp

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+namespace smp {
+
+/// SplitMix64 — used to expand seeds into independent streams.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — small, fast, high-quality PRNG.  Every generator and
+/// algorithm in this repo draws randomness through Rng so that runs are
+/// bit-reproducible under a fixed seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  /// Derive an independent stream, e.g. one per thread: Rng(seed).fork(tid).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    Rng r(0);
+    std::uint64_t sm = s_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    for (auto& s : r.s_) s = splitmix64(sm);
+    return r;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.  Lemire's method.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection-free multiply-shift is fine for our non-cryptographic needs.
+    const unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace smp

@@ -1,0 +1,66 @@
+#include "pprim/thread_team.hpp"
+
+#include <cassert>
+
+namespace smp {
+
+void TeamCtx::barrier() { team_.region_barrier_.arrive_and_wait(sense_); }
+
+ThreadTeam::ThreadTeam(int num_threads)
+    : nthreads_(num_threads > 0 ? num_threads : 1),
+      region_barrier_(nthreads_) {
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int tid = 1; tid < nthreads_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  shutdown_.store(true, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
+  generation_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadTeam::run(const std::function<void(TeamCtx&)>& fn) {
+  if (nthreads_ == 1) {
+    TeamCtx ctx(*this, 0, 1);
+    fn(ctx);
+    return;
+  }
+  job_ = &fn;
+  done_count_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  generation_.notify_all();
+
+  TeamCtx ctx(*this, 0, nthreads_);
+  fn(ctx);
+
+  // Wait until all workers report completion of this region.
+  int done = done_count_.load(std::memory_order_acquire);
+  while (done != nthreads_ - 1) {
+    done_count_.wait(done, std::memory_order_acquire);
+    done = done_count_.load(std::memory_order_acquire);
+  }
+  job_ = nullptr;
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    while (gen == seen) {
+      generation_.wait(gen, std::memory_order_acquire);
+      gen = generation_.load(std::memory_order_acquire);
+    }
+    seen = gen;
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    assert(job_ != nullptr);
+    TeamCtx ctx(*this, tid, nthreads_);
+    (*job_)(ctx);
+    done_count_.fetch_add(1, std::memory_order_release);
+    done_count_.notify_one();
+  }
+}
+
+}  // namespace smp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "pprim/barrier.hpp"
+#include "pprim/cacheline.hpp"
+
+namespace smp {
+
+class ThreadTeam;
+
+/// Per-thread context handed to the body of a parallel region.
+///
+/// Mirrors the SPMD style of the paper's SIMPLE primitive library [Bader &
+/// JáJá 1999]: every thread runs the same function, distinguished by `tid`,
+/// and synchronizes through `barrier()`.
+class TeamCtx {
+ public:
+  TeamCtx(ThreadTeam& team, int tid, int nthreads)
+      : team_(team), tid_(tid), nthreads_(nthreads) {}
+
+  [[nodiscard]] int tid() const { return tid_; }
+  [[nodiscard]] int nthreads() const { return nthreads_; }
+  [[nodiscard]] ThreadTeam& team() const { return team_; }
+
+  /// Synchronize all threads of the enclosing parallel region.
+  void barrier();
+
+ private:
+  ThreadTeam& team_;
+  int tid_;
+  int nthreads_;
+  SenseBarrier::LocalSense sense_{};
+  friend class ThreadTeam;
+};
+
+/// A persistent team of worker threads executing fork-join SPMD regions.
+///
+/// The team is created once and reused for every parallel region, avoiding
+/// per-iteration thread-spawn cost (each Borůvka iteration contains several
+/// regions).  The calling thread participates as tid 0, so `ThreadTeam(1)`
+/// runs everything inline with zero threading overhead.
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(int num_threads);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  [[nodiscard]] int size() const { return nthreads_; }
+
+  /// Execute `fn(ctx)` on all team threads; returns when every thread has
+  /// finished.  Regions must not nest.
+  void run(const std::function<void(TeamCtx&)>& fn);
+
+ private:
+  void worker_loop(int tid);
+
+  int nthreads_;
+  SenseBarrier region_barrier_;
+  std::vector<std::thread> workers_;
+
+  // Job dispatch: a generation counter bumped per region; workers futex-wait
+  // on it.  `done_count_` lets the caller wait for region completion.
+  const std::function<void(TeamCtx&)>* job_ = nullptr;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> generation_{0};
+  alignas(kCacheLineBytes) std::atomic<int> done_count_{0};
+  std::atomic<bool> shutdown_{false};
+
+  friend class TeamCtx;
+};
+
+}  // namespace smp

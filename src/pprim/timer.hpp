@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+
+namespace smp {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+/// per-step instrumentation of the Borůvka variants (Fig. 2 of the paper).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smp

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/msf_result.hpp"
+
+namespace smp::seq {
+
+/// The three sequential baselines of §5.2.  The *best* of these per input
+/// class is what the paper (and our benchmarks) measure parallel speedup
+/// against.  All use WeightOrder, so all return the identical forest.
+
+/// Prim's algorithm with an indexed binary heap, restarted per component;
+/// O(m log n).  Often the fastest baseline on random sparse graphs.
+graph::MsfResult prim_msf(const graph::CsrGraph& g);
+graph::MsfResult prim_msf(const graph::EdgeList& g);
+
+/// Kruskal's algorithm: non-recursive bottom-up merge sort of the edges (the
+/// paper found it superior to qsort/GNU quicksort/recursive merge sort for
+/// large inputs) followed by a union-find scan; O(m log m).
+graph::MsfResult kruskal_msf(const graph::EdgeList& g);
+
+/// Sequential Borůvka, O(m log n): repeated find-min over the live edge list
+/// with union-find component tracking and edge-list filtering.
+graph::MsfResult boruvka_msf(const graph::EdgeList& g);
+
+/// Sequential Borůvka in the literal "m log m" style of 2003-era codes (the
+/// baseline the paper and Chung & Condon measured against): every iteration
+/// materializes the contracted graph — relabels endpoints and rebuilds the
+/// edge list — instead of tracking components in a union-find.  Kept as a
+/// faithful historical baseline; boruvka_msf above is the modern variant.
+graph::MsfResult boruvka_compact_msf(const graph::EdgeList& g);
+
+}  // namespace smp::seq

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace smp::seq {
+
+/// Disjoint-set forest with union by rank and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  [[nodiscard]] std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets of a and b; returns false if already joined.
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --num_sets_;
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::uint32_t a, std::uint32_t b) {
+    return find(a) == find(b);
+  }
+
+  /// Raw parent pointer — lets concurrent readers walk to a root without the
+  /// path-halving writes of find() (used by Filter-Kruskal's parallel filter).
+  [[nodiscard]] std::uint32_t parent_of(std::uint32_t x) const { return parent_[x]; }
+
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t num_sets_;
+};
+
+}  // namespace smp::seq

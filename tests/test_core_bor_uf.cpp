@@ -1,0 +1,106 @@
+// Bor-UF (lock-free union-find Borůvka, the GBBS/Galois-style successor) and
+// the AtomicUnionFind it rides on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/bor_uf.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "pprim/atomic_union_find.hpp"
+#include "pprim/parallel_for.hpp"
+#include "pprim/rng.hpp"
+#include "seq/seq_msf.hpp"
+#include "seq/union_find.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(AtomicUnionFind, SequentialSemanticsMatchPlainUnionFind) {
+  AtomicUnionFind a(100);
+  seq::UnionFind b(100);
+  Rng rng(3);
+  for (int op = 0; op < 2000; ++op) {
+    const auto x = static_cast<std::uint32_t>(rng.next_below(100));
+    const auto y = static_cast<std::uint32_t>(rng.next_below(100));
+    EXPECT_EQ(a.unite(x, y), b.unite(x, y)) << op;
+    EXPECT_EQ(a.connected(x, y), b.connected(x, y));
+  }
+  EXPECT_EQ(a.num_sets(), b.num_sets());
+}
+
+TEST(AtomicUnionFind, ConcurrentUnionsOfAForestAllSucceedExactlyOnce) {
+  // Chain unions executed concurrently: every unite targets a distinct edge
+  // of a path, so each must report success exactly once.
+  const std::uint32_t n = 100000;
+  for (const int threads : {2, 4, 8}) {
+    AtomicUnionFind uf(n);
+    ThreadTeam team(threads);
+    std::atomic<std::size_t> successes{0};
+    parallel_for(team, n - 1, [&](std::size_t i) {
+      if (uf.unite(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 1))) {
+        successes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    EXPECT_EQ(successes.load(), n - 1) << threads;
+    EXPECT_EQ(uf.num_sets(), 1u) << threads;
+  }
+}
+
+TEST(AtomicUnionFind, ConcurrentRacesOnSameUnionPickOneWinner) {
+  // All threads hammer the same pair: exactly one success overall.
+  for (int round = 0; round < 20; ++round) {
+    AtomicUnionFind uf(4);
+    ThreadTeam team(8);
+    std::atomic<int> wins{0};
+    team.run([&](TeamCtx&) {
+      if (uf.unite(1, 3)) wins.fetch_add(1);
+    });
+    EXPECT_EQ(wins.load(), 1) << "round " << round;
+    EXPECT_TRUE(uf.connected(1, 3));
+    EXPECT_EQ(uf.num_sets(), 3u);
+  }
+}
+
+class BorUfThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(BorUfThreads, MatchesKruskalOnZoo) {
+  const int threads = GetParam();
+  const EdgeList graphs[] = {
+      random_graph(3000, 12000, 1), random_graph(3000, 1500, 2),
+      mesh2d(45, 45, 3),            geometric_knn(2000, 6, 4),
+      structured_graph(0, 2048, 5), structured_graph(2, 2000, 6),
+      rmat_graph(12, 30000, 7),
+  };
+  for (const auto& g : graphs) {
+    const auto ref = seq::kruskal_msf(g);
+    const auto got = core::bor_uf_msf(g, threads);
+    ASSERT_EQ(test::sorted_ids(got), test::sorted_ids(ref)) << threads;
+    EXPECT_EQ(got.num_trees, ref.num_trees);
+    const auto chk = validate_spanning_forest(g, got.edges);
+    EXPECT_TRUE(chk.ok) << chk.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BorUfThreads, ::testing::Values(1, 2, 4, 8));
+
+TEST(BorUf, RepeatedRunsStableUnderRaces) {
+  const EdgeList g = random_graph(5000, 25000, 9);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  for (int rep = 0; rep < 10; ++rep) {
+    ASSERT_EQ(test::sorted_ids(core::bor_uf_msf(g, 8)), ref) << rep;
+  }
+}
+
+TEST(BorUf, TrivialInputs) {
+  EXPECT_TRUE(core::bor_uf_msf(EdgeList(0), 2).edges.empty());
+  EXPECT_TRUE(core::bor_uf_msf(EdgeList(9), 2).edges.empty());
+  EdgeList g(2);
+  g.add_edge(0, 1, 1.5);
+  EXPECT_DOUBLE_EQ(core::bor_uf_msf(g, 2).total_weight, 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Parallel connected components (extension module).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/connected_components.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "seq/union_find.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+/// Reference labels via union-find, densified in first-seen-root order is
+/// not directly comparable; compare as partitions instead.
+bool same_partition(const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<VertexId> map_ab(a.size(), kInvalidVertex);
+  std::vector<VertexId> map_ba(b.size(), kInvalidVertex);
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    if (map_ab[a[v]] == kInvalidVertex) map_ab[a[v]] = b[v];
+    if (map_ba[b[v]] == kInvalidVertex) map_ba[b[v]] = a[v];
+    if (map_ab[a[v]] != b[v] || map_ba[b[v]] != a[v]) return false;
+  }
+  return true;
+}
+
+std::vector<VertexId> reference_labels(const EdgeList& g) {
+  seq::UnionFind uf(g.num_vertices);
+  for (const auto& e : g.edges) uf.unite(e.u, e.v);
+  std::vector<VertexId> lbl(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) lbl[v] = uf.find(v);
+  return lbl;
+}
+
+class CcThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(CcThreads, MatchesUnionFindOnZoo) {
+  const int threads = GetParam();
+  const EdgeList graphs[] = {
+      random_graph(5000, 3000, 1),   // fragmented
+      random_graph(5000, 25000, 2),  // near-connected
+      mesh2d_p(60, 60, 0.5, 3),
+      structured_graph(0, 1024, 4),
+      geometric_knn(2000, 4, 5),
+      EdgeList(100),  // no edges at all
+  };
+  for (const auto& g : graphs) {
+    const auto cc = core::connected_components(g, threads);
+    ASSERT_EQ(cc.label.size(), g.num_vertices);
+    EXPECT_EQ(cc.num_components, num_components(g));
+    EXPECT_TRUE(same_partition(cc.label, reference_labels(g)));
+    // Labels are dense in [0, num_components).
+    for (const VertexId l : cc.label) ASSERT_LT(l, cc.num_components);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CcThreads, ::testing::Values(1, 2, 4, 8));
+
+TEST(Cc, DeterministicAcrossThreadCounts) {
+  const EdgeList g = random_graph(10000, 15000, 9);
+  const auto base = core::connected_components(g, 1);
+  for (const int threads : {2, 4, 8}) {
+    const auto cc = core::connected_components(g, threads);
+    EXPECT_EQ(cc.label, base.label) << "hook-to-smaller makes labels "
+                                       "scheduling-independent";
+  }
+}
+
+TEST(Cc, EmptyGraph) {
+  const auto cc = core::connected_components(EdgeList(0), 4);
+  EXPECT_EQ(cc.num_components, 0u);
+  EXPECT_TRUE(cc.label.empty());
+}
+
+TEST(Cc, SingleComponentChain) {
+  EdgeList g(10000);
+  for (VertexId v = 1; v < 10000; ++v) g.add_edge(v - 1, v, 1.0);
+  const auto cc = core::connected_components(g, 4);
+  EXPECT_EQ(cc.num_components, 1u);
+  for (const VertexId l : cc.label) ASSERT_EQ(l, 0u);
+}
+
+TEST(Cc, IsolatedVerticesEachOwnComponent) {
+  const auto cc = core::connected_components(EdgeList(50), 3);
+  EXPECT_EQ(cc.num_components, 50u);
+  std::vector<VertexId> sorted = cc.label;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < 50; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+}  // namespace

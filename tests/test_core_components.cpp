@@ -1,0 +1,93 @@
+// pointer_jump_components + densify_labels unit tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/hook_jump.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace {
+
+using namespace smp;
+using graph::VertexId;
+
+TEST(PointerJump, AllSelfLoopsStayRoots) {
+  ThreadTeam team(2);
+  std::vector<VertexId> parent(10);
+  std::iota(parent.begin(), parent.end(), 0u);
+  core::pointer_jump_components(team, parent);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(parent[v], v);
+  EXPECT_EQ(core::densify_labels(team, parent), 10u);
+}
+
+TEST(PointerJump, SingleChainCollapsesToRoot) {
+  ThreadTeam team(4);
+  const std::size_t n = 1000;
+  std::vector<VertexId> parent(n);
+  parent[0] = 0;
+  for (std::size_t v = 1; v < n; ++v) parent[v] = static_cast<VertexId>(v - 1);
+  core::pointer_jump_components(team, parent);
+  for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(parent[v], 0u);
+}
+
+TEST(PointerJump, MutualTwoCycleBreaksTowardSmallerId) {
+  ThreadTeam team(1);
+  // 3 ↔ 7 mutual minimum; 1 and 5 hang off them.
+  std::vector<VertexId> parent = {0, 3, 2, 7, 4, 7, 6, 3};
+  core::pointer_jump_components(team, parent);
+  EXPECT_EQ(parent[3], 3u) << "smaller endpoint becomes the root";
+  EXPECT_EQ(parent[7], 3u);
+  EXPECT_EQ(parent[1], 3u);
+  EXPECT_EQ(parent[5], 3u);
+  EXPECT_EQ(parent[0], 0u);
+  EXPECT_EQ(parent[2], 2u);
+}
+
+TEST(PointerJump, ManyTwoCyclesAcrossThreadCounts) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadTeam team(threads);
+    const std::size_t n = 10000;
+    std::vector<VertexId> parent(n);
+    // Pair 2i ↔ 2i+1 mutually.
+    for (std::size_t i = 0; i < n; i += 2) {
+      parent[i] = static_cast<VertexId>(i + 1);
+      parent[i + 1] = static_cast<VertexId>(i);
+    }
+    core::pointer_jump_components(team, parent);
+    for (std::size_t i = 0; i < n; i += 2) {
+      EXPECT_EQ(parent[i], i);
+      EXPECT_EQ(parent[i + 1], i);
+    }
+    const VertexId roots = core::densify_labels(team, parent);
+    EXPECT_EQ(roots, n / 2);
+    for (std::size_t i = 0; i < n; i += 2) {
+      EXPECT_EQ(parent[i], i / 2) << "dense ids in root order";
+      EXPECT_EQ(parent[i + 1], i / 2);
+    }
+  }
+}
+
+TEST(DensifyLabels, ProducesContiguousIds) {
+  ThreadTeam team(3);
+  // Roots at 0, 4, 9 with various attachments (already jumped).
+  std::vector<VertexId> parent = {0, 0, 4, 4, 4, 9, 9, 0, 9, 9};
+  const VertexId roots = core::densify_labels(team, parent);
+  EXPECT_EQ(roots, 3u);
+  EXPECT_EQ(parent[0], 0u);
+  EXPECT_EQ(parent[1], 0u);
+  EXPECT_EQ(parent[7], 0u);
+  EXPECT_EQ(parent[2], 1u);
+  EXPECT_EQ(parent[4], 1u);
+  EXPECT_EQ(parent[5], 2u);
+  EXPECT_EQ(parent[9], 2u);
+}
+
+TEST(PointerJump, EmptyInput) {
+  ThreadTeam team(2);
+  std::vector<VertexId> parent;
+  core::pointer_jump_components(team, parent);
+  EXPECT_EQ(core::densify_labels(team, parent), 0u);
+}
+
+}  // namespace

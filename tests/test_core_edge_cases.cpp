@@ -1,0 +1,158 @@
+// Degenerate and adversarial inputs for all five parallel algorithms.
+#include <gtest/gtest.h>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "pprim/rng.hpp"
+#include "seq/seq_msf.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+void expect_all_algorithms(const EdgeList& g, double expect_weight,
+                           std::size_t expect_edges, std::size_t expect_trees) {
+  for (const auto alg : core::kParallelAlgorithms) {
+    for (const int threads : {1, 4}) {
+      const auto r = test::run_alg(g, alg, threads);
+      EXPECT_WEIGHT_EQ(r.total_weight, expect_weight)
+          << core::to_string(alg) << " t=" << threads;
+      EXPECT_EQ(r.edges.size(), expect_edges) << core::to_string(alg);
+      EXPECT_EQ(r.num_trees, expect_trees) << core::to_string(alg);
+    }
+  }
+}
+
+TEST(EdgeCases, EmptyGraph) { expect_all_algorithms(EdgeList(0), 0.0, 0, 0); }
+
+TEST(EdgeCases, SingleVertex) { expect_all_algorithms(EdgeList(1), 0.0, 0, 1); }
+
+TEST(EdgeCases, ManyIsolatedVertices) {
+  expect_all_algorithms(EdgeList(1000), 0.0, 0, 1000);
+}
+
+TEST(EdgeCases, SingleEdge) {
+  EdgeList g(2);
+  g.add_edge(0, 1, 2.5);
+  expect_all_algorithms(g, 2.5, 1, 1);
+}
+
+TEST(EdgeCases, TwoVertexMultigraph) {
+  EdgeList g(2);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 3.0);
+  expect_all_algorithms(g, 1.0, 1, 1);
+}
+
+TEST(EdgeCases, AllEqualWeights) {
+  EdgeList g(6);  // 3-cycle + 3-cycle bridged, every weight 2.0
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 0, 2.0);
+  g.add_edge(3, 4, 2.0);
+  g.add_edge(4, 5, 2.0);
+  g.add_edge(5, 3, 2.0);
+  g.add_edge(2, 3, 2.0);
+  const auto ref = seq::kruskal_msf(g);
+  for (const auto alg : core::kParallelAlgorithms) {
+    EXPECT_EQ(test::sorted_ids(test::run_alg(g, alg, 4)), test::sorted_ids(ref))
+        << core::to_string(alg);
+  }
+  expect_all_algorithms(g, 10.0, 5, 1);
+}
+
+TEST(EdgeCases, PathGraph) {
+  const VertexId n = 2000;
+  EdgeList g(n);
+  smp::Rng rng(4);
+  for (VertexId v = 1; v < n; ++v) g.add_edge(v - 1, v, rng.next_double());
+  expect_all_algorithms(g, g.total_weight(), n - 1, 1);
+}
+
+TEST(EdgeCases, StarGraph) {
+  const VertexId n = 1500;
+  EdgeList g(n);
+  smp::Rng rng(5);
+  for (VertexId v = 1; v < n; ++v) g.add_edge(0, v, rng.next_double());
+  expect_all_algorithms(g, g.total_weight(), n - 1, 1);
+}
+
+TEST(EdgeCases, CycleGraphDropsHeaviest) {
+  const VertexId n = 100;
+  EdgeList g(n);
+  double heaviest = -1;
+  smp::Rng rng(6);
+  for (VertexId v = 0; v < n; ++v) {
+    const double w = rng.next_double();
+    g.add_edge(v, (v + 1) % n, w);
+    heaviest = std::max(heaviest, w);
+  }
+  expect_all_algorithms(g, g.total_weight() - heaviest, n - 1, 1);
+}
+
+TEST(EdgeCases, CompleteGraphSmall) {
+  const VertexId n = 40;
+  EdgeList g(n);
+  smp::Rng rng(7);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v, rng.next_double());
+  }
+  const auto ref = seq::kruskal_msf(g);
+  for (const auto alg : core::kParallelAlgorithms) {
+    EXPECT_EQ(test::sorted_ids(test::run_alg(g, alg, 4)), test::sorted_ids(ref))
+        << core::to_string(alg);
+  }
+}
+
+TEST(EdgeCases, ManySmallComponents) {
+  // 500 disjoint triangles.
+  EdgeList g(1500);
+  smp::Rng rng(8);
+  for (VertexId c = 0; c < 500; ++c) {
+    const VertexId b = 3 * c;
+    g.add_edge(b, b + 1, rng.next_double());
+    g.add_edge(b + 1, b + 2, rng.next_double());
+    g.add_edge(b, b + 2, rng.next_double());
+  }
+  const auto ref = seq::kruskal_msf(g);
+  EXPECT_EQ(ref.num_trees, 500u);
+  for (const auto alg : core::kParallelAlgorithms) {
+    const auto r = test::run_alg(g, alg, 4);
+    EXPECT_EQ(test::sorted_ids(r), test::sorted_ids(ref)) << core::to_string(alg);
+    EXPECT_EQ(r.num_trees, 500u);
+  }
+}
+
+TEST(EdgeCases, ThreadsExceedVertices) {
+  EdgeList g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  for (const auto alg : core::kParallelAlgorithms) {
+    const auto r = test::run_alg(g, alg, 16);
+    EXPECT_DOUBLE_EQ(r.total_weight, 6.0) << core::to_string(alg);
+  }
+}
+
+TEST(EdgeCases, SelfLoopRejectedByDispatcher) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 1.0);
+  g.edges.push_back(WEdge{2, 2, 1.0});  // bypass add_edge's assert
+  core::MsfOptions opts;
+  EXPECT_THROW(core::minimum_spanning_forest(g, opts), std::invalid_argument);
+}
+
+TEST(EdgeCases, NegativeWeights) {
+  EdgeList g(4);
+  g.add_edge(0, 1, -5.0);
+  g.add_edge(1, 2, -1.0);
+  g.add_edge(2, 3, 2.0);
+  g.add_edge(3, 0, -3.0);
+  // MSF drops the heaviest cycle edge (2.0).
+  expect_all_algorithms(g, -9.0, 3, 1);
+}
+
+}  // namespace

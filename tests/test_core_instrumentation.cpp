@@ -1,0 +1,128 @@
+// StepTimes and IterationStat instrumentation of the Borůvka variants —
+// the hooks behind Table 1 and Fig. 2.
+#include <gtest/gtest.h>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(IterationStats, VerticesAtLeastHalvePerIteration) {
+  // Halving needs a connected input (finished components stop shrinking),
+  // so use a mesh rather than a random graph with possible isolated
+  // vertices.
+  const EdgeList g = mesh2d(64, 64, 3);
+  for (const auto alg :
+       {core::Algorithm::kBorEL, core::Algorithm::kBorAL, core::Algorithm::kBorFAL}) {
+    std::vector<core::IterationStat> stats;
+    core::MsfOptions opts;
+    opts.algorithm = alg;
+    opts.threads = 2;
+    opts.iteration_stats = &stats;
+    (void)core::minimum_spanning_forest(g, opts);
+    ASSERT_FALSE(stats.empty()) << core::to_string(alg);
+    EXPECT_EQ(stats[0].vertices, 4096u);
+    for (std::size_t i = 1; i < stats.size(); ++i) {
+      EXPECT_LE(stats[i].vertices, stats[i - 1].vertices / 2)
+          << core::to_string(alg) << " iteration " << i;
+    }
+    // log2(4096) halvings, plus Bor-FAL's final no-progress probe iteration.
+    EXPECT_LE(stats.size(), 13u) << core::to_string(alg);
+  }
+}
+
+TEST(IterationStats, EdgeListShrinksForELGrowsNeverForFAL) {
+  const EdgeList g = random_graph(3000, 12000, 4);
+  std::vector<core::IterationStat> el_stats, fal_stats;
+  {
+    core::MsfOptions opts;
+    opts.algorithm = core::Algorithm::kBorEL;
+    opts.iteration_stats = &el_stats;
+    (void)core::minimum_spanning_forest(g, opts);
+  }
+  {
+    core::MsfOptions opts;
+    opts.algorithm = core::Algorithm::kBorFAL;
+    opts.iteration_stats = &fal_stats;
+    (void)core::minimum_spanning_forest(g, opts);
+  }
+  ASSERT_GE(el_stats.size(), 2u);
+  EXPECT_EQ(el_stats[0].directed_edges, 2 * g.num_edges());
+  for (std::size_t i = 1; i < el_stats.size(); ++i) {
+    EXPECT_LT(el_stats[i].directed_edges, el_stats[i - 1].directed_edges)
+        << "Bor-EL compacts edges every iteration";
+  }
+  for (const auto& s : fal_stats) {
+    EXPECT_EQ(s.directed_edges, 2 * g.num_edges())
+        << "Bor-FAL never removes edges";
+  }
+}
+
+TEST(IterationStats, Str0HalvesExactly) {
+  // str0 is engineered so Borůvka's vertex count halves exactly (§5.1).
+  const EdgeList g = structured_graph(0, 1024, 5);
+  std::vector<core::IterationStat> stats;
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorAL;
+  opts.iteration_stats = &stats;
+  (void)core::minimum_spanning_forest(g, opts);
+  ASSERT_EQ(stats.size(), 10u) << "log2(1024) iterations";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].vertices, 1024u >> i) << "iteration " << i;
+  }
+}
+
+TEST(StepTimes, AllVariantsPopulate) {
+  const EdgeList g = random_graph(3000, 9000, 6);
+  for (const auto alg : core::kParallelAlgorithms) {
+    core::StepTimes st;
+    core::MsfOptions opts;
+    opts.algorithm = alg;
+    opts.threads = 2;
+    opts.bc_base_size = 64;
+    opts.step_times = &st;
+    (void)core::minimum_spanning_forest(g, opts);
+    EXPECT_GT(st.total(), 0.0) << core::to_string(alg);
+  }
+}
+
+TEST(StepTimes, AccumulateAcrossRuns) {
+  const EdgeList g = random_graph(1000, 3000, 7);
+  core::StepTimes st;
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorEL;
+  opts.step_times = &st;
+  (void)core::minimum_spanning_forest(g, opts);
+  const double after_one = st.total();
+  (void)core::minimum_spanning_forest(g, opts);
+  EXPECT_GT(st.total(), after_one) << "step_times accumulates (+=)";
+}
+
+TEST(AlgorithmNames, AllDistinct) {
+  EXPECT_EQ(core::to_string(core::Algorithm::kBorEL), "Bor-EL");
+  EXPECT_EQ(core::to_string(core::Algorithm::kBorAL), "Bor-AL");
+  EXPECT_EQ(core::to_string(core::Algorithm::kBorALM), "Bor-ALM");
+  EXPECT_EQ(core::to_string(core::Algorithm::kBorFAL), "Bor-FAL");
+  EXPECT_EQ(core::to_string(core::Algorithm::kMstBC), "MST-BC");
+  EXPECT_EQ(core::to_string(core::Algorithm::kSeqPrim), "Prim");
+  EXPECT_EQ(core::to_string(core::Algorithm::kSeqKruskal), "Kruskal");
+  EXPECT_EQ(core::to_string(core::Algorithm::kSeqBoruvka), "Boruvka");
+}
+
+TEST(Dispatcher, RoutesSequentialAlgorithms) {
+  const EdgeList g = random_graph(300, 900, 8);
+  const auto ref = test::sorted_ids(core::minimum_spanning_forest(
+      g, {.algorithm = core::Algorithm::kSeqKruskal}));
+  for (const auto alg :
+       {core::Algorithm::kSeqPrim, core::Algorithm::kSeqBoruvka}) {
+    core::MsfOptions opts;
+    opts.algorithm = alg;
+    EXPECT_EQ(test::sorted_ids(core::minimum_spanning_forest(g, opts)), ref);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Sample-and-filter MSF (Cole–Klein–Tarjan-style extension).
+#include <gtest/gtest.h>
+
+#include "core/sample_filter.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "seq/seq_msf.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+class SampleFilterThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampleFilterThreads, MatchesKruskalAcrossDensities) {
+  const int threads = GetParam();
+  for (const EdgeId density : {3u, 8u, 24u}) {
+    const VertexId n = 2000;
+    const EdgeList g = random_graph(n, density * n, density);
+    const auto ref = seq::kruskal_msf(g);
+    const auto got = core::sample_filter_msf(g, threads, /*seed=*/42);
+    EXPECT_EQ(test::sorted_ids(got), test::sorted_ids(ref))
+        << "density " << density << " threads " << threads;
+    EXPECT_WEIGHT_EQ(got.total_weight, ref.total_weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SampleFilterThreads, ::testing::Values(1, 4));
+
+TEST(SampleFilter, ResultIndependentOfSeed) {
+  // Randomness must only affect the running time, never the forest.
+  const EdgeList g = random_graph(3000, 20000, 1);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  for (const std::uint64_t seed : {1ull, 2ull, 99ull, 12345ull}) {
+    EXPECT_EQ(test::sorted_ids(core::sample_filter_msf(g, 2, seed)), ref)
+        << "seed " << seed;
+  }
+}
+
+TEST(SampleFilter, ZooAgreement) {
+  const EdgeList graphs[] = {
+      mesh2d(50, 50, 1),
+      geometric_knn(2500, 6, 2),
+      structured_graph(2, 2048, 3),
+      rmat_graph(12, 30000, 4),
+      random_graph(4000, 2000, 5),  // disconnected forest case
+  };
+  for (const auto& g : graphs) {
+    const auto ref = seq::kruskal_msf(g);
+    const auto got = core::sample_filter_msf(g, 4, 7);
+    ASSERT_EQ(test::sorted_ids(got), test::sorted_ids(ref));
+    EXPECT_EQ(got.num_trees, ref.num_trees);
+    const auto chk = validate_spanning_forest(g, got.edges);
+    EXPECT_TRUE(chk.ok) << chk.error;
+  }
+}
+
+TEST(SampleFilter, TrivialInputs) {
+  EXPECT_TRUE(core::sample_filter_msf(EdgeList(0), 2).edges.empty());
+  EXPECT_TRUE(core::sample_filter_msf(EdgeList(10), 2).edges.empty());
+  EdgeList g(2);
+  g.add_edge(0, 1, 4.0);
+  const auto r = core::sample_filter_msf(g, 2);
+  ASSERT_EQ(r.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.total_weight, 4.0);
+}
+
+TEST(SampleFilter, DenseInputExercisesRecursion) {
+  // m >> 2n forces at least one sampling level before the Kruskal base.
+  const EdgeList g = random_graph(500, 60000, 9);
+  EXPECT_EQ(test::sorted_ids(core::sample_filter_msf(g, 4, 5)),
+            test::sorted_ids(seq::kruskal_msf(g)));
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// The central property suite: every parallel algorithm × every generator
+// family × several sizes/seeds × several thread counts must reproduce
+// Kruskal's forest exactly (same input-edge-id set).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "seq/seq_msf.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+enum class Family {
+  kRandomSparse,
+  kRandomDense,
+  kUltraSparse,
+  kMesh2D,
+  kMesh2D60,
+  kMesh3D40,
+  kGeometric,
+  kStr0,
+  kStr1,
+  kStr2,
+  kStr3,
+};
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kRandomSparse: return "random-sparse";
+    case Family::kRandomDense: return "random-dense";
+    case Family::kUltraSparse: return "ultra-sparse";
+    case Family::kMesh2D: return "mesh2d";
+    case Family::kMesh2D60: return "mesh2d60";
+    case Family::kMesh3D40: return "mesh3d40";
+    case Family::kGeometric: return "geometric";
+    case Family::kStr0: return "str0";
+    case Family::kStr1: return "str1";
+    case Family::kStr2: return "str2";
+    case Family::kStr3: return "str3";
+  }
+  return "?";
+}
+
+EdgeList make_family(Family f, std::uint64_t seed) {
+  switch (f) {
+    case Family::kRandomSparse: return random_graph(2000, 6000, seed);
+    case Family::kRandomDense: return random_graph(500, 20000, seed);
+    case Family::kUltraSparse: return random_graph(3000, 1500, seed);  // disconnected
+    case Family::kMesh2D: return mesh2d(45, 45, seed);
+    case Family::kMesh2D60: return mesh2d_p(45, 45, 0.6, seed);
+    case Family::kMesh3D40: return mesh3d_p(13, 13, 13, 0.4, seed);
+    case Family::kGeometric: return geometric_knn(2000, 6, seed);
+    case Family::kStr0: return structured_graph(0, 2048, seed);
+    case Family::kStr1: return structured_graph(1, 2000, seed);
+    case Family::kStr2: return structured_graph(2, 2000, seed);
+    case Family::kStr3: return structured_graph(3, 2000, seed);
+  }
+  return EdgeList(0);
+}
+
+using Param = std::tuple<core::Algorithm, Family, int /*threads*/>;
+
+// Readable test names (kept out of the macro: commas in structured bindings
+// confuse preprocessor argument splitting).
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name(core::to_string(std::get<0>(info.param)));
+  name += "_";
+  name += family_name(std::get<1>(info.param));
+  name += "_t" + std::to_string(std::get<2>(info.param));
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class VariantAgreement : public ::testing::TestWithParam<Param> {};
+
+TEST_P(VariantAgreement, MatchesKruskalExactly) {
+  const auto [alg, family, threads] = GetParam();
+  for (const std::uint64_t seed : {11ull, 12ull}) {
+    const EdgeList g = make_family(family, seed);
+    const auto ref = seq::kruskal_msf(g);
+    const auto got = test::run_alg(g, alg, threads);
+    ASSERT_EQ(test::sorted_ids(got), test::sorted_ids(ref))
+        << core::to_string(alg) << " on " << family_name(family)
+        << " threads=" << threads << " seed=" << seed;
+    EXPECT_WEIGHT_EQ(got.total_weight, ref.total_weight);
+    EXPECT_EQ(got.num_trees, ref.num_trees);
+    const auto chk = validate_spanning_forest(g, got.edges);
+    EXPECT_TRUE(chk.ok) << chk.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, VariantAgreement,
+    ::testing::Combine(
+        ::testing::Values(core::Algorithm::kBorEL, core::Algorithm::kBorAL,
+                          core::Algorithm::kBorALM, core::Algorithm::kBorFAL,
+                          core::Algorithm::kMstBC, core::Algorithm::kParKruskal,
+                          core::Algorithm::kFilterKruskal,
+                          core::Algorithm::kSampleFilter,
+                          core::Algorithm::kBorUF),
+        ::testing::Values(Family::kRandomSparse, Family::kRandomDense,
+                          Family::kUltraSparse, Family::kMesh2D,
+                          Family::kMesh2D60, Family::kMesh3D40,
+                          Family::kGeometric, Family::kStr0, Family::kStr1,
+                          Family::kStr2, Family::kStr3),
+        ::testing::Values(1, 3, 8)),
+    param_name);
+
+// Determinism: repeated runs with the same options give the same forest,
+// regardless of scheduling (the *set* of edges is unique by construction;
+// this catches nondeterministic corruption rather than nondeterministic
+// choice).
+TEST(VariantDeterminism, RepeatedRunsIdentical) {
+  const EdgeList g = random_graph(3000, 12000, 99);
+  for (const auto alg : core::kParallelAlgorithms) {
+    const auto first = test::sorted_ids(test::run_alg(g, alg, 4));
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(test::sorted_ids(test::run_alg(g, alg, 4)), first)
+          << core::to_string(alg) << " rep " << rep;
+    }
+  }
+  for (const auto alg : core::kExtensionAlgorithms) {
+    const auto first = test::sorted_ids(test::run_alg(g, alg, 4));
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(test::sorted_ids(test::run_alg(g, alg, 4)), first)
+          << core::to_string(alg) << " rep " << rep;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// ForestPathMax and the O(m log n) MSF verifier.
+#include <gtest/gtest.h>
+
+#include "core/verify_msf.hpp"
+#include "graph/generators.hpp"
+#include "pprim/rng.hpp"
+#include "seq/seq_msf.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(ForestPathMax, PathGraphExhaustive) {
+  // Path 0-1-2-3-4 with weights 5, 1, 9, 3: check every pair against a
+  // brute-force path scan.
+  const double w[] = {5, 1, 9, 3};
+  std::vector<WEdge> edges;
+  std::vector<EdgeId> ids;
+  for (VertexId v = 0; v < 4; ++v) {
+    edges.push_back({v, v + 1, w[v]});
+    ids.push_back(v);
+  }
+  core::ForestPathMax fpm(5, edges, ids);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = 0; v < 5; ++v) {
+      const auto pm = fpm.path_max(u, v);
+      if (u == v) {
+        EXPECT_FALSE(pm.has_value());
+        continue;
+      }
+      double expect = 0;
+      for (VertexId x = std::min(u, v); x < std::max(u, v); ++x) {
+        expect = std::max(expect, w[x]);
+      }
+      ASSERT_TRUE(pm.has_value()) << u << "," << v;
+      EXPECT_DOUBLE_EQ(pm->w, expect) << u << "," << v;
+    }
+  }
+}
+
+TEST(ForestPathMax, DisconnectedTreesReturnNullopt) {
+  std::vector<WEdge> edges = {{0, 1, 1.0}, {2, 3, 2.0}};
+  std::vector<EdgeId> ids = {0, 1};
+  core::ForestPathMax fpm(5, edges, ids);
+  EXPECT_TRUE(fpm.connected(0, 1));
+  EXPECT_FALSE(fpm.connected(0, 2));
+  EXPECT_FALSE(fpm.connected(0, 4));  // isolated vertex
+  EXPECT_FALSE(fpm.path_max(0, 2).has_value());
+  EXPECT_FALSE(fpm.path_max(4, 0).has_value());
+  EXPECT_DOUBLE_EQ(fpm.path_max(2, 3)->w, 2.0);
+}
+
+TEST(ForestPathMax, RandomTreeAgainstBruteForce) {
+  // MST of a random graph; compare path_max against a DFS walk for many
+  // random pairs.
+  const EdgeList g = random_graph(300, 1500, 3);
+  const auto msf = seq::kruskal_msf(g);
+  core::ForestPathMax fpm(g.num_vertices, msf.edges, msf.edge_ids);
+
+  // Brute force: adjacency of the forest.
+  std::vector<std::vector<std::pair<VertexId, double>>> adj(g.num_vertices);
+  for (const auto& e : msf.edges) {
+    adj[e.u].push_back({e.v, e.w});
+    adj[e.v].push_back({e.u, e.w});
+  }
+  const auto brute = [&](VertexId s, VertexId t) -> std::optional<double> {
+    std::vector<double> best(g.num_vertices, -1);
+    std::vector<VertexId> stack{s};
+    best[s] = 0;
+    while (!stack.empty()) {
+      const VertexId x = stack.back();
+      stack.pop_back();
+      for (const auto& [y, w] : adj[x]) {
+        if (best[y] < 0) {
+          best[y] = std::max(best[x], w);
+          stack.push_back(y);
+        }
+      }
+    }
+    if (best[t] < 0) return std::nullopt;
+    return best[t];
+  };
+
+  smp::Rng rng(4);
+  for (int q = 0; q < 500; ++q) {
+    const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices));
+    const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices));
+    if (u == v) continue;
+    const auto got = fpm.path_max(u, v);
+    const auto expect = brute(u, v);
+    ASSERT_EQ(got.has_value(), expect.has_value()) << u << "," << v;
+    if (got) {
+      EXPECT_DOUBLE_EQ(got->w, *expect) << u << "," << v;
+    }
+  }
+}
+
+TEST(VerifyMsf, AcceptsTrueMsfAcrossZoo) {
+  const EdgeList graphs[] = {
+      random_graph(2000, 10000, 1), mesh2d(40, 40, 2),
+      geometric_knn(1500, 5, 3),    structured_graph(1, 1024, 4),
+      random_graph(3000, 1200, 5),  // disconnected
+      rmat_graph(11, 8000, 6),
+  };
+  for (const auto& g : graphs) {
+    const auto msf = seq::kruskal_msf(g);
+    std::string err;
+    EXPECT_TRUE(core::verify_msf(g, msf, &err)) << err;
+  }
+}
+
+TEST(VerifyMsf, RejectsNonMinimumSpanningTree) {
+  // Spanning but not minimum: swap one MST edge for a heavier cycle edge.
+  EdgeList g(3);
+  g.add_edge(0, 1, 1.0);  // id 0
+  g.add_edge(1, 2, 2.0);  // id 1
+  g.add_edge(0, 2, 3.0);  // id 2
+  MsfResult bad;
+  bad.edges = {{0, 1, 1.0}, {0, 2, 3.0}};
+  bad.edge_ids = {0, 2};
+  bad.total_weight = 4.0;
+  bad.num_trees = 1;
+  std::string err;
+  EXPECT_FALSE(core::verify_msf(g, bad, &err));
+  EXPECT_NE(err.find("cycle property"), std::string::npos) << err;
+}
+
+TEST(VerifyMsf, RejectsStructurallyBrokenForest) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  MsfResult bad;
+  bad.edges = {{0, 1, 1.0}};
+  bad.edge_ids = {0};  // misses edge (1,2): not maximal
+  EXPECT_FALSE(core::verify_msf(g, bad, nullptr));
+}
+
+TEST(VerifyMsf, AcceptsAllParallelAlgorithmOutputs) {
+  const EdgeList g = random_graph(5000, 30000, 7);
+  for (const auto alg : core::kParallelAlgorithms) {
+    const auto r = test::run_alg(g, alg, 4);
+    std::string err;
+    EXPECT_TRUE(core::verify_msf(g, r, &err)) << core::to_string(alg) << ": " << err;
+  }
+}
+
+TEST(VerifyMsf, EmptyAndEdgelessGraphs) {
+  MsfResult empty;
+  EXPECT_TRUE(core::verify_msf(EdgeList(0), empty, nullptr));
+  empty.num_trees = 9;
+  EXPECT_TRUE(core::verify_msf(EdgeList(9), empty, nullptr));
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Max-flow substrate: Dinic and push-relabel against hand-checked instances,
+// each other, and max-flow = min-cut on random networks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/flow_network.hpp"
+#include "pprim/rng.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::flow;
+using graph::VertexId;
+
+using Solver = Cap (*)(FlowNetwork&, VertexId, VertexId);
+const Solver kSolvers[] = {max_flow_dinic, max_flow_push_relabel};
+const char* kNames[] = {"dinic", "push-relabel"};
+
+TEST(Flow, HandComputedDiamond) {
+  // s=0 → {1,2} → t=3.  Classic: value 19 + 4 = min(10+10, ...) = 19?
+  // Compute precisely: s→1 cap 10, s→2 cap 10, 1→t cap 8, 2→t cap 9,
+  // 1→2 cap 5.  Max flow = 8 + 9 = 17 (1→2 lets 1 route 2 spare units,
+  // but 2→t is capped at 9, already fed by s→2's 9).
+  for (int si = 0; si < 2; ++si) {
+    FlowNetwork net(4);
+    net.add_edge(0, 1, 10);
+    net.add_edge(0, 2, 10);
+    net.add_edge(1, 3, 8);
+    net.add_edge(2, 3, 9);
+    net.add_edge(1, 2, 5);
+    EXPECT_EQ(kSolvers[si](net, 0, 3), 17) << kNames[si];
+  }
+}
+
+TEST(Flow, ClassicCLRSInstance) {
+  // CLRS figure 26.1: max flow value 23.
+  for (int si = 0; si < 2; ++si) {
+    FlowNetwork net(6);
+    net.add_edge(0, 1, 16);
+    net.add_edge(0, 2, 13);
+    net.add_edge(1, 2, 10);
+    net.add_edge(2, 1, 4);
+    net.add_edge(1, 3, 12);
+    net.add_edge(3, 2, 9);
+    net.add_edge(2, 4, 14);
+    net.add_edge(4, 3, 7);
+    net.add_edge(3, 5, 20);
+    net.add_edge(4, 5, 4);
+    EXPECT_EQ(kSolvers[si](net, 0, 5), 23) << kNames[si];
+  }
+}
+
+TEST(Flow, DisconnectedAndDegenerate) {
+  for (int si = 0; si < 2; ++si) {
+    FlowNetwork net(4);
+    net.add_edge(0, 1, 5);
+    // t = 3 unreachable.
+    EXPECT_EQ(kSolvers[si](net, 0, 3), 0) << kNames[si];
+    FlowNetwork net2(2);
+    EXPECT_EQ(kSolvers[si](net2, 0, 1), 0) << kNames[si];
+    FlowNetwork net3(1);
+    EXPECT_EQ(kSolvers[si](net3, 0, 0), 0) << "s == t";
+  }
+}
+
+TEST(Flow, AntiparallelAndParallelEdges) {
+  for (int si = 0; si < 2; ++si) {
+    FlowNetwork net(3);
+    net.add_edge(0, 1, 3);
+    net.add_edge(0, 1, 4);   // parallel
+    net.add_edge(1, 0, 100); // antiparallel, irrelevant
+    net.add_edge(1, 2, 5);
+    EXPECT_EQ(kSolvers[si](net, 0, 2), 5) << kNames[si];
+  }
+}
+
+FlowNetwork random_network(VertexId n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  FlowNetwork net(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n - 1));
+    if (v >= u) ++v;
+    net.add_edge(u, v, static_cast<Cap>(1 + rng.next_below(100)));
+  }
+  net.freeze();
+  return net;
+}
+
+TEST(Flow, SolversAgreeOnRandomNetworks) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    FlowNetwork net = random_network(60, 400, seed);
+    const Cap d = max_flow_dinic(net, 0, 59);
+    net.reset();
+    const Cap pr = max_flow_push_relabel(net, 0, 59);
+    EXPECT_EQ(d, pr) << "seed " << seed;
+  }
+}
+
+TEST(Flow, MaxFlowEqualsMinCutCapacity) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const VertexId n = 40;
+    Rng rng(seed * 101);
+    // Build and remember the edges so the cut capacity can be re-read.
+    struct E {
+      VertexId u, v;
+      Cap c;
+    };
+    std::vector<E> edges;
+    FlowNetwork net(n);
+    for (int i = 0; i < 300; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_below(n));
+      auto v = static_cast<VertexId>(rng.next_below(n - 1));
+      if (v >= u) ++v;
+      const Cap c = static_cast<Cap>(1 + rng.next_below(50));
+      edges.push_back({u, v, c});
+      net.add_edge(u, v, c);
+    }
+    const Cap flow = max_flow_dinic(net, 0, n - 1);
+    const auto side = min_cut_side(net, 0);
+    ASSERT_TRUE(side[0]);
+    ASSERT_FALSE(side[n - 1]) << "t reachable after max flow";
+    Cap cut = 0;
+    for (const auto& e : edges) {
+      if (side[e.u] && !side[e.v]) cut += e.c;
+    }
+    EXPECT_EQ(cut, flow) << "max-flow = min-cut, seed " << seed;
+  }
+}
+
+TEST(Flow, MinCutAlsoValidAfterPushRelabel) {
+  FlowNetwork net = random_network(50, 350, 77);
+  const Cap flow = max_flow_push_relabel(net, 0, 49);
+  const auto side = min_cut_side(net, 0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[49]);
+  (void)flow;
+}
+
+TEST(Flow, FlowOnReportsPerEdgeFlowAndConservation) {
+  FlowNetwork net(4);
+  const auto a01 = net.add_edge(0, 1, 10);
+  const auto a02 = net.add_edge(0, 2, 10);
+  const auto a13 = net.add_edge(1, 3, 8);
+  const auto a23 = net.add_edge(2, 3, 9);
+  const auto a12 = net.add_edge(1, 2, 5);
+  const Cap f = max_flow_dinic(net, 0, 3);
+  EXPECT_EQ(f, 17);
+  // Out of s == into t == f.
+  EXPECT_EQ(net.flow_on(a01) + net.flow_on(a02), f);
+  EXPECT_EQ(net.flow_on(a13) + net.flow_on(a23), f);
+  // Conservation at 1 and 2.
+  EXPECT_EQ(net.flow_on(a01), net.flow_on(a13) + net.flow_on(a12));
+  EXPECT_EQ(net.flow_on(a02) + net.flow_on(a12), net.flow_on(a23));
+}
+
+TEST(Flow, ResetRestoresCapacities) {
+  FlowNetwork net = random_network(30, 150, 5);
+  const Cap first = max_flow_dinic(net, 0, 29);
+  net.reset();
+  const Cap second = max_flow_dinic(net, 0, 29);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Flow, UnitCapacityBipartiteMatching) {
+  // 2k left vertices, 2k right; left i connects to right i and (i+1) mod k.
+  // Perfect matching exists → max flow = k.
+  const VertexId k = 50;
+  FlowNetwork net(2 * k + 2);
+  const VertexId s = 2 * k, t = 2 * k + 1;
+  for (VertexId i = 0; i < k; ++i) {
+    net.add_edge(s, i, 1);
+    net.add_edge(k + i, t, 1);
+    net.add_edge(i, k + i, 1);
+    net.add_edge(i, k + (i + 1) % k, 1);
+  }
+  EXPECT_EQ(max_flow_dinic(net, s, t), k);
+}
+
+TEST(Flow, LongSerialChain) {
+  const VertexId n = 10000;
+  FlowNetwork net(n);
+  for (VertexId v = 1; v < n; ++v) net.add_edge(v - 1, v, 7);
+  for (int si = 0; si < 2; ++si) {
+    FlowNetwork copy(n);
+    for (VertexId v = 1; v < n; ++v) copy.add_edge(v - 1, v, 7);
+    EXPECT_EQ(kSolvers[si](copy, 0, n - 1), 7) << kNames[si];
+  }
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Bridges / articulation points, including brute-force cross-checks and the
+// bridges-are-in-every-MSF invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/bridges.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "seq/seq_msf.hpp"
+#include "seq/union_find.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+std::size_t components_without_edge(const EdgeList& g, EdgeId skip) {
+  seq::UnionFind uf(g.num_vertices);
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    if (i == skip) continue;
+    uf.unite(g.edges[i].u, g.edges[i].v);
+  }
+  return uf.num_sets();
+}
+
+std::size_t components_without_vertex(const EdgeList& g, VertexId skip) {
+  seq::UnionFind uf(g.num_vertices);
+  for (const auto& e : g.edges) {
+    if (e.u == skip || e.v == skip) continue;
+    uf.unite(e.u, e.v);
+  }
+  // The removed vertex still counts as a singleton set; subtract it.
+  return uf.num_sets() - 1;
+}
+
+void brute_force_check(const EdgeList& g) {
+  const auto cs = find_cut_structure(g);
+  const std::size_t base = num_components(g);
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    const bool is_bridge = components_without_edge(g, i) > base;
+    const bool reported =
+        std::binary_search(cs.bridges.begin(), cs.bridges.end(), i);
+    EXPECT_EQ(reported, is_bridge) << "edge " << i;
+  }
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    const bool is_ap = components_without_vertex(g, v) > base;
+    const bool reported = std::binary_search(cs.articulation_points.begin(),
+                                             cs.articulation_points.end(), v);
+    EXPECT_EQ(reported, is_ap) << "vertex " << v;
+  }
+}
+
+TEST(Bridges, HandExamples) {
+  // Two triangles joined by one bridge 2-3; 2 and 3 are articulation points.
+  EdgeList g(6);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(2, 3, 1);  // id 3: the bridge
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 5, 1);
+  g.add_edge(3, 5, 1);
+  const auto cs = find_cut_structure(g);
+  EXPECT_EQ(cs.bridges, std::vector<EdgeId>{3});
+  EXPECT_EQ(cs.articulation_points, (std::vector<VertexId>{2, 3}));
+}
+
+TEST(Bridges, TreeIsAllBridges) {
+  const EdgeList g = structured_graph(0, 128, 1);
+  const auto cs = find_cut_structure(g);
+  EXPECT_EQ(cs.bridges.size(), g.num_edges());
+  // Every internal vertex of a tree with degree >= 2 is an articulation pt.
+  const auto ds = degree_stats(g);
+  (void)ds;
+  EXPECT_FALSE(cs.articulation_points.empty());
+}
+
+TEST(Bridges, CycleHasNone) {
+  EdgeList g(10);
+  for (VertexId v = 0; v < 10; ++v) g.add_edge(v, (v + 1) % 10, 1.0);
+  const auto cs = find_cut_structure(g);
+  EXPECT_TRUE(cs.bridges.empty());
+  EXPECT_TRUE(cs.articulation_points.empty());
+}
+
+TEST(Bridges, ParallelEdgesAreNeverBridges) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);  // parallel pair: neither is a bridge
+  g.add_edge(1, 2, 3.0);  // genuine bridge
+  const auto cs = find_cut_structure(g);
+  EXPECT_EQ(cs.bridges, std::vector<EdgeId>{2});
+}
+
+TEST(Bridges, BruteForceAgreementOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    brute_force_check(random_graph(60, 90, seed));   // sparse: many bridges
+    brute_force_check(random_graph(60, 300, seed));  // denser: few
+  }
+  brute_force_check(mesh2d_p(7, 7, 0.5, 9));
+  brute_force_check(EdgeList(5));  // no edges
+}
+
+TEST(Bridges, EveryBridgeIsInEveryMsf) {
+  // A bridge lies in every spanning forest, in particular the MSF — for
+  // every algorithm.
+  const EdgeList g = random_graph(3000, 4000, 7);  // sparse: plenty of bridges
+  const auto cs = find_cut_structure(g);
+  ASSERT_FALSE(cs.bridges.empty());
+  for (const auto alg : core::kParallelAlgorithms) {
+    const auto ids = test::sorted_ids(test::run_alg(g, alg, 4));
+    for (const EdgeId b : cs.bridges) {
+      ASSERT_TRUE(std::binary_search(ids.begin(), ids.end(), b))
+          << core::to_string(alg) << " is missing bridge " << b;
+    }
+  }
+}
+
+TEST(Bridges, IsolatedVerticesAndEmptyGraph) {
+  const auto cs = find_cut_structure(EdgeList(0));
+  EXPECT_TRUE(cs.bridges.empty());
+  EXPECT_TRUE(cs.articulation_points.empty());
+}
+
+}  // namespace

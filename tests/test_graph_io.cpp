@@ -1,0 +1,82 @@
+// DIMACS-like text I/O: exact round-trip and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace smp::graph;
+
+TEST(GraphIO, RoundTripPreservesEverything) {
+  const EdgeList g = random_graph(200, 700, 3);
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const EdgeList h = read_dimacs(ss);
+  EXPECT_EQ(h.num_vertices, g.num_vertices);
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_EQ(h.edges[i].u, g.edges[i].u);
+    EXPECT_EQ(h.edges[i].v, g.edges[i].v);
+    EXPECT_EQ(h.edges[i].w, g.edges[i].w) << "weights must round-trip exactly";
+  }
+}
+
+TEST(GraphIO, EmptyAndEdgelessGraphs) {
+  std::stringstream ss;
+  write_dimacs(ss, EdgeList(5));
+  const EdgeList h = read_dimacs(ss);
+  EXPECT_EQ(h.num_vertices, 5u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+TEST(GraphIO, CommentsAreSkipped) {
+  std::istringstream is("c hello\np edge 3 1\nc mid comment\ne 1 3 2.5\n");
+  const EdgeList g = read_dimacs(is);
+  EXPECT_EQ(g.num_vertices, 3u);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edges[0].u, 0u);
+  EXPECT_EQ(g.edges[0].v, 2u);
+  EXPECT_DOUBLE_EQ(g.edges[0].w, 2.5);
+}
+
+TEST(GraphIO, MalformedInputsThrow) {
+  {
+    std::istringstream is("e 1 2 3.0\n");  // edge before header
+    EXPECT_THROW(read_dimacs(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("p edge 3 2\ne 1 2 1.0\n");  // count mismatch
+    EXPECT_THROW(read_dimacs(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("p edge 3 1\ne 0 2 1.0\n");  // 0 is invalid (1-based)
+    EXPECT_THROW(read_dimacs(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("p edge 3 1\ne 1 4 1.0\n");  // out of range
+    EXPECT_THROW(read_dimacs(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("q edge 3 1\n");  // unknown tag
+    EXPECT_THROW(read_dimacs(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("");  // missing header
+    EXPECT_THROW(read_dimacs(is), std::runtime_error);
+  }
+}
+
+TEST(GraphIO, FileRoundTrip) {
+  const EdgeList g = mesh2d(8, 8, 4);
+  const std::string path = ::testing::TempDir() + "/smpmsf_io_test.gr";
+  write_dimacs_file(path, g);
+  const EdgeList h = read_dimacs_file(path);
+  EXPECT_EQ(h.num_vertices, g.num_vertices);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_THROW(read_dimacs_file(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace

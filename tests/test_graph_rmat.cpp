@@ -1,0 +1,110 @@
+// R-MAT generator (extension family) and binary graph I/O.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "seq/seq_msf.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(Rmat, ExactEdgeCountSimpleSeeded) {
+  const EdgeList g = rmat_graph(12, 20000, 5);
+  EXPECT_EQ(g.num_vertices, 4096u);
+  EXPECT_EQ(g.num_edges(), 20000u);
+  EXPECT_TRUE(is_simple(g));
+  const EdgeList g2 = rmat_graph(12, 20000, 5);
+  EXPECT_EQ(g.edges, g2.edges);
+  const EdgeList g3 = rmat_graph(12, 20000, 6);
+  EXPECT_NE(g.edges, g3.edges);
+}
+
+TEST(Rmat, DegreeDistributionIsSkewed) {
+  // The whole point of R-MAT: a heavy-tailed degree distribution.  The max
+  // degree should far exceed the mean; a uniform random graph of the same
+  // size stays near the mean.
+  const EdgeList r = rmat_graph(13, 40000, 7);
+  const EdgeList u = random_graph(8192, 40000, 7);
+  const auto dr = degree_stats(r);
+  const auto du = degree_stats(u);
+  EXPECT_GT(dr.max_degree, 8 * static_cast<std::size_t>(dr.mean_degree));
+  EXPECT_LT(du.max_degree, 4 * static_cast<std::size_t>(du.mean_degree));
+  EXPECT_GT(dr.max_degree, 3 * du.max_degree);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  EXPECT_THROW(rmat_graph(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(rmat_graph(31, 10, 1), std::invalid_argument);
+  EXPECT_THROW(rmat_graph(10, 10, 0.5, 0.3, 0.3, 1), std::invalid_argument);
+  EXPECT_THROW(rmat_graph(4, 100, 1), std::invalid_argument);  // m too large
+}
+
+TEST(Rmat, AllMsfAlgorithmsAgreeOnSkewedInput) {
+  // Skewed degrees stress the load-balancing paths (one supervertex hoards
+  // most of the adjacency mass early).
+  const EdgeList g = rmat_graph(12, 30000, 9);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  for (const auto alg : core::kParallelAlgorithms) {
+    EXPECT_EQ(test::sorted_ids(test::run_alg(g, alg, 4)), ref)
+        << core::to_string(alg);
+  }
+}
+
+TEST(BinaryIO, RoundTripExact) {
+  const EdgeList g = rmat_graph(10, 5000, 11);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, g);
+  const EdgeList h = read_binary(ss);
+  EXPECT_EQ(h.num_vertices, g.num_vertices);
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.edges, g.edges) << "binary round-trip must be bit-exact";
+}
+
+TEST(BinaryIO, DetectsCorruption) {
+  {
+    std::stringstream ss;
+    ss << "NOPE....";
+    EXPECT_THROW(read_binary(ss), std::runtime_error);
+  }
+  {
+    const EdgeList g = random_graph(100, 300, 1);
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    write_binary(ss, g);
+    std::string data = ss.str();
+    data.resize(data.size() / 2);  // truncate
+    std::stringstream half(data, std::ios::in | std::ios::binary);
+    EXPECT_THROW(read_binary(half), std::runtime_error);
+  }
+}
+
+TEST(BinaryIO, FileRoundTripAndSizeAdvantage) {
+  const EdgeList g = random_graph(2000, 10000, 13);
+  const std::string dir = ::testing::TempDir();
+  write_binary_file(dir + "/g.smpg", g);
+  write_dimacs_file(dir + "/g.gr", g);
+  const EdgeList h = read_binary_file(dir + "/g.smpg");
+  EXPECT_EQ(h.edges, g.edges);
+  // The binary file must be smaller (16 B/edge vs ~30 B of decimal text).
+  std::ifstream b(dir + "/g.smpg", std::ios::ate | std::ios::binary);
+  std::ifstream t(dir + "/g.gr", std::ios::ate);
+  EXPECT_LT(b.tellg(), t.tellg());
+}
+
+TEST(BinaryIO, EmptyGraph) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, EdgeList(7));
+  const EdgeList h = read_binary(ss);
+  EXPECT_EQ(h.num_vertices, 7u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// CsrGraph and FlexAdjList representation invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/flex_adj_list.hpp"
+#include "graph/generators.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(CsrGraph, DegreesAndArcsMatchEdgeList) {
+  const EdgeList g = random_graph(300, 1200, 5);
+  const CsrGraph c(g);
+  ASSERT_EQ(c.num_vertices(), g.num_vertices);
+  ASSERT_EQ(c.num_arcs(), 2 * g.num_edges());
+
+  std::vector<std::size_t> deg(g.num_vertices, 0);
+  for (const auto& e : g.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(c.degree(v), deg[v]) << v;
+  }
+}
+
+TEST(CsrGraph, EveryArcReflectsItsOriginalEdge) {
+  const EdgeList g = random_graph(200, 800, 6);
+  const CsrGraph c(g);
+  std::vector<int> arc_count(g.num_edges(), 0);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    const auto nbrs = c.neighbors(v);
+    const auto ws = c.weights(v);
+    const auto os = c.origs(v);
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      const auto& e = g.edges[os[a]];
+      EXPECT_EQ(e.w, ws[a]);
+      EXPECT_TRUE((e.u == v && e.v == nbrs[a]) || (e.v == v && e.u == nbrs[a]));
+      ++arc_count[os[a]];
+    }
+  }
+  for (const int cnt : arc_count) EXPECT_EQ(cnt, 2);  // one arc per direction
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph c{EdgeList(0)};
+  EXPECT_EQ(c.num_vertices(), 0u);
+  EXPECT_EQ(c.num_arcs(), 0u);
+  const CsrGraph c5{EdgeList(5)};
+  EXPECT_EQ(c5.num_vertices(), 5u);
+  EXPECT_EQ(c5.degree(3), 0u);
+}
+
+TEST(FlexAdjList, InitialStateOneMemberPerSupervertex) {
+  const EdgeList g = random_graph(100, 300, 7);
+  const CsrGraph c(g);
+  FlexAdjList fal(c);
+  EXPECT_EQ(fal.num_super(), 100u);
+  for (VertexId v = 0; v < 100; ++v) {
+    EXPECT_EQ(fal.super_of(v), v);
+    EXPECT_EQ(fal.member_count(v), 1u);
+    fal.for_each_member(v, [&](VertexId m) { EXPECT_EQ(m, v); });
+  }
+}
+
+TEST(FlexAdjList, ContractMergesMemberListsWithPointerOps) {
+  const EdgeList g = random_graph(12, 20, 8);
+  const CsrGraph c(g);
+  FlexAdjList fal(c);
+  ThreadTeam team(2);
+
+  // Merge {0..3}→0, {4..7}→1, {8..11}→2.
+  std::vector<VertexId> labels(12);
+  for (VertexId v = 0; v < 12; ++v) labels[v] = v / 4;
+  fal.contract(team, labels, 3);
+
+  EXPECT_EQ(fal.num_super(), 3u);
+  for (VertexId s = 0; s < 3; ++s) {
+    EXPECT_EQ(fal.member_count(s), 4u);
+    std::vector<VertexId> members;
+    fal.for_each_member(s, [&](VertexId m) { members.push_back(m); });
+    std::sort(members.begin(), members.end());
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(members[i], s * 4 + i);
+  }
+  for (VertexId v = 0; v < 12; ++v) EXPECT_EQ(fal.super_of(v), v / 4);
+}
+
+TEST(FlexAdjList, RepeatedContractionsComposeLabels) {
+  const EdgeList g = random_graph(16, 40, 9);
+  const CsrGraph c(g);
+  FlexAdjList fal(c);
+  ThreadTeam team(3);
+
+  std::vector<VertexId> l1(16);
+  for (VertexId v = 0; v < 16; ++v) l1[v] = v / 2;  // 16 → 8
+  fal.contract(team, l1, 8);
+  std::vector<VertexId> l2(8);
+  for (VertexId v = 0; v < 8; ++v) l2[v] = v / 4;  // 8 → 2
+  fal.contract(team, l2, 2);
+
+  EXPECT_EQ(fal.num_super(), 2u);
+  EXPECT_EQ(fal.member_count(0), 8u);
+  EXPECT_EQ(fal.member_count(1), 8u);
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(fal.super_of(v), v / 8);
+}
+
+TEST(FlexAdjList, ContractToSingleSupervertex) {
+  const EdgeList g = random_graph(50, 100, 10);
+  const CsrGraph c(g);
+  FlexAdjList fal(c);
+  ThreadTeam team(4);
+  std::vector<VertexId> labels(50, 0);
+  fal.contract(team, labels, 1);
+  EXPECT_EQ(fal.num_super(), 1u);
+  EXPECT_EQ(fal.member_count(0), 50u);
+  // Total adjacency reachable through the member lists covers all arcs.
+  std::size_t arcs = 0;
+  fal.for_each_member(0, [&](VertexId m) { arcs += c.degree(m); });
+  EXPECT_EQ(arcs, c.num_arcs());
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Graph surgery utilities: induced subgraphs, largest component, weight
+// negation (maximum spanning forest).
+#include <gtest/gtest.h>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/transform.hpp"
+#include "seq/seq_msf.hpp"
+#include "seq/union_find.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(InducedSubgraph, KeepsExactlyInternalEdges) {
+  EdgeList g(5);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 3);
+  g.add_edge(3, 4, 4);
+  g.add_edge(0, 4, 5);
+  std::vector<bool> keep = {true, true, false, true, true};
+  std::vector<VertexId> back;
+  const EdgeList s = induced_subgraph(g, keep, &back);
+  EXPECT_EQ(s.num_vertices, 4u);
+  EXPECT_EQ(back, (std::vector<VertexId>{0, 1, 3, 4}));
+  // Surviving edges: (0,1,1), (3,4,4)->(2,3), (0,4,5)->(0,3).
+  ASSERT_EQ(s.num_edges(), 3u);
+  EXPECT_EQ(s.edges[0], (WEdge{0, 1, 1}));
+  EXPECT_EQ(s.edges[1], (WEdge{2, 3, 4}));
+  EXPECT_EQ(s.edges[2], (WEdge{0, 3, 5}));
+}
+
+TEST(InducedSubgraph, EmptyKeepAndFullKeep) {
+  const EdgeList g = random_graph(100, 300, 1);
+  const EdgeList none = induced_subgraph(g, std::vector<bool>(100, false));
+  EXPECT_EQ(none.num_vertices, 0u);
+  EXPECT_EQ(none.num_edges(), 0u);
+  const EdgeList all = induced_subgraph(g, std::vector<bool>(100, true));
+  EXPECT_EQ(all.num_vertices, g.num_vertices);
+  EXPECT_EQ(all.edges, g.edges);
+}
+
+TEST(LargestComponent, PicksTheBiggestAndIsConnected) {
+  // Two random blobs of different size plus isolated vertices.
+  EdgeList g(350);
+  const EdgeList a = random_graph(200, 800, 2);  // likely one big component
+  const EdgeList b = random_graph(100, 400, 3);
+  for (const auto& e : a.edges) g.add_edge(e.u, e.v, e.w);
+  for (const auto& e : b.edges) g.add_edge(e.u + 200, e.v + 200, e.w);
+  std::vector<VertexId> back;
+  const EdgeList big = largest_component(g, &back);
+  EXPECT_EQ(num_components(big), 1u);
+  EXPECT_GT(big.num_vertices, 150u);
+  // All mapped-back vertices must come from the first blob.
+  for (const VertexId v : back) EXPECT_LT(v, 200u);
+}
+
+TEST(NegateWeights, GivesMaximumSpanningForest) {
+  const EdgeList g = random_graph(500, 2500, 5);
+  const auto max_forest = seq::kruskal_msf(negate_weights(g));
+  // Compare against brute force: Kruskal over descending weights.
+  std::vector<EdgeId> order(g.edges.size());
+  for (EdgeId i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](EdgeId x, EdgeId y) {
+    return WeightOrder{-g.edges[x].w, x} < WeightOrder{-g.edges[y].w, y};
+  });
+  seq::UnionFind uf(g.num_vertices);
+  double expect = 0;
+  for (const EdgeId i : order) {
+    if (uf.unite(g.edges[i].u, g.edges[i].v)) expect += g.edges[i].w;
+  }
+  EXPECT_NEAR(-max_forest.total_weight, expect, 1e-9 * std::abs(expect));
+  // And it is at least as heavy as the minimum forest.
+  const auto min_forest = seq::kruskal_msf(g);
+  EXPECT_GE(-max_forest.total_weight, min_forest.total_weight);
+}
+
+TEST(NegateWeights, EdgeIdsPreserved) {
+  const EdgeList g = random_graph(200, 600, 7);
+  const EdgeList neg = negate_weights(g);
+  ASSERT_EQ(neg.num_edges(), g.num_edges());
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    EXPECT_EQ(neg.edges[i].u, g.edges[i].u);
+    EXPECT_EQ(neg.edges[i].v, g.edges[i].v);
+    EXPECT_DOUBLE_EQ(neg.edges[i].w, -g.edges[i].w);
+  }
+}
+
+TEST(Transform, PipelineLargestComponentThenMsf) {
+  const EdgeList g = random_graph(4000, 3000, 9);  // fragmented
+  std::vector<VertexId> back;
+  const EdgeList big = largest_component(g, &back);
+  const auto msf = test::run_alg(big, core::Algorithm::kBorFAL, 4);
+  EXPECT_EQ(msf.num_trees, 1u);
+  EXPECT_EQ(msf.edges.size(), static_cast<std::size_t>(big.num_vertices) - 1);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Larger end-to-end runs: bigger graphs, full pipeline (generate → solve →
+// validate → serialize → reload → re-solve).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "graph/validate.hpp"
+#include "seq/seq_msf.hpp"
+#include "seq/union_find.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(Integration, LargeRandomGraphAllAlgorithms) {
+  const EdgeList g = random_graph(50000, 200000, 1);
+  const auto ref = seq::kruskal_msf(g);
+  const auto chk = validate_spanning_forest(g, ref.edges);
+  ASSERT_TRUE(chk.ok) << chk.error;
+  const auto ref_ids = test::sorted_ids(ref);
+  for (const auto alg : core::kParallelAlgorithms) {
+    const auto r = test::run_alg(g, alg, 4, 256);
+    EXPECT_EQ(test::sorted_ids(r), ref_ids) << core::to_string(alg);
+  }
+}
+
+TEST(Integration, LargeMeshAllAlgorithms) {
+  const EdgeList g = mesh2d_p(300, 300, 0.6, 2);
+  const auto ref_ids = test::sorted_ids(seq::kruskal_msf(g));
+  for (const auto alg : core::kParallelAlgorithms) {
+    EXPECT_EQ(test::sorted_ids(test::run_alg(g, alg, 4, 256)), ref_ids)
+        << core::to_string(alg);
+  }
+}
+
+TEST(Integration, LargeStructuredWorstCase) {
+  const EdgeList g = structured_graph(0, 1 << 15, 3);
+  const auto ref_ids = test::sorted_ids(seq::kruskal_msf(g));
+  for (const auto alg : core::kParallelAlgorithms) {
+    EXPECT_EQ(test::sorted_ids(test::run_alg(g, alg, 4, 256)), ref_ids)
+        << core::to_string(alg);
+  }
+}
+
+TEST(Integration, SerializeReloadResolve) {
+  const EdgeList g = geometric_knn(5000, 6, 4);
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const EdgeList h = read_dimacs(ss);
+  const auto a = seq::kruskal_msf(g);
+  const auto b = seq::kruskal_msf(h);
+  EXPECT_EQ(test::sorted_ids(a), test::sorted_ids(b));
+  EXPECT_DOUBLE_EQ(a.total_weight, b.total_weight);
+}
+
+TEST(Integration, ForestWeightIsMinimalAgainstRandomSpanningTrees) {
+  // Sanity from the other side: the MSF weight never exceeds the weight of
+  // any other spanning structure we can easily construct (BFS tree).
+  const EdgeList g = random_graph(2000, 10000, 5);
+  const auto msf = seq::kruskal_msf(g);
+
+  // Build a BFS forest via union-find in edge order (arbitrary, not minimal).
+  seq::UnionFind uf(g.num_vertices);
+  double arbitrary_weight = 0;
+  std::size_t arbitrary_edges = 0;
+  for (const auto& e : g.edges) {
+    if (uf.unite(e.u, e.v)) {
+      arbitrary_weight += e.w;
+      ++arbitrary_edges;
+    }
+  }
+  ASSERT_EQ(arbitrary_edges, msf.edges.size());
+  EXPECT_LE(msf.total_weight, arbitrary_weight);
+}
+
+TEST(Integration, NumTreesMatchesComponentCount) {
+  const EdgeList g = random_graph(10000, 6000, 6);  // very sparse → fragmented
+  const std::size_t comps = num_components(g);
+  EXPECT_GT(comps, 1u);
+  for (const auto alg : core::kParallelAlgorithms) {
+    const auto r = test::run_alg(g, alg, 4, 128);
+    EXPECT_EQ(r.num_trees, comps) << core::to_string(alg);
+  }
+}
+
+TEST(Integration, RepeatedTeamsNoResourceLeak) {
+  // Constructing/destroying many teams (each spawning threads) must be safe.
+  const EdgeList g = random_graph(500, 1500, 7);
+  const auto ref_ids = test::sorted_ids(seq::kruskal_msf(g));
+  for (int i = 0; i < 25; ++i) {
+    const auto r = test::run_alg(g, core::Algorithm::kBorFAL, 3);
+    ASSERT_EQ(test::sorted_ids(r), ref_ids) << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Remaining small pieces: WeightOrder semantics, Padded layout, WallTimer,
+// EdgeCollector behaviour through the public results, and option plumbing.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/types.hpp"
+#include "pprim/cacheline.hpp"
+#include "pprim/timer.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(WeightOrder, TotalOrderWithIdTieBreak) {
+  const WeightOrder a{1.0, 5};
+  const WeightOrder b{1.0, 9};
+  const WeightOrder c{2.0, 1};
+  EXPECT_TRUE(a < b) << "equal weights resolve by id";
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+  EXPECT_TRUE(a == (WeightOrder{1.0, 5}));
+}
+
+TEST(WeightOrder, NegativeAndInfiniteWeights) {
+  const WeightOrder neg{-5.0, 0};
+  const WeightOrder pos{5.0, 0};
+  const WeightOrder inf{std::numeric_limits<double>::infinity(), 0};
+  const WeightOrder ninf{-std::numeric_limits<double>::infinity(), 0};
+  EXPECT_TRUE(neg < pos);
+  EXPECT_TRUE(pos < inf);
+  EXPECT_TRUE(ninf < neg);
+}
+
+TEST(Padded, SlotsOccupyDistinctCacheLines) {
+  Padded<int> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+    EXPECT_GE(b - a, kCacheLineBytes);
+  }
+  static_assert(sizeof(Padded<char>) % kCacheLineBytes == 0);
+  static_assert(alignof(Padded<char>) == kCacheLineBytes);
+}
+
+TEST(WallTimer, MonotoneAndResets) {
+  WallTimer t;
+  const double a = t.elapsed_s();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double b = t.elapsed_s();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+  t.reset();
+  EXPECT_LT(t.elapsed_s(), b);
+}
+
+TEST(MsfResult, EdgeIdsSortedAndParallelToEdges) {
+  const EdgeList g = random_graph(1000, 4000, 5);
+  for (const auto alg : core::kParallelAlgorithms) {
+    const auto r = test::run_alg(g, alg, 3);
+    ASSERT_EQ(r.edges.size(), r.edge_ids.size()) << core::to_string(alg);
+    EXPECT_TRUE(std::is_sorted(r.edge_ids.begin(), r.edge_ids.end()))
+        << core::to_string(alg) << ": canonical (sorted) id order";
+    for (std::size_t i = 0; i < r.edges.size(); ++i) {
+      const auto& orig = g.edges[r.edge_ids[i]];
+      ASSERT_EQ(r.edges[i].w, orig.w);
+      ASSERT_TRUE((r.edges[i].u == orig.u && r.edges[i].v == orig.v) ||
+                  (r.edges[i].u == orig.v && r.edges[i].v == orig.u));
+    }
+  }
+}
+
+TEST(MsfOptions, ZeroAndNegativeThreadsClampToOne) {
+  const EdgeList g = random_graph(200, 600, 7);
+  const auto ref = test::sorted_ids(core::minimum_spanning_forest(
+      g, {.algorithm = core::Algorithm::kSeqKruskal}));
+  for (const int threads : {0, -3}) {
+    core::MsfOptions opts;
+    opts.algorithm = core::Algorithm::kBorFAL;
+    opts.threads = threads;
+    const auto r = core::minimum_spanning_forest(g, opts);
+    EXPECT_EQ(test::sorted_ids(r), ref) << threads;
+  }
+}
+
+TEST(StepTimes, TotalSumsParts) {
+  core::StepTimes st;
+  st.find_min = 1;
+  st.connect = 2;
+  st.compact = 3;
+  st.other = 4;
+  EXPECT_DOUBLE_EQ(st.total(), 10.0);
+  core::StepTimes other = st;
+  st += other;
+  EXPECT_DOUBLE_EQ(st.total(), 20.0);
+}
+
+TEST(EdgeList, TotalWeightAndAccessors) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.0);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Sequential and parallel prefix sums.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "pprim/prefix_sum.hpp"
+#include "pprim/rng.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace {
+
+using namespace smp;
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(1000);
+  return v;
+}
+
+std::vector<std::uint64_t> reference_exclusive(const std::vector<std::uint64_t>& in) {
+  std::vector<std::uint64_t> out(in.size());
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = run;
+    run += in[i];
+  }
+  return out;
+}
+
+TEST(PrefixSum, SequentialMatchesReference) {
+  for (const std::size_t n : {0u, 1u, 2u, 100u, 12345u}) {
+    auto data = random_values(n, n);
+    const auto expect = reference_exclusive(data);
+    const std::uint64_t expect_total =
+        std::accumulate(data.begin(), data.end(), std::uint64_t{0});
+    const std::uint64_t total = exclusive_scan_seq(std::span<std::uint64_t>(data));
+    EXPECT_EQ(total, expect_total);
+    EXPECT_EQ(data, expect);
+  }
+}
+
+class PrefixSumParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixSumParallel, MatchesReferenceAcrossSizes) {
+  ThreadTeam team(GetParam());
+  // Sizes straddling the serial-fallback threshold (1<<14).
+  for (const std::size_t n : {0u, 1u, 1000u, (1u << 14) - 1, (1u << 14) + 1,
+                              100000u, 262144u}) {
+    auto data = random_values(n, n * 31 + 7);
+    const auto expect = reference_exclusive(data);
+    const std::uint64_t expect_total =
+        expect.empty() ? 0 : expect.back() + data.back() - 0;
+    auto orig = data;
+    const std::uint64_t orig_total =
+        std::accumulate(orig.begin(), orig.end(), std::uint64_t{0});
+    const std::uint64_t total = exclusive_scan(team, std::span<std::uint64_t>(data));
+    EXPECT_EQ(total, orig_total);
+    (void)expect_total;
+    EXPECT_EQ(data, expect) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PrefixSumParallel, ::testing::Values(1, 2, 4, 8));
+
+TEST(PrefixSum, WorksOnDoubles) {
+  ThreadTeam team(4);
+  std::vector<double> d(40000, 0.5);
+  const double total = exclusive_scan(team, std::span<double>(d));
+  EXPECT_DOUBLE_EQ(total, 20000.0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[39999], 19999.5);
+}
+
+}  // namespace

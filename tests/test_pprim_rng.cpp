@@ -1,0 +1,115 @@
+// Rng determinism/quality basics and random permutations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "pprim/permutation.hpp"
+#include "pprim/rng.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace {
+
+using namespace smp;
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng base(77);
+  Rng f0 = base.fork(0);
+  Rng f1 = base.fork(1);
+  Rng f0b = Rng(77).fork(0);
+  int same01 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = f0.next();
+    const auto b = f1.next();
+    EXPECT_EQ(a, f0b.next());
+    same01 += a == b;
+  }
+  EXPECT_LT(same01, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(10);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.next_below(10)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, kDraws / 10 - kDraws / 50);
+    EXPECT_LT(b, kDraws / 10 + kDraws / 50);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double mn = 1, mx = 0, sum = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
+    sum += d;
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+bool is_permutation_of_iota(const std::vector<std::uint32_t>& p) {
+  std::vector<std::uint32_t> s = p;
+  std::sort(s.begin(), s.end());
+  for (std::uint32_t i = 0; i < s.size(); ++i) {
+    if (s[i] != i) return false;
+  }
+  return true;
+}
+
+TEST(Permutation, SequentialIsValidAndSeeded) {
+  const auto p1 = random_permutation(1000, 5);
+  const auto p2 = random_permutation(1000, 5);
+  const auto p3 = random_permutation(1000, 6);
+  EXPECT_TRUE(is_permutation_of_iota(p1));
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+  // Should not be the identity.
+  std::vector<std::uint32_t> iota(1000);
+  std::iota(iota.begin(), iota.end(), 0u);
+  EXPECT_NE(p1, iota);
+}
+
+TEST(Permutation, ParallelIsValidAcrossThreadCounts) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadTeam team(threads);
+    const auto p = random_permutation(team, 50000, 21);
+    EXPECT_TRUE(is_permutation_of_iota(p)) << threads;
+  }
+}
+
+TEST(Permutation, EdgeSizes) {
+  EXPECT_TRUE(random_permutation(0, 1).empty());
+  EXPECT_EQ(random_permutation(1, 1), std::vector<std::uint32_t>{0});
+  ThreadTeam team(4);
+  EXPECT_TRUE(is_permutation_of_iota(random_permutation(team, 2, 3)));
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Sequential hybrid sorts (insertion + bottom-up merge) and parallel sample
+// sort, checked against std::sort across sizes, thread counts and key
+// distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "pprim/rng.hpp"
+#include "pprim/sample_sort.hpp"
+#include "pprim/seq_sort.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace {
+
+using namespace smp;
+
+enum class Dist { kUniform, kFewDistinct, kSortedAlready, kReversed, kAllEqual };
+
+std::vector<std::uint64_t> make_input(std::size_t n, Dist d, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  switch (d) {
+    case Dist::kUniform:
+      for (auto& x : v) x = rng.next();
+      break;
+    case Dist::kFewDistinct:
+      for (auto& x : v) x = rng.next_below(7);
+      break;
+    case Dist::kSortedAlready:
+      for (std::size_t i = 0; i < n; ++i) v[i] = i;
+      break;
+    case Dist::kReversed:
+      for (std::size_t i = 0; i < n; ++i) v[i] = n - i;
+      break;
+    case Dist::kAllEqual:
+      for (auto& x : v) x = 42;
+      break;
+  }
+  return v;
+}
+
+TEST(InsertionSort, SortsSmallInputs) {
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 17u, 100u}) {
+    auto v = make_input(n, Dist::kUniform, n + 1);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    insertion_sort(std::span<std::uint64_t>(v), std::less<>{});
+    EXPECT_EQ(v, expect) << n;
+  }
+}
+
+class MergeSortTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Dist>> {};
+
+TEST_P(MergeSortTest, MatchesStdSort) {
+  const auto [n, dist] = GetParam();
+  auto v = make_input(n, dist, n * 7 + 3);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  std::vector<std::uint64_t> scratch(n);
+  merge_sort_bottomup(std::span<std::uint64_t>(v), std::span<std::uint64_t>(scratch),
+                      std::less<>{});
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDists, MergeSortTest,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{31}, std::size_t{32},
+                                         std::size_t{33}, std::size_t{1000},
+                                         std::size_t{65536}),
+                       ::testing::Values(Dist::kUniform, Dist::kFewDistinct,
+                                         Dist::kSortedAlready, Dist::kReversed,
+                                         Dist::kAllEqual)));
+
+TEST(SeqSortHybrid, DispatchesOnCutoff) {
+  // Below the cutoff no scratch is required; above it is.
+  auto small = make_input(kInsertionSortCutoff, Dist::kUniform, 9);
+  auto expect_small = small;
+  std::sort(expect_small.begin(), expect_small.end());
+  seq_sort(std::span<std::uint64_t>(small), {}, std::less<>{});
+  EXPECT_EQ(small, expect_small);
+
+  auto big = make_input(kInsertionSortCutoff + 1, Dist::kUniform, 10);
+  auto expect_big = big;
+  std::sort(expect_big.begin(), expect_big.end());
+  std::vector<std::uint64_t> scratch(big.size());
+  seq_sort(std::span<std::uint64_t>(big), std::span<std::uint64_t>(scratch),
+           std::less<>{});
+  EXPECT_EQ(big, expect_big);
+}
+
+class SampleSortTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, Dist>> {};
+
+TEST_P(SampleSortTest, MatchesStdSort) {
+  const auto [threads, n, dist] = GetParam();
+  ThreadTeam team(threads);
+  auto v = make_input(n, dist, n + static_cast<std::size_t>(threads));
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  sample_sort(team, v, std::less<>{});
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsSizesDists, SampleSortTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(std::size_t{0}, std::size_t{100},
+                                         std::size_t{1} << 15,
+                                         (std::size_t{1} << 16) + 17),
+                       ::testing::Values(Dist::kUniform, Dist::kFewDistinct,
+                                         Dist::kSortedAlready,
+                                         Dist::kAllEqual)));
+
+TEST(SampleSort, CustomComparatorAndStructs) {
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t payload;
+  };
+  ThreadTeam team(4);
+  Rng rng(5);
+  std::vector<Rec> v(100000);
+  for (std::uint32_t i = 0; i < v.size(); ++i) {
+    v[i] = {static_cast<std::uint32_t>(rng.next_below(1000)), i};
+  }
+  const auto less = [](const Rec& a, const Rec& b) {
+    return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+  };
+  auto expect = v;
+  std::sort(expect.begin(), expect.end(), less);
+  sample_sort(team, v, less);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i].key, expect[i].key) << i;
+    ASSERT_EQ(v[i].payload, expect[i].payload) << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Sequential baselines: hand-computed answers, mutual agreement, and the cut
+// property on the full generator zoo.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "seq/seq_msf.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(SeqMsf, HandComputedTriangle) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  for (const auto& r : {seq::prim_msf(g), seq::kruskal_msf(g), seq::boruvka_msf(g)}) {
+    EXPECT_DOUBLE_EQ(r.total_weight, 3.0);
+    EXPECT_EQ(r.edges.size(), 2u);
+    EXPECT_EQ(r.num_trees, 1u);
+  }
+}
+
+TEST(SeqMsf, HandComputedWikipediaStyleGraph) {
+  // The classic 7-vertex Kruskal illustration:
+  //   0-1:7 0-3:5 1-2:8 1-3:9 1-4:7 2-4:5 3-4:15 3-5:6 4-5:8 4-6:9 5-6:11
+  // MST = {0-3(5), 2-4(5), 3-5(6), 0-1(7), 1-4(7), 4-6(9)}, weight 39.
+  EdgeList g(7);
+  g.add_edge(0, 1, 7);
+  g.add_edge(0, 3, 5);
+  g.add_edge(1, 2, 8);
+  g.add_edge(1, 3, 9);
+  g.add_edge(1, 4, 7);
+  g.add_edge(2, 4, 5);
+  g.add_edge(3, 4, 15);
+  g.add_edge(3, 5, 6);
+  g.add_edge(4, 5, 8);
+  g.add_edge(4, 6, 9);
+  g.add_edge(5, 6, 11);
+  for (const auto& r : {seq::prim_msf(g), seq::kruskal_msf(g), seq::boruvka_msf(g)}) {
+    EXPECT_DOUBLE_EQ(r.total_weight, 39.0);
+    EXPECT_EQ(r.edges.size(), 6u);
+  }
+}
+
+TEST(SeqMsf, EqualWeightsResolvedByEdgeIndex) {
+  // All weights equal: the forest must be the one picking lowest-index edges
+  // (our WeightOrder tie-break), identically in all three algorithms.
+  EdgeList g(4);
+  g.add_edge(0, 1, 1.0);  // id 0
+  g.add_edge(1, 2, 1.0);  // id 1
+  g.add_edge(2, 3, 1.0);  // id 2
+  g.add_edge(3, 0, 1.0);  // id 3
+  g.add_edge(0, 2, 1.0);  // id 4
+  const std::vector<EdgeId> expect = {0, 1, 2};
+  EXPECT_EQ(test::sorted_ids(seq::prim_msf(g)), expect);
+  EXPECT_EQ(test::sorted_ids(seq::kruskal_msf(g)), expect);
+  EXPECT_EQ(test::sorted_ids(seq::boruvka_msf(g)), expect);
+}
+
+TEST(SeqMsf, EmptyAndTrivialGraphs) {
+  for (const auto& g : {EdgeList(0), EdgeList(1), EdgeList(10)}) {
+    for (const auto& r :
+         {seq::prim_msf(g), seq::kruskal_msf(g), seq::boruvka_msf(g)}) {
+      EXPECT_TRUE(r.edges.empty());
+      EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+      EXPECT_EQ(r.num_trees, g.num_vertices);
+    }
+  }
+}
+
+TEST(SeqMsf, SingleEdge) {
+  EdgeList g(2);
+  g.add_edge(0, 1, 3.5);
+  for (const auto& r : {seq::prim_msf(g), seq::kruskal_msf(g), seq::boruvka_msf(g)}) {
+    ASSERT_EQ(r.edges.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.total_weight, 3.5);
+    EXPECT_EQ(r.num_trees, 1u);
+  }
+}
+
+TEST(SeqMsf, ParallelMultiEdgesPickLightest) {
+  EdgeList g(2);
+  g.add_edge(0, 1, 5.0);  // id 0
+  g.add_edge(0, 1, 2.0);  // id 1 — lighter duplicate
+  g.add_edge(0, 1, 9.0);  // id 2
+  for (const auto& r : {seq::prim_msf(g), seq::kruskal_msf(g), seq::boruvka_msf(g)}) {
+    ASSERT_EQ(r.edge_ids.size(), 1u);
+    EXPECT_EQ(r.edge_ids[0], 1u);
+    EXPECT_DOUBLE_EQ(r.total_weight, 2.0);
+  }
+}
+
+TEST(SeqMsf, DisconnectedForest) {
+  EdgeList g(7);  // triangle + path + isolated vertex 6
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(0, 2, 3);
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 5, 2);
+  for (const auto& r : {seq::prim_msf(g), seq::kruskal_msf(g), seq::boruvka_msf(g)}) {
+    EXPECT_EQ(r.edges.size(), 4u);
+    EXPECT_EQ(r.num_trees, 3u);
+    EXPECT_DOUBLE_EQ(r.total_weight, 6.0);
+  }
+}
+
+// Agreement + structural validity + cut property across the generator zoo.
+struct ZooCase {
+  const char* name;
+  EdgeList graph;
+};
+
+std::vector<ZooCase> zoo() {
+  std::vector<ZooCase> z;
+  z.push_back({"random", random_graph(400, 1600, 1)});
+  z.push_back({"very-sparse-random", random_graph(400, 300, 2)});
+  z.push_back({"mesh2d", mesh2d(20, 20, 3)});
+  z.push_back({"mesh2d60", mesh2d_p(20, 20, 0.6, 4)});
+  z.push_back({"mesh3d40", mesh3d_p(8, 8, 8, 0.4, 5)});
+  z.push_back({"geometric", geometric_knn(400, 5, 6)});
+  z.push_back({"str0", structured_graph(0, 256, 7)});
+  z.push_back({"str1", structured_graph(1, 256, 8)});
+  z.push_back({"str2", structured_graph(2, 256, 9)});
+  z.push_back({"str3", structured_graph(3, 256, 10)});
+  return z;
+}
+
+TEST(SeqMsf, AllFourAgreeOnZoo) {
+  for (const auto& zc : zoo()) {
+    const auto kruskal = seq::kruskal_msf(zc.graph);
+    const auto prim = seq::prim_msf(zc.graph);
+    const auto boruvka = seq::boruvka_msf(zc.graph);
+    const auto boruvka_c = seq::boruvka_compact_msf(zc.graph);
+    EXPECT_EQ(test::sorted_ids(prim), test::sorted_ids(kruskal)) << zc.name;
+    EXPECT_EQ(test::sorted_ids(boruvka), test::sorted_ids(kruskal)) << zc.name;
+    EXPECT_EQ(test::sorted_ids(boruvka_c), test::sorted_ids(kruskal)) << zc.name;
+    const auto chk = validate_spanning_forest(zc.graph, kruskal.edges);
+    EXPECT_TRUE(chk.ok) << zc.name << ": " << chk.error;
+  }
+}
+
+TEST(SeqMsf, BoruvkaCompactHandlesDegenerateInputs) {
+  for (const auto& g : {EdgeList(0), EdgeList(3)}) {
+    const auto r = seq::boruvka_compact_msf(g);
+    EXPECT_TRUE(r.edges.empty());
+    EXPECT_EQ(r.num_trees, g.num_vertices);
+  }
+  EdgeList multi(2);
+  multi.add_edge(0, 1, 5.0);
+  multi.add_edge(0, 1, 2.0);
+  const auto r = seq::boruvka_compact_msf(multi);
+  ASSERT_EQ(r.edge_ids.size(), 1u);
+  EXPECT_EQ(r.edge_ids[0], 1u);
+}
+
+TEST(SeqMsf, CutPropertyHoldsOnSmallZoo) {
+  for (const auto& zc : zoo()) {
+    if (zc.graph.num_vertices > 450) continue;  // O(t*m) check, keep it small
+    const auto msf = seq::kruskal_msf(zc.graph);
+    std::string err;
+    EXPECT_TRUE(verify_cut_property(zc.graph, msf.edges, &err)) << zc.name << ": " << err;
+  }
+}
+
+TEST(SeqMsf, StructuredGraphsEntireTreeIsTheMsf) {
+  // str* inputs are trees: the MSF must contain every edge.
+  for (int variant = 0; variant < 4; ++variant) {
+    const EdgeList g = structured_graph(variant, 500, 11);
+    const auto r = seq::kruskal_msf(g);
+    EXPECT_EQ(r.edges.size(), g.num_edges()) << "str" << variant;
+    EXPECT_NEAR(r.total_weight, g.total_weight(), 1e-9 * g.total_weight())
+        << "str" << variant;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,42 @@
+// End-to-end smoke: every algorithm returns the identical forest on a small
+// random graph, validated structurally.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "seq/seq_msf.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+TEST(Smoke, AllAlgorithmsAgreeOnRandomGraph) {
+  const EdgeList g = random_graph(2000, 8000, /*seed=*/42);
+  const MsfResult ref = seq::kruskal_msf(g);
+  const auto check = validate_spanning_forest(g, ref.edges);
+  ASSERT_TRUE(check.ok) << check.error;
+
+  std::vector<EdgeId> ref_ids = ref.edge_ids;
+  std::sort(ref_ids.begin(), ref_ids.end());
+
+  for (const auto alg : core::kParallelAlgorithms) {
+    for (const int threads : {1, 4}) {
+      core::MsfOptions opts;
+      opts.algorithm = alg;
+      opts.threads = threads;
+      opts.bc_base_size = 64;
+      const MsfResult r = core::minimum_spanning_forest(g, opts);
+      std::vector<EdgeId> ids = r.edge_ids;
+      std::sort(ids.begin(), ids.end());
+      EXPECT_EQ(ids, ref_ids) << to_string(alg) << " threads=" << threads;
+      EXPECT_NEAR(r.total_weight, ref.total_weight, 1e-9 * ref.total_weight)
+          << to_string(alg) << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/msf.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/msf_result.hpp"
+
+namespace smp::test {
+
+/// Sorted input-edge indices of a forest — the canonical identity of an MSF
+/// under our total edge order; equal across all correct algorithms.
+inline std::vector<graph::EdgeId> sorted_ids(const graph::MsfResult& r) {
+  std::vector<graph::EdgeId> ids = r.edge_ids;
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Run one algorithm with given thread count (MST-BC base size kept small so
+/// tests exercise the parallel phase, not just the sequential fallback).
+inline graph::MsfResult run_alg(const graph::EdgeList& g, core::Algorithm alg,
+                                int threads, graph::VertexId bc_base = 32) {
+  core::MsfOptions opts;
+  opts.algorithm = alg;
+  opts.threads = threads;
+  opts.bc_base_size = bc_base;
+  return core::minimum_spanning_forest(g, opts);
+}
+
+/// Weight equality up to floating-point summation-order noise: different
+/// algorithms add the same edge weights in different orders.
+#define EXPECT_WEIGHT_EQ(a, b) \
+  EXPECT_NEAR((a), (b), 1e-9 * std::max(1.0, std::abs(b)))
+
+}  // namespace smp::test

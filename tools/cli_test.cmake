@@ -1,0 +1,44 @@
+# End-to-end test of the smpmsf CLI: generate → info → convert → solve →
+# solve --validate, checking exit codes and key output.
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_cli expect_rc out_var)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "smpmsf ${ARGN} exited ${rc} (want ${expect_rc}): ${out}${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_cli(0 out gen --type random --n 5000 --m 20000 --seed 7 -o ${WORK}/g.gr)
+run_cli(0 out info ${WORK}/g.gr)
+string(FIND "${out}" "vertices: 5000" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "info output missing vertex count: ${out}")
+endif()
+
+run_cli(0 out convert ${WORK}/g.gr ${WORK}/g.smpg)
+run_cli(0 out info ${WORK}/g.smpg)
+
+run_cli(0 out solve --alg bor-fal --threads 4 --validate ${WORK}/g.smpg)
+string(FIND "${out}" "validation: OK" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "solve output missing validation: ${out}")
+endif()
+
+run_cli(0 out_a solve --alg kruskal ${WORK}/g.gr)
+run_cli(0 out_b solve --alg mst-bc --threads 3 ${WORK}/g.gr)
+string(REGEX MATCH "weight [0-9.]+" wa "${out_a}")
+string(REGEX MATCH "weight [0-9.]+" wb "${out_b}")
+if(NOT wa STREQUAL wb)
+  message(FATAL_ERROR "weights differ across algorithms: '${wa}' vs '${wb}'")
+endif()
+
+run_cli(0 out cc ${WORK}/g.gr)
+run_cli(0 out solve --alg sample-filter --threads 2 --validate ${WORK}/g.gr)
+run_cli(0 out solve --alg filter-kruskal --validate ${WORK}/g.gr)
+
+# Error paths.
+run_cli(2 out solve --alg no-such-alg ${WORK}/g.gr)
+run_cli(2 out bogus-command)

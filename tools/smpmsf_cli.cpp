@@ -1,0 +1,268 @@
+// smpmsf — command-line front end for the library.
+//
+//   smpmsf gen --type T --n N [--m M] [--k K] [--seed S] -o FILE
+//   smpmsf info FILE
+//   smpmsf convert IN OUT           (format chosen by extension: .smpg = binary)
+//   smpmsf solve [--alg A] [--threads P] [--seed S] [--validate] [--steps] FILE
+//   smpmsf cc [--threads P] FILE
+//
+// Graph types: random (needs --m), mesh2d, mesh2d60, mesh3d40,
+// geometric (--k), str0..str3, rmat (needs --m).
+// Algorithms: bor-el bor-al bor-alm bor-fal mst-bc filter-kruskal sample-filter
+//             prim kruskal boruvka.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "core/connected_components.hpp"
+#include "core/filter_kruskal.hpp"
+#include "core/sample_filter.hpp"
+#include "core/verify_msf.hpp"
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "graph/validate.hpp"
+#include "pprim/timer.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  smpmsf gen --type T --n N [--m M] [--k K] [--seed S] -o FILE\n"
+               "  smpmsf info FILE\n"
+               "  smpmsf convert IN OUT\n"
+               "  smpmsf solve [--alg A] [--threads P] [--seed S] [--validate]"
+               " [--steps] FILE\n"
+               "  smpmsf cc [--threads P] FILE\n"
+               "types: random mesh2d mesh2d60 mesh3d40 geometric str0-str3 rmat\n"
+               "algs:  bor-el bor-al bor-alm bor-fal mst-bc bor-uf par-kruskal filter-kruskal sample-filter"
+               " prim kruskal boruvka\n");
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+EdgeList load(const std::string& path) {
+  return ends_with(path, ".smpg") ? read_binary_file(path) : read_dimacs_file(path);
+}
+
+void store(const std::string& path, const EdgeList& g) {
+  if (ends_with(path, ".smpg")) {
+    write_binary_file(path, g);
+  } else {
+    write_dimacs_file(path, g);
+  }
+}
+
+/// Tiny flag parser: collects --key value pairs and positionals.
+struct Flags {
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::vector<std::string> positional;
+  std::vector<std::string> switches;
+
+  [[nodiscard]] std::optional<std::string> get(const char* key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] bool has(const char* name) const {
+    for (const auto& s : switches) {
+      if (s == name) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::uint64_t num(const char* key, std::uint64_t fallback) const {
+    const auto v = get(key);
+    return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+  }
+};
+
+Flags parse(int argc, char** argv, int from) {
+  Flags f;
+  static const char* kSwitches[] = {"--validate", "--steps"};
+  for (int i = from; i < argc; ++i) {
+    const std::string a = argv[i];
+    bool is_switch = false;
+    for (const char* s : kSwitches) {
+      if (a == s) {
+        f.switches.push_back(a);
+        is_switch = true;
+      }
+    }
+    if (is_switch) continue;
+    if (a.rfind("--", 0) == 0 || a == "-o") {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      f.kv.emplace_back(a == "-o" ? "--out" : a, argv[++i]);
+    } else {
+      f.positional.push_back(a);
+    }
+  }
+  return f;
+}
+
+int cmd_gen(const Flags& f) {
+  const auto type = f.get("--type");
+  const auto out = f.get("--out");
+  if (!type || !out) usage("gen needs --type and -o");
+  const auto n = static_cast<VertexId>(f.num("--n", 0));
+  const auto m = static_cast<EdgeId>(f.num("--m", 0));
+  const auto k = static_cast<int>(f.num("--k", 6));
+  const std::uint64_t seed = f.num("--seed", 1);
+  if (n == 0) usage("gen needs --n > 0");
+
+  EdgeList g;
+  const auto side = static_cast<VertexId>(std::lround(std::sqrt(double(n))));
+  const auto side3 = static_cast<VertexId>(std::lround(std::cbrt(double(n))));
+  if (*type == "random") {
+    if (m == 0) usage("random needs --m");
+    g = random_graph(n, m, seed);
+  } else if (*type == "mesh2d") {
+    g = mesh2d(side, side, seed);
+  } else if (*type == "mesh2d60") {
+    g = mesh2d_p(side, side, 0.6, seed);
+  } else if (*type == "mesh3d40") {
+    g = mesh3d_p(side3, side3, side3, 0.4, seed);
+  } else if (*type == "geometric") {
+    g = geometric_knn(n, k, seed);
+  } else if (type->rfind("str", 0) == 0 && type->size() == 4) {
+    g = structured_graph((*type)[3] - '0', n, seed);
+  } else if (*type == "rmat") {
+    if (m == 0) usage("rmat needs --m");
+    int scale = 0;
+    while ((VertexId{1} << scale) < n) ++scale;
+    g = rmat_graph(scale, m, seed);
+  } else {
+    usage(("unknown graph type " + *type).c_str());
+  }
+  store(*out, g);
+  std::printf("wrote %s: vertices: %u edges: %llu\n", out->c_str(), g.num_vertices,
+              static_cast<unsigned long long>(g.num_edges()));
+  return 0;
+}
+
+int cmd_info(const Flags& f) {
+  if (f.positional.size() != 1) usage("info needs exactly one FILE");
+  const EdgeList g = load(f.positional[0]);
+  const auto ds = degree_stats(g);
+  std::printf("vertices: %u\nedges: %llu\ncomponents: %zu\n", g.num_vertices,
+              static_cast<unsigned long long>(g.num_edges()), num_components(g));
+  std::printf("degree min/mean/max: %zu / %.2f / %zu\n", ds.min_degree,
+              ds.mean_degree, ds.max_degree);
+  std::printf("simple: %s\n", is_simple(g) ? "yes" : "no");
+  return 0;
+}
+
+int cmd_convert(const Flags& f) {
+  if (f.positional.size() != 2) usage("convert needs IN and OUT");
+  store(f.positional[1], load(f.positional[0]));
+  std::printf("converted %s -> %s\n", f.positional[0].c_str(), f.positional[1].c_str());
+  return 0;
+}
+
+int cmd_solve(const Flags& f) {
+  if (f.positional.size() != 1) usage("solve needs exactly one FILE");
+  const EdgeList g = load(f.positional[0]);
+  const std::string alg = f.get("--alg").value_or("bor-fal");
+  const int threads = static_cast<int>(f.num("--threads", 1));
+  const std::uint64_t seed = f.num("--seed", 1);
+
+  core::MsfOptions opts;
+  opts.threads = threads;
+  opts.seed = seed;
+  core::StepTimes steps;
+  if (f.has("--steps")) opts.step_times = &steps;
+
+  MsfResult r;
+  WallTimer t;
+  if (alg == "filter-kruskal") {
+    r = core::filter_kruskal_msf(g, threads);
+  } else if (alg == "sample-filter") {
+    r = core::sample_filter_msf(g, threads, seed);
+  } else {
+    if (alg == "bor-el") {
+      opts.algorithm = core::Algorithm::kBorEL;
+    } else if (alg == "bor-al") {
+      opts.algorithm = core::Algorithm::kBorAL;
+    } else if (alg == "bor-alm") {
+      opts.algorithm = core::Algorithm::kBorALM;
+    } else if (alg == "bor-fal") {
+      opts.algorithm = core::Algorithm::kBorFAL;
+    } else if (alg == "mst-bc") {
+      opts.algorithm = core::Algorithm::kMstBC;
+    } else if (alg == "par-kruskal") {
+      opts.algorithm = core::Algorithm::kParKruskal;
+    } else if (alg == "bor-uf") {
+      opts.algorithm = core::Algorithm::kBorUF;
+    } else if (alg == "prim") {
+      opts.algorithm = core::Algorithm::kSeqPrim;
+    } else if (alg == "kruskal") {
+      opts.algorithm = core::Algorithm::kSeqKruskal;
+    } else if (alg == "boruvka") {
+      opts.algorithm = core::Algorithm::kSeqBoruvka;
+    } else {
+      usage(("unknown algorithm " + alg).c_str());
+    }
+    r = core::minimum_spanning_forest(g, opts);
+  }
+  const double secs = t.elapsed_s();
+  std::printf("%s (p=%d): %zu edges, weight %.6f, %zu tree(s), %.3fs\n",
+              alg.c_str(), threads, r.edges.size(), r.total_weight, r.num_trees,
+              secs);
+  if (f.has("--steps")) {
+    std::printf("steps: find-min %.3fs connect %.3fs compact %.3fs other %.3fs\n",
+                steps.find_min, steps.connect, steps.compact, steps.other);
+  }
+  if (f.has("--validate")) {
+    // Full check: structure (membership/acyclicity/maximality) plus the
+    // cycle property for every non-forest edge, in O(m log n).
+    std::string err;
+    const bool ok = core::verify_msf(g, r, &err);
+    std::printf("validation: %s\n", ok ? "OK" : err.c_str());
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
+int cmd_cc(const Flags& f) {
+  if (f.positional.size() != 1) usage("cc needs exactly one FILE");
+  const EdgeList g = load(f.positional[0]);
+  const int threads = static_cast<int>(f.num("--threads", 1));
+  WallTimer t;
+  const auto cc = core::connected_components(g, threads);
+  std::printf("components: %zu (%.3fs, p=%d)\n", cc.num_components, t.elapsed_s(),
+              threads);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Flags f = parse(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(f);
+    if (cmd == "info") return cmd_info(f);
+    if (cmd == "convert") return cmd_convert(f);
+    if (cmd == "solve") return cmd_solve(f);
+    if (cmd == "cc") return cmd_cc(f);
+    usage(("unknown command " + cmd).c_str());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+}
