@@ -6,6 +6,7 @@
 #include "core/hook_jump.hpp"
 #include "core/msf.hpp"
 #include "pprim/arena.hpp"
+#include "pprim/fault.hpp"
 #include "pprim/parallel_for.hpp"
 #include "pprim/prefix_sum.hpp"
 #include "pprim/sample_sort.hpp"
@@ -124,6 +125,7 @@ MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
   st.other += phase.elapsed_s();
 
   while (!adj.arcs.empty()) {
+    iteration_checkpoint(opts, "Bor-AL iteration");
     const VertexId cur_n = adj.n;
     if (opts.iteration_stats) {
       opts.iteration_stats->push_back({cur_n, adj.arcs.size()});
@@ -131,6 +133,7 @@ MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
 
     // --- find-min: per-vertex scan of its adjacency array -----------------
     phase.reset();
+    fault_point("bor-al.find-min");
     parallel_for_dynamic(team, cur_n, 128, [&](std::size_t v) {
       EdgeId b = kInvalidEdge;
       for (EdgeId a = adj.offsets[v]; a < adj.offsets[v + 1]; ++a) {
@@ -142,7 +145,9 @@ MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
 
     // --- connect-components ------------------------------------------------
     phase.reset();
+    fault_point("bor-al.connect");
     team.run([&](TeamCtx& ctx) {
+      fault_point("bor-al.connect.region");
       for_range(ctx, cur_n, [&](std::size_t v) {
         const EdgeId b = best[v];
         if (b == kInvalidEdge) {
@@ -165,6 +170,7 @@ MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
 
     // --- compact-graph ------------------------------------------------------
     phase.reset();
+    fault_point("bor-al.compact");
 
     // (a) Sort the vertex array by supervertex label (parallel sample sort),
     //     so members of one supervertex become contiguous (§2.2).
@@ -296,7 +302,12 @@ MsfResult bor_al_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
 }
 
 MsfResult bor_alm_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
-  ThreadArenas arenas(team.size());
+  // The budget's memory cap binds the per-thread arenas to a shared ledger;
+  // a reservation that would cross it fails as std::bad_alloc and the
+  // dispatcher degrades to sequential Kruskal.
+  const std::size_t cap =
+      opts.budget != nullptr ? opts.budget->memory_cap() : 0;
+  ThreadArenas arenas(team.size(), std::size_t{1} << 20, cap);
   return bor_al_impl(team, g, opts, &arenas);
 }
 

@@ -5,6 +5,7 @@
 #include "core/detail.hpp"
 #include "core/hook_jump.hpp"
 #include "core/msf.hpp"
+#include "pprim/fault.hpp"
 #include "pprim/parallel_for.hpp"
 #include "pprim/timer.hpp"
 
@@ -41,12 +42,14 @@ MsfResult bor_el_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
   st.other += phase.elapsed_s();
 
   while (!arcs.empty()) {
+    iteration_checkpoint(opts, "Bor-EL iteration");
     if (opts.iteration_stats) {
       opts.iteration_stats->push_back({cur_n, arcs.size()});
     }
 
     // --- find-min ---------------------------------------------------------
     phase.reset();
+    fault_point("bor-el.find-min");
     parallel_for(team, cur_n, [&](std::size_t v) {
       best[v].store(kInvalidEdge, std::memory_order_relaxed);
     });
@@ -60,9 +63,11 @@ MsfResult bor_el_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
 
     // --- connect-components ------------------------------------------------
     phase.reset();
+    fault_point("bor-el.connect");
     // Record chosen edges (each mutual-minimum pair exactly once) and set up
     // the pseudo-forest parent pointers.
     team.run([&](TeamCtx& ctx) {
+      fault_point("bor-el.connect.region");
       for_range(ctx, cur_n, [&](std::size_t v) {
         const EdgeId b = best[v].load(std::memory_order_relaxed);
         if (b == kInvalidEdge) {
@@ -86,6 +91,7 @@ MsfResult bor_el_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
 
     // --- compact-graph ------------------------------------------------------
     phase.reset();
+    fault_point("bor-el.compact");
     arcs = detail::compact_arcs(team, std::move(arcs),
                                 std::span<const VertexId>(parent.data(), cur_n));
     cur_n = next_n;

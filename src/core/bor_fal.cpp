@@ -6,6 +6,7 @@
 #include "core/hook_jump.hpp"
 #include "core/msf.hpp"
 #include "graph/flex_adj_list.hpp"
+#include "pprim/fault.hpp"
 #include "pprim/parallel_for.hpp"
 #include "pprim/timer.hpp"
 
@@ -44,6 +45,7 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
   st.other += phase.elapsed_s();
 
   for (;;) {
+    iteration_checkpoint(opts, "Bor-FAL iteration");
     const VertexId cur_n = fal.num_super();
     if (opts.iteration_stats) {
       // m never shrinks under Bor-FAL; the live edge list is always 2m.
@@ -55,6 +57,7 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
     // scan per *original* vertex (balanced) and race atomic write-mins into
     // the owning supervertex's slot, filtering via the lookup table.
     phase.reset();
+    fault_point("bor-fal.find-min");
     parallel_for(team, cur_n, [&](std::size_t s) {
       best[s].store(kInvalidEdge, std::memory_order_relaxed);
     });
@@ -73,8 +76,10 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
 
     // --- connect-components -------------------------------------------------
     phase.reset();
+    fault_point("bor-fal.connect");
     std::atomic<bool> any{false};
     team.run([&](TeamCtx& ctx) {
+      fault_point("bor-fal.connect.region");
       bool local_any = false;
       for_range(ctx, cur_n, [&](std::size_t s) {
         const EdgeId b = best[s].load(std::memory_order_relaxed);
@@ -104,6 +109,7 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
 
     // --- compact-graph: sort + pointer ops + lookup-table update ------------
     phase.reset();
+    fault_point("bor-fal.compact");
     fal.contract(team, std::span<const VertexId>(parent.data(), cur_n), next_n);
     st.compact += phase.elapsed_s();
   }

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace smp {
+
+/// Failure classes surfaced by the execution layer.  Long-running kernels
+/// fail *as values* of this taxonomy (wrapped in smp::Error) instead of
+/// terminating the process or deadlocking a thread team; the CLI maps each
+/// class to a distinct exit code.
+enum class ErrorCode {
+  kCancelled,         ///< the caller's cancellation token fired
+  kDeadlineExceeded,  ///< the wall-clock budget ran out
+  kOutOfMemory,       ///< an allocation failed or the arena cap tripped
+  kInvalidInput,      ///< malformed graph or MsfOptions
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case ErrorCode::kOutOfMemory:
+      return "out of memory";
+    case ErrorCode::kInvalidInput:
+      return "invalid input";
+  }
+  return "?";
+}
+
+/// Structured error: an ErrorCode plus a human-readable location/reason.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& detail)
+      : std::runtime_error(std::string(to_string(code)) + ": " + detail),
+        code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Cooperative execution budget for a single MSF request: a cancellation
+/// token, an optional wall-clock deadline, and an optional cap on scratch
+/// (arena) memory.  The solver checks it at per-iteration checkpoints — the
+/// points between barrier-synchronized regions where only the orchestrating
+/// thread runs — so cancellation latency is one Borůvka iteration, not one
+/// edge.  `request_cancel` may be called from any thread at any time.
+class ExecutionBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecutionBudget() = default;
+  ExecutionBudget(const ExecutionBudget&) = delete;
+  ExecutionBudget& operator=(const ExecutionBudget&) = delete;
+
+  void request_cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Fail with kDeadlineExceeded at the first checkpoint more than `seconds`
+  /// from now (0 trips at the very first checkpoint).
+  void set_deadline_after(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    has_deadline_ = true;
+  }
+  void clear_deadline() { has_deadline_ = false; }
+
+  /// Cap on bytes of arena scratch the request may reserve (0 = unlimited).
+  /// Tripping it raises std::bad_alloc inside the solver, which the
+  /// dispatcher turns into sequential fallback or Error{kOutOfMemory}.
+  void set_memory_cap(std::size_t bytes) { memory_cap_ = bytes; }
+  [[nodiscard]] std::size_t memory_cap() const noexcept { return memory_cap_; }
+
+  [[nodiscard]] bool deadline_expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Checkpoint: throws Error{kCancelled} or Error{kDeadlineExceeded}.
+  /// `where` names the checkpoint for the error message.
+  void check(std::string_view where) const {
+    if (cancel_requested()) {
+      throw Error(ErrorCode::kCancelled, "at checkpoint " + std::string(where));
+    }
+    if (deadline_expired()) {
+      throw Error(ErrorCode::kDeadlineExceeded, "at checkpoint " + std::string(where));
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::size_t memory_cap_ = 0;
+};
+
+}  // namespace smp

@@ -1,6 +1,7 @@
 #include "core/msf.hpp"
 
-#include <stdexcept>
+#include <new>
+#include <string>
 
 #include "core/bor_uf.hpp"
 #include "core/filter_kruskal.hpp"
@@ -39,46 +40,116 @@ std::string_view to_string(Algorithm a) {
   return "?";
 }
 
-graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
-                                         const MsfOptions& opts) {
+namespace {
+
+[[nodiscard]] bool known_algorithm(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBorEL:
+    case Algorithm::kBorAL:
+    case Algorithm::kBorALM:
+    case Algorithm::kBorFAL:
+    case Algorithm::kMstBC:
+    case Algorithm::kSeqPrim:
+    case Algorithm::kSeqKruskal:
+    case Algorithm::kSeqBoruvka:
+    case Algorithm::kParKruskal:
+    case Algorithm::kFilterKruskal:
+    case Algorithm::kSampleFilter:
+    case Algorithm::kBorUF:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void validate_request(const graph::EdgeList& g, const MsfOptions& opts) {
+  if (!known_algorithm(opts.algorithm)) {
+    throw Error(ErrorCode::kInvalidInput,
+                "unknown algorithm id " +
+                    std::to_string(static_cast<int>(opts.algorithm)));
+  }
+  if (opts.threads < 1) {
+    throw Error(ErrorCode::kInvalidInput,
+                "threads must be >= 1, got " + std::to_string(opts.threads));
+  }
+  if (opts.bc_base_size == 0) {
+    throw Error(ErrorCode::kInvalidInput,
+                "bc_base_size must be >= 1 (0 would be an empty base case)");
+  }
   for (const auto& e : g.edges) {
     if (e.u == e.v || e.u >= g.num_vertices || e.v >= g.num_vertices) {
-      throw std::invalid_argument(
-          "minimum_spanning_forest: self-loop or out-of-range endpoint");
+      throw Error(ErrorCode::kInvalidInput,
+                  "self-loop or out-of-range endpoint in edge list");
     }
   }
-  switch (opts.algorithm) {
-    case Algorithm::kSeqPrim:
-      return seq::prim_msf(g);
-    case Algorithm::kSeqKruskal:
-      return seq::kruskal_msf(g);
-    case Algorithm::kSeqBoruvka:
-      return seq::boruvka_msf(g);
-    default:
-      break;
+}
+
+graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
+                                         const MsfOptions& opts) {
+  validate_request(g, opts);
+  iteration_checkpoint(opts, "request start");
+  try {
+    switch (opts.algorithm) {
+      case Algorithm::kSeqPrim:
+        return seq::prim_msf(g);
+      case Algorithm::kSeqKruskal:
+        return seq::kruskal_msf(g);
+      case Algorithm::kSeqBoruvka:
+        return seq::boruvka_msf(g);
+      default:
+        break;
+    }
+  } catch (const std::bad_alloc&) {
+    // Sequential baselines have nothing to degrade to.
+    throw Error(ErrorCode::kOutOfMemory,
+                std::string(to_string(opts.algorithm)) + " exhausted memory");
   }
-  ThreadTeam team(opts.threads);
-  switch (opts.algorithm) {
-    case Algorithm::kBorEL:
-      return bor_el_msf(team, g, opts);
-    case Algorithm::kBorAL:
-      return bor_al_msf(team, g, opts);
-    case Algorithm::kBorALM:
-      return bor_alm_msf(team, g, opts);
-    case Algorithm::kBorFAL:
-      return bor_fal_msf(team, g, opts);
-    case Algorithm::kMstBC:
-      return mst_bc_msf(team, g, opts);
-    case Algorithm::kParKruskal:
-      return par_kruskal_msf(team, g, opts);
-    case Algorithm::kFilterKruskal:
-      return filter_kruskal_msf(team, g);
-    case Algorithm::kSampleFilter:
-      return sample_filter_msf(team, g, opts.seed);
-    case Algorithm::kBorUF:
-      return bor_uf_msf(team, g);
-    default:
-      throw std::logic_error("minimum_spanning_forest: unknown algorithm");
+  try {
+    ThreadTeam team(opts.threads);
+    switch (opts.algorithm) {
+      case Algorithm::kBorEL:
+        return bor_el_msf(team, g, opts);
+      case Algorithm::kBorAL:
+        return bor_al_msf(team, g, opts);
+      case Algorithm::kBorALM:
+        return bor_alm_msf(team, g, opts);
+      case Algorithm::kBorFAL:
+        return bor_fal_msf(team, g, opts);
+      case Algorithm::kMstBC:
+        return mst_bc_msf(team, g, opts);
+      case Algorithm::kParKruskal:
+        return par_kruskal_msf(team, g, opts);
+      case Algorithm::kFilterKruskal:
+        return filter_kruskal_msf(team, g);
+      case Algorithm::kSampleFilter:
+        return sample_filter_msf(team, g, opts.seed);
+      case Algorithm::kBorUF:
+        return bor_uf_msf(team, g);
+      default:
+        throw Error(ErrorCode::kInvalidInput, "unreachable algorithm dispatch");
+    }
+    // ~ThreadTeam joins the (now idle) workers even on the throw path: run()
+    // never rethrows before every worker has left the region.
+  } catch (const std::bad_alloc&) {
+    // Graceful degradation: the parallel variant ran out of memory (heap or
+    // the budget's arena cap).  The whole team has unwound, so recompute
+    // sequentially rather than fail the request — Kruskal's working set is
+    // the smallest of any algorithm here.
+    if (!opts.allow_sequential_fallback) {
+      throw Error(ErrorCode::kOutOfMemory,
+                  std::string(to_string(opts.algorithm)) +
+                      " exhausted its memory budget (fallback disabled)");
+    }
+    iteration_checkpoint(opts, "sequential fallback");
+    try {
+      graph::MsfResult r = seq::kruskal_msf(g);
+      r.degraded_to_sequential = true;
+      return r;
+    } catch (const std::bad_alloc&) {
+      throw Error(ErrorCode::kOutOfMemory,
+                  "sequential fallback also exhausted memory");
+    }
   }
 }
 

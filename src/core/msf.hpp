@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/error.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/msf_result.hpp"
 #include "pprim/thread_team.hpp"
@@ -80,7 +81,28 @@ struct MsfOptions {
   /// Optional out-params for instrumentation; may be nullptr.
   StepTimes* step_times = nullptr;
   std::vector<IterationStat>* iteration_stats = nullptr;
+  /// Optional execution budget (cancellation token, deadline, arena memory
+  /// cap), checked at per-iteration checkpoints; may be nullptr.  The budget
+  /// outlives the call and may be shared with a canceller thread.
+  const ExecutionBudget* budget = nullptr;
+  /// When a parallel variant fails with std::bad_alloc (heap exhaustion or
+  /// the budget's arena cap), recompute sequentially with Kruskal instead of
+  /// failing the request; the result records the degradation.  When false,
+  /// the dispatcher surfaces Error{kOutOfMemory}.
+  bool allow_sequential_fallback = true;
 };
+
+/// Validate a request before running it: endpoint ranges / self-loops in the
+/// graph, `threads >= 1`, `bc_base_size >= 1`, and a known Algorithm.
+/// Throws Error{kInvalidInput}; called by minimum_spanning_forest.
+void validate_request(const graph::EdgeList& g, const MsfOptions& opts);
+
+/// Per-iteration cooperative checkpoint.  Called between parallel regions on
+/// the orchestrating thread only (never inside a team region), so a throw
+/// here unwinds without any barrier interaction.
+inline void iteration_checkpoint(const MsfOptions& opts, std::string_view where) {
+  if (opts.budget != nullptr) opts.budget->check(where);
+}
 
 /// Compute the minimum spanning forest of `g`.
 ///

@@ -9,6 +9,7 @@
 #include "core/msf.hpp"
 #include "pprim/cacheline.hpp"
 #include "pprim/counting_sort.hpp"
+#include "pprim/fault.hpp"
 #include "pprim/parallel_for.hpp"
 #include "pprim/permutation.hpp"
 #include "pprim/rng.hpp"
@@ -154,11 +155,13 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
   st.other += phase.elapsed_s();
 
   while (cur.n > opts.bc_base_size && !cur.arcs.empty()) {
+    iteration_checkpoint(opts, "MST-BC round");
     const VertexId n = cur.n;
     const std::size_t edges_before = collector.total();
 
     // --- steps 1-2: coordinated Prim growth --------------------------------
     phase.reset();
+    fault_point("mst-bc.grow");
     std::vector<std::atomic<std::uint64_t>> color(n);
     std::vector<char> visited(n, 0);
     std::vector<VertexId> parent(n, kInvalidVertex);
@@ -183,6 +186,7 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
     }
 
     team.run([&](TeamCtx& ctx) {
+      fault_point("mst-bc.grow.region");
       const int tid = ctx.tid();
       seq::IndexedHeap<BcKey> heap(n);
 
@@ -262,6 +266,10 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
     phase.reset();
     std::vector<EdgeId> best(n, kInvalidEdge);
     team.run([&](TeamCtx& ctx) {
+      // Fault point ahead of an in-region barrier: an injected throw here
+      // leaves the siblings blocked at ctx.barrier() unless the poisoned
+      // release rescues them — the hardest failure shape this layer covers.
+      fault_point("mst-bc.step3.region");
       for_range(ctx, n, [&](std::size_t v) {
         if (visited[v]) return;
         EdgeId b = kInvalidEdge;
@@ -327,6 +335,7 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
     }
 
     // step 5: relabel, drop self-loops, keep the lightest multi-edge, rebuild.
+    fault_point("mst-bc.compact");
     contract_rebuild(team, cur, std::span<const VertexId>(parent.data(), n), next_n);
     st.compact += phase.elapsed_s();
   }

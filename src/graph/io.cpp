@@ -1,6 +1,7 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -11,6 +12,20 @@
 #include <stdexcept>
 
 namespace smp::graph {
+
+namespace {
+
+/// Reserve space for a declared edge count without trusting it: a corrupt
+/// header must never force a huge up-front allocation (or an overflowing
+/// count*sizeof multiply) before any edge record is parsed and rejected.
+/// Shared by both readers; the cap only bounds the *reservation* — files
+/// with more edges than the cap still load, growing geometrically.
+void reserve_declared_edges(std::vector<WEdge>& edges, std::uint64_t declared) {
+  constexpr std::uint64_t kMaxUpfrontReserve = std::uint64_t{1} << 20;
+  edges.reserve(static_cast<std::size_t>(std::min(declared, kMaxUpfrontReserve)));
+}
+
+}  // namespace
 
 void write_dimacs(std::ostream& os, const EdgeList& g) {
   os << "c smpmsf graph\n";
@@ -48,10 +63,7 @@ EdgeList read_dimacs(std::istream& is) {
                                  std::to_string(lineno));
       }
       g.num_vertices = n;
-      // Same caution as read_binary: don't let a corrupt count force a huge
-      // allocation before any edge line is parsed.
-      g.edges.reserve(
-          static_cast<std::size_t>(std::min<EdgeId>(declared_edges, 1u << 20)));
+      reserve_declared_edges(g.edges, declared_edges);
       have_header = true;
     } else if (tag == 'e') {
       if (!have_header) throw std::runtime_error("read_dimacs: edge before problem line");
@@ -60,6 +72,12 @@ EdgeList read_dimacs(std::istream& is) {
       ls >> u >> v >> w;
       if (!ls || u == 0 || v == 0 || u > g.num_vertices || v > g.num_vertices) {
         throw std::runtime_error("read_dimacs: bad edge at line " + std::to_string(lineno));
+      }
+      // A nan weight poisons every comparison (and the tie-breaking
+      // uniqueness argument all algorithms rely on); inf breaks weight sums.
+      if (!std::isfinite(w)) {
+        throw std::runtime_error("read_dimacs: non-finite weight at line " +
+                                 std::to_string(lineno));
       }
       g.add_edge(u - 1, v - 1, w);
     } else {
@@ -133,10 +151,7 @@ EdgeList read_binary(std::istream& is) {
   EdgeList g;
   g.num_vertices = get<VertexId>(is);
   const auto m = get<std::uint64_t>(is);
-  // Never trust the declared count for the up-front reservation: a corrupt
-  // header would otherwise force a huge allocation before the truncation is
-  // detected (found by the parser fuzz test).
-  g.edges.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(m, 1u << 20)));
+  reserve_declared_edges(g.edges, m);
   for (std::uint64_t i = 0; i < m; ++i) {
     WEdge e;
     e.u = get<VertexId>(is);
@@ -144,6 +159,9 @@ EdgeList read_binary(std::istream& is) {
     e.w = get<Weight>(is);
     if (e.u >= g.num_vertices || e.v >= g.num_vertices) {
       throw std::runtime_error("read_binary: endpoint out of range");
+    }
+    if (!std::isfinite(e.w)) {
+      throw std::runtime_error("read_binary: non-finite weight");
     }
     g.edges.push_back(e);
   }

@@ -24,6 +24,10 @@ struct MsfResult {
   /// Number of trees = number of connected components of the input
   /// (isolated vertices count as single-vertex trees).
   std::size_t num_trees = 0;
+  /// True when the dispatcher degraded a failing parallel run to sequential
+  /// Kruskal (see MsfOptions::allow_sequential_fallback); benches and the
+  /// CLI report it so degraded timings are never mistaken for parallel ones.
+  bool degraded_to_sequential = false;
 };
 
 }  // namespace smp::graph

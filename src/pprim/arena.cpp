@@ -1,10 +1,14 @@
 #include "pprim/arena.hpp"
 
 #include <algorithm>
+#include <new>
+
+#include "pprim/fault.hpp"
 
 namespace smp {
 
 void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  fault_point("arena.alloc");
   if (bytes == 0) bytes = 1;
   for (;;) {
     if (current_ < chunks_.size()) {
@@ -23,7 +27,23 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
     }
     // Need a fresh chunk; size it to fit oversized requests.
     const std::size_t cap = std::max(chunk_bytes_, bytes + align);
-    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(cap), cap});
+    if (shared_reserved_ != nullptr) {
+      const std::size_t total =
+          shared_reserved_->fetch_add(cap, std::memory_order_relaxed) + cap;
+      if (shared_cap_ != 0 && total > shared_cap_) {
+        shared_reserved_->fetch_sub(cap, std::memory_order_relaxed);
+        throw std::bad_alloc();
+      }
+    }
+    try {
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(cap), cap});
+    } catch (...) {
+      // Roll the ledger back so a failed reservation doesn't count forever.
+      if (shared_reserved_ != nullptr) {
+        shared_reserved_->fetch_sub(cap, std::memory_order_relaxed);
+      }
+      throw;
+    }
     bytes_reserved_ += cap;
   }
 }
@@ -34,11 +54,16 @@ void Arena::reset() {
   bytes_in_use_ = 0;
 }
 
-ThreadArenas::ThreadArenas(int nthreads, std::size_t chunk_bytes) {
+ThreadArenas::ThreadArenas(int nthreads, std::size_t chunk_bytes,
+                           std::size_t cap_bytes) {
+  // Under a cap, never request chunks bigger than the cap itself, or the
+  // first reservation would trip it regardless of actual demand.
+  if (cap_bytes != 0) chunk_bytes = std::min(chunk_bytes, cap_bytes);
   slots_.reserve(static_cast<std::size_t>(nthreads));
   for (int i = 0; i < nthreads; ++i) {
     slots_.emplace_back();
     slots_.back().value = Arena(chunk_bytes);
+    slots_.back().value.set_reservation_ledger(&total_reserved_, cap_bytes);
   }
 }
 

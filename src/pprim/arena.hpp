@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -20,6 +21,14 @@ namespace smp {
 /// zero synchronization and zero system calls.
 ///
 /// Only trivially-destructible types may be allocated (no destructors run).
+///
+/// Resource limits: an arena can share a reservation ledger (an atomic byte
+/// counter owned by ThreadArenas) with a cap.  Reserving a chunk that would
+/// push the shared total past the cap throws std::bad_alloc *before*
+/// touching the system allocator — this is how ExecutionBudget's memory cap
+/// degrades a request gracefully instead of OOM-killing the process.  The
+/// "arena.alloc" fault point lets tests simulate allocation failure
+/// deterministically.
 class Arena {
  public:
   explicit Arena(std::size_t chunk_bytes = std::size_t{1} << 20)
@@ -42,6 +51,14 @@ class Arena {
   /// Recycle every chunk; previously returned pointers become invalid.
   void reset();
 
+  /// Count chunk reservations against `ledger`; throw std::bad_alloc when a
+  /// reservation would push it past `cap_bytes` (cap 0 = count only).
+  void set_reservation_ledger(std::atomic<std::size_t>* ledger,
+                              std::size_t cap_bytes) {
+    shared_reserved_ = ledger;
+    shared_cap_ = cap_bytes;
+  }
+
   [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
   [[nodiscard]] std::size_t bytes_in_use() const { return bytes_in_use_; }
 
@@ -57,21 +74,33 @@ class Arena {
   std::size_t offset_ = 0;   // bump offset within chunks_[current_]
   std::size_t bytes_reserved_ = 0;
   std::size_t bytes_in_use_ = 0;
+  std::atomic<std::size_t>* shared_reserved_ = nullptr;
+  std::size_t shared_cap_ = 0;
 };
 
 /// One Arena per team thread, cache-line isolated.
+///
+/// With `cap_bytes` > 0 the arenas share one reservation ledger: the sum of
+/// chunk bytes reserved across all threads never exceeds the cap, and the
+/// allocation that would cross it throws std::bad_alloc instead.
 class ThreadArenas {
  public:
-  explicit ThreadArenas(int nthreads, std::size_t chunk_bytes = std::size_t{1} << 20);
+  explicit ThreadArenas(int nthreads,
+                        std::size_t chunk_bytes = std::size_t{1} << 20,
+                        std::size_t cap_bytes = 0);
 
   Arena& local(int tid) { return slots_[static_cast<std::size_t>(tid)].value; }
 
   void reset_all();
 
   [[nodiscard]] int size() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] std::size_t total_reserved() const {
+    return total_reserved_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<Padded<Arena>> slots_;
+  std::atomic<std::size_t> total_reserved_{0};
 };
 
 }  // namespace smp

@@ -19,6 +19,12 @@ namespace smp {
 /// Blocking uses C++20 atomic wait/notify (futex-backed on Linux) rather
 /// than spinning, so the barrier stays cheap when threads are oversubscribed
 /// onto few cores — the common case for this repo's thread-sweep benchmarks.
+///
+/// The barrier can be *poisoned* when a participant dies mid-region (it threw
+/// and will never arrive): poison() releases every current and future waiter
+/// with a `false` return instead of leaving them blocked forever.  The owner
+/// must reset() before reusing the barrier for a fresh region, since a
+/// poisoned phase leaves the arrival count in an arbitrary state.
 class SenseBarrier {
  public:
   /// Kept for API symmetry; carries no state in the generation scheme.
@@ -29,8 +35,11 @@ class SenseBarrier {
   SenseBarrier(const SenseBarrier&) = delete;
   SenseBarrier& operator=(const SenseBarrier&) = delete;
 
-  /// Block until all `num_threads` participants arrive.
-  void arrive_and_wait() {
+  /// Block until all `num_threads` participants arrive.  Returns true on a
+  /// normal release; false if the barrier was poisoned (the region is
+  /// unwinding and phase separation no longer holds).
+  [[nodiscard]] bool arrive_and_wait() {
+    if (poisoned_.load(std::memory_order_acquire)) return false;
     const std::uint64_t gen = generation_.load(std::memory_order_acquire);
     if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       count_.store(n_, std::memory_order_relaxed);
@@ -43,14 +52,36 @@ class SenseBarrier {
         observed = generation_.load(std::memory_order_acquire);
       }
     }
+    return !poisoned_.load(std::memory_order_acquire);
   }
 
-  void arrive_and_wait(LocalSense&) { arrive_and_wait(); }
+  [[nodiscard]] bool arrive_and_wait(LocalSense&) { return arrive_and_wait(); }
+
+  /// Release all current and future waiters with a failure indication.  Safe
+  /// to call from any thread, any number of times.
+  void poison() {
+    poisoned_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+    generation_.notify_all();
+  }
+
+  [[nodiscard]] bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Restore a clean state for the next region.  Callers must guarantee no
+  /// participant is inside arrive_and_wait() (ThreadTeam::run does: it only
+  /// resets after every worker reported region completion).
+  void reset() {
+    poisoned_.store(false, std::memory_order_relaxed);
+    count_.store(n_, std::memory_order_relaxed);
+  }
 
  private:
   int n_;
   alignas(kCacheLineBytes) std::atomic<int> count_;
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> generation_{0};
+  alignas(kCacheLineBytes) std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace smp

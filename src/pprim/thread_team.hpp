@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -12,6 +14,12 @@
 namespace smp {
 
 class ThreadTeam;
+
+/// Internal unwind signal: thrown by TeamCtx::barrier() on the surviving
+/// threads of a region whose sibling already threw (the barrier was poisoned
+/// so nobody blocks forever).  It never escapes ThreadTeam::run — the caller
+/// rethrows the sibling's original exception instead.
+struct RegionPoisoned {};
 
 /// Per-thread context handed to the body of a parallel region.
 ///
@@ -27,7 +35,10 @@ class TeamCtx {
   [[nodiscard]] int nthreads() const { return nthreads_; }
   [[nodiscard]] ThreadTeam& team() const { return team_; }
 
-  /// Synchronize all threads of the enclosing parallel region.
+  /// Synchronize all threads of the enclosing parallel region.  Throws
+  /// RegionPoisoned when another thread of the region threw: the region is
+  /// unwinding, and continuing past the barrier would compute on partial
+  /// phase-1 state.
   void barrier();
 
  private:
@@ -44,6 +55,14 @@ class TeamCtx {
 /// per-iteration thread-spawn cost (each Borůvka iteration contains several
 /// regions).  The calling thread participates as tid 0, so `ThreadTeam(1)`
 /// runs everything inline with zero threading overhead.
+///
+/// Exception safety: a region body that throws on any thread does not
+/// terminate the process and cannot deadlock the team.  The first exception
+/// is captured, the region barrier is poisoned so sibling threads blocked in
+/// (or headed for) barrier() unwind via RegionPoisoned, run() waits until
+/// every worker has left the region, and then rethrows the captured
+/// exception on the calling thread.  The team itself survives and can run
+/// further regions.
 class ThreadTeam {
  public:
   explicit ThreadTeam(int num_threads);
@@ -55,11 +74,16 @@ class ThreadTeam {
   [[nodiscard]] int size() const { return nthreads_; }
 
   /// Execute `fn(ctx)` on all team threads; returns when every thread has
-  /// finished.  Regions must not nest.
+  /// finished.  Regions must not nest.  If any thread's body throws, the
+  /// first exception is rethrown here after the whole team has unwound.
   void run(const std::function<void(TeamCtx&)>& fn);
 
  private:
   void worker_loop(int tid);
+
+  /// Record the first real exception of the current region and poison the
+  /// barrier so the remaining threads unwind instead of blocking.
+  void record_region_error(std::exception_ptr e);
 
   int nthreads_;
   SenseBarrier region_barrier_;
@@ -71,6 +95,11 @@ class ThreadTeam {
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> generation_{0};
   alignas(kCacheLineBytes) std::atomic<int> done_count_{0};
   std::atomic<bool> shutdown_{false};
+
+  // First exception thrown by any thread of the current region (cold path;
+  // the mutex only serializes concurrent throwers).
+  std::mutex error_mutex_;
+  std::exception_ptr region_error_;
 
   friend class TeamCtx;
 };

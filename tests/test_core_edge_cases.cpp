@@ -142,7 +142,12 @@ TEST(EdgeCases, SelfLoopRejectedByDispatcher) {
   g.add_edge(0, 1, 1.0);
   g.edges.push_back(WEdge{2, 2, 1.0});  // bypass add_edge's assert
   core::MsfOptions opts;
-  EXPECT_THROW(core::minimum_spanning_forest(g, opts), std::invalid_argument);
+  try {
+    (void)core::minimum_spanning_forest(g, opts);
+    FAIL() << "self-loop accepted";
+  } catch (const smp::Error& e) {
+    EXPECT_EQ(e.code(), smp::ErrorCode::kInvalidInput);
+  }
 }
 
 TEST(EdgeCases, NegativeWeights) {

@@ -15,8 +15,8 @@ using namespace smp::graph;
 TEST(MstBC, BaseSizeSweepAllAgree) {
   const EdgeList g = random_graph(3000, 12000, 5);
   const auto ref = test::sorted_ids(seq::kruskal_msf(g));
-  // base >= n: pure sequential Kruskal.  base = 0: full recursion.
-  for (const VertexId base : {0u, 1u, 16u, 256u, 3000u, 100000u}) {
+  // base >= n: pure sequential Kruskal.  base = 1: full recursion.
+  for (const VertexId base : {1u, 16u, 256u, 3000u, 100000u}) {
     for (const int threads : {1, 2, 7}) {
       core::MsfOptions opts;
       opts.algorithm = core::Algorithm::kMstBC;
@@ -69,7 +69,7 @@ TEST(MstBC, HighCollisionStress) {
     core::MsfOptions opts;
     opts.algorithm = core::Algorithm::kMstBC;
     opts.threads = 8;
-    opts.bc_base_size = 0;
+    opts.bc_base_size = 1;  // minimum legal value: maximize the parallel phase
     opts.seed = seed;
     const auto r = core::minimum_spanning_forest(g, opts);
     ASSERT_EQ(test::sorted_ids(r), ref) << "seed=" << seed;

@@ -76,16 +76,20 @@ TEST(MsfResult, EdgeIdsSortedAndParallelToEdges) {
   }
 }
 
-TEST(MsfOptions, ZeroAndNegativeThreadsClampToOne) {
+TEST(MsfOptions, ZeroAndNegativeThreadsRejected) {
+  // Silent clamping hid caller bugs; thread counts are now validated up
+  // front (see validate_request) and rejected as kInvalidInput.
   const EdgeList g = random_graph(200, 600, 7);
-  const auto ref = test::sorted_ids(core::minimum_spanning_forest(
-      g, {.algorithm = core::Algorithm::kSeqKruskal}));
   for (const int threads : {0, -3}) {
     core::MsfOptions opts;
     opts.algorithm = core::Algorithm::kBorFAL;
     opts.threads = threads;
-    const auto r = core::minimum_spanning_forest(g, opts);
-    EXPECT_EQ(test::sorted_ids(r), ref) << threads;
+    try {
+      (void)core::minimum_spanning_forest(g, opts);
+      FAIL() << threads;
+    } catch (const smp::Error& e) {
+      EXPECT_EQ(e.code(), smp::ErrorCode::kInvalidInput) << threads;
+    }
   }
 }
 

@@ -39,6 +39,17 @@ run_cli(0 out cc ${WORK}/g.gr)
 run_cli(0 out solve --alg sample-filter --threads 2 --validate ${WORK}/g.gr)
 run_cli(0 out solve --alg filter-kruskal --validate ${WORK}/g.gr)
 
-# Error paths.
+# Execution-budget flags: a generous timeout still solves; degradation under
+# a tiny memory cap still yields a valid forest (and says so).
+run_cli(0 out solve --alg bor-el --threads 4 --timeout 600 --validate ${WORK}/g.gr)
+run_cli(0 out solve --alg bor-alm --threads 4 --mem-cap 8192 --validate ${WORK}/g.gr)
+string(FIND "${out}" "degraded to sequential" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "mem-cap solve did not report degradation: ${out}")
+endif()
+
+# Error paths, one per exit code class.
 run_cli(2 out solve --alg no-such-alg ${WORK}/g.gr)
 run_cli(2 out bogus-command)
+run_cli(5 out solve --alg bor-fal --threads 4 --timeout 0 ${WORK}/g.gr)
+run_cli(6 out solve --alg bor-alm --threads 4 --mem-cap 8192 --no-fallback ${WORK}/g.gr)

@@ -3,13 +3,18 @@
 //   smpmsf gen --type T --n N [--m M] [--k K] [--seed S] -o FILE
 //   smpmsf info FILE
 //   smpmsf convert IN OUT           (format chosen by extension: .smpg = binary)
-//   smpmsf solve [--alg A] [--threads P] [--seed S] [--validate] [--steps] FILE
+//   smpmsf solve [--alg A] [--threads P] [--seed S] [--timeout SECS]
+//                [--mem-cap BYTES] [--no-fallback] [--validate] [--steps] FILE
 //   smpmsf cc [--threads P] FILE
 //
 // Graph types: random (needs --m), mesh2d, mesh2d60, mesh3d40,
 // geometric (--k), str0..str3, rmat (needs --m).
 // Algorithms: bor-el bor-al bor-alm bor-fal mst-bc filter-kruskal sample-filter
 //             prim kruskal boruvka.
+//
+// Exit codes: 0 success, 1 runtime/validation failure, 2 usage, then one per
+// smp::ErrorCode class — 3 invalid input, 4 cancelled, 5 deadline exceeded,
+// 6 out of memory.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +24,7 @@
 #include <string>
 
 #include "core/connected_components.hpp"
+#include "core/error.hpp"
 #include "core/filter_kruskal.hpp"
 #include "core/sample_filter.hpp"
 #include "core/verify_msf.hpp"
@@ -41,8 +47,9 @@ using namespace smp::graph;
                "  smpmsf gen --type T --n N [--m M] [--k K] [--seed S] -o FILE\n"
                "  smpmsf info FILE\n"
                "  smpmsf convert IN OUT\n"
-               "  smpmsf solve [--alg A] [--threads P] [--seed S] [--validate]"
-               " [--steps] FILE\n"
+               "  smpmsf solve [--alg A] [--threads P] [--seed S]"
+               " [--timeout SECS] [--mem-cap BYTES] [--no-fallback]"
+               " [--validate] [--steps] FILE\n"
                "  smpmsf cc [--threads P] FILE\n"
                "types: random mesh2d mesh2d60 mesh3d40 geometric str0-str3 rmat\n"
                "algs:  bor-el bor-al bor-alm bor-fal mst-bc bor-uf par-kruskal filter-kruskal sample-filter"
@@ -89,11 +96,16 @@ struct Flags {
     const auto v = get(key);
     return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
   }
+  [[nodiscard]] std::optional<double> real(const char* key) const {
+    const auto v = get(key);
+    if (!v) return std::nullopt;
+    return std::strtod(v->c_str(), nullptr);
+  }
 };
 
 Flags parse(int argc, char** argv, int from) {
   Flags f;
-  static const char* kSwitches[] = {"--validate", "--steps"};
+  static const char* kSwitches[] = {"--validate", "--steps", "--no-fallback"};
   for (int i = from; i < argc; ++i) {
     const std::string a = argv[i];
     bool is_switch = false;
@@ -186,42 +198,59 @@ int cmd_solve(const Flags& f) {
   core::StepTimes steps;
   if (f.has("--steps")) opts.step_times = &steps;
 
-  MsfResult r;
-  WallTimer t;
-  if (alg == "filter-kruskal") {
-    r = core::filter_kruskal_msf(g, threads);
-  } else if (alg == "sample-filter") {
-    r = core::sample_filter_msf(g, threads, seed);
-  } else {
-    if (alg == "bor-el") {
-      opts.algorithm = core::Algorithm::kBorEL;
-    } else if (alg == "bor-al") {
-      opts.algorithm = core::Algorithm::kBorAL;
-    } else if (alg == "bor-alm") {
-      opts.algorithm = core::Algorithm::kBorALM;
-    } else if (alg == "bor-fal") {
-      opts.algorithm = core::Algorithm::kBorFAL;
-    } else if (alg == "mst-bc") {
-      opts.algorithm = core::Algorithm::kMstBC;
-    } else if (alg == "par-kruskal") {
-      opts.algorithm = core::Algorithm::kParKruskal;
-    } else if (alg == "bor-uf") {
-      opts.algorithm = core::Algorithm::kBorUF;
-    } else if (alg == "prim") {
-      opts.algorithm = core::Algorithm::kSeqPrim;
-    } else if (alg == "kruskal") {
-      opts.algorithm = core::Algorithm::kSeqKruskal;
-    } else if (alg == "boruvka") {
-      opts.algorithm = core::Algorithm::kSeqBoruvka;
-    } else {
-      usage(("unknown algorithm " + alg).c_str());
-    }
-    r = core::minimum_spanning_forest(g, opts);
+  // Execution budget: wall-clock deadline and/or arena memory cap.  The
+  // solver fails as an smp::Error (distinct exit code) instead of running
+  // away; a tripped memory cap degrades to sequential Kruskal unless
+  // --no-fallback asks for a hard failure.
+  smp::ExecutionBudget budget;
+  bool have_budget = false;
+  if (const auto timeout = f.real("--timeout")) {
+    budget.set_deadline_after(*timeout);
+    have_budget = true;
   }
+  if (const auto cap = f.get("--mem-cap")) {
+    budget.set_memory_cap(f.num("--mem-cap", 0));
+    have_budget = true;
+  }
+  if (have_budget) opts.budget = &budget;
+  opts.allow_sequential_fallback = !f.has("--no-fallback");
+
+  if (alg == "bor-el") {
+    opts.algorithm = core::Algorithm::kBorEL;
+  } else if (alg == "bor-al") {
+    opts.algorithm = core::Algorithm::kBorAL;
+  } else if (alg == "bor-alm") {
+    opts.algorithm = core::Algorithm::kBorALM;
+  } else if (alg == "bor-fal") {
+    opts.algorithm = core::Algorithm::kBorFAL;
+  } else if (alg == "mst-bc") {
+    opts.algorithm = core::Algorithm::kMstBC;
+  } else if (alg == "par-kruskal") {
+    opts.algorithm = core::Algorithm::kParKruskal;
+  } else if (alg == "filter-kruskal") {
+    opts.algorithm = core::Algorithm::kFilterKruskal;
+  } else if (alg == "sample-filter") {
+    opts.algorithm = core::Algorithm::kSampleFilter;
+  } else if (alg == "bor-uf") {
+    opts.algorithm = core::Algorithm::kBorUF;
+  } else if (alg == "prim") {
+    opts.algorithm = core::Algorithm::kSeqPrim;
+  } else if (alg == "kruskal") {
+    opts.algorithm = core::Algorithm::kSeqKruskal;
+  } else if (alg == "boruvka") {
+    opts.algorithm = core::Algorithm::kSeqBoruvka;
+  } else {
+    usage(("unknown algorithm " + alg).c_str());
+  }
+  WallTimer t;
+  const MsfResult r = core::minimum_spanning_forest(g, opts);
   const double secs = t.elapsed_s();
   std::printf("%s (p=%d): %zu edges, weight %.6f, %zu tree(s), %.3fs\n",
               alg.c_str(), threads, r.edges.size(), r.total_weight, r.num_trees,
               secs);
+  if (r.degraded_to_sequential) {
+    std::printf("note: degraded to sequential kruskal (memory budget)\n");
+  }
   if (f.has("--steps")) {
     std::printf("steps: find-min %.3fs connect %.3fs compact %.3fs other %.3fs\n",
                 steps.find_min, steps.connect, steps.compact, steps.other);
@@ -261,6 +290,19 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(f);
     if (cmd == "cc") return cmd_cc(f);
     usage(("unknown command " + cmd).c_str());
+  } catch (const smp::Error& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    switch (ex.code()) {
+      case smp::ErrorCode::kInvalidInput:
+        return 3;
+      case smp::ErrorCode::kCancelled:
+        return 4;
+      case smp::ErrorCode::kDeadlineExceeded:
+        return 5;
+      case smp::ErrorCode::kOutOfMemory:
+        return 6;
+    }
+    return 1;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error: %s\n", ex.what());
     return 1;
