@@ -8,7 +8,12 @@
 //   * Bor-FAL's compact-graph time is tiny and nearly independent of m,
 //   * Bor-FAL's find-min grows (it rescans all m edges each iteration),
 //   * connect-components is a small fraction everywhere.
+//
+// Also reports the fused-execution counters: iterations, SPMD regions, and
+// regions per iteration (1.0 for the fused algorithms — each Borůvka
+// iteration is one persistent region, not one fork/join per parallel loop).
 #include <cstdio>
+#include <string>
 
 #include "common.hpp"
 #include "core/msf.hpp"
@@ -20,6 +25,7 @@ using namespace smp::graph;
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
   const auto n = static_cast<VertexId>(args.size(100000, 1000000));
+  bench::JsonSink sink;
 
   const core::Algorithm algs[] = {core::Algorithm::kBorEL, core::Algorithm::kBorAL,
                                   core::Algorithm::kBorALM, core::Algorithm::kBorFAL};
@@ -27,28 +33,51 @@ int main(int argc, char** argv) {
     const auto m = static_cast<EdgeId>(density) * n;
     const EdgeList g = random_graph(n, m, args.seed + static_cast<std::uint64_t>(density));
     bench::banner("Fig 2 / random", g);
-    std::printf("  %-8s %10s %10s %10s %10s %10s\n", "alg", "find-min",
-                "connect", "compact", "other", "total");
+    std::printf("  %-8s %10s %10s %10s %10s %10s %6s %8s\n", "alg", "find-min",
+                "connect", "compact", "other", "total", "iters", "reg/iter");
     for (const auto alg : algs) {
       core::StepTimes best{};
+      core::PhaseStats best_ps{};
       double best_total = 1e300;
       for (int r = 0; r < args.reps; ++r) {
         core::StepTimes st;
+        core::PhaseStats ps;
         core::MsfOptions opts;
         opts.algorithm = alg;
         opts.threads = args.max_threads;
         opts.step_times = &st;
+        opts.phase_stats = &ps;
         (void)core::minimum_spanning_forest(g, opts);
         if (st.total() < best_total) {
           best_total = st.total();
           best = st;
+          best_ps = ps;
         }
       }
-      std::printf("  %-8s %9.3fs %9.3fs %9.3fs %9.3fs %9.3fs\n",
-                  std::string(core::to_string(alg)).c_str(), best.find_min,
-                  best.connect, best.compact, best.other, best.total());
+      const std::string name(core::to_string(alg));
+      std::printf("  %-8s %9.3fs %9.3fs %9.3fs %9.3fs %9.3fs %6llu %8.2f\n",
+                  name.c_str(), best.find_min, best.connect, best.compact,
+                  best.other, best.total(),
+                  static_cast<unsigned long long>(best_ps.iterations),
+                  best_ps.regions_per_iteration());
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "{\"density\": %d, \"n\": %u, \"m\": %llu, \"alg\": \"%s\", "
+          "\"threads\": %d, \"find_min\": %.6f, \"connect\": %.6f, "
+          "\"compact\": %.6f, \"other\": %.6f, \"total\": %.6f, "
+          "\"iterations\": %llu, \"regions\": %llu, "
+          "\"regions_per_iteration\": %.4f}",
+          density, g.num_vertices, static_cast<unsigned long long>(g.num_edges()),
+          name.c_str(), args.max_threads, best.find_min, best.connect,
+          best.compact, best.other, best.total(),
+          static_cast<unsigned long long>(best_ps.iterations),
+          static_cast<unsigned long long>(best_ps.regions),
+          best_ps.regions_per_iteration());
+      sink.add(buf);
     }
     std::printf("\n");
   }
+  sink.write("fig2_breakdown", args);
   return 0;
 }

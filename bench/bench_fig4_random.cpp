@@ -11,11 +11,14 @@ using namespace smp::graph;
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
   const auto n = static_cast<VertexId>(args.size(100000, 1000000));
+  bench::JsonSink sink;
   for (const int density : {4, 6, 10, 20}) {
     const auto m = static_cast<EdgeId>(density) * n;
     const EdgeList g = random_graph(n, m, args.seed + static_cast<std::uint64_t>(density));
     bench::banner("Fig 4 / random", g);
-    bench::run_parallel_comparison(g, args);
+    bench::run_parallel_comparison(g, args, &sink,
+                                   "random/m=" + std::to_string(density) + "n");
   }
+  sink.write("fig4_random", args);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "core/msf.hpp"
 #include "seq/seq_msf.hpp"
@@ -30,9 +31,12 @@ Args parse_args(int argc, char** argv) {
       a.seed = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(arg, "--reps") == 0) {
       a.reps = std::atoi(next());
+    } else if (std::strcmp(arg, "--json") == 0) {
+      a.json_path = next();
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "options: --scale F  --paper  --threads N  --seed S  --reps R\n");
+          "options: --scale F  --paper  --threads N  --seed S  --reps R  "
+          "--json PATH\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", arg);
@@ -82,7 +86,8 @@ SeqBest run_sequential_baselines(const smp::graph::EdgeList& g, int reps) {
   return best;
 }
 
-void run_parallel_comparison(const smp::graph::EdgeList& g, const Args& args) {
+void run_parallel_comparison(const smp::graph::EdgeList& g, const Args& args,
+                             JsonSink* sink, const std::string& tag) {
   const SeqBest best = run_sequential_baselines(g, args.reps);
 
   std::vector<int> thread_counts;
@@ -104,10 +109,47 @@ void run_parallel_comparison(const smp::graph::EdgeList& g, const Args& args) {
       const double s = time_best_of(
           args.reps, [&] { (void)smp::core::minimum_spanning_forest(g, opts); });
       std::printf(" %7.3fs %5.2fx", s, best.seconds / s);
+      if (sink != nullptr) {
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "{\"tag\": \"%s\", \"n\": %u, \"m\": %llu, "
+                      "\"alg\": \"%s\", \"threads\": %d, \"seconds\": %.6f, "
+                      "\"speedup_vs_best_seq\": %.4f, \"best_seq\": \"%s\"}",
+                      tag.c_str(), g.num_vertices,
+                      static_cast<unsigned long long>(g.num_edges()),
+                      std::string(smp::core::to_string(alg)).c_str(), p, s,
+                      best.seconds / s, best.name.c_str());
+        sink->add(buf);
+      }
     }
     std::printf("\n");
   }
   std::printf("  (speedup is versus best sequential: %s)\n\n", best.name.c_str());
+}
+
+void JsonSink::write(const std::string& bench_name, const Args& args) const {
+  if (args.json_path.empty()) return;
+  std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", args.json_path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"meta\": {\"scale\": %g, \"paper\": %s, \"max_threads\": %d, "
+               "\"seed\": %llu, \"reps\": %d, \"hardware_concurrency\": %u},\n"
+               "  \"records\": [\n",
+               bench_name.c_str(), args.scale, args.paper ? "true" : "false",
+               args.max_threads, static_cast<unsigned long long>(args.seed),
+               args.reps, std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    std::fprintf(f, "    %s%s\n", records_[i].c_str(),
+                 i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", args.json_path.c_str(), records_.size());
 }
 
 }  // namespace bench

@@ -17,12 +17,14 @@ namespace bench {
 ///   --threads N   max thread count for sweeps (default 8)
 ///   --seed S      generator seed
 ///   --reps R      timing repetitions, best-of (default 1)
+///   --json PATH   also write machine-readable results to PATH
 struct Args {
   double scale = 1.0;
   bool paper = false;
   int max_threads = 8;
   std::uint64_t seed = 12345;
   int reps = 1;
+  std::string json_path;
 
   /// Scaled size: `paper_value` when --paper, else `default_value * scale`.
   [[nodiscard]] std::size_t size(std::size_t default_value, std::size_t paper_value) const {
@@ -47,8 +49,25 @@ struct SeqBest {
 };
 SeqBest run_sequential_baselines(const smp::graph::EdgeList& g, int reps);
 
+/// Collects machine-readable result rows and writes them as one JSON
+/// document.  Each row is a complete JSON object literal the bench formats
+/// itself (flat string/number fields); write() wraps them with a meta block
+/// (sizes, thread cap, seed, reps, hardware concurrency) so a result file is
+/// self-describing.  No-op when --json was not given.
+class JsonSink {
+ public:
+  void add(std::string record) { records_.push_back(std::move(record)); }
+  void write(const std::string& bench_name, const Args& args) const;
+
+ private:
+  std::vector<std::string> records_;
+};
+
 /// The Fig. 4/5/6 harness: per parallel algorithm × thread count, wall time
-/// and speedup versus the best sequential algorithm on this input.
-void run_parallel_comparison(const smp::graph::EdgeList& g, const Args& args);
+/// and speedup versus the best sequential algorithm on this input.  When
+/// `sink` is non-null every timed row is also appended to it, tagged `tag`.
+void run_parallel_comparison(const smp::graph::EdgeList& g, const Args& args,
+                             JsonSink* sink = nullptr,
+                             const std::string& tag = {});
 
 }  // namespace bench

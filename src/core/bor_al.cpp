@@ -93,25 +93,6 @@ struct MergeCursor {
   EdgeId end;
 };
 
-/// Dynamic loop with thread id (the plain parallel_for_dynamic hides it, and
-/// the scratch policy needs the tid to find its arena).
-template <class Fn>
-void dynamic_for_tid(ThreadTeam& team, std::size_t n, std::size_t chunk, Fn&& fn) {
-  if (team.size() == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(0, i);
-    return;
-  }
-  std::atomic<std::size_t> cursor{0};
-  team.run([&](TeamCtx& ctx) {
-    for (;;) {
-      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= n) break;
-      const std::size_t end = begin + chunk < n ? begin + chunk : n;
-      for (std::size_t i = begin; i < end; ++i) fn(ctx.tid(), i);
-    }
-  });
-}
-
 MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts,
                       ThreadArenas* arenas) {
   StepTimes st;
@@ -122,6 +103,18 @@ MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
   detail::EdgeCollector collector(team.size());
   std::vector<EdgeId> best(adj.n);
   std::vector<VertexId> parent(adj.n);
+  // Fused-region shared state, reused (grow-only) across iterations.
+  ComponentsScratch comp_scratch;
+  SampleSortScratch<VertexId> order_sort;
+  ScanScratch<EdgeId> size_scan;
+  std::vector<VertexId> order;
+  std::vector<EdgeId> group_start;
+  std::vector<EdgeId> new_size;
+  std::atomic<std::size_t> find_cursor{0};
+  std::atomic<std::size_t> sort_cursor{0};
+  std::atomic<std::size_t> count_cursor{0};
+  std::atomic<std::size_t> fill_cursor{0};
+  size_scan.ensure(team.size());
   st.other += phase.elapsed_s();
 
   while (!adj.arcs.empty()) {
@@ -130,23 +123,35 @@ MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
     if (opts.iteration_stats) {
       opts.iteration_stats->push_back({cur_n, adj.arcs.size()});
     }
+    const std::uint64_t regions_before = team.regions_started();
+    order.resize(cur_n);
+    find_cursor.store(0, std::memory_order_relaxed);
+    sort_cursor.store(0, std::memory_order_relaxed);
+    count_cursor.store(0, std::memory_order_relaxed);
+    fill_cursor.store(0, std::memory_order_relaxed);
+    AdjGraph next;
 
-    // --- find-min: per-vertex scan of its adjacency array -----------------
-    phase.reset();
-    fault_point("bor-al.find-min");
-    parallel_for_dynamic(team, cur_n, 128, [&](std::size_t v) {
-      EdgeId b = kInvalidEdge;
-      for (EdgeId a = adj.offsets[v]; a < adj.offsets[v + 1]; ++a) {
-        if (b == kInvalidEdge || adj.arcs[a].order() < adj.arcs[b].order()) b = a;
-      }
-      best[v] = b;
-    });
-    st.find_min += phase.elapsed_s();
-
-    // --- connect-components ------------------------------------------------
-    phase.reset();
-    fault_point("bor-al.connect");
+    // The whole iteration — find-min, connect, and the five-step adjacency
+    // compaction — runs as ONE persistent SPMD region.
     team.run([&](TeamCtx& ctx) {
+      WallTimer t0;
+      // --- find-min: per-vertex scan of its adjacency array ---------------
+      if (ctx.tid() == 0) fault_point("bor-al.find-min");
+      for_range_dynamic(ctx, find_cursor, cur_n, 128, [&](std::size_t v) {
+        EdgeId b = kInvalidEdge;
+        for (EdgeId a = adj.offsets[v]; a < adj.offsets[v + 1]; ++a) {
+          if (b == kInvalidEdge || adj.arcs[a].order() < adj.arcs[b].order()) b = a;
+        }
+        best[v] = b;
+      });
+      ctx.barrier();
+
+      // --- connect-components ---------------------------------------------
+      if (ctx.tid() == 0) {
+        st.find_min += t0.elapsed_s();
+        t0.reset();
+        fault_point("bor-al.connect");
+      }
       fault_point("bor-al.connect.region");
       for_range(ctx, cur_n, [&](std::size_t v) {
         const EdgeId b = best[v];
@@ -162,130 +167,153 @@ MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
           collector.add(ctx.tid(), e.orig);
         }
       });
-    });
-    pointer_jump_components(team, std::span<VertexId>(parent.data(), cur_n));
-    const VertexId next_n =
-        densify_labels(team, std::span<VertexId>(parent.data(), cur_n));
-    st.connect += phase.elapsed_s();
+      ctx.barrier();
+      pointer_jump_components_in_region(
+          ctx, std::span<VertexId>(parent.data(), cur_n), comp_scratch);
+      const VertexId next_n = densify_labels_in_region(
+          ctx, std::span<VertexId>(parent.data(), cur_n), comp_scratch);
 
-    // --- compact-graph ------------------------------------------------------
-    phase.reset();
-    fault_point("bor-al.compact");
-
-    // (a) Sort the vertex array by supervertex label (parallel sample sort),
-    //     so members of one supervertex become contiguous (§2.2).
-    std::vector<VertexId> order(cur_n);
-    parallel_for(team, cur_n, [&](std::size_t v) {
-      order[v] = static_cast<VertexId>(v);
-    });
-    sample_sort(team, order, [&](VertexId a, VertexId b) {
-      return parent[a] != parent[b] ? parent[a] < parent[b] : a < b;
-    });
-
-    // (b) Concurrently sort each vertex's adjacency list by the supervertex
-    //     of the other endpoint (insertion sort for short lists, bottom-up
-    //     merge sort for long — the paper's hybrid).
-    const auto arc_less = [&](const AdjArc& x, const AdjArc& y) {
-      const VertexId lx = parent[x.target];
-      const VertexId ly = parent[y.target];
-      return lx != ly ? lx < ly : x.order() < y.order();
-    };
-    dynamic_for_tid(team, cur_n, 64, [&](int tid, std::size_t v) {
-      const EdgeId lo = adj.offsets[v];
-      const EdgeId len = adj.offsets[v + 1] - lo;
-      std::span<AdjArc> list(adj.arcs.data() + lo, len);
-      std::unique_ptr<AdjArc[]> owned;
-      std::span<AdjArc> buf;
-      if (len > kInsertionSortCutoff) buf = scratch.get<AdjArc>(tid, len, owned);
-      seq_sort(list, buf, arc_less);
-    });
-
-    // (c) Group boundaries: labels along `order` are non-decreasing and
-    //     dense, so supervertex s owns order[group_start[s]..group_start[s+1]).
-    std::vector<EdgeId> group_start(static_cast<std::size_t>(next_n) + 1, 0);
-    parallel_for(team, cur_n, [&](std::size_t i) {
-      if (i == 0 || parent[order[i]] != parent[order[i - 1]]) {
-        group_start[parent[order[i]]] = i;
+      // --- compact-graph --------------------------------------------------
+      if (ctx.tid() == 0) {
+        st.connect += t0.elapsed_s();
+        t0.reset();
+        fault_point("bor-al.compact");
       }
-    });
-    group_start[next_n] = cur_n;
+      fault_point("bor-al.compact.region");
 
-    // (d) Count pass: k-way merge of member lists per supervertex, dropping
-    //     self-loops and all but the lightest multi-edge.
-    std::vector<EdgeId> new_size(static_cast<std::size_t>(next_n) + 1, 0);
-    const auto merge_group = [&](int tid, VertexId s, AdjArc* out, EdgeId* count) {
-      const EdgeId gs = group_start[s];
-      const EdgeId ge = group_start[s + 1];
-      const auto k = static_cast<std::size_t>(ge - gs);
-      std::unique_ptr<MergeCursor[]> owned;
-      std::span<MergeCursor> heap = scratch.get<MergeCursor>(tid, k, owned);
-      // Build a binary min-heap of non-empty member cursors.
-      const auto cursor_key = [&](const MergeCursor& c) { return adj.arcs[c.pos]; };
-      const auto cursor_less = [&](const MergeCursor& x, const MergeCursor& y) {
-        return arc_less(cursor_key(x), cursor_key(y));
+      // (a) Sort the vertex array by supervertex label, so members of one
+      //     supervertex become contiguous (§2.2).
+      for_range(ctx, cur_n, [&](std::size_t v) {
+        order[v] = static_cast<VertexId>(v);
+      });
+      ctx.barrier();
+      sample_sort_in_region(ctx, order, order_sort, [&](VertexId a, VertexId b) {
+        return parent[a] != parent[b] ? parent[a] < parent[b] : a < b;
+      });
+
+      // (b) Concurrently sort each vertex's adjacency list by the supervertex
+      //     of the other endpoint (insertion sort for short lists, bottom-up
+      //     merge sort for long — the paper's hybrid).
+      const auto arc_less = [&](const AdjArc& x, const AdjArc& y) {
+        const VertexId lx = parent[x.target];
+        const VertexId ly = parent[y.target];
+        return lx != ly ? lx < ly : x.order() < y.order();
       };
-      std::size_t hn = 0;
-      for (EdgeId gi = gs; gi < ge; ++gi) {
-        const VertexId member = order[gi];
-        const EdgeId lo = adj.offsets[member];
-        const EdgeId hi = adj.offsets[member + 1];
-        if (lo < hi) heap[hn++] = {lo, hi};
-      }
-      for (std::size_t i = hn / 2; i-- > 0;) {  // heapify (sift down)
-        std::size_t j = i;
-        for (;;) {
-          std::size_t c = 2 * j + 1;
-          if (c >= hn) break;
-          if (c + 1 < hn && cursor_less(heap[c + 1], heap[c])) ++c;
-          if (!cursor_less(heap[c], heap[j])) break;
-          std::swap(heap[j], heap[c]);
-          j = c;
+      for_range_dynamic(ctx, sort_cursor, cur_n, 64, [&](std::size_t v) {
+        const EdgeId lo = adj.offsets[v];
+        const EdgeId len = adj.offsets[v + 1] - lo;
+        std::span<AdjArc> list(adj.arcs.data() + lo, len);
+        std::unique_ptr<AdjArc[]> owned;
+        std::span<AdjArc> buf;
+        if (len > kInsertionSortCutoff) {
+          buf = scratch.get<AdjArc>(ctx.tid(), len, owned);
         }
+        seq_sort(list, buf, arc_less);
+      });
+      if (ctx.tid() == 0) {
+        group_start.resize(static_cast<std::size_t>(next_n) + 1);
+        new_size.resize(static_cast<std::size_t>(next_n) + 1);
       }
-      EdgeId written = 0;
-      VertexId last_label = graph::kInvalidVertex;
-      while (hn > 0) {
-        const AdjArc& a = adj.arcs[heap[0].pos];
-        const VertexId lbl = parent[a.target];
-        if (lbl != s && lbl != last_label) {
-          if (out != nullptr) out[written] = {lbl, a.w, a.orig};
-          ++written;
-          last_label = lbl;
-        }
-        // Advance the top cursor and restore the heap.
-        if (++heap[0].pos == heap[0].end) heap[0] = heap[--hn];
-        std::size_t j = 0;
-        for (;;) {
-          std::size_t c = 2 * j + 1;
-          if (c >= hn) break;
-          if (c + 1 < hn && cursor_less(heap[c + 1], heap[c])) ++c;
-          if (!cursor_less(heap[c], heap[j])) break;
-          std::swap(heap[j], heap[c]);
-          j = c;
-        }
-      }
-      *count = written;
-    };
-    dynamic_for_tid(team, next_n, 16, [&](int tid, std::size_t s) {
-      merge_group(tid, static_cast<VertexId>(s), nullptr, &new_size[s]);
-    });
-    const EdgeId new_arc_count =
-        exclusive_scan(team, std::span<EdgeId>(new_size.data(), next_n + 1));
+      ctx.barrier();
 
-    // (e) Fill pass into the fresh adjacency arrays.
-    AdjGraph next;
-    next.n = next_n;
-    next.offsets.assign(new_size.begin(), new_size.end());
-    next.offsets.back() = new_arc_count;
-    next.arcs.resize(new_arc_count);
-    dynamic_for_tid(team, next_n, 16, [&](int tid, std::size_t s) {
-      EdgeId written = 0;
-      merge_group(tid, static_cast<VertexId>(s), next.arcs.data() + next.offsets[s],
-                  &written);
+      // (c) Group boundaries: labels along `order` are non-decreasing and
+      //     dense, so supervertex s owns order[group_start[s]..group_start[s+1]).
+      for_range(ctx, cur_n, [&](std::size_t i) {
+        if (i == 0 || parent[order[i]] != parent[order[i - 1]]) {
+          group_start[parent[order[i]]] = i;
+        }
+      });
+      if (ctx.tid() == 0) {
+        group_start[next_n] = cur_n;
+        new_size[next_n] = 0;
+      }
+      ctx.barrier();
+
+      // (d) Count pass: k-way merge of member lists per supervertex, dropping
+      //     self-loops and all but the lightest multi-edge.
+      const auto merge_group = [&](int tid, VertexId s, AdjArc* out, EdgeId* count) {
+        const EdgeId gs = group_start[s];
+        const EdgeId ge = group_start[s + 1];
+        const auto k = static_cast<std::size_t>(ge - gs);
+        std::unique_ptr<MergeCursor[]> owned;
+        std::span<MergeCursor> heap = scratch.get<MergeCursor>(tid, k, owned);
+        // Build a binary min-heap of non-empty member cursors.
+        const auto cursor_key = [&](const MergeCursor& c) { return adj.arcs[c.pos]; };
+        const auto cursor_less = [&](const MergeCursor& x, const MergeCursor& y) {
+          return arc_less(cursor_key(x), cursor_key(y));
+        };
+        std::size_t hn = 0;
+        for (EdgeId gi = gs; gi < ge; ++gi) {
+          const VertexId member = order[gi];
+          const EdgeId lo = adj.offsets[member];
+          const EdgeId hi = adj.offsets[member + 1];
+          if (lo < hi) heap[hn++] = {lo, hi};
+        }
+        for (std::size_t i = hn / 2; i-- > 0;) {  // heapify (sift down)
+          std::size_t j = i;
+          for (;;) {
+            std::size_t c = 2 * j + 1;
+            if (c >= hn) break;
+            if (c + 1 < hn && cursor_less(heap[c + 1], heap[c])) ++c;
+            if (!cursor_less(heap[c], heap[j])) break;
+            std::swap(heap[j], heap[c]);
+            j = c;
+          }
+        }
+        EdgeId written = 0;
+        VertexId last_label = graph::kInvalidVertex;
+        while (hn > 0) {
+          const AdjArc& a = adj.arcs[heap[0].pos];
+          const VertexId lbl = parent[a.target];
+          if (lbl != s && lbl != last_label) {
+            if (out != nullptr) out[written] = {lbl, a.w, a.orig};
+            ++written;
+            last_label = lbl;
+          }
+          // Advance the top cursor and restore the heap.
+          if (++heap[0].pos == heap[0].end) heap[0] = heap[--hn];
+          std::size_t j = 0;
+          for (;;) {
+            std::size_t c = 2 * j + 1;
+            if (c >= hn) break;
+            if (c + 1 < hn && cursor_less(heap[c + 1], heap[c])) ++c;
+            if (!cursor_less(heap[c], heap[j])) break;
+            std::swap(heap[j], heap[c]);
+            j = c;
+          }
+        }
+        *count = written;
+      };
+      for_range_dynamic(ctx, count_cursor, next_n, 16, [&](std::size_t s) {
+        merge_group(ctx.tid(), static_cast<VertexId>(s), nullptr, &new_size[s]);
+      });
+      ctx.barrier();
+      const EdgeId new_arc_count = prefix_sum_in_region(
+          ctx, std::span<EdgeId>(new_size.data(), next_n + 1), size_scan);
+
+      // (e) Fill pass into the fresh adjacency arrays.
+      if (ctx.tid() == 0) {
+        next.n = next_n;
+        next.offsets.assign(new_size.begin(),
+                            new_size.begin() + next_n + 1);
+        next.offsets.back() = new_arc_count;
+        next.arcs.resize(new_arc_count);
+      }
+      ctx.barrier();
+      for_range_dynamic(ctx, fill_cursor, next_n, 16, [&](std::size_t s) {
+        EdgeId written = 0;
+        merge_group(ctx.tid(), static_cast<VertexId>(s),
+                    next.arcs.data() + next.offsets[s], &written);
+      });
+      if (ctx.tid() == 0) st.compact += t0.elapsed_s();
     });
+
     adj = std::move(next);
     scratch.next_iteration();
-    st.compact += phase.elapsed_s();
+    if (opts.phase_stats) {
+      opts.phase_stats->iterations += 1;
+      opts.phase_stats->regions += team.regions_started() - regions_before;
+    }
   }
 
   phase.reset();

@@ -18,9 +18,18 @@ using graph::MsfResult;
 using graph::VertexId;
 
 /// Bor-EL (§2.1): edge-list representation.  find-min races atomic
-/// write-mins per vertex; compact-graph is one global parallel sample sort
-/// of the directed edge list by ⟨supervertex(u), supervertex(v), weight⟩
-/// followed by a prefix-sum merge of self-loops and multi-edges.
+/// write-mins per vertex; compact-graph packs ⟨supervertex(u),
+/// supervertex(v)⟩ into one 64-bit key and radix-sorts the directed edge
+/// list, then merges self-loops and multi-edges by prefix sum.
+///
+/// Each Borůvka iteration runs as ONE persistent SPMD region: find-min,
+/// connect-components (pointer jumping + label densification), and
+/// compact-graph all synchronize through ctx.barrier() instead of paying a
+/// ThreadTeam fork/join per parallel loop.  Budget checkpoints stay on the
+/// orchestrating thread between regions; fault points that used to fire on
+/// the orchestrator fire on tid 0 inside the region (same once-per-iteration
+/// semantics, and a throw there poisons the barrier so the whole team
+/// unwinds).
 MsfResult bor_el_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
   const VertexId n = g.num_vertices;
   StepTimes st;
@@ -38,6 +47,8 @@ MsfResult bor_el_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
   detail::EdgeCollector collector(team.size());
   std::vector<std::atomic<EdgeId>> best(n);
   std::vector<VertexId> parent(n);
+  ComponentsScratch comp_scratch;
+  detail::CompactScratch compact_scratch;
   VertexId cur_n = n;
   st.other += phase.elapsed_s();
 
@@ -46,28 +57,35 @@ MsfResult bor_el_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
     if (opts.iteration_stats) {
       opts.iteration_stats->push_back({cur_n, arcs.size()});
     }
+    const std::uint64_t regions_before = team.regions_started();
+    const std::size_t m = arcs.size();
+    VertexId next_n = 0;
 
-    // --- find-min ---------------------------------------------------------
-    phase.reset();
-    fault_point("bor-el.find-min");
-    parallel_for(team, cur_n, [&](std::size_t v) {
-      best[v].store(kInvalidEdge, std::memory_order_relaxed);
-    });
-    const auto better = [&](EdgeId a, EdgeId b) {
-      return arcs[a].order() < arcs[b].order();
-    };
-    parallel_for(team, arcs.size(), [&](std::size_t i) {
-      atomic_write_min(best[arcs[i].u], static_cast<EdgeId>(i), better);
-    });
-    st.find_min += phase.elapsed_s();
-
-    // --- connect-components ------------------------------------------------
-    phase.reset();
-    fault_point("bor-el.connect");
-    // Record chosen edges (each mutual-minimum pair exactly once) and set up
-    // the pseudo-forest parent pointers.
     team.run([&](TeamCtx& ctx) {
+      WallTimer t0;
+      // --- find-min -------------------------------------------------------
+      if (ctx.tid() == 0) fault_point("bor-el.find-min");
+      for_range(ctx, cur_n, [&](std::size_t v) {
+        best[v].store(kInvalidEdge, std::memory_order_relaxed);
+      });
+      ctx.barrier();
+      const auto better = [&](EdgeId a, EdgeId b) {
+        return arcs[a].order() < arcs[b].order();
+      };
+      for_range(ctx, m, [&](std::size_t i) {
+        atomic_write_min(best[arcs[i].u], static_cast<EdgeId>(i), better);
+      });
+      ctx.barrier();
+
+      // --- connect-components ---------------------------------------------
+      if (ctx.tid() == 0) {
+        st.find_min += t0.elapsed_s();
+        t0.reset();
+        fault_point("bor-el.connect");
+      }
       fault_point("bor-el.connect.region");
+      // Record chosen edges (each mutual-minimum pair exactly once) and set
+      // up the pseudo-forest parent pointers.
       for_range(ctx, cur_n, [&](std::size_t v) {
         const EdgeId b = best[v].load(std::memory_order_relaxed);
         if (b == kInvalidEdge) {
@@ -83,19 +101,31 @@ MsfResult bor_el_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
           collector.add(ctx.tid(), e.orig);
         }
       });
-    });
-    pointer_jump_components(team, std::span<VertexId>(parent.data(), cur_n));
-    const VertexId next_n =
-        densify_labels(team, std::span<VertexId>(parent.data(), cur_n));
-    st.connect += phase.elapsed_s();
+      ctx.barrier();
+      pointer_jump_components_in_region(
+          ctx, std::span<VertexId>(parent.data(), cur_n), comp_scratch);
+      const VertexId roots = densify_labels_in_region(
+          ctx, std::span<VertexId>(parent.data(), cur_n), comp_scratch);
 
-    // --- compact-graph ------------------------------------------------------
-    phase.reset();
-    fault_point("bor-el.compact");
-    arcs = detail::compact_arcs(team, std::move(arcs),
-                                std::span<const VertexId>(parent.data(), cur_n));
+      // --- compact-graph --------------------------------------------------
+      if (ctx.tid() == 0) {
+        next_n = roots;
+        st.connect += t0.elapsed_s();
+        t0.reset();
+        fault_point("bor-el.compact");
+      }
+      fault_point("bor-el.compact.region");
+      detail::compact_arcs_in_region(
+          ctx, arcs, std::span<const VertexId>(parent.data(), cur_n),
+          opts.compact_sort, compact_scratch);
+      if (ctx.tid() == 0) st.compact += t0.elapsed_s();
+    });
+
     cur_n = next_n;
-    st.compact += phase.elapsed_s();
+    if (opts.phase_stats) {
+      opts.phase_stats->iterations += 1;
+      opts.phase_stats->regions += team.regions_started() - regions_before;
+    }
   }
 
   phase.reset();

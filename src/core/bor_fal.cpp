@@ -27,6 +27,12 @@ using graph::WeightOrder;
 /// exchange, find-min rescans all m edges every iteration, filtering
 /// self-loops and multi-edges through the lookup table.  Fewer memory writes
 /// per iteration — the property the paper targets on SMPs.
+///
+/// Each Borůvka iteration runs as ONE persistent SPMD region (find-min,
+/// connect-components, and the pointer-based contraction all synchronize via
+/// ctx.barrier()).  The no-progress exit is decided uniformly: every thread
+/// reads the shared `any` flag after the connect barrier and leaves the
+/// region together; the orchestrator then breaks out of the loop.
 MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
   const VertexId n = g.num_vertices;
   StepTimes st;
@@ -42,6 +48,9 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
   detail::EdgeCollector collector(team.size());
   std::vector<std::atomic<EdgeId>> best(n);  // per supervertex: best arc index
   std::vector<VertexId> parent(n);
+  ComponentsScratch comp_scratch;
+  FlexAdjList::ContractScratch contract_scratch;
+  std::atomic<bool> any{false};
   st.other += phase.elapsed_s();
 
   for (;;) {
@@ -51,34 +60,40 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
       // m never shrinks under Bor-FAL; the live edge list is always 2m.
       opts.iteration_stats->push_back({cur_n, csr.num_arcs()});
     }
+    const std::uint64_t regions_before = team.regions_started();
+    any.store(false, std::memory_order_relaxed);
 
-    // --- find-min -----------------------------------------------------------
-    // All m edges are checked, each processor covering O(m/p) of them: we
-    // scan per *original* vertex (balanced) and race atomic write-mins into
-    // the owning supervertex's slot, filtering via the lookup table.
-    phase.reset();
-    fault_point("bor-fal.find-min");
-    parallel_for(team, cur_n, [&](std::size_t s) {
-      best[s].store(kInvalidEdge, std::memory_order_relaxed);
-    });
-    const auto better = [&](EdgeId a, EdgeId b) {
-      return WeightOrder{weights[a], origs[a]} < WeightOrder{weights[b], origs[b]};
-    };
-    const auto labels = fal.labels();
-    parallel_for(team, n, [&](std::size_t x) {
-      const VertexId s = labels[x];
-      for (EdgeId a = offsets[x]; a < offsets[x + 1]; ++a) {
-        if (labels[targets[a]] == s) continue;  // self-loop at supervertex level
-        atomic_write_min(best[s], a, better);
-      }
-    });
-    st.find_min += phase.elapsed_s();
-
-    // --- connect-components -------------------------------------------------
-    phase.reset();
-    fault_point("bor-fal.connect");
-    std::atomic<bool> any{false};
     team.run([&](TeamCtx& ctx) {
+      WallTimer t0;
+      // --- find-min -------------------------------------------------------
+      // All m edges are checked, each processor covering O(m/p) of them: we
+      // scan per *original* vertex (balanced) and race atomic write-mins
+      // into the owning supervertex's slot, filtering via the lookup table.
+      if (ctx.tid() == 0) fault_point("bor-fal.find-min");
+      for_range(ctx, cur_n, [&](std::size_t s) {
+        best[s].store(kInvalidEdge, std::memory_order_relaxed);
+      });
+      ctx.barrier();
+      const auto better = [&](EdgeId a, EdgeId b) {
+        return WeightOrder{weights[a], origs[a]} <
+               WeightOrder{weights[b], origs[b]};
+      };
+      const auto labels = fal.labels();
+      for_range(ctx, n, [&](std::size_t x) {
+        const VertexId s = labels[x];
+        for (EdgeId a = offsets[x]; a < offsets[x + 1]; ++a) {
+          if (labels[targets[a]] == s) continue;  // supervertex self-loop
+          atomic_write_min(best[s], a, better);
+        }
+      });
+      ctx.barrier();
+
+      // --- connect-components ---------------------------------------------
+      if (ctx.tid() == 0) {
+        st.find_min += t0.elapsed_s();
+        t0.reset();
+        fault_point("bor-fal.connect");
+      }
       fault_point("bor-fal.connect.region");
       bool local_any = false;
       for_range(ctx, cur_n, [&](std::size_t s) {
@@ -97,21 +112,34 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
         }
       });
       if (local_any) any.store(true, std::memory_order_relaxed);
-    });
-    if (!any.load(std::memory_order_relaxed)) {
-      st.connect += phase.elapsed_s();
-      break;  // every component fully contracted
-    }
-    pointer_jump_components(team, std::span<VertexId>(parent.data(), cur_n));
-    const VertexId next_n =
-        densify_labels(team, std::span<VertexId>(parent.data(), cur_n));
-    st.connect += phase.elapsed_s();
+      ctx.barrier();
+      // Uniform exit decision: nobody writes `any` past the barrier.
+      if (!any.load(std::memory_order_relaxed)) {
+        if (ctx.tid() == 0) st.connect += t0.elapsed_s();
+        return;  // every component fully contracted
+      }
+      pointer_jump_components_in_region(
+          ctx, std::span<VertexId>(parent.data(), cur_n), comp_scratch);
+      const VertexId next_n = densify_labels_in_region(
+          ctx, std::span<VertexId>(parent.data(), cur_n), comp_scratch);
 
-    // --- compact-graph: sort + pointer ops + lookup-table update ------------
-    phase.reset();
-    fault_point("bor-fal.compact");
-    fal.contract(team, std::span<const VertexId>(parent.data(), cur_n), next_n);
-    st.compact += phase.elapsed_s();
+      // --- compact-graph: sort + pointer ops + lookup-table update --------
+      if (ctx.tid() == 0) {
+        st.connect += t0.elapsed_s();
+        t0.reset();
+        fault_point("bor-fal.compact");
+      }
+      fault_point("bor-fal.compact.region");
+      fal.contract(ctx, std::span<const VertexId>(parent.data(), cur_n), next_n,
+                   contract_scratch);
+      if (ctx.tid() == 0) st.compact += t0.elapsed_s();
+    });
+
+    if (opts.phase_stats) {
+      opts.phase_stats->iterations += 1;
+      opts.phase_stats->regions += team.regions_started() - regions_before;
+    }
+    if (!any.load(std::memory_order_relaxed)) break;
   }
 
   phase.reset();

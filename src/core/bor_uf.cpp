@@ -8,8 +8,8 @@
 #include "graph/types.hpp"
 #include "pprim/atomic_union_find.hpp"
 #include "pprim/cacheline.hpp"
+#include "pprim/fault.hpp"
 #include "pprim/parallel_for.hpp"
-#include "pprim/partition.hpp"
 #include "pprim/prefix_sum.hpp"
 #include "pprim/thread_team.hpp"
 
@@ -35,17 +35,28 @@ MsfResult bor_uf_msf(ThreadTeam& team, const EdgeList& g) {
   std::vector<std::atomic<EdgeId>> best(n);
   std::vector<Padded<std::vector<EdgeId>>> found(static_cast<std::size_t>(team.size()));
   std::vector<EdgeId> keep_flags;
+  std::vector<EdgeId> next;
+  ScanScratch<EdgeId> scan;
+  scan.ensure(team.size());
+  std::atomic<bool> any{false};
 
   const auto better = [&](EdgeId a, EdgeId b) {
     return WeightOrder{g.edges[a].w, a} < WeightOrder{g.edges[b].w, b};
   };
 
+  // Each Borůvka iteration is ONE persistent SPMD region: find-min, gather,
+  // parallel unions, and the live-edge filter synchronize via ctx.barrier()
+  // instead of paying four fork/joins.  The progress flag is raised before a
+  // barrier and read after it, so every thread takes the same exit branch.
   while (!live.empty()) {
     const std::size_t m = live.size();
+    if (keep_flags.size() < m) keep_flags.resize(m);
+    any.store(false, std::memory_order_relaxed);
 
-    // find-min per component root.  Roots drift during the scan (no unions
-    // run concurrently, so they don't — only between iterations).
     team.run([&](TeamCtx& ctx) {
+      // find-min per component root.  Roots drift during the scan (no unions
+      // run concurrently, so they don't — only between iterations).
+      if (ctx.tid() == 0) fault_point("bor-uf.find-min");
       for_range(ctx, n, [&](std::size_t v) {
         best[v].store(kInvalidEdge, std::memory_order_relaxed);
       });
@@ -75,6 +86,7 @@ MsfResult bor_uf_msf(ThreadTeam& team, const EdgeList& g) {
         if (mutual && other < static_cast<VertexId>(v)) return;
         mine.push_back(b);
       });
+      if (!mine.empty()) any.store(true, std::memory_order_relaxed);
       ctx.barrier();
       // connect-components: parallel unions over the (cycle-free) chosen set.
       for (const EdgeId b : mine) {
@@ -82,34 +94,36 @@ MsfResult bor_uf_msf(ThreadTeam& team, const EdgeList& g) {
         const bool merged = uf.unite(e.u, e.v);
         (void)merged;
       }
-    });
+      ctx.barrier();
+      // Uniform exit: `any` was last written before the gather barrier.
+      if (!any.load(std::memory_order_relaxed)) return;
 
-    bool any = false;
-    for (auto& f : found) {
-      any = any || !f.value.empty();
-      res.edge_ids.insert(res.edge_ids.end(), f.value.begin(), f.value.end());
-      f.value.clear();
-    }
-    if (!any) break;
-
-    // compact: drop edges that became intra-component (parallel filter via
-    // prefix sums over keep flags).
-    keep_flags.assign(m, 0);
-    team.run([&](TeamCtx& ctx) {
+      // compact: drop edges that became intra-component (parallel filter via
+      // an in-region prefix sum over keep flags).
+      fault_point("bor-uf.compact.region");
       for_range(ctx, m, [&](std::size_t j) {
         const auto& e = g.edges[live[j]];
         keep_flags[j] = uf.find(e.u) != uf.find(e.v) ? 1 : 0;
       });
-    });
-    const EdgeId survivors = exclusive_scan(team, std::span<EdgeId>(keep_flags));
-    std::vector<EdgeId> next(survivors);
-    team.run([&](TeamCtx& ctx) {
+      ctx.barrier();
+      const EdgeId survivors =
+          prefix_sum_in_region(ctx, std::span<EdgeId>(keep_flags.data(), m), scan);
+      if (ctx.tid() == 0) next.resize(survivors);
+      ctx.barrier();
       for_range(ctx, m, [&](std::size_t j) {
         const bool kept = (j + 1 < m ? keep_flags[j + 1] : survivors) != keep_flags[j];
         if (kept) next[keep_flags[j]] = live[j];
       });
+      ctx.barrier();
+      if (ctx.tid() == 0) live.swap(next);
+      ctx.barrier();
     });
-    live.swap(next);
+
+    for (auto& f : found) {
+      res.edge_ids.insert(res.edge_ids.end(), f.value.begin(), f.value.end());
+      f.value.clear();
+    }
+    if (!any.load(std::memory_order_relaxed)) break;
   }
 
   std::sort(res.edge_ids.begin(), res.edge_ids.end());

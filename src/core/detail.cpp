@@ -2,14 +2,17 @@
 
 #include <algorithm>
 
+#include "core/atomic_min.hpp"
 #include "pprim/parallel_for.hpp"
 #include "pprim/prefix_sum.hpp"
+#include "pprim/radix_sort.hpp"
 #include "pprim/sample_sort.hpp"
 
 namespace smp::core::detail {
 
 using graph::EdgeId;
 using graph::EdgeList;
+using graph::kInvalidEdge;
 using graph::MsfResult;
 using graph::VertexId;
 
@@ -29,45 +32,120 @@ MsfResult assemble_result(const EdgeList& input, std::vector<EdgeId> ids) {
   return res;
 }
 
-std::vector<DirEdge> compact_arcs(ThreadTeam& team, std::vector<DirEdge>&& arcs,
-                                  std::span<const VertexId> labels) {
+void compact_arcs_in_region(TeamCtx& ctx, std::vector<DirEdge>& arcs,
+                            std::span<const VertexId> labels,
+                            CompactSortMode mode, CompactScratch& s) {
   const std::size_t m = arcs.size();
+  const int p = ctx.nthreads();
+
+  if (ctx.tid() == 0) {
+    if (s.keep.size() < m) s.keep.resize(m);
+    s.scan.ensure(p);
+  }
+  ctx.barrier();
 
   // Relabel and mark survivors (non-self-loops) in one pass.
-  std::vector<EdgeId> keep(m);
-  parallel_for(team, m, [&](std::size_t i) {
+  for_range(ctx, m, [&](std::size_t i) {
     DirEdge& e = arcs[i];
     e.u = labels[e.u];
     e.v = labels[e.v];
-    keep[i] = e.u != e.v ? 1 : 0;
+    s.keep[i] = e.u != e.v ? 1 : 0;
   });
-  const EdgeId survivors = exclusive_scan(team, std::span<EdgeId>(keep));
-  std::vector<DirEdge> filtered(survivors);
-  parallel_for(team, m, [&](std::size_t i) {
-    const bool live = (i + 1 < m ? keep[i + 1] : survivors) != keep[i];
-    if (live) filtered[keep[i]] = arcs[i];
+  ctx.barrier();
+  const EdgeId survivors =
+      prefix_sum_in_region(ctx, std::span<EdgeId>(s.keep.data(), m), s.scan);
+  if (ctx.tid() == 0) s.filtered.resize(survivors);
+  ctx.barrier();
+  for_range(ctx, m, [&](std::size_t i) {
+    const bool live = (i + 1 < m ? s.keep[i + 1] : survivors) != s.keep[i];
+    if (live) s.filtered[s.keep[i]] = arcs[i];
   });
-  arcs.clear();
-  arcs.shrink_to_fit();
+  ctx.barrier();
 
   // Sort so that multi-edges between the same supervertex pair become
-  // consecutive with the lightest first, then prefix-sum-compact the heads.
-  sample_sort(team, filtered, DirEdgeCompactLess{});
-  const std::size_t f = filtered.size();
-  std::vector<EdgeId> head(f);
-  parallel_for(team, f, [&](std::size_t i) {
-    head[i] = (i == 0 || filtered[i].u != filtered[i - 1].u ||
-               filtered[i].v != filtered[i - 1].v)
-                  ? 1
-                  : 0;
+  // consecutive.  When ⟨u, v⟩ packs into a 64-bit integer (always with a
+  // 32-bit VertexId), LSD radix sort beats the comparison sample sort.
+  constexpr bool kPackable = sizeof(VertexId) <= 4;
+  const bool use_radix =
+      mode == CompactSortMode::kRadix ||
+      (mode == CompactSortMode::kAuto && kPackable);
+  if (use_radix) {
+    radix_sort_in_region(ctx, s.filtered, s.radix, [](const DirEdge& e) {
+      return (static_cast<std::uint64_t>(e.u) << 32) |
+             static_cast<std::uint64_t>(e.v);
+    });
+  } else {
+    sample_sort_in_region(ctx, s.filtered, s.sample, DirEdgeCompactLess{});
+  }
+
+  // Mark ⟨u, v⟩ group heads and prefix-sum them into dense group ids.
+  const std::size_t f = s.filtered.size();
+  if (ctx.tid() == 0) {
+    if (s.head.size() < f) s.head.resize(f);
+  }
+  ctx.barrier();
+  for_range(ctx, f, [&](std::size_t i) {
+    s.head[i] = (i == 0 || s.filtered[i].u != s.filtered[i - 1].u ||
+                 s.filtered[i].v != s.filtered[i - 1].v)
+                    ? 1
+                    : 0;
   });
-  const EdgeId uniques = exclusive_scan(team, std::span<EdgeId>(head));
-  std::vector<DirEdge> out(uniques);
-  parallel_for(team, f, [&](std::size_t i) {
-    const bool is_head = (i + 1 < f ? head[i + 1] : uniques) != head[i];
-    if (is_head) out[head[i]] = filtered[i];
+  ctx.barrier();
+  const EdgeId uniques =
+      prefix_sum_in_region(ctx, std::span<EdgeId>(s.head.data(), f), s.scan);
+  if (ctx.tid() == 0) {
+    s.out.resize(uniques);
+    if (use_radix && s.winner_cap < uniques) {
+      s.winner = std::make_unique<std::atomic<EdgeId>[]>(uniques);
+      s.winner_cap = uniques;
+    }
+  }
+  ctx.barrier();
+
+  if (use_radix) {
+    // The radix sort grouped by ⟨u, v⟩ but (being stable on the packed key
+    // alone) did not order groups by weight — resolve each group's lightest
+    // arc by atomic write-min under the WeightOrder total order, which is
+    // deterministic regardless of scheduling.
+    for_range(ctx, uniques, [&](std::size_t g) {
+      s.winner[g].store(kInvalidEdge, std::memory_order_relaxed);
+    });
+    ctx.barrier();
+    const auto better = [&](EdgeId a, EdgeId b) {
+      return s.filtered[a].order() < s.filtered[b].order();
+    };
+    for_range(ctx, f, [&](std::size_t i) {
+      // After the exclusive scan, head[i] equals the group id only at head
+      // positions; for every element the group id is the inclusive scan
+      // (head[i+1], or `uniques` at the end) minus one.
+      const EdgeId grp = (i + 1 < f ? s.head[i + 1] : uniques) - 1;
+      atomic_write_min(s.winner[grp], static_cast<EdgeId>(i), better);
+    });
+    ctx.barrier();
+    for_range(ctx, uniques, [&](std::size_t g) {
+      s.out[g] = s.filtered[s.winner[g].load(std::memory_order_relaxed)];
+    });
+  } else {
+    // The comparator sort put the lightest arc of each group first.
+    for_range(ctx, f, [&](std::size_t i) {
+      const bool is_head = (i + 1 < f ? s.head[i + 1] : uniques) != s.head[i];
+      if (is_head) s.out[s.head[i]] = s.filtered[i];
+    });
+  }
+  ctx.barrier();
+  if (ctx.tid() == 0) arcs.swap(s.out);
+  ctx.barrier();
+}
+
+std::vector<DirEdge> compact_arcs(ThreadTeam& team, std::vector<DirEdge>&& arcs,
+                                  std::span<const VertexId> labels,
+                                  CompactSortMode mode) {
+  std::vector<DirEdge> result = std::move(arcs);
+  CompactScratch scratch;
+  team.run([&](TeamCtx& ctx) {
+    compact_arcs_in_region(ctx, result, labels, mode, scratch);
   });
-  return out;
+  return result;
 }
 
 }  // namespace smp::core::detail

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -7,6 +9,9 @@
 #include "graph/edge_list.hpp"
 #include "graph/msf_result.hpp"
 #include "pprim/cacheline.hpp"
+#include "pprim/prefix_sum.hpp"
+#include "pprim/radix_sort.hpp"
+#include "pprim/sample_sort.hpp"
 #include "pprim/thread_team.hpp"
 
 namespace smp::core::detail {
@@ -46,11 +51,42 @@ class EdgeCollector {
 graph::MsfResult assemble_result(const graph::EdgeList& input,
                                  std::vector<graph::EdgeId> ids);
 
-/// compact-graph for edge-list representations (Bor-EL §2.1; also MST-BC's
-/// between-rounds contraction): relabel endpoints through `labels`, drop
-/// self-loops, parallel sample sort by ⟨u, v, weight⟩, and keep only the
-/// lightest edge of every (u, v) group.
+/// Team-shared scratch for compact_arcs_in_region.  Grow-only across
+/// iterations: the fused Borůvka loop allocates once and every later
+/// iteration (whose arc count only shrinks) reuses the capacity.
+struct CompactScratch {
+  std::vector<graph::EdgeId> keep;
+  std::vector<DirEdge> filtered;
+  std::vector<graph::EdgeId> head;
+  std::vector<DirEdge> out;
+  RadixSortScratch<DirEdge> radix;
+  SampleSortScratch<DirEdge> sample;
+  ScanScratch<graph::EdgeId> scan;
+  /// Per-⟨u,v⟩-group index of the lightest arc (radix path only; atomics are
+  /// not movable, hence the manual grow-only buffer instead of a vector).
+  std::unique_ptr<std::atomic<graph::EdgeId>[]> winner;
+  std::size_t winner_cap = 0;
+};
+
+/// In-region compact-graph (Bor-EL §2.1; also MST-BC's between-rounds
+/// contraction): relabel endpoints through `labels`, drop self-loops, sort
+/// so multi-edges between the same supervertex pair become consecutive, and
+/// keep only the lightest arc of every ⟨u, v⟩ group.  Replaces `arcs` in
+/// place.  All team threads call it inside an open SPMD region with
+/// identical arguments; the final barrier publishes the result.
+///
+/// Sort dispatch (CompactSortMode::kAuto): ⟨u, v⟩ packs into one uint64_t
+/// whenever VertexId fits 32 bits, so the compact sort runs as a packed-key
+/// LSD radix sort; group minima are then resolved by atomic write-min under
+/// the WeightOrder total order — the identical deduplicated output the
+/// three-field-comparator sample sort produces.
+void compact_arcs_in_region(TeamCtx& ctx, std::vector<DirEdge>& arcs,
+                            std::span<const graph::VertexId> labels,
+                            CompactSortMode mode, CompactScratch& scratch);
+
+/// Fork-join wrapper around compact_arcs_in_region (one SPMD region).
 std::vector<DirEdge> compact_arcs(ThreadTeam& team, std::vector<DirEdge>&& arcs,
-                                  std::span<const graph::VertexId> labels);
+                                  std::span<const graph::VertexId> labels,
+                                  CompactSortMode mode = CompactSortMode::kAuto);
 
 }  // namespace smp::core::detail

@@ -16,6 +16,20 @@ struct DirEdge {
   [[nodiscard]] graph::WeightOrder order() const { return {w, orig}; }
 };
 
+/// How compact-graph orders the relabeled arc array.
+///
+/// kAuto packs ⟨u, v⟩ into one uint64_t and dispatches to the parallel LSD
+/// radix sort whenever VertexId fits 32 bits (always, with the current
+/// 32-bit VertexId), falling back to comparison sample sort otherwise.  The
+/// explicit modes pin one path for ablation benches; both produce the
+/// identical deduplicated output (the lightest arc of every ⟨u, v⟩ group
+/// under the WeightOrder total order).
+enum class CompactSortMode {
+  kAuto,
+  kRadix,
+  kSample,
+};
+
 /// Sample-sort key for compact-graph: supervertex of the first endpoint is
 /// the primary key, of the second endpoint the secondary key, and the edge
 /// weight (with orig tie-break) the tertiary key (§2.1).

@@ -10,43 +10,91 @@ namespace smp::core {
 
 using graph::VertexId;
 
-void pointer_jump_components(ThreadTeam& team, std::span<VertexId> parent) {
+void pointer_jump_components_in_region(TeamCtx& ctx, std::span<VertexId> parent,
+                                       ComponentsScratch& s) {
   const std::size_t n = parent.size();
 
-  // Break mutual-minimum 2-cycles: keep the smaller endpoint as root.
-  parallel_for(team, n, [&](std::size_t v) {
-    const VertexId p = parent[v];
-    if (parent[p] == v && v < p) parent[v] = static_cast<VertexId>(v);
-  });
+  // Both loops below read parent[] entries owned by other threads while those
+  // threads overwrite their own entries.  Any interleaving is benign — a stale
+  // read still yields a valid ancestor and the fixpoint is unchanged — but the
+  // accesses must be relaxed atomics to be defined behavior (and TSan-clean).
+  const auto load = [](VertexId& x) {
+    return std::atomic_ref<VertexId>(x).load(std::memory_order_relaxed);
+  };
+  const auto store = [](VertexId& x, VertexId val) {
+    std::atomic_ref<VertexId>(x).store(val, std::memory_order_relaxed);
+  };
 
-  // Pointer jumping to the roots.  Each round halves every chain length, so
-  // this converges in O(log n) rounds; `changed` detects the fixpoint.
-  std::atomic<bool> changed{true};
-  while (changed.load(std::memory_order_relaxed)) {
-    changed.store(false, std::memory_order_relaxed);
-    parallel_for(team, n, [&](std::size_t v) {
-      const VertexId p = parent[v];
-      const VertexId gp = parent[p];
+  // Break mutual-minimum 2-cycles: keep the smaller endpoint as root.
+  for_range(ctx, n, [&](std::size_t v) {
+    const VertexId p = load(parent[v]);
+    if (load(parent[p]) == v && v < p) store(parent[v], static_cast<VertexId>(v));
+  });
+  if (ctx.tid() == 0) {
+    s.changed[0].store(false, std::memory_order_relaxed);
+    s.changed[1].store(false, std::memory_order_relaxed);
+  }
+  ctx.barrier();
+
+  // Pointer jumping to the roots; converges in O(log n) rounds.  Round r
+  // raises changed[cur]; after the barrier every thread reads the same flag
+  // value (nobody writes it in that window) while tid 0 pre-clears the flag
+  // of round r+1, so the fixpoint decision is uniform across the team.
+  int cur = 0;
+  for (;;) {
+    for_range(ctx, n, [&](std::size_t v) {
+      const VertexId p = load(parent[v]);
+      const VertexId gp = load(parent[p]);
       if (p != gp) {
-        parent[v] = gp;
-        if (!changed.load(std::memory_order_relaxed)) {
-          changed.store(true, std::memory_order_relaxed);
+        store(parent[v], gp);
+        if (!s.changed[cur].load(std::memory_order_relaxed)) {
+          s.changed[cur].store(true, std::memory_order_relaxed);
         }
       }
     });
+    ctx.barrier();
+    const bool go = s.changed[cur].load(std::memory_order_relaxed);
+    if (ctx.tid() == 0) s.changed[cur ^ 1].store(false, std::memory_order_relaxed);
+    if (!go) break;
+    cur ^= 1;
+    ctx.barrier();  // publish the clear before the next round's stores
   }
 }
 
-VertexId densify_labels(ThreadTeam& team, std::span<VertexId> parent) {
+VertexId densify_labels_in_region(TeamCtx& ctx, std::span<VertexId> parent,
+                                  ComponentsScratch& s) {
   const std::size_t n = parent.size();
-  std::vector<VertexId> rank(n);
-  parallel_for(team, n, [&](std::size_t v) {
-    rank[v] = parent[v] == v ? 1u : 0u;
+  if (ctx.tid() == 0) {
+    if (s.rank.size() < n) s.rank.resize(n);
+    s.scan.ensure(ctx.nthreads());
+  }
+  ctx.barrier();
+  for_range(ctx, n, [&](std::size_t v) {
+    s.rank[v] = parent[v] == v ? 1u : 0u;
   });
-  const VertexId num_roots =
-      static_cast<VertexId>(exclusive_scan(team, std::span<VertexId>(rank)));
-  parallel_for(team, n, [&](std::size_t v) {
-    parent[v] = rank[parent[v]];
+  ctx.barrier();
+  const auto num_roots = static_cast<VertexId>(prefix_sum_in_region(
+      ctx, std::span<VertexId>(s.rank.data(), n), s.scan));
+  for_range(ctx, n, [&](std::size_t v) {
+    parent[v] = s.rank[parent[v]];
+  });
+  ctx.barrier();
+  return num_roots;
+}
+
+void pointer_jump_components(ThreadTeam& team, std::span<VertexId> parent) {
+  ComponentsScratch scratch;
+  team.run([&](TeamCtx& ctx) {
+    pointer_jump_components_in_region(ctx, parent, scratch);
+  });
+}
+
+VertexId densify_labels(ThreadTeam& team, std::span<VertexId> parent) {
+  ComponentsScratch scratch;
+  VertexId num_roots = 0;
+  team.run([&](TeamCtx& ctx) {
+    const VertexId r = densify_labels_in_region(ctx, parent, scratch);
+    if (ctx.tid() == 0) num_roots = r;
   });
   return num_roots;
 }

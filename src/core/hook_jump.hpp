@@ -1,11 +1,28 @@
 #pragma once
 
+#include <atomic>
 #include <span>
+#include <vector>
 
 #include "graph/types.hpp"
+#include "pprim/prefix_sum.hpp"
 #include "pprim/thread_team.hpp"
 
 namespace smp::core {
+
+/// Team-shared scratch for the in-region connectivity helpers.  Grow-only,
+/// so one instance serves every iteration of a fused Borůvka loop.
+///
+/// The two `changed` flags implement the race-free fixpoint test of the
+/// in-region pointer jumping: round r publishes progress into changed[r%2]
+/// while tid 0 clears the *other* flag, so no thread ever reads a flag that
+/// is concurrently being reset (a single-flag clear-after-read scheme lets a
+/// slow reader observe the cleared flag and diverge on barrier counts).
+struct ComponentsScratch {
+  std::vector<graph::VertexId> rank;
+  ScanScratch<graph::VertexId> scan;
+  std::atomic<bool> changed[2] = {false, false};
+};
 
 /// Connected components of the pseudo-forest induced by the find-min step.
 ///
@@ -22,5 +39,20 @@ void pointer_jump_components(ThreadTeam& team, std::span<graph::VertexId> parent
 /// pointer_jump_components has run.  Returns n', the number of roots (the
 /// supervertex count after this Borůvka iteration).
 graph::VertexId densify_labels(ThreadTeam& team, std::span<graph::VertexId> parent);
+
+/// In-region variant of pointer_jump_components: all team threads call it
+/// inside an open SPMD region with identical arguments; synchronization is
+/// ctx.barrier() only.  On return `parent` is fully jumped and visible to
+/// every thread.
+void pointer_jump_components_in_region(TeamCtx& ctx,
+                                       std::span<graph::VertexId> parent,
+                                       ComponentsScratch& scratch);
+
+/// In-region variant of densify_labels; returns the root count on every
+/// thread (so the fused iteration can size its next-round structures without
+/// leaving the region).
+graph::VertexId densify_labels_in_region(TeamCtx& ctx,
+                                         std::span<graph::VertexId> parent,
+                                         ComponentsScratch& scratch);
 
 }  // namespace smp::core

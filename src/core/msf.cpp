@@ -6,6 +6,7 @@
 #include "core/bor_uf.hpp"
 #include "core/filter_kruskal.hpp"
 #include "core/sample_filter.hpp"
+#include "pprim/tuning.hpp"
 #include "seq/seq_msf.hpp"
 
 namespace smp::core {
@@ -89,6 +90,9 @@ graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
                                          const MsfOptions& opts) {
   validate_request(g, opts);
   iteration_checkpoint(opts, "request start");
+  // Cutoff-ablation overrides (0 = keep the process-global tuning value);
+  // restored when the solve returns or unwinds.
+  ScopedTuning tuning(opts.parallel_for_cutoff, opts.sample_sort_cutoff);
   try {
     switch (opts.algorithm) {
       case Algorithm::kSeqPrim:

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
+#include "core/dir_edge.hpp"
 #include "core/error.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/msf_result.hpp"
@@ -62,6 +64,27 @@ struct StepTimes {
   }
 };
 
+/// Region accounting for the fused SPMD execution model: how many ThreadTeam
+/// regions each algorithm iteration forked.  A fused algorithm runs one
+/// persistent region per Borůvka iteration (regions_per_iteration() == 1);
+/// anything larger means the iteration still pays extra fork/join wake-ups.
+struct PhaseStats {
+  std::uint64_t iterations = 0;  ///< Borůvka iterations / MST-BC rounds
+  std::uint64_t regions = 0;     ///< SPMD regions started inside those iterations
+
+  [[nodiscard]] double regions_per_iteration() const {
+    return iterations == 0
+               ? 0.0
+               : static_cast<double>(regions) / static_cast<double>(iterations);
+  }
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    iterations += o.iterations;
+    regions += o.regions;
+    return *this;
+  }
+};
+
 /// Per-iteration size trace (Table 1: how fast the edge list shrinks).
 struct IterationStat {
   graph::VertexId vertices = 0;    ///< supervertices at iteration start
@@ -81,6 +104,14 @@ struct MsfOptions {
   /// Optional out-params for instrumentation; may be nullptr.
   StepTimes* step_times = nullptr;
   std::vector<IterationStat>* iteration_stats = nullptr;
+  PhaseStats* phase_stats = nullptr;
+  /// compact-graph sort dispatch (kAuto = packed-key radix when possible).
+  CompactSortMode compact_sort = CompactSortMode::kAuto;
+  /// Sequential-cutoff overrides for the cutoff-ablation benches; 0 keeps
+  /// the process-global tuning value (see pprim/tuning.hpp).  Applied for
+  /// the duration of the minimum_spanning_forest call.
+  std::size_t parallel_for_cutoff = 0;
+  std::size_t sample_sort_cutoff = 0;
   /// Optional execution budget (cancellation token, deadline, arena memory
   /// cap), checked at per-iteration checkpoints; may be nullptr.  The budget
   /// outlives the call and may be shared with a canceller thread.

@@ -63,22 +63,16 @@ BcGraph build_from_edge_list(const EdgeList& g) {
   return b;
 }
 
-BcGraph build_from_dir_edges(ThreadTeam& team, VertexId n,
-                             const std::vector<DirEdge>& des) {
-  // Parallel counting sort by source vertex: the scatter is the CSR build,
-  // and its key_offsets array is exactly the offsets array.
-  BcGraph b;
-  b.n = n;
-  std::vector<DirEdge> sorted(des.size());
-  counting_sort_by_key(
-      team, std::span<const DirEdge>(des), std::span<DirEdge>(sorted), n,
-      [](const DirEdge& e) { return static_cast<std::size_t>(e.u); }, b.offsets);
-  b.arcs.resize(sorted.size());
-  parallel_for(team, sorted.size(), [&](std::size_t i) {
-    b.arcs[i] = {sorted[i].v, sorted[i].w, sorted[i].orig};
-  });
-  return b;
-}
+/// Team-shared scratch for contract_rebuild_in_region (grow-only across
+/// contraction rounds — arc counts only shrink).
+struct RebuildScratch {
+  std::vector<DirEdge> des;
+  std::vector<DirEdge> sorted;
+  std::vector<EdgeId> cs_counts;
+  std::vector<EdgeId> next_offsets;
+  std::vector<BcGraph::Arc> next_arcs;
+  detail::CompactScratch compact;
+};
 
 /// Heap key of a fringe vertex: its best known connecting edge.
 struct BcKey {
@@ -121,17 +115,43 @@ void solve_base_case(const BcGraph& g, std::vector<EdgeId>& out_ids) {
 
 /// step 5: relabel through `labels`, drop self-loops, keep only the lightest
 /// multi-edge per supervertex pair, and rebuild the CSR for the next round.
-void contract_rebuild(ThreadTeam& team, BcGraph& cur,
-                      std::span<const VertexId> labels, VertexId next_n) {
-  std::vector<DirEdge> des(cur.arcs.size());
-  parallel_for(team, cur.n, [&](std::size_t v) {
+/// In-region: all team threads call it inside an open SPMD region with
+/// identical arguments; the CSR rebuild is an in-region counting sort by
+/// source vertex whose key_offsets array is exactly the offsets array.
+void contract_rebuild_in_region(TeamCtx& ctx, BcGraph& cur,
+                                std::span<const VertexId> labels, VertexId next_n,
+                                CompactSortMode mode, RebuildScratch& s) {
+  if (ctx.tid() == 0) s.des.resize(cur.arcs.size());
+  ctx.barrier();
+  for_range(ctx, cur.n, [&](std::size_t v) {
     for (EdgeId a = cur.offsets[v]; a < cur.offsets[v + 1]; ++a) {
       const auto& arc = cur.arcs[a];
-      des[a] = {static_cast<VertexId>(v), arc.target, arc.w, arc.orig};
+      s.des[a] = {static_cast<VertexId>(v), arc.target, arc.w, arc.orig};
     }
   });
-  des = detail::compact_arcs(team, std::move(des), labels);
-  cur = build_from_dir_edges(team, next_n, des);
+  ctx.barrier();
+  detail::compact_arcs_in_region(ctx, s.des, labels, mode, s.compact);
+
+  const std::size_t f = s.des.size();
+  if (ctx.tid() == 0) {
+    s.sorted.resize(f);
+    s.next_arcs.resize(f);
+  }
+  ctx.barrier();
+  counting_sort_in_region(
+      ctx, std::span<const DirEdge>(s.des), std::span<DirEdge>(s.sorted.data(), f),
+      next_n, [](const DirEdge& e) { return static_cast<std::size_t>(e.u); },
+      s.next_offsets, s.cs_counts);
+  for_range(ctx, f, [&](std::size_t i) {
+    s.next_arcs[i] = {s.sorted[i].v, s.sorted[i].w, s.sorted[i].orig};
+  });
+  ctx.barrier();
+  if (ctx.tid() == 0) {
+    cur.n = next_n;
+    cur.offsets.swap(s.next_offsets);
+    cur.arcs.swap(s.next_arcs);
+  }
+  ctx.barrier();
 }
 
 }  // namespace
@@ -152,12 +172,16 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
   BcGraph cur = build_from_edge_list(g);
   detail::EdgeCollector collector(team.size());
   std::atomic<std::uint64_t> color_counter{1};
+  ComponentsScratch comp_scratch;
+  RebuildScratch rebuild_scratch;
+  std::vector<EdgeId> best;
   st.other += phase.elapsed_s();
 
   while (cur.n > opts.bc_base_size && !cur.arcs.empty()) {
     iteration_checkpoint(opts, "MST-BC round");
     const VertexId n = cur.n;
     const std::size_t edges_before = collector.total();
+    const std::uint64_t regions_before = team.regions_started();
 
     // --- steps 1-2: coordinated Prim growth --------------------------------
     phase.reset();
@@ -262,14 +286,21 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
     });
     st.find_min += phase.elapsed_s();
 
-    // --- step 3: unvisited vertices pick their lightest incident edge ------
-    phase.reset();
-    std::vector<EdgeId> best(n, kInvalidEdge);
+    // --- steps 3-5: ONE fused SPMD region ------------------------------------
+    // Step-3 picks, the pointer-jump contraction, the (rare) Borůvka fallback
+    // round, and the relabel + dedup + CSR rebuild all synchronize via
+    // ctx.barrier() instead of paying ~8 fork/joins per round.  The
+    // no-progress decision is uniform: every input to it (densify's return
+    // value, the collector totals) is published by a barrier before any
+    // thread branches on it.
+    best.assign(n, kInvalidEdge);
     team.run([&](TeamCtx& ctx) {
+      WallTimer t0;
       // Fault point ahead of an in-region barrier: an injected throw here
       // leaves the siblings blocked at ctx.barrier() unless the poisoned
       // release rescues them — the hardest failure shape this layer covers.
       fault_point("mst-bc.step3.region");
+      // step 3: unvisited vertices pick their lightest incident edge.
       for_range(ctx, n, [&](std::size_t v) {
         if (visited[v]) return;
         EdgeId b = kInvalidEdge;
@@ -290,24 +321,31 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
         const bool mutual = ob != kInvalidEdge && cur.arcs[ob].orig == cur.arcs[b].orig;
         if (!(mutual && other < v)) collector.add(ctx.tid(), cur.arcs[b].orig);
       });
-    });
-    st.find_min += phase.elapsed_s();
+      ctx.barrier();
 
-    // --- step 4: contract the induced components ----------------------------
-    phase.reset();
-    pointer_jump_components(team, std::span<VertexId>(parent.data(), n));
-    const VertexId next_n = densify_labels(team, std::span<VertexId>(parent.data(), n));
-    st.connect += phase.elapsed_s();
+      // step 4: contract the induced components.
+      if (ctx.tid() == 0) {
+        st.find_min += t0.elapsed_s();
+        t0.reset();
+      }
+      pointer_jump_components_in_region(
+          ctx, std::span<VertexId>(parent.data(), n), comp_scratch);
+      VertexId next_n = densify_labels_in_region(
+          ctx, std::span<VertexId>(parent.data(), n), comp_scratch);
+      if (ctx.tid() == 0) {
+        st.connect += t0.elapsed_s();
+        t0.reset();
+      }
 
-    phase.reset();
-    if (next_n == n && collector.total() == edges_before) {
-      // Pathological round: no tree grew an edge and no step-3 pick merged
-      // anything (only possible when every component is already a single
-      // vertex — then arcs is empty and the loop exits — or under the
-      // adversarial schedule the paper notes; the permutation makes it
-      // vanishingly rare).  Borůvka always progresses, so fall back to one
-      // find-min-over-all-vertices round.
-      team.run([&](TeamCtx& ctx) {
+      // Every thread reads the same collector totals (the record pass sits
+      // behind two barriers) and the same next_n, so the branch is uniform.
+      if (next_n == n && collector.total() == edges_before) {
+        // Pathological round: no tree grew an edge and no step-3 pick merged
+        // anything (only possible when every component is already a single
+        // vertex — then arcs is empty and the loop exits — or under the
+        // adversarial schedule the paper notes; the permutation makes it
+        // vanishingly rare).  Borůvka always progresses, so fall back to one
+        // find-min-over-all-vertices round.
         for_range(ctx, n, [&](std::size_t v) {
           EdgeId b = kInvalidEdge;
           for (EdgeId a = cur.offsets[v]; a < cur.offsets[v + 1]; ++a) {
@@ -326,18 +364,27 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
               ob != kInvalidEdge && cur.arcs[ob].orig == cur.arcs[b].orig;
           if (!(mutual && other < v)) collector.add(ctx.tid(), cur.arcs[b].orig);
         });
-      });
-      pointer_jump_components(team, std::span<VertexId>(parent.data(), n));
-      const VertexId fb_n = densify_labels(team, std::span<VertexId>(parent.data(), n));
-      contract_rebuild(team, cur, std::span<const VertexId>(parent.data(), n), fb_n);
-      st.compact += phase.elapsed_s();
-      continue;
-    }
+        ctx.barrier();
+        pointer_jump_components_in_region(
+            ctx, std::span<VertexId>(parent.data(), n), comp_scratch);
+        next_n = densify_labels_in_region(
+            ctx, std::span<VertexId>(parent.data(), n), comp_scratch);
+      } else if (ctx.tid() == 0) {
+        // step 5 only (fault semantics: the compact site never fires on the
+        // fallback path, matching the pre-fusion behaviour).
+        fault_point("mst-bc.compact");
+      }
+      fault_point("mst-bc.compact.region");
+      contract_rebuild_in_region(ctx, cur,
+                                 std::span<const VertexId>(parent.data(), n),
+                                 next_n, opts.compact_sort, rebuild_scratch);
+      if (ctx.tid() == 0) st.compact += t0.elapsed_s();
+    });
 
-    // step 5: relabel, drop self-loops, keep the lightest multi-edge, rebuild.
-    fault_point("mst-bc.compact");
-    contract_rebuild(team, cur, std::span<const VertexId>(parent.data(), n), next_n);
-    st.compact += phase.elapsed_s();
+    if (opts.phase_stats) {
+      opts.phase_stats->iterations += 1;
+      opts.phase_stats->regions += team.regions_started() - regions_before;
+    }
   }
 
   // --- step 6: sequential base case ---------------------------------------

@@ -27,50 +27,72 @@ std::size_t FlexAdjList::member_count(VertexId s) const {
 
 void FlexAdjList::contract(ThreadTeam& team, std::span<const VertexId> new_label,
                            VertexId new_n) {
+  ContractScratch scratch;
+  team.run([&](TeamCtx& ctx) { contract(ctx, new_label, new_n, scratch); });
+}
+
+void FlexAdjList::contract(TeamCtx& ctx, std::span<const VertexId> new_label,
+                           VertexId new_n, ContractScratch& s) {
   const auto cur_n = static_cast<VertexId>(new_label.size());
+  if (ctx.tid() == 0) {
+    s.order.resize(cur_n);
+    s.group_start.resize(static_cast<std::size_t>(new_n) + 1);
+    s.new_head.resize(new_n);
+    s.new_tail.resize(new_n);
+    s.chain_cursor.store(0, std::memory_order_relaxed);
+  }
+  ctx.barrier();
 
   // Sort the current supervertices by their new label so merging groups are
   // contiguous ("compact-graph first sorts the n vertices", §3).
-  std::vector<VertexId> order(cur_n);
-  std::iota(order.begin(), order.end(), VertexId{0});
-  sample_sort(team, order, [&](VertexId a, VertexId b) {
+  for_range(ctx, cur_n, [&](std::size_t i) {
+    s.order[i] = static_cast<VertexId>(i);
+  });
+  ctx.barrier();
+  sample_sort_in_region(ctx, s.order, s.sort, [&](VertexId a, VertexId b) {
     return new_label[a] != new_label[b] ? new_label[a] < new_label[b] : a < b;
   });
 
   // Group starts: new labels are dense, every group non-empty.
-  std::vector<VertexId> group_start(static_cast<std::size_t>(new_n) + 1, 0);
-  parallel_for(team, cur_n, [&](std::size_t i) {
-    if (i == 0 || new_label[order[i]] != new_label[order[i - 1]]) {
-      group_start[new_label[order[i]]] = static_cast<VertexId>(i);
+  for_range(ctx, cur_n, [&](std::size_t i) {
+    if (i == 0 || new_label[s.order[i]] != new_label[s.order[i - 1]]) {
+      s.group_start[new_label[s.order[i]]] = static_cast<VertexId>(i);
     }
   });
-  group_start[new_n] = cur_n;
+  if (ctx.tid() == 0) s.group_start[new_n] = cur_n;
+  ctx.barrier();
 
   // O(n) pointer appends: chain the member lists of each group.
-  std::vector<VertexId> new_head(new_n);
-  std::vector<VertexId> new_tail(new_n);
-  parallel_for_dynamic(team, new_n, 64, [&](std::size_t s) {
-    const VertexId gs = group_start[s];
-    const VertexId ge = group_start[s + 1];
-    new_head[s] = head_[order[gs]];
-    VertexId t = tail_[order[gs]];
+  for_range_dynamic(ctx, s.chain_cursor, new_n, 64, [&](std::size_t sv) {
+    const VertexId gs = s.group_start[sv];
+    const VertexId ge = s.group_start[sv + 1];
+    s.new_head[sv] = head_[s.order[gs]];
+    VertexId t = tail_[s.order[gs]];
     for (VertexId gi = gs + 1; gi < ge; ++gi) {
-      const VertexId o = order[gi];
+      const VertexId o = s.order[gi];
       next_[t] = head_[o];
       t = tail_[o];
     }
-    new_tail[s] = t;
+    s.new_tail[sv] = t;
   });
-  head_.swap(new_head);
-  tail_.swap(new_tail);
-  head_.resize(new_n);
-  tail_.resize(new_n);
+  ctx.barrier();
 
-  // Lookup-table update: original vertex → new supervertex.
-  parallel_for(team, label_.size(), [&](std::size_t x) {
+  // Publish the new head/tail arrays (new_n ≤ cur_n, so in-place copy fits)
+  // and update the lookup table: original vertex → new supervertex.
+  for_range(ctx, new_n, [&](std::size_t sv) {
+    head_[sv] = s.new_head[sv];
+    tail_[sv] = s.new_tail[sv];
+  });
+  for_range(ctx, label_.size(), [&](std::size_t x) {
     label_[x] = new_label[label_[x]];
   });
-  num_super_ = new_n;
+  ctx.barrier();
+  if (ctx.tid() == 0) {
+    head_.resize(new_n);
+    tail_.resize(new_n);
+    num_super_ = new_n;
+  }
+  ctx.barrier();
 }
 
 }  // namespace smp::graph

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
+#include "pprim/sample_sort.hpp"
 #include "pprim/thread_team.hpp"
 
 namespace smp::graph {
@@ -42,6 +44,17 @@ class FlexAdjList {
   /// Number of members of supervertex `s` (walks the list; for tests).
   [[nodiscard]] std::size_t member_count(VertexId s) const;
 
+  /// Team-shared scratch for the in-region `contract` overload.  Grow-only
+  /// across Borůvka iterations (supervertex counts only shrink).
+  struct ContractScratch {
+    std::vector<VertexId> order;
+    std::vector<VertexId> group_start;
+    std::vector<VertexId> new_head;
+    std::vector<VertexId> new_tail;
+    SampleSortScratch<VertexId> sort;
+    std::atomic<std::size_t> chain_cursor{0};
+  };
+
   /// compact-graph: merge supervertices according to `new_label`, which maps
   /// every current supervertex id to its new dense id in [0, new_n).
   ///
@@ -49,6 +62,12 @@ class FlexAdjList {
   /// group those merging together), O(current n) pointer appends, and the
   /// lookup-table update — no edge is touched or copied.
   void contract(ThreadTeam& team, std::span<const VertexId> new_label, VertexId new_n);
+
+  /// In-region variant: all team threads call it inside an open SPMD region
+  /// with identical arguments; synchronizes via ctx.barrier() only, and the
+  /// trailing barrier publishes the contracted state to every thread.
+  void contract(TeamCtx& ctx, std::span<const VertexId> new_label, VertexId new_n,
+                ContractScratch& scratch);
 
  private:
   const CsrGraph* csr_;

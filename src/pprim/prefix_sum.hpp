@@ -22,6 +22,67 @@ T exclusive_scan_seq(std::span<T> data) {
   return running;
 }
 
+/// Team-shared scratch for prefix_sum_in_region: one cache-line-padded block
+/// total per thread plus one slot for the grand total.  Grow-only, so one
+/// instance serves every scan of a fused iteration.  ensure() is not
+/// thread-safe: call it on the orchestrating thread before the region, or on
+/// tid 0 followed by a barrier.
+template <class T>
+struct ScanScratch {
+  std::vector<Padded<T>> block_total;
+
+  void ensure(int nthreads) {
+    const auto need = static_cast<std::size_t>(nthreads) + 1;
+    if (block_total.size() < need) block_total.resize(need);
+  }
+};
+
+/// In-region two-pass exclusive prefix sum.  All team threads must call it
+/// with identical arguments; it synchronizes internally and its last barrier
+/// publishes the fully scanned array, so on return every thread may read any
+/// element of `data`.  Returns the grand total on every thread.
+///
+/// The sequential cutoff scales with the team (p·128) rather than reusing
+/// the fork-cost-driven team-level cutoff: inside a region a scan only costs
+/// barriers, so even small arrays (e.g. radix count matrices) profit.
+template <class T>
+T prefix_sum_in_region(TeamCtx& ctx, std::span<T> data, ScanScratch<T>& scratch) {
+  const std::size_t n = data.size();
+  const int p = ctx.nthreads();
+  const auto P = static_cast<std::size_t>(p);
+  Padded<T>* bt = scratch.block_total.data();
+
+  if (p == 1 || n < P * 128) {
+    if (ctx.tid() == 0) bt[P].value = exclusive_scan_seq(data);
+    ctx.barrier();
+    return bt[P].value;
+  }
+
+  const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
+  T sum{};
+  for (std::size_t i = r.begin; i < r.end; ++i) sum += data[i];
+  bt[static_cast<std::size_t>(ctx.tid())].value = sum;
+  ctx.barrier();
+  if (ctx.tid() == 0) {
+    T running{};
+    for (std::size_t t = 0; t <= P; ++t) {
+      T v{};
+      if (t < P) v = bt[t].value;
+      bt[t].value = running;
+      running += v;
+    }
+  }
+  ctx.barrier();
+  T running = bt[static_cast<std::size_t>(ctx.tid())].value;
+  for (std::size_t i = r.begin; i < r.end; ++i) {
+    const T v = data[i];
+    data[i] = running;
+    running += v;
+  }
+  ctx.barrier();
+  return bt[P].value;
+}
+
 /// Two-pass parallel exclusive prefix sum (the workhorse behind every
 /// compaction/scatter in the Borůvka variants).  `data` is replaced by its
 /// exclusive prefix sums; returns the grand total.

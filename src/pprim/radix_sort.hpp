@@ -1,81 +1,205 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "pprim/cacheline.hpp"
 #include "pprim/partition.hpp"
+#include "pprim/prefix_sum.hpp"
 #include "pprim/thread_team.hpp"
 
 namespace smp {
 
-/// Parallel LSD radix sort by a 64-bit unsigned key, 8 bits per pass.
+/// Digit width of the LSD radix sort: 8 bits per pass, 256 buckets.
+inline constexpr int kRadixBits = 8;
+inline constexpr std::size_t kRadixBuckets = std::size_t{1} << kRadixBits;
+/// Stride between per-thread count slabs: one cache line of padding after
+/// the 256 counters so neighbouring threads' slabs never share a line.
+inline constexpr std::size_t kRadixSlabStride =
+    kRadixBuckets + kCacheLineBytes / sizeof(std::uint64_t);
+/// Below this many elements a single-threaded sort on tid 0 beats the
+/// per-pass barrier traffic of the parallel path.
+inline constexpr std::size_t kRadixSeqCutoff = std::size_t{1} << 13;
+/// At or above this team size the 256·p cross-thread scan is itself done
+/// with the parallel prefix-sum primitive instead of serialized on tid 0.
+inline constexpr int kRadixParallelScanThreads = 8;
+
+/// Team-shared scratch for radix_sort_in_region.  Grow-only across calls so
+/// a fused Borůvka loop reuses the buffers every iteration.  After a sort
+/// returns, `keys[i]` still holds the key of `data[i]` — callers that need
+/// the sorted keys (e.g. compact-graph's duplicate-group detection) can read
+/// them instead of recomputing key().
+template <class T>
+struct RadixSortScratch {
+  std::vector<T> aux;
+  std::vector<std::uint64_t> keys;      ///< key cache, permuted along with data
+  std::vector<std::uint64_t> keys_aux;
+  /// Thread-major padded count slabs: thread t owns [t*kRadixSlabStride,
+  /// t*kRadixSlabStride + kRadixBuckets), so the count and scatter passes
+  /// never write another thread's cache lines (the old bucket-major
+  /// counts[b*p + t] layout interleaved all threads within each line).
+  std::vector<std::uint64_t> counts;
+  /// Bucket-major (b*p + t) staging area for the cross-thread scan.
+  std::vector<std::uint64_t> scan;
+  std::vector<Padded<std::uint64_t>> or_partial;
+  ScanScratch<std::uint64_t> scan_scratch;
+  std::uint64_t key_or = 0;  ///< published by tid 0 behind a barrier
+};
+
+/// Parallel LSD radix sort by a 64-bit unsigned key, 8 bits per pass, as an
+/// in-region primitive: all team threads call it inside an open SPMD region
+/// with identical arguments; synchronization is ctx.barrier() only.
 ///
 /// Stable.  Passes over all-zero high bytes are skipped, so sorting keys
-/// that only occupy k bits costs ceil(k/8) scatters.  An alternative to
-/// sample sort when the key is a machine integer (e.g. packed supervertex
-/// pairs in compact-graph); see bench_ablation_radix for the comparison.
+/// that only occupy k bits costs ceil(k/8) scatters.  `key` is evaluated
+/// exactly once per element on the parallel path: the keys are cached up
+/// front and scattered alongside the data each pass.
 ///
-/// `key` must be pure (called several times per element).
+/// The final barrier publishes the sorted `data` (and `s.keys`), so on
+/// return every thread may read any element.
 template <class T, class KeyFn>
-void radix_sort_by_key(ThreadTeam& team, std::vector<T>& data, KeyFn&& key) {
+void radix_sort_in_region(TeamCtx& ctx, std::vector<T>& data,
+                          RadixSortScratch<T>& s, KeyFn&& key) {
   const std::size_t n = data.size();
-  if (n < 2) return;
-  constexpr int kBits = 8;
-  constexpr std::size_t kBuckets = std::size_t{1} << kBits;
-  const auto p = static_cast<std::size_t>(team.size());
+  const int p = ctx.nthreads();
+  const auto P = static_cast<std::size_t>(p);
+  const auto t = static_cast<std::size_t>(ctx.tid());
 
-  // Which byte positions actually vary?  OR of all keys tells us.
-  std::uint64_t key_or = 0;
-  {
-    std::vector<std::uint64_t> partial(p, 0);
-    team.run([&](TeamCtx& ctx) {
-      std::uint64_t acc = 0;
-      const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
-      for (std::size_t i = r.begin; i < r.end; ++i) acc |= key(data[i]);
-      partial[static_cast<std::size_t>(ctx.tid())] = acc;
-    });
-    for (const auto v : partial) key_or |= v;
+  if (p == 1 || n < kRadixSeqCutoff) {
+    // Entry barrier: every thread has read data's header (the size check
+    // above) before tid 0 starts mutating the vector below.
+    if (p > 1) ctx.barrier();
+    if (ctx.tid() == 0) {
+      s.keys.resize(n);
+      for (std::size_t i = 0; i < n; ++i) s.keys[i] = key(data[i]);
+      // Sort an index permutation so each key() is still computed once.
+      std::vector<std::uint32_t> perm(n);
+      for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return s.keys[a] < s.keys[b];
+                       });
+      s.aux.resize(n);
+      s.keys_aux.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        s.aux[i] = std::move(data[perm[i]]);
+        s.keys_aux[i] = s.keys[perm[i]];
+      }
+      data.swap(s.aux);
+      s.keys.swap(s.keys_aux);
+    }
+    if (p > 1) ctx.barrier();
+    return;
   }
 
-  std::vector<T> aux(n);
-  std::vector<std::uint64_t> counts(kBuckets * p);
+  if (ctx.tid() == 0) {
+    s.aux.resize(n);
+    s.keys.resize(n);
+    s.keys_aux.resize(n);
+    s.counts.resize(P * kRadixSlabStride);
+    s.scan.resize(kRadixBuckets * P);
+    s.or_partial.resize(P);
+    s.scan_scratch.ensure(p);
+  }
+  ctx.barrier();
+
+  const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
+  // Cache the keys (the only key() evaluation) and OR-reduce them to find
+  // which byte positions actually vary.
+  {
+    std::uint64_t acc = 0;
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const std::uint64_t k = key(data[i]);
+      s.keys[i] = k;
+      acc |= k;
+    }
+    s.or_partial[t].value = acc;
+  }
+  ctx.barrier();
+  if (ctx.tid() == 0) {
+    std::uint64_t acc = 0;
+    for (std::size_t t2 = 0; t2 < P; ++t2) acc |= s.or_partial[t2].value;
+    s.key_or = acc;
+  }
+  ctx.barrier();
+  const std::uint64_t key_or = s.key_or;
+
   T* src = data.data();
-  T* dst = aux.data();
+  T* dst = s.aux.data();
+  std::uint64_t* ksrc = s.keys.data();
+  std::uint64_t* kdst = s.keys_aux.data();
+  std::uint64_t* my_counts = s.counts.data() + t * kRadixSlabStride;
+  const IndexRange br = block_range(kRadixBuckets, ctx.tid(), ctx.nthreads());
   bool flipped = false;
 
-  for (int shift = 0; shift < 64; shift += kBits) {
-    if (((key_or >> shift) & (kBuckets - 1)) == 0) continue;  // constant byte
-    std::fill(counts.begin(), counts.end(), 0);
-    team.run([&](TeamCtx& ctx) {
-      const auto t = static_cast<std::size_t>(ctx.tid());
-      const IndexRange r = block_range(n, ctx.tid(), ctx.nthreads());
-      for (std::size_t i = r.begin; i < r.end; ++i) {
-        const std::size_t b = (key(src[i]) >> shift) & (kBuckets - 1);
-        ++counts[b * p + t];
+  for (int shift = 0; shift < 64; shift += kRadixBits) {
+    if (((key_or >> shift) & (kRadixBuckets - 1)) == 0) continue;  // constant byte
+    std::fill(my_counts, my_counts + kRadixBuckets, 0);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      ++my_counts[(ksrc[i] >> shift) & (kRadixBuckets - 1)];
+    }
+    ctx.barrier();
+    // Transpose the padded slabs into one bucket-major array: scanning that
+    // in (bucket, thread) order is what makes the scatter stable.
+    for (std::size_t b = br.begin; b < br.end; ++b) {
+      for (std::size_t t2 = 0; t2 < P; ++t2) {
+        s.scan[b * P + t2] = s.counts[t2 * kRadixSlabStride + b];
       }
-      ctx.barrier();
+    }
+    ctx.barrier();
+    if (p >= kRadixParallelScanThreads) {
+      (void)prefix_sum_in_region(
+          ctx, std::span<std::uint64_t>(s.scan.data(), kRadixBuckets * P),
+          s.scan_scratch);
+    } else {
       if (ctx.tid() == 0) {
-        std::uint64_t running = 0;
-        for (std::size_t b = 0; b < kBuckets; ++b) {
-          for (std::size_t t2 = 0; t2 < p; ++t2) {
-            const std::uint64_t c = counts[b * p + t2];
-            counts[b * p + t2] = running;
-            running += c;
-          }
-        }
+        (void)exclusive_scan_seq(
+            std::span<std::uint64_t>(s.scan.data(), kRadixBuckets * P));
       }
       ctx.barrier();
-      for (std::size_t i = r.begin; i < r.end; ++i) {
-        const std::size_t b = (key(src[i]) >> shift) & (kBuckets - 1);
-        dst[counts[b * p + t]++] = src[i];
+    }
+    // Transpose back so the scatter cursors live in the thread's own slab.
+    for (std::size_t b = br.begin; b < br.end; ++b) {
+      for (std::size_t t2 = 0; t2 < P; ++t2) {
+        s.counts[t2 * kRadixSlabStride + b] = s.scan[b * P + t2];
       }
-    });
+    }
+    ctx.barrier();
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const std::size_t b = (ksrc[i] >> shift) & (kRadixBuckets - 1);
+      const std::uint64_t pos = my_counts[b]++;
+      dst[pos] = std::move(src[i]);
+      kdst[pos] = ksrc[i];
+    }
+    ctx.barrier();
     std::swap(src, dst);
+    std::swap(ksrc, kdst);
     flipped = !flipped;
   }
-  if (flipped) data.swap(aux);
+
+  if (ctx.tid() == 0 && flipped) {
+    data.swap(s.aux);
+    s.keys.swap(s.keys_aux);
+  }
+  ctx.barrier();
+}
+
+/// Fork-join wrapper around radix_sort_in_region: the whole sort — OR pass,
+/// every counting pass, every scatter — runs as ONE SPMD region (the old
+/// implementation forked one region per byte pass plus one for the OR
+/// reduction).  Callers already inside a region must use the in-region
+/// variant instead (regions do not nest).
+template <class T, class KeyFn>
+void radix_sort_by_key(ThreadTeam& team, std::vector<T>& data, KeyFn&& key) {
+  if (data.size() < 2) return;
+  RadixSortScratch<T> scratch;
+  team.run([&](TeamCtx& ctx) {
+    radix_sort_in_region(ctx, data, scratch, key);
+  });
 }
 
 }  // namespace smp

@@ -36,6 +36,7 @@ void ThreadTeam::record_region_error(std::exception_ptr e) {
 }
 
 void ThreadTeam::run(const std::function<void(TeamCtx&)>& fn) {
+  regions_started_.fetch_add(1, std::memory_order_relaxed);
   if (nthreads_ == 1) {
     TeamCtx ctx(*this, 0, 1);
     fn(ctx);  // exceptions propagate directly; no siblings to unwind

@@ -73,6 +73,13 @@ class ThreadTeam {
 
   [[nodiscard]] int size() const { return nthreads_; }
 
+  /// Number of SPMD regions this team has started since construction.
+  /// Deltas of this counter are how PhaseStats proves an algorithm iteration
+  /// really ran as one fused region instead of a string of fork-joins.
+  [[nodiscard]] std::uint64_t regions_started() const {
+    return regions_started_.load(std::memory_order_relaxed);
+  }
+
   /// Execute `fn(ctx)` on all team threads; returns when every thread has
   /// finished.  Regions must not nest.  If any thread's body throws, the
   /// first exception is rethrown here after the whole team has unwound.
@@ -92,6 +99,7 @@ class ThreadTeam {
   // Job dispatch: a generation counter bumped per region; workers futex-wait
   // on it.  `done_count_` lets the caller wait for region completion.
   const std::function<void(TeamCtx&)>* job_ = nullptr;
+  std::atomic<std::uint64_t> regions_started_{0};
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> generation_{0};
   alignas(kCacheLineBytes) std::atomic<int> done_count_{0};
   std::atomic<bool> shutdown_{false};

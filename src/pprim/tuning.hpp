@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace smp {
+
+/// Central home of the sequential-cutoff constants that used to be hard-coded
+/// in the primitives.  The values are process-global so every primitive (and
+/// every team) sees the same thresholds; benches override them through
+/// ScopedTuning (or MsfOptions) for cutoff-ablation runs.
+///
+/// Changing a cutoff while a parallel region is executing is not supported:
+/// the primitives read these on every thread to pick the sequential-vs-
+/// parallel branch, and the branch must be uniform across the team.
+
+/// Below this many items, parallel_for runs inline on the calling thread.
+inline constexpr std::size_t kDefaultParallelForCutoff = 2048;
+/// Below this many items, sample_sort degrades to a single std::sort.
+inline constexpr std::size_t kDefaultSampleSortCutoff = std::size_t{1} << 15;
+
+namespace tuning_detail {
+inline std::atomic<std::size_t> g_parallel_for_cutoff{kDefaultParallelForCutoff};
+inline std::atomic<std::size_t> g_sample_sort_cutoff{kDefaultSampleSortCutoff};
+}  // namespace tuning_detail
+
+[[nodiscard]] inline std::size_t parallel_for_cutoff() {
+  return tuning_detail::g_parallel_for_cutoff.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline std::size_t sample_sort_cutoff() {
+  return tuning_detail::g_sample_sort_cutoff.load(std::memory_order_relaxed);
+}
+
+inline void set_parallel_for_cutoff(std::size_t n) {
+  tuning_detail::g_parallel_for_cutoff.store(n, std::memory_order_relaxed);
+}
+inline void set_sample_sort_cutoff(std::size_t n) {
+  tuning_detail::g_sample_sort_cutoff.store(n, std::memory_order_relaxed);
+}
+
+/// RAII override of the global cutoffs.  A zero value means "keep the current
+/// setting" (the MsfOptions convention); the previous values are restored on
+/// destruction, so nested solves with different overrides compose.
+class ScopedTuning {
+ public:
+  ScopedTuning(std::size_t pf_cutoff, std::size_t ss_cutoff)
+      : saved_pf_(parallel_for_cutoff()), saved_ss_(sample_sort_cutoff()) {
+    if (pf_cutoff != 0) set_parallel_for_cutoff(pf_cutoff);
+    if (ss_cutoff != 0) set_sample_sort_cutoff(ss_cutoff);
+  }
+  ~ScopedTuning() {
+    set_parallel_for_cutoff(saved_pf_);
+    set_sample_sort_cutoff(saved_ss_);
+  }
+
+  ScopedTuning(const ScopedTuning&) = delete;
+  ScopedTuning& operator=(const ScopedTuning&) = delete;
+
+ private:
+  std::size_t saved_pf_;
+  std::size_t saved_ss_;
+};
+
+}  // namespace smp

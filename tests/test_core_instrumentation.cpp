@@ -4,6 +4,7 @@
 
 #include "core/msf.hpp"
 #include "graph/generators.hpp"
+#include "pprim/tuning.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -100,6 +101,82 @@ TEST(StepTimes, AccumulateAcrossRuns) {
   const double after_one = st.total();
   (void)core::minimum_spanning_forest(g, opts);
   EXPECT_GT(st.total(), after_one) << "step_times accumulates (+=)";
+}
+
+TEST(PhaseStats, FusedAlgorithmsRunOneRegionPerIteration) {
+  // The tentpole property of the fused-iteration refactor: every Borůvka
+  // iteration of the fig. 2 algorithms is exactly ONE persistent SPMD region
+  // (find-min, connect, compact all inside), not one region per phase.
+  const EdgeList g = random_graph(5000, 20000, 21);
+  for (const auto alg : {core::Algorithm::kBorEL, core::Algorithm::kBorAL,
+                         core::Algorithm::kBorALM, core::Algorithm::kBorFAL}) {
+    core::PhaseStats ps;
+    core::MsfOptions opts;
+    opts.algorithm = alg;
+    opts.threads = 4;
+    opts.phase_stats = &ps;
+    (void)core::minimum_spanning_forest(g, opts);
+    ASSERT_GT(ps.iterations, 0u) << core::to_string(alg);
+    EXPECT_EQ(ps.regions, ps.iterations) << core::to_string(alg);
+    EXPECT_DOUBLE_EQ(ps.regions_per_iteration(), 1.0) << core::to_string(alg);
+  }
+}
+
+TEST(PhaseStats, MstBcRoundsStayWithinRegionBudget) {
+  // MST-BC keeps the Prim-growth step (and the optional permutation) as
+  // separate regions; the contraction cascade is fused into one.  Bound the
+  // per-round region count rather than pinning it exactly.
+  const EdgeList g = random_graph(5000, 20000, 22);
+  core::PhaseStats ps;
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kMstBC;
+  opts.threads = 4;
+  opts.bc_base_size = 32;
+  opts.phase_stats = &ps;
+  (void)core::minimum_spanning_forest(g, opts);
+  ASSERT_GT(ps.iterations, 0u);
+  EXPECT_LE(ps.regions_per_iteration(), 4.0);
+}
+
+TEST(CompactSortMode, RadixAndSampleProduceIdenticalForests) {
+  // The packed-key radix path and the comparator sample path must yield the
+  // same deduplicated graph, hence the same forest, on every algorithm that
+  // compacts arcs.
+  const EdgeList g = random_graph(4000, 16000, 23);
+  for (const auto alg : {core::Algorithm::kBorEL, core::Algorithm::kMstBC}) {
+    core::MsfOptions opts;
+    opts.algorithm = alg;
+    opts.threads = 4;
+    opts.compact_sort = core::CompactSortMode::kRadix;
+    const auto radix = core::minimum_spanning_forest(g, opts);
+    opts.compact_sort = core::CompactSortMode::kSample;
+    const auto sample = core::minimum_spanning_forest(g, opts);
+    EXPECT_EQ(test::sorted_ids(radix), test::sorted_ids(sample))
+        << core::to_string(alg);
+    EXPECT_DOUBLE_EQ(radix.total_weight, sample.total_weight)
+        << core::to_string(alg);
+  }
+}
+
+TEST(TuningOverrides, PerCallCutoffsRestoreGlobals) {
+  const std::size_t pf_before = parallel_for_cutoff();
+  const std::size_t ss_before = sample_sort_cutoff();
+  const EdgeList g = random_graph(2000, 8000, 24);
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorEL;
+  opts.threads = 4;
+  opts.parallel_for_cutoff = 64;
+  opts.sample_sort_cutoff = 1024;
+  const auto tuned = core::minimum_spanning_forest(g, opts);
+  // Cutoffs only steer parallel/sequential dispatch, never the result…
+  core::MsfOptions plain;
+  plain.algorithm = core::Algorithm::kBorEL;
+  plain.threads = 4;
+  const auto ref = core::minimum_spanning_forest(g, plain);
+  EXPECT_EQ(test::sorted_ids(tuned), test::sorted_ids(ref));
+  // …and the per-call override restores the process-wide defaults on exit.
+  EXPECT_EQ(parallel_for_cutoff(), pf_before);
+  EXPECT_EQ(sample_sort_cutoff(), ss_before);
 }
 
 TEST(AlgorithmNames, AllDistinct) {

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/bor_uf.hpp"
 #include "core/error.hpp"
 #include "core/msf.hpp"
 #include "graph/generators.hpp"
@@ -178,6 +179,47 @@ TEST_F(FaultInjection, BadAllocInEveryParallelAlgorithmIsCatchable) {
     // No terminate, no hung barrier — and the same team solves cleanly.
     EXPECT_EQ(test::sorted_ids(c.entry(team, g, opts)), ref) << c.name;
   }
+}
+
+// The fused-iteration refactor moved compact-graph into the same SPMD region
+// as find-min and connect-components: a throw there happens with the team
+// deep inside a barrier-synchronized region, so the poisoned-barrier release
+// must unwind every sibling.  One case per converted algorithm.
+const AlgFaultCase kCompactRegionCases[] = {
+    {"Bor-EL", &core::bor_el_msf, "bor-el.compact.region"},
+    {"Bor-AL", &core::bor_al_msf, "bor-al.compact.region"},
+    {"Bor-ALM", &core::bor_alm_msf, "bor-al.compact.region"},
+    {"Bor-FAL", &core::bor_fal_msf, "bor-fal.compact.region"},
+    {"MST-BC", &core::mst_bc_msf, "mst-bc.compact.region"},
+};
+
+TEST_F(FaultInjection, CompactFaultInsideFusedRegionUnwinds) {
+  const EdgeList g = random_graph(4000, 16000, 18);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  for (const auto& c : kCompactRegionCases) {
+    ThreadTeam team(4);
+    core::MsfOptions opts;
+    opts.threads = 4;
+    opts.bc_base_size = 32;  // keep MST-BC in its parallel phase
+    FaultInjector::arm(c.site, FaultKind::kBadAlloc);
+    EXPECT_THROW((void)c.entry(team, g, opts), std::bad_alloc) << c.name;
+    EXPECT_GE(FaultInjector::hits(c.site), 1u) << c.name;
+    FaultInjector::disarm_all();
+    // No terminate, no hung barrier — and the same team solves cleanly.
+    EXPECT_EQ(test::sorted_ids(c.entry(team, g, opts)), ref) << c.name;
+  }
+}
+
+TEST_F(FaultInjection, BorUfCompactFaultInsideFusedRegionUnwinds) {
+  // Bor-UF has its own entry signature (no options), so it gets its own case.
+  const EdgeList g = random_graph(4000, 16000, 19);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  ThreadTeam team(4);
+  FaultInjector::arm("bor-uf.compact.region", FaultKind::kBadAlloc);
+  EXPECT_THROW((void)core::bor_uf_msf(team, g), std::bad_alloc);
+  EXPECT_GE(FaultInjector::hits("bor-uf.compact.region"), 1u);
+  FaultInjector::disarm_all();
+  EXPECT_EQ(test::sorted_ids(core::bor_uf_msf(team, g)), ref);
 }
 
 TEST_F(FaultInjection, LaterIterationFaultAlsoUnwinds) {

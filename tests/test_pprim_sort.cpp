@@ -17,7 +17,14 @@ namespace {
 
 using namespace smp;
 
-enum class Dist { kUniform, kFewDistinct, kSortedAlready, kReversed, kAllEqual };
+enum class Dist {
+  kUniform,
+  kFewDistinct,
+  kSortedAlready,
+  kReversed,
+  kAllEqual,
+  kNinetyPctDup
+};
 
 std::vector<std::uint64_t> make_input(std::size_t n, Dist d, std::uint64_t seed) {
   Rng rng(seed);
@@ -37,6 +44,13 @@ std::vector<std::uint64_t> make_input(std::size_t n, Dist d, std::uint64_t seed)
       break;
     case Dist::kAllEqual:
       for (auto& x : v) x = 42;
+      break;
+    case Dist::kNinetyPctDup:
+      // 90% of elements share one value; the rest are uniform.  Degenerate
+      // splitter distributions like this are the classic sample-sort trap:
+      // most splitters collapse onto the duplicated value and one bucket
+      // receives nearly the whole input.
+      for (auto& x : v) x = rng.next_below(10) == 0 ? rng.next() : 7;
       break;
   }
   return v;
@@ -113,8 +127,64 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::size_t{1} << 15,
                                          (std::size_t{1} << 16) + 17),
                        ::testing::Values(Dist::kUniform, Dist::kFewDistinct,
-                                         Dist::kSortedAlready,
-                                         Dist::kAllEqual)));
+                                         Dist::kSortedAlready, Dist::kReversed,
+                                         Dist::kAllEqual,
+                                         Dist::kNinetyPctDup)));
+
+// Adversarial distributions against the in-region primitive: the sort runs
+// inside one persistent SPMD region (as the fused Borůvka iterations call
+// it), with scratch reused across repeated sorts of different shapes.  The
+// input size sits above the sample-sort cutoff so the full splitter-based
+// parallel path runs at every p.
+class SampleSortAdversarialTest
+    : public ::testing::TestWithParam<std::tuple<int, Dist>> {};
+
+TEST_P(SampleSortAdversarialTest, InRegionMatchesStdSort) {
+  const auto [threads, dist] = GetParam();
+  constexpr std::size_t kN = 40000;  // > kDefaultSampleSortCutoff (1 << 15)
+  ThreadTeam team(threads);
+  SampleSortScratch<std::uint64_t> scratch;
+  for (int rep = 0; rep < 2; ++rep) {  // second rep reuses grown scratch
+    auto v = make_input(kN, dist, static_cast<std::size_t>(threads) * 31 +
+                                      static_cast<std::size_t>(rep));
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    team.run([&](TeamCtx& ctx) {
+      sample_sort_in_region(ctx, v, scratch, std::less<>{});
+    });
+    ASSERT_EQ(v, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsDists, SampleSortAdversarialTest,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(Dist::kAllEqual, Dist::kSortedAlready,
+                                         Dist::kReversed,
+                                         Dist::kNinetyPctDup)));
+
+TEST(SampleSort, NinetyPctDupStableRecords) {
+  // Stability under heavy duplication: records sharing the hot key must keep
+  // their input order through the parallel path.
+  struct Rec {
+    std::uint64_t key;
+    std::uint32_t seq;
+  };
+  ThreadTeam team(4);
+  auto keys = make_input(50000, Dist::kNinetyPctDup, 99);
+  std::vector<Rec> v(keys.size());
+  for (std::uint32_t i = 0; i < v.size(); ++i) v[i] = {keys[i], i};
+  const auto less = [](const Rec& a, const Rec& b) {
+    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+  };
+  auto expect = v;
+  std::sort(expect.begin(), expect.end(), less);
+  sample_sort(team, v, less);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i].key, expect[i].key) << i;
+    ASSERT_EQ(v[i].seq, expect[i].seq) << i;
+  }
+}
 
 TEST(SampleSort, CustomComparatorAndStructs) {
   struct Rec {
