@@ -157,4 +157,25 @@ graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
   }
 }
 
+graph::MsfResult minimum_spanning_forest_of_candidates(
+    const graph::EdgeList& candidates,
+    std::span<const graph::EdgeId> candidate_ids, const MsfOptions& opts) {
+  if (candidate_ids.size() != candidates.edges.size()) {
+    throw Error(ErrorCode::kInvalidInput,
+                "candidate id count (" + std::to_string(candidate_ids.size()) +
+                    ") does not match candidate edge count (" +
+                    std::to_string(candidates.edges.size()) + ")");
+  }
+  for (std::size_t i = 1; i < candidate_ids.size(); ++i) {
+    if (candidate_ids[i] <= candidate_ids[i - 1]) {
+      throw Error(ErrorCode::kInvalidInput,
+                  "candidate ids must be strictly increasing (position " +
+                      std::to_string(i) + ")");
+    }
+  }
+  graph::MsfResult r = minimum_spanning_forest(candidates, opts);
+  for (auto& id : r.edge_ids) id = candidate_ids[id];
+  return r;
+}
+
 }  // namespace smp::core

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -142,6 +143,23 @@ inline void iteration_checkpoint(const MsfOptions& opts, std::string_view where)
 /// algorithms and thread counts.
 graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
                                          const MsfOptions& opts = {});
+
+/// Candidate-set entry point for the batch-dynamic subsystem (and anything
+/// else that already knows a superset of the forest).
+///
+/// Solves the MSF of `candidates`, a subset of some larger graph's edges,
+/// where `candidates.edges[i]` is the caller's edge `candidate_ids[i]`.
+/// The ids must be *strictly increasing*: WeightOrder breaks weight ties by
+/// edge index, so ascending ids make the candidate-local total order agree
+/// with the full graph's order — exactly what the sparsification identity
+/// MSF(G ∪ B) = MSF(F ∪ B) needs to return the same forest, edge for edge,
+/// as a from-scratch run on the full graph.  The returned MsfResult has
+/// edge_ids mapped back into the caller's id space.
+///
+/// Throws Error{kInvalidInput} on a size mismatch or non-increasing ids.
+graph::MsfResult minimum_spanning_forest_of_candidates(
+    const graph::EdgeList& candidates,
+    std::span<const graph::EdgeId> candidate_ids, const MsfOptions& opts = {});
 
 /// Entry points taking an existing thread team (reused across calls; the
 /// team's size is the p of the run).  These are what the dispatcher calls.

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace smp::dynamic {
+
+/// What one DynamicMsf::apply_batch changed about the maintained forest.
+///
+/// Edge ids are *store ids*: stable indices into the owning EdgeStore,
+/// assigned at insertion and never reused.  A forest edge deleted by the
+/// batch shows up in `forest_removed`; a replacement edge promoted from the
+/// non-tree reservoir (or a fresh insertion that entered the forest) shows
+/// up in `forest_added`.
+struct MsfDelta {
+  /// Store ids that entered the forest this batch, ascending.
+  std::vector<graph::EdgeId> forest_added;
+  /// Store ids that left the forest this batch (deleted or displaced),
+  /// ascending.
+  std::vector<graph::EdgeId> forest_removed;
+  /// Forest weight after the batch: sum over forest edges in ascending
+  /// store-id order, so it is bit-identical to the same sum over a
+  /// from-scratch solve (which returns the identical edge set).
+  graph::Weight total_weight = 0;
+  /// Trees in the forest after the batch (isolated vertices count).
+  std::size_t num_trees = 0;
+  /// Edges in the candidate set handed to the solver (diagnostics: how much
+  /// the sparsification shrank the problem versus `live_edges`).
+  std::size_t candidate_edges = 0;
+  /// Live edges in the store after the batch.
+  std::size_t live_edges = 0;
+  /// True when the crossover heuristic gave up on filtering and solved the
+  /// whole live graph from scratch.
+  bool recomputed_from_scratch = false;
+
+  [[nodiscard]] bool changed_forest() const {
+    return !forest_added.empty() || !forest_removed.empty();
+  }
+};
+
+}  // namespace smp::dynamic

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/msf.hpp"
+#include "dynamic/delta.hpp"
+#include "dynamic/edge_store.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/msf_result.hpp"
+
+namespace smp::dynamic {
+
+struct DynamicMsfOptions {
+  /// Backend for every (re)solve: algorithm, threads, seed, budget,
+  /// sequential fallback — the full static engine rides along, including
+  /// the fused ThreadTeam regions and FaultInjector checkpoints.
+  /// Instrumentation out-pointers are honored per solve.
+  core::MsfOptions msf;
+  /// Crossover heuristic: when a batch touches at least this fraction of
+  /// the live edges (insertions + deletions vs. live count), skip the
+  /// sparsified candidate construction and recompute on the whole live
+  /// graph — at that size the filtered problem approaches the full one and
+  /// the filtering scan is pure overhead.  bench_dynamic measures the real
+  /// crossover; <= 0 forces every batch to recompute, >= 1 never does.
+  double scratch_batch_fraction = 0.25;
+};
+
+/// Batch-dynamic minimum spanning forest.
+///
+/// Owns the current graph (an EdgeStore, ids stable under mutation) and the
+/// current forest, and maintains the forest under batches of edge
+/// insertions and deletions without solving the full graph each time:
+///
+///  * Insertions use the sparsification identity MSF(G ∪ B) = MSF(F ∪ B):
+///    a non-tree edge of G is the heaviest on a cycle through forest edges,
+///    and stays so in any supergraph, so the candidate set is the ~n−1
+///    forest edges plus the batch — independent of m.
+///  * Deletions drop the dead edges, label the split forest components with
+///    the hook-and-jump connected-components pass, and promote candidates
+///    from the retained non-tree edges whose endpoints now lie in different
+///    components (every other retained non-tree edge still closes a
+///    surviving forest cycle it is the maximum of, so it cannot enter).
+///  * The candidate set — retained forest ∪ batch insertions ∪ replacement
+///    candidates, in ascending store-id order — goes to
+///    core::minimum_spanning_forest_of_candidates, so weight ties resolve
+///    exactly as a from-scratch run would and the maintained forest is
+///    bit-identical (edge ids and weight) to MSF(live graph) after every
+///    batch, for every backend and thread count.
+///
+/// Not thread-safe (one writer); the solve itself parallelizes internally
+/// per DynamicMsfOptions::msf.threads.
+class DynamicMsf {
+ public:
+  /// Starts from `initial` (store ids = positions in initial.edges) and
+  /// solves it once with the configured backend.
+  explicit DynamicMsf(const graph::EdgeList& initial,
+                      DynamicMsfOptions opts = {});
+  /// Starts from an edgeless graph on `num_vertices` vertices.
+  explicit DynamicMsf(graph::VertexId num_vertices,
+                      DynamicMsfOptions opts = {});
+
+  /// Applies one batch: `deletions` are store ids that must be live at
+  /// batch entry (deletions are processed first, so a batch cannot delete
+  /// its own insertions) and batch-unique; `insertions` are new edges
+  /// validated like EdgeStore::insert.  Throws Error{kInvalidInput} before
+  /// any mutation on a bad batch.  Returns what changed.
+  MsfDelta apply_batch(std::span<const graph::WEdge> insertions,
+                       std::span<const graph::EdgeId> deletions);
+
+  /// Solves the whole live graph from scratch and commits the result.
+  /// Exception semantics of apply_batch: if the *solver* fails mid-batch
+  /// (budget cancellation, deadline, OOM with fallback disabled), the store
+  /// mutations persist but the forest is stale — call recompute() to repair
+  /// before trusting accessors again.
+  MsfDelta recompute();
+
+  [[nodiscard]] const EdgeStore& store() const { return store_; }
+  /// Current forest as ascending store ids.
+  [[nodiscard]] const std::vector<graph::EdgeId>& forest_edge_ids() const {
+    return forest_;
+  }
+  /// Forest weight, summed in ascending store-id order (bit-identical to
+  /// the same deterministic sum over a from-scratch solve).
+  [[nodiscard]] graph::Weight total_weight() const { return weight_; }
+  [[nodiscard]] std::size_t num_trees() const { return trees_; }
+  /// Materializes the forest as an MsfResult in store-id space.
+  [[nodiscard]] graph::MsfResult forest() const;
+
+ private:
+  /// Solve `candidates`/`ids`, commit the new forest, and diff it against
+  /// `old_forest` into a delta.
+  MsfDelta solve_and_commit(const graph::EdgeList& candidates,
+                            const std::vector<graph::EdgeId>& ids,
+                            const std::vector<graph::EdgeId>& old_forest,
+                            bool from_scratch);
+  MsfDelta snapshot_delta(const std::vector<graph::EdgeId>& old_forest) const;
+  void recompute_weight();
+
+  EdgeStore store_;
+  DynamicMsfOptions opts_;
+  std::vector<graph::EdgeId> forest_;  ///< ascending store ids
+  graph::Weight weight_ = 0;
+  std::size_t trees_ = 0;
+};
+
+}  // namespace smp::dynamic

@@ -1,0 +1,113 @@
+#include "dynamic/edge_store.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace smp::dynamic {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+using graph::WEdge;
+using graph::Weight;
+using graph::WeightOrder;
+
+void EdgeStore::check_edge(VertexId u, VertexId v, Weight w, VertexId n) {
+  if (u == v) {
+    throw Error(ErrorCode::kInvalidInput,
+                "edge store: self-loop at vertex " + std::to_string(u));
+  }
+  if (u >= n || v >= n) {
+    throw Error(ErrorCode::kInvalidInput,
+                "edge store: endpoint out of range (" + std::to_string(u) +
+                    ", " + std::to_string(v) + ") with n = " + std::to_string(n));
+  }
+  if (!std::isfinite(w)) {
+    throw Error(ErrorCode::kInvalidInput, "edge store: non-finite weight");
+  }
+}
+
+EdgeStore::EdgeStore(const EdgeList& g) : n_(g.num_vertices) {
+  edges_.reserve(g.edges.size());
+  for (const auto& e : g.edges) check_edge(e.u, e.v, e.w, n_);
+  edges_ = g.edges;
+  dead_.assign(edges_.size(), 0);
+  live_ = edges_.size();
+}
+
+EdgeId EdgeStore::insert(VertexId u, VertexId v, Weight w) {
+  check_edge(u, v, w, n_);
+  const EdgeId id = edges_.size();
+  edges_.push_back(WEdge{u, v, w});
+  dead_.push_back(0);
+  ++live_;
+  if (pair_index_built_) pair_index_.emplace(pair_key(u, v), id);
+  return id;
+}
+
+void EdgeStore::erase(EdgeId id) {
+  if (!is_live(id)) {
+    throw Error(ErrorCode::kInvalidInput,
+                "edge store: erase of dead or out-of-range id " +
+                    std::to_string(id));
+  }
+  dead_[static_cast<std::size_t>(id)] = 1;
+  --live_;
+  if (pair_index_built_) {
+    const auto& e = edges_[static_cast<std::size_t>(id)];
+    auto [it, last] = pair_index_.equal_range(pair_key(e.u, e.v));
+    for (; it != last; ++it) {
+      if (it->second == id) {
+        pair_index_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void EdgeStore::ensure_pair_index() const {
+  if (pair_index_built_) return;
+  pair_index_.reserve(live_);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    if (dead_[static_cast<std::size_t>(id)]) continue;
+    const auto& e = edges_[static_cast<std::size_t>(id)];
+    pair_index_.emplace(pair_key(e.u, e.v), id);
+  }
+  pair_index_built_ = true;
+}
+
+std::optional<EdgeId> EdgeStore::find_live(VertexId u, VertexId v) const {
+  ensure_pair_index();
+  auto [it, last] = pair_index_.equal_range(pair_key(u, v));
+  std::optional<EdgeId> best;
+  for (; it != last; ++it) {
+    const EdgeId id = it->second;
+    if (!best) {
+      best = id;
+      continue;
+    }
+    const WeightOrder cand{edges_[static_cast<std::size_t>(id)].w, id};
+    const WeightOrder cur{edges_[static_cast<std::size_t>(*best)].w, *best};
+    if (cand < cur) best = id;
+  }
+  return best;
+}
+
+EdgeList EdgeStore::live_graph(std::vector<EdgeId>* out_ids) const {
+  EdgeList g(n_);
+  g.edges.reserve(live_);
+  if (out_ids != nullptr) {
+    out_ids->clear();
+    out_ids->reserve(live_);
+  }
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    if (dead_[static_cast<std::size_t>(id)]) continue;
+    g.edges.push_back(edges_[static_cast<std::size_t>(id)]);
+    if (out_ids != nullptr) out_ids->push_back(id);
+  }
+  return g;
+}
+
+}  // namespace smp::dynamic

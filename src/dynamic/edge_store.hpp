@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace smp::dynamic {
+
+/// Mutable edge container backing the batch-dynamic subsystem.
+///
+/// Edges get a *store id* on insertion — their index in the append-only
+/// slab — and keep it forever: deletion tombstones the slot instead of
+/// compacting, so ids held by callers (forest membership, deltas, update
+/// traces) never dangle or get reused.  Ascending store-id order therefore
+/// doubles as the repo-wide WeightOrder tie-break order: `live_graph()`
+/// materializes live edges ascending, which makes a from-scratch solve on
+/// the snapshot resolve weight ties exactly like the incremental solver
+/// does (the determinism the test suite asserts).
+///
+/// Parallel edges are allowed (they are ordinary edges under the total
+/// order); `find_live` resolves an endpoint pair to its canonical
+/// ⟨weight, store-id⟩-minimal live edge, matching
+/// graph::canonicalize_parallel_edges, so delete-by-endpoints trace
+/// operations are deterministic.
+///
+/// Not thread-safe: one writer, external synchronization if shared.
+class EdgeStore {
+ public:
+  EdgeStore() = default;
+  explicit EdgeStore(graph::VertexId num_vertices) : n_(num_vertices) {}
+  /// Adopts `g` with store ids equal to positions in `g.edges`.
+  /// Throws Error{kInvalidInput} on self-loops, out-of-range endpoints or
+  /// non-finite weights.
+  explicit EdgeStore(const graph::EdgeList& g);
+
+  [[nodiscard]] graph::VertexId num_vertices() const { return n_; }
+  /// Total slots, live and tombstoned; also the next id to be assigned.
+  [[nodiscard]] graph::EdgeId size() const { return edges_.size(); }
+  [[nodiscard]] std::size_t num_live() const { return live_; }
+  [[nodiscard]] bool is_live(graph::EdgeId id) const {
+    return id < edges_.size() && !dead_[static_cast<std::size_t>(id)];
+  }
+  /// The edge in slot `id` (live or tombstoned; id must be < size()).
+  [[nodiscard]] const graph::WEdge& edge(graph::EdgeId id) const {
+    return edges_[static_cast<std::size_t>(id)];
+  }
+
+  /// Appends a live edge and returns its store id.
+  /// Throws Error{kInvalidInput} like the adopting constructor.
+  graph::EdgeId insert(graph::VertexId u, graph::VertexId v, graph::Weight w);
+
+  /// The validation insert() would apply, without inserting — lets batch
+  /// callers reject a whole batch before mutating anything.
+  void validate_edge(graph::VertexId u, graph::VertexId v,
+                     graph::Weight w) const {
+    check_edge(u, v, w, n_);
+  }
+
+  /// Tombstones a live edge.  Throws Error{kInvalidInput} if `id` is out of
+  /// range or already dead.
+  void erase(graph::EdgeId id);
+
+  /// The canonical live edge with unordered endpoints {u, v}: minimal under
+  /// ⟨weight, store-id⟩ among live parallels, or nullopt if none is live.
+  /// Builds a pair index lazily on first call (kept incrementally after).
+  [[nodiscard]] std::optional<graph::EdgeId> find_live(graph::VertexId u,
+                                                       graph::VertexId v) const;
+
+  /// Snapshot of the live edges in ascending store-id order.
+  /// `out_ids` (optional) receives the store id of each snapshot position —
+  /// strictly increasing, as minimum_spanning_forest_of_candidates requires.
+  [[nodiscard]] graph::EdgeList live_graph(
+      std::vector<graph::EdgeId>* out_ids = nullptr) const;
+
+ private:
+  static void check_edge(graph::VertexId u, graph::VertexId v, graph::Weight w,
+                         graph::VertexId n);
+  void ensure_pair_index() const;
+  static std::uint64_t pair_key(graph::VertexId u, graph::VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  graph::VertexId n_ = 0;
+  std::vector<graph::WEdge> edges_;
+  std::vector<char> dead_;  ///< parallel to edges_; 1 = tombstoned
+  std::size_t live_ = 0;
+  /// pair_key -> live store ids, built on first find_live (delete-by-id
+  /// workloads never pay for it).
+  mutable std::unordered_multimap<std::uint64_t, graph::EdgeId> pair_index_;
+  mutable bool pair_index_built_ = false;
+};
+
+}  // namespace smp::dynamic

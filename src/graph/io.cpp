@@ -1,5 +1,7 @@
 #include "graph/io.hpp"
 
+#include "graph/validate.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -25,6 +27,13 @@ void reserve_declared_edges(std::vector<WEdge>& edges, std::uint64_t declared) {
   edges.reserve(static_cast<std::size_t>(std::min(declared, kMaxUpfrontReserve)));
 }
 
+/// Shared tail of both readers: apply the caller's duplicate policy after the
+/// file has fully parsed and validated.
+EdgeList finish_load(EdgeList g, ParallelEdgePolicy policy) {
+  if (policy == ParallelEdgePolicy::kKeepAll) return g;
+  return canonicalize_parallel_edges(g);
+}
+
 }  // namespace
 
 void write_dimacs(std::ostream& os, const EdgeList& g) {
@@ -42,7 +51,7 @@ void write_dimacs_file(const std::string& path, const EdgeList& g) {
   write_dimacs(os, g);
 }
 
-EdgeList read_dimacs(std::istream& is) {
+EdgeList read_dimacs(std::istream& is, ParallelEdgePolicy policy) {
   EdgeList g;
   bool have_header = false;
   EdgeId declared_edges = 0;
@@ -89,13 +98,13 @@ EdgeList read_dimacs(std::istream& is) {
   if (g.num_edges() != declared_edges) {
     throw std::runtime_error("read_dimacs: edge count mismatch");
   }
-  return g;
+  return finish_load(std::move(g), policy);
 }
 
-EdgeList read_dimacs_file(const std::string& path) {
+EdgeList read_dimacs_file(const std::string& path, ParallelEdgePolicy policy) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("read_dimacs_file: cannot open " + path);
-  return read_dimacs(is);
+  return read_dimacs(is, policy);
 }
 
 namespace {
@@ -137,7 +146,7 @@ void write_binary_file(const std::string& path, const EdgeList& g) {
   write_binary(os, g);
 }
 
-EdgeList read_binary(std::istream& is) {
+EdgeList read_binary(std::istream& is, ParallelEdgePolicy policy) {
   char magic[4] = {};
   is.read(magic, 4);
   if (!is || std::memcmp(magic, kMagic, 4) != 0) {
@@ -165,13 +174,13 @@ EdgeList read_binary(std::istream& is) {
     }
     g.edges.push_back(e);
   }
-  return g;
+  return finish_load(std::move(g), policy);
 }
 
-EdgeList read_binary_file(const std::string& path) {
+EdgeList read_binary_file(const std::string& path, ParallelEdgePolicy policy) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("read_binary_file: cannot open " + path);
-  return read_binary(is);
+  return read_binary(is, policy);
 }
 
 }  // namespace smp::graph

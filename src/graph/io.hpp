@@ -7,6 +7,21 @@
 
 namespace smp::graph {
 
+/// What readers do with duplicate parallel edges (same unordered endpoint
+/// pair appearing more than once in a file).
+///
+/// The default, kCanonicalize, keeps only the ⟨weight, edge-id⟩-minimal
+/// edge of each pair (see canonicalize_parallel_edges in graph/validate.hpp)
+/// so a loaded graph is a deterministic function of the file contents — the
+/// batch-dynamic subsystem resolves delete-by-endpoints trace operations
+/// against exactly this canonical form.  kKeepAll preserves the file
+/// verbatim (the MSF itself is unaffected either way: the shared total edge
+/// order already breaks weight ties by input index).
+enum class ParallelEdgePolicy {
+  kCanonicalize,
+  kKeepAll,
+};
+
 /// Text serialization in DIMACS-like format:
 ///
 ///   c <comment>
@@ -18,8 +33,13 @@ void write_dimacs(std::ostream& os, const EdgeList& g);
 void write_dimacs_file(const std::string& path, const EdgeList& g);
 
 /// Parses the format above; throws std::runtime_error on malformed input.
-EdgeList read_dimacs(std::istream& is);
-EdgeList read_dimacs_file(const std::string& path);
+/// The declared-edge-count check runs against the file *before* duplicate
+/// canonicalization, so a canonicalized load can return fewer edges than
+/// the header declares.
+EdgeList read_dimacs(std::istream& is,
+                     ParallelEdgePolicy policy = ParallelEdgePolicy::kCanonicalize);
+EdgeList read_dimacs_file(const std::string& path,
+                          ParallelEdgePolicy policy = ParallelEdgePolicy::kCanonicalize);
 
 /// Compact binary serialization for large graphs (little-endian):
 ///
@@ -30,7 +50,9 @@ EdgeList read_dimacs_file(const std::string& path);
 /// text format at the paper's 1M/20M scale.
 void write_binary(std::ostream& os, const EdgeList& g);
 void write_binary_file(const std::string& path, const EdgeList& g);
-EdgeList read_binary(std::istream& is);
-EdgeList read_binary_file(const std::string& path);
+EdgeList read_binary(std::istream& is,
+                     ParallelEdgePolicy policy = ParallelEdgePolicy::kCanonicalize);
+EdgeList read_binary_file(const std::string& path,
+                          ParallelEdgePolicy policy = ParallelEdgePolicy::kCanonicalize);
 
 }  // namespace smp::graph

@@ -1,7 +1,9 @@
 #include "graph/validate.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/stats.hpp"
@@ -81,6 +83,42 @@ ForestCheck validate_spanning_forest(const EdgeList& g, std::span<const WEdge> f
   res.num_trees = comps;
   res.ok = true;
   return res;
+}
+
+EdgeList canonicalize_parallel_edges(const EdgeList& g,
+                                     std::vector<EdgeId>* kept_ids) {
+  const auto pair_key = [](const WEdge& e) {
+    const VertexId a = e.u <= e.v ? e.u : e.v;
+    const VertexId b = e.u <= e.v ? e.v : e.u;
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+
+  // Pass 1: per endpoint pair, the WeightOrder-minimal edge id.
+  std::unordered_map<std::uint64_t, EdgeId> best;
+  best.reserve(g.edges.size());
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    const auto [it, fresh] = best.try_emplace(pair_key(g.edges[i]), i);
+    if (!fresh) {
+      const EdgeId j = it->second;
+      if (WeightOrder{g.edges[i].w, i} < WeightOrder{g.edges[j].w, j}) {
+        it->second = i;
+      }
+    }
+  }
+
+  // Pass 2: keep the winners in input order.
+  EdgeList out(g.num_vertices);
+  out.edges.reserve(best.size());
+  if (kept_ids != nullptr) {
+    kept_ids->clear();
+    kept_ids->reserve(best.size());
+  }
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    if (best.at(pair_key(g.edges[i])) != i) continue;
+    out.edges.push_back(g.edges[i]);
+    if (kept_ids != nullptr) kept_ids->push_back(i);
+  }
+  return out;
 }
 
 bool verify_cut_property(const EdgeList& g, std::span<const WEdge> forest,

@@ -34,4 +34,21 @@ ForestCheck validate_spanning_forest(const EdgeList& g, std::span<const WEdge> f
 bool verify_cut_property(const EdgeList& g, std::span<const WEdge> forest,
                          std::string* error = nullptr);
 
+/// Deterministic parallel-edge canonicalization.
+///
+/// Among every set of edges with the same unordered endpoint pair, exactly
+/// one edge is kept: the one minimal under WeightOrder ⟨weight, edge-id⟩ —
+/// the only member of the set that can ever enter the minimum spanning
+/// forest (any heavier/later parallel edge closes a 2-cycle in which it is
+/// the maximum).  Kept edges preserve their relative input order, so the
+/// result is a deterministic function of the input edge list alone —
+/// dynamic batch apply (and delete-by-endpoints update traces) depend on
+/// this canonical choice being reproducible across runs and readers.
+///
+/// `kept_ids` (optional out) maps each position in the returned edge list
+/// to the index of that edge in `g.edges`.  Self-loops are preserved as-is
+/// (rejecting them is validate_request's job, not this transform's).
+EdgeList canonicalize_parallel_edges(const EdgeList& g,
+                                     std::vector<EdgeId>* kept_ids = nullptr);
+
 }  // namespace smp::graph

@@ -70,6 +70,40 @@ TEST(FilterKruskal, AllEqualWeights) {
   EXPECT_EQ(test::sorted_ids(fk(g, 4)), test::sorted_ids(ref));
 }
 
+TEST(FilterKruskal, AllEqualWeightsAboveBaseCase) {
+  // Same degenerate tie-break, but large enough that the recursion must
+  // pivot on a weight every remaining edge shares.  Partitioning then
+  // degenerates and correctness rests entirely on the <weight, id> order.
+  EdgeList g(2000);
+  for (VertexId v = 1; v < 2000; ++v) g.add_edge(v - 1, v, 2.5);
+  for (VertexId v = 3; v < 2000; v += 3) g.add_edge(v - 3, v, 2.5);
+  for (VertexId v = 7; v < 2000; v += 7) g.add_edge(v - 7, v, 2.5);
+  const auto ref = seq::kruskal_msf(g);
+  for (int threads : {1, 2, 4, 8}) {
+    const auto got = fk(g, threads);
+    EXPECT_EQ(test::sorted_ids(got), test::sorted_ids(ref)) << threads;
+    EXPECT_WEIGHT_EQ(got.total_weight, ref.total_weight);
+  }
+}
+
+TEST(FilterKruskal, NinetyPercentDuplicateWeights) {
+  // 90% of edges share one of three weight classes; only 10% are distinct.
+  // Pivot selection keeps landing inside a huge tie class, so both the
+  // partition step and the filter must respect the id tie-break exactly.
+  EdgeList g = random_graph(3000, 24000, 13);
+  const Weight classes[3] = {0.25, 0.5, 0.75};
+  for (EdgeId i = 0; i < g.num_edges(); ++i) {
+    if (i % 10 != 9) g.edges[i].w = classes[i % 3];
+  }
+  const auto ref = seq::kruskal_msf(g);
+  for (int threads : {1, 2, 4, 8}) {
+    const auto got = fk(g, threads);
+    EXPECT_EQ(test::sorted_ids(got), test::sorted_ids(ref)) << threads;
+    EXPECT_WEIGHT_EQ(got.total_weight, ref.total_weight);
+    EXPECT_EQ(got.num_trees, ref.num_trees);
+  }
+}
+
 TEST(FilterKruskal, TrivialInputs) {
   EXPECT_TRUE(fk(EdgeList(0), 2).edges.empty());
   EXPECT_TRUE(fk(EdgeList(5), 2).edges.empty());

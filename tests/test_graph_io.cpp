@@ -69,6 +69,48 @@ TEST(GraphIO, MalformedInputsThrow) {
   }
 }
 
+TEST(GraphIO, ReaderCanonicalizesParallelEdges) {
+  // Duplicate {u,v} pairs collapse to the <weight, edge-id>-minimal edge at
+  // load time: lightest weight wins, earliest line wins a weight tie.
+  std::istringstream is(
+      "p edge 4 5\n"
+      "e 1 2 3.0\n"
+      "e 2 1 1.0\n"   // same pair, lighter: replaces line 1
+      "e 1 2 1.0\n"   // weight tie: earlier edge (line 2) is kept
+      "e 3 4 2.0\n"
+      "e 3 4 2.0\n"   // exact duplicate: first occurrence kept
+      );
+  const EdgeList g = read_dimacs(is);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edges[0].u, 1u);  // stored 0-based, canonical u < v not forced
+  EXPECT_EQ(g.edges[0].v, 0u);
+  EXPECT_DOUBLE_EQ(g.edges[0].w, 1.0);
+  EXPECT_EQ(g.edges[1].u, 2u);
+  EXPECT_EQ(g.edges[1].v, 3u);
+  EXPECT_DOUBLE_EQ(g.edges[1].w, 2.0);
+}
+
+TEST(GraphIO, KeepAllPolicyPreservesParallelEdges) {
+  std::istringstream is("p edge 3 3\ne 1 2 3.0\ne 2 1 1.0\ne 1 2 3.0\n");
+  const EdgeList g = read_dimacs(is, ParallelEdgePolicy::kKeepAll);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphIO, BinaryReaderCanonicalizesToo) {
+  EdgeList g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 0, 2.0);
+  g.add_edge(1, 2, 1.0);
+  const std::string path = ::testing::TempDir() + "/smpmsf_io_canon.smpg";
+  write_binary_file(path, g);
+  const EdgeList h = read_binary_file(path);
+  ASSERT_EQ(h.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(h.edges[0].w, 2.0);
+  EXPECT_DOUBLE_EQ(h.edges[1].w, 1.0);
+  const EdgeList all = read_binary_file(path, ParallelEdgePolicy::kKeepAll);
+  EXPECT_EQ(all.num_edges(), 3u);
+}
+
 TEST(GraphIO, FileRoundTrip) {
   const EdgeList g = mesh2d(8, 8, 4);
   const std::string path = ::testing::TempDir() + "/smpmsf_io_test.gr";

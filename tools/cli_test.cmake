@@ -48,8 +48,37 @@ if(pos EQUAL -1)
   message(FATAL_ERROR "mem-cap solve did not report degradation: ${out}")
 endif()
 
-# Error paths, one per exit code class.
-run_cli(2 out solve --alg no-such-alg ${WORK}/g.gr)
+# Batch-dynamic mode: replay an update trace, then check the maintained
+# forest is bit-identical to a from-scratch recompute of the final graph.
+file(WRITE ${WORK}/trace.txt
+"c cli_test update trace
+i 1 2 0.00001
+i 2 3 0.00002
+i 10 20 0.5
+d 1 2
+i 4 5 0.00003
+d 2 3
+d 10 20
+")
+run_cli(0 out solve --mode dynamic --alg bor-fal --threads 4 --batch-size 3
+        --update-trace ${WORK}/trace.txt --validate ${WORK}/g.gr)
+string(FIND "${out}" "validation: OK" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "dynamic solve not bit-identical to recompute: ${out}")
+endif()
+run_cli(0 out solve --mode static --alg bor-fal ${WORK}/g.gr)
+
+# Error paths, one per exit code class.  Unknown enum values are invalid
+# input (exit 3) and must list the accepted spellings.
+run_cli(3 out solve --alg no-such-alg ${WORK}/g.gr)
+run_cli(3 out solve --mode no-such-mode ${WORK}/g.gr)
+run_cli(3 out solve --mode dynamic --update-trace ${WORK}/does-not-exist.txt ${WORK}/g.gr)
+run_cli(2 out solve --mode dynamic ${WORK}/g.gr)  # missing --update-trace: usage
 run_cli(2 out bogus-command)
 run_cli(5 out solve --alg bor-fal --threads 4 --timeout 0 ${WORK}/g.gr)
 run_cli(6 out solve --alg bor-alm --threads 4 --mem-cap 8192 --no-fallback ${WORK}/g.gr)
+# A trace deleting a dead edge is invalid input: the graph is simple after
+# canonicalized load, so the second delete of {1,2} must fail whether or not
+# the pair existed initially.
+file(WRITE ${WORK}/bad_trace.txt "d 1 2\nd 1 2\n")
+run_cli(3 out solve --mode dynamic --update-trace ${WORK}/bad_trace.txt ${WORK}/g.gr)

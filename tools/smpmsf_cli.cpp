@@ -4,7 +4,9 @@
 //   smpmsf info FILE
 //   smpmsf convert IN OUT           (format chosen by extension: .smpg = binary)
 //   smpmsf solve [--alg A] [--threads P] [--seed S] [--timeout SECS]
-//                [--mem-cap BYTES] [--no-fallback] [--validate] [--steps] FILE
+//                [--mem-cap BYTES] [--no-fallback] [--validate] [--steps]
+//                [--mode static|dynamic] [--batch-size N] [--update-trace FILE]
+//                FILE
 //   smpmsf cc [--threads P] FILE
 //
 // Graph types: random (needs --m), mesh2d, mesh2d60, mesh3d40,
@@ -12,16 +14,31 @@
 // Algorithms: bor-el bor-al bor-alm bor-fal mst-bc filter-kruskal sample-filter
 //             prim kruskal boruvka.
 //
+// --mode dynamic maintains the forest through a batch-dynamic update trace
+// (--update-trace, applied in batches of --batch-size ops):
+//
+//   c <comment>
+//   i <u> <v> <weight>    insert an edge (vertices 1-based, like DIMACS)
+//   d <u> <v>             delete the canonical (lightest, then oldest) live
+//                         edge with these endpoints
+//
+// Unknown --alg / --mode / trace operations are invalid input (exit 3), with
+// the accepted values listed.
+//
 // Exit codes: 0 success, 1 runtime/validation failure, 2 usage, then one per
 // smp::ErrorCode class — 3 invalid input, 4 cancelled, 5 deadline exceeded,
 // 6 out of memory.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <cmath>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 #include "core/connected_components.hpp"
 #include "core/error.hpp"
@@ -29,6 +46,7 @@
 #include "core/sample_filter.hpp"
 #include "core/verify_msf.hpp"
 #include "core/msf.hpp"
+#include "dynamic/dynamic_msf.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
@@ -49,12 +67,55 @@ using namespace smp::graph;
                "  smpmsf convert IN OUT\n"
                "  smpmsf solve [--alg A] [--threads P] [--seed S]"
                " [--timeout SECS] [--mem-cap BYTES] [--no-fallback]"
-               " [--validate] [--steps] FILE\n"
+               " [--validate] [--steps]\n"
+               "               [--mode static|dynamic] [--batch-size N]"
+               " [--update-trace FILE] FILE\n"
                "  smpmsf cc [--threads P] FILE\n"
                "types: random mesh2d mesh2d60 mesh3d40 geometric str0-str3 rmat\n"
                "algs:  bor-el bor-al bor-alm bor-fal mst-bc bor-uf par-kruskal filter-kruskal sample-filter"
                " prim kruskal boruvka\n");
   std::exit(2);
+}
+
+/// One table drives parsing, error messages and the usage line: an enum
+/// value that is not in the table fails as invalid input (exit 3) with the
+/// accepted spellings listed — not as a generic usage error.
+constexpr struct {
+  const char* name;
+  core::Algorithm alg;
+} kAlgorithms[] = {
+    {"bor-el", core::Algorithm::kBorEL},
+    {"bor-al", core::Algorithm::kBorAL},
+    {"bor-alm", core::Algorithm::kBorALM},
+    {"bor-fal", core::Algorithm::kBorFAL},
+    {"mst-bc", core::Algorithm::kMstBC},
+    {"bor-uf", core::Algorithm::kBorUF},
+    {"par-kruskal", core::Algorithm::kParKruskal},
+    {"filter-kruskal", core::Algorithm::kFilterKruskal},
+    {"sample-filter", core::Algorithm::kSampleFilter},
+    {"prim", core::Algorithm::kSeqPrim},
+    {"kruskal", core::Algorithm::kSeqKruskal},
+    {"boruvka", core::Algorithm::kSeqBoruvka},
+};
+
+core::Algorithm parse_algorithm(const std::string& s) {
+  std::string valid;
+  for (const auto& row : kAlgorithms) {
+    if (s == row.name) return row.alg;
+    if (!valid.empty()) valid += ' ';
+    valid += row.name;
+  }
+  throw smp::Error(smp::ErrorCode::kInvalidInput,
+                   "unknown algorithm '" + s + "' (valid: " + valid + ")");
+}
+
+enum class SolveMode { kStatic, kDynamic };
+
+SolveMode parse_mode(const std::string& s) {
+  if (s == "static") return SolveMode::kStatic;
+  if (s == "dynamic") return SolveMode::kDynamic;
+  throw smp::Error(smp::ErrorCode::kInvalidInput,
+                   "unknown mode '" + s + "' (valid: static dynamic)");
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -185,6 +246,132 @@ int cmd_convert(const Flags& f) {
   return 0;
 }
 
+/// `solve --mode dynamic`: build a DynamicMsf on the loaded graph, then
+/// replay the update trace in batches of --batch-size operations.
+int solve_dynamic(const Flags& f, const EdgeList& g,
+                  const core::MsfOptions& opts, const std::string& alg) {
+  const auto trace_path = f.get("--update-trace");
+  if (!trace_path) usage("--mode dynamic needs --update-trace FILE");
+  const auto batch_size = static_cast<std::size_t>(f.num("--batch-size", 1024));
+  if (batch_size == 0) usage("--batch-size must be >= 1");
+
+  std::ifstream is(*trace_path);
+  if (!is) {
+    throw smp::Error(smp::ErrorCode::kInvalidInput,
+                     "cannot open update trace " + *trace_path);
+  }
+
+  smp::dynamic::DynamicMsfOptions dopts;
+  dopts.msf = opts;
+  smp::dynamic::DynamicMsf d(g, dopts);
+
+  const auto pair_key = [](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+
+  std::size_t ops = 0, batches = 0, scratch = 0, added = 0, removed = 0;
+  std::vector<WEdge> ins;
+  std::vector<EdgeId> del;
+  // Pairs inserted and ids deleted by the *pending* batch: a batch's
+  // deletions always name pre-batch edges, so a trace op that would observe
+  // its own batch forces a flush first (keeps replay order-exact while
+  // still batching the common case).
+  std::unordered_set<std::uint64_t> pending_pairs;
+  std::unordered_set<EdgeId> pending_del;
+
+  WallTimer t;
+  const auto flush = [&] {
+    if (ins.empty() && del.empty()) return;
+    const auto delta = d.apply_batch(ins, del);
+    ++batches;
+    ops += ins.size() + del.size();
+    scratch += delta.recomputed_from_scratch ? 1 : 0;
+    added += delta.forest_added.size();
+    removed += delta.forest_removed.size();
+    ins.clear();
+    del.clear();
+    pending_pairs.clear();
+    pending_del.clear();
+  };
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    VertexId u = 0, v = 0;
+    if (tag == 'i') {
+      Weight w = 0;
+      ls >> u >> v >> w;
+      if (!ls || u == 0 || v == 0 || u > g.num_vertices ||
+          v > g.num_vertices || u == v || !std::isfinite(w)) {
+        throw smp::Error(smp::ErrorCode::kInvalidInput,
+                         "bad trace insert at line " + std::to_string(lineno));
+      }
+      ins.push_back(WEdge{u - 1, v - 1, w});
+      pending_pairs.insert(pair_key(u - 1, v - 1));
+    } else if (tag == 'd') {
+      ls >> u >> v;
+      if (!ls || u == 0 || v == 0 || u > g.num_vertices || v > g.num_vertices) {
+        throw smp::Error(smp::ErrorCode::kInvalidInput,
+                         "bad trace delete at line " + std::to_string(lineno));
+      }
+      if (pending_pairs.count(pair_key(u - 1, v - 1)) != 0) flush();
+      auto id = d.store().find_live(u - 1, v - 1);
+      if (id && pending_del.count(*id) != 0) {
+        flush();  // applies the pending deletion of this very edge
+        id = d.store().find_live(u - 1, v - 1);
+      }
+      if (!id) {
+        throw smp::Error(smp::ErrorCode::kInvalidInput,
+                         "trace deletes edge (" + std::to_string(u) + "," +
+                             std::to_string(v) + ") that is not live, line " +
+                             std::to_string(lineno));
+      }
+      del.push_back(*id);
+      pending_del.insert(*id);
+    } else {
+      throw smp::Error(smp::ErrorCode::kInvalidInput,
+                       std::string("unknown trace op '") + tag + "' at line " +
+                           std::to_string(lineno) + " (valid: c i d)");
+    }
+    if (ins.size() + del.size() >= batch_size) flush();
+  }
+  flush();
+  const double secs = t.elapsed_s();
+
+  std::printf(
+      "%s (p=%d) dynamic: %zu ops in %zu batch(es) of <= %zu, %.3fs (%.0f ops/s)\n",
+      alg.c_str(), opts.threads, ops, batches, batch_size, secs,
+      secs > 0 ? static_cast<double>(ops) / secs : 0.0);
+  std::printf(
+      "forest: %zu edges, weight %.6f, %zu tree(s); edges entered %zu, left "
+      "%zu; scratch recomputes %zu\n",
+      d.forest_edge_ids().size(), d.total_weight(), d.num_trees(), added,
+      removed, scratch);
+
+  if (f.has("--validate")) {
+    // The determinism contract: the maintained forest must be bit-identical
+    // (edge ids and weight) to a from-scratch solve on the final graph.
+    std::vector<EdgeId> ids;
+    const EdgeList live = d.store().live_graph(&ids);
+    auto ref = core::minimum_spanning_forest_of_candidates(live, ids, opts);
+    std::sort(ref.edge_ids.begin(), ref.edge_ids.end());
+    Weight ref_weight = 0;
+    for (const EdgeId id : ref.edge_ids) ref_weight += d.store().edge(id).w;
+    if (ref.edge_ids != d.forest_edge_ids() || ref_weight != d.total_weight()) {
+      std::printf("validation: dynamic forest differs from from-scratch recompute\n");
+      return 1;
+    }
+    std::printf("validation: OK (bit-identical to from-scratch recompute)\n");
+  }
+  return 0;
+}
+
 int cmd_solve(const Flags& f) {
   if (f.positional.size() != 1) usage("solve needs exactly one FILE");
   const EdgeList g = load(f.positional[0]);
@@ -215,33 +402,14 @@ int cmd_solve(const Flags& f) {
   if (have_budget) opts.budget = &budget;
   opts.allow_sequential_fallback = !f.has("--no-fallback");
 
-  if (alg == "bor-el") {
-    opts.algorithm = core::Algorithm::kBorEL;
-  } else if (alg == "bor-al") {
-    opts.algorithm = core::Algorithm::kBorAL;
-  } else if (alg == "bor-alm") {
-    opts.algorithm = core::Algorithm::kBorALM;
-  } else if (alg == "bor-fal") {
-    opts.algorithm = core::Algorithm::kBorFAL;
-  } else if (alg == "mst-bc") {
-    opts.algorithm = core::Algorithm::kMstBC;
-  } else if (alg == "par-kruskal") {
-    opts.algorithm = core::Algorithm::kParKruskal;
-  } else if (alg == "filter-kruskal") {
-    opts.algorithm = core::Algorithm::kFilterKruskal;
-  } else if (alg == "sample-filter") {
-    opts.algorithm = core::Algorithm::kSampleFilter;
-  } else if (alg == "bor-uf") {
-    opts.algorithm = core::Algorithm::kBorUF;
-  } else if (alg == "prim") {
-    opts.algorithm = core::Algorithm::kSeqPrim;
-  } else if (alg == "kruskal") {
-    opts.algorithm = core::Algorithm::kSeqKruskal;
-  } else if (alg == "boruvka") {
-    opts.algorithm = core::Algorithm::kSeqBoruvka;
-  } else {
-    usage(("unknown algorithm " + alg).c_str());
+  opts.algorithm = parse_algorithm(alg);
+
+  const SolveMode mode = parse_mode(f.get("--mode").value_or("static"));
+  if (mode == SolveMode::kDynamic) return solve_dynamic(f, g, opts, alg);
+  if (f.get("--update-trace") || f.get("--batch-size")) {
+    usage("--update-trace/--batch-size need --mode dynamic");
   }
+
   WallTimer t;
   const MsfResult r = core::minimum_spanning_forest(g, opts);
   const double secs = t.elapsed_s();
