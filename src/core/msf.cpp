@@ -86,8 +86,40 @@ void validate_request(const graph::EdgeList& g, const MsfOptions& opts) {
   }
 }
 
-graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
-                                         const MsfOptions& opts) {
+namespace {
+
+/// The parallel-algorithm switch, shared by the per-call-team and
+/// caller-team entry points.
+graph::MsfResult dispatch_parallel(ThreadTeam& team, const graph::EdgeList& g,
+                                   const MsfOptions& opts) {
+  switch (opts.algorithm) {
+    case Algorithm::kBorEL:
+      return bor_el_msf(team, g, opts);
+    case Algorithm::kBorAL:
+      return bor_al_msf(team, g, opts);
+    case Algorithm::kBorALM:
+      return bor_alm_msf(team, g, opts);
+    case Algorithm::kBorFAL:
+      return bor_fal_msf(team, g, opts);
+    case Algorithm::kMstBC:
+      return mst_bc_msf(team, g, opts);
+    case Algorithm::kParKruskal:
+      return par_kruskal_msf(team, g, opts);
+    case Algorithm::kFilterKruskal:
+      return filter_kruskal_msf(team, g);
+    case Algorithm::kSampleFilter:
+      return sample_filter_msf(team, g, opts.seed);
+    case Algorithm::kBorUF:
+      return bor_uf_msf(team, g);
+    default:
+      throw Error(ErrorCode::kInvalidInput, "unreachable algorithm dispatch");
+  }
+}
+
+/// Common body: `external_team` null means "create a team of opts.threads
+/// for this call", non-null means "run on the caller's persistent team".
+graph::MsfResult solve_with(ThreadTeam* external_team, const graph::EdgeList& g,
+                            const MsfOptions& opts) {
   validate_request(g, opts);
   iteration_checkpoint(opts, "request start");
   // Cutoff-ablation overrides (0 = keep the process-global tuning value);
@@ -110,29 +142,11 @@ graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
                 std::string(to_string(opts.algorithm)) + " exhausted memory");
   }
   try {
-    ThreadTeam team(opts.threads);
-    switch (opts.algorithm) {
-      case Algorithm::kBorEL:
-        return bor_el_msf(team, g, opts);
-      case Algorithm::kBorAL:
-        return bor_al_msf(team, g, opts);
-      case Algorithm::kBorALM:
-        return bor_alm_msf(team, g, opts);
-      case Algorithm::kBorFAL:
-        return bor_fal_msf(team, g, opts);
-      case Algorithm::kMstBC:
-        return mst_bc_msf(team, g, opts);
-      case Algorithm::kParKruskal:
-        return par_kruskal_msf(team, g, opts);
-      case Algorithm::kFilterKruskal:
-        return filter_kruskal_msf(team, g);
-      case Algorithm::kSampleFilter:
-        return sample_filter_msf(team, g, opts.seed);
-      case Algorithm::kBorUF:
-        return bor_uf_msf(team, g);
-      default:
-        throw Error(ErrorCode::kInvalidInput, "unreachable algorithm dispatch");
+    if (external_team != nullptr) {
+      return dispatch_parallel(*external_team, g, opts);
     }
+    ThreadTeam team(opts.threads);
+    return dispatch_parallel(team, g, opts);
     // ~ThreadTeam joins the (now idle) workers even on the throw path: run()
     // never rethrows before every worker has left the region.
   } catch (const std::bad_alloc&) {
@@ -157,9 +171,8 @@ graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
   }
 }
 
-graph::MsfResult minimum_spanning_forest_of_candidates(
-    const graph::EdgeList& candidates,
-    std::span<const graph::EdgeId> candidate_ids, const MsfOptions& opts) {
+void validate_candidate_ids(const graph::EdgeList& candidates,
+                            std::span<const graph::EdgeId> candidate_ids) {
   if (candidate_ids.size() != candidates.edges.size()) {
     throw Error(ErrorCode::kInvalidInput,
                 "candidate id count (" + std::to_string(candidate_ids.size()) +
@@ -173,7 +186,35 @@ graph::MsfResult minimum_spanning_forest_of_candidates(
                       std::to_string(i) + ")");
     }
   }
+}
+
+}  // namespace
+
+graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
+                                         const MsfOptions& opts) {
+  return solve_with(nullptr, g, opts);
+}
+
+graph::MsfResult minimum_spanning_forest(ThreadTeam& team,
+                                         const graph::EdgeList& g,
+                                         const MsfOptions& opts) {
+  return solve_with(&team, g, opts);
+}
+
+graph::MsfResult minimum_spanning_forest_of_candidates(
+    const graph::EdgeList& candidates,
+    std::span<const graph::EdgeId> candidate_ids, const MsfOptions& opts) {
+  validate_candidate_ids(candidates, candidate_ids);
   graph::MsfResult r = minimum_spanning_forest(candidates, opts);
+  for (auto& id : r.edge_ids) id = candidate_ids[id];
+  return r;
+}
+
+graph::MsfResult minimum_spanning_forest_of_candidates(
+    ThreadTeam& team, const graph::EdgeList& candidates,
+    std::span<const graph::EdgeId> candidate_ids, const MsfOptions& opts) {
+  validate_candidate_ids(candidates, candidate_ids);
+  graph::MsfResult r = minimum_spanning_forest(team, candidates, opts);
   for (auto& id : r.edge_ids) id = candidate_ids[id];
   return r;
 }

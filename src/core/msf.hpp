@@ -144,6 +144,16 @@ inline void iteration_checkpoint(const MsfOptions& opts, std::string_view where)
 graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
                                          const MsfOptions& opts = {});
 
+/// As above, but parallel algorithms run on the caller's persistent `team`
+/// instead of a team created per call — the thread-spawn cost matters when a
+/// long-lived service solves many small candidate sets back to back.  The
+/// run's p is team.size(); MsfOptions::threads is ignored.  The team must be
+/// idle (regions must not nest), so callers sharing one team across threads
+/// serialize solves externally.
+graph::MsfResult minimum_spanning_forest(ThreadTeam& team,
+                                         const graph::EdgeList& g,
+                                         const MsfOptions& opts = {});
+
 /// Candidate-set entry point for the batch-dynamic subsystem (and anything
 /// else that already knows a superset of the forest).
 ///
@@ -159,6 +169,12 @@ graph::MsfResult minimum_spanning_forest(const graph::EdgeList& g,
 /// Throws Error{kInvalidInput} on a size mismatch or non-increasing ids.
 graph::MsfResult minimum_spanning_forest_of_candidates(
     const graph::EdgeList& candidates,
+    std::span<const graph::EdgeId> candidate_ids, const MsfOptions& opts = {});
+
+/// Team-reusing variant of the candidate-set entry point (see the
+/// ThreadTeam overload of minimum_spanning_forest for the contract).
+graph::MsfResult minimum_spanning_forest_of_candidates(
+    ThreadTeam& team, const graph::EdgeList& candidates,
     std::span<const graph::EdgeId> candidate_ids, const MsfOptions& opts = {});
 
 /// Entry points taking an existing thread team (reused across calls; the

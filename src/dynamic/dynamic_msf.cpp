@@ -20,7 +20,10 @@ DynamicMsf::DynamicMsf(const EdgeList& initial, DynamicMsfOptions opts)
     : store_(initial), opts_(std::move(opts)) {
   // The dispatcher re-validates the graph; this also vets the MsfOptions
   // (threads, bc_base_size, algorithm) once, up front.
-  MsfResult r = core::minimum_spanning_forest(initial, opts_.msf);
+  MsfResult r = opts_.team != nullptr
+                    ? core::minimum_spanning_forest(*opts_.team, initial,
+                                                    opts_.msf)
+                    : core::minimum_spanning_forest(initial, opts_.msf);
   forest_ = std::move(r.edge_ids);
   std::sort(forest_.begin(), forest_.end());
   trees_ = r.num_trees;
@@ -133,6 +136,14 @@ MsfDelta DynamicMsf::apply_batch(std::span<const WEdge> insertions,
   return solve_and_commit(cand, ids, old_forest, scratch);
 }
 
+std::vector<EdgeId> DynamicMsf::compact_store() {
+  const std::vector<EdgeId> remap = store_.compact();
+  // Forest ids are live by definition, so every remap hit is valid; the
+  // renumbering is monotone, so the forest stays ascending.
+  for (EdgeId& id : forest_) id = remap[static_cast<std::size_t>(id)];
+  return remap;
+}
+
 MsfDelta DynamicMsf::recompute() {
   const std::vector<EdgeId> old_forest = forest_;
   std::vector<EdgeId> ids;
@@ -144,8 +155,11 @@ MsfDelta DynamicMsf::solve_and_commit(const EdgeList& candidates,
                                       const std::vector<EdgeId>& ids,
                                       const std::vector<EdgeId>& old_forest,
                                       bool from_scratch) {
-  MsfResult r =
-      core::minimum_spanning_forest_of_candidates(candidates, ids, opts_.msf);
+  MsfResult r = opts_.team != nullptr
+                    ? core::minimum_spanning_forest_of_candidates(
+                          *opts_.team, candidates, ids, opts_.msf)
+                    : core::minimum_spanning_forest_of_candidates(
+                          candidates, ids, opts_.msf);
   forest_ = std::move(r.edge_ids);
   std::sort(forest_.begin(), forest_.end());
   trees_ = r.num_trees;

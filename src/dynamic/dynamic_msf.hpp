@@ -24,6 +24,12 @@ struct DynamicMsfOptions {
   /// the filtering scan is pure overhead.  bench_dynamic measures the real
   /// crossover; <= 0 forces every batch to recompute, >= 1 never does.
   double scratch_batch_fraction = 0.25;
+  /// Optional persistent thread team for every (re)solve.  When set, solves
+  /// run on it (the run's p is team->size(); msf.threads is ignored) instead
+  /// of spawning a team per solve — the serving layer shares one pool across
+  /// all sessions this way.  Must outlive the DynamicMsf, and the caller
+  /// must serialize solves if the team is shared (regions must not nest).
+  ThreadTeam* team = nullptr;
 };
 
 /// Batch-dynamic minimum spanning forest.
@@ -74,6 +80,24 @@ class DynamicMsf {
   /// mutations persist but the forest is stale — call recompute() to repair
   /// before trusting accessors again.
   MsfDelta recompute();
+
+  /// Compacts the underlying store (drops every tombstoned slot, renumbering
+  /// live edges to [0, num_live) in ascending old-id order) and remaps the
+  /// maintained forest, which stays bit-identical as an edge *set* — only
+  /// the ids change, order-preservingly, so the WeightOrder tie-break order
+  /// is untouched.  Returns the remap table (old id -> new id,
+  /// graph::kInvalidEdge for dead slots); any store ids held by the caller
+  /// (deltas, traces) are stale after this and must be translated through
+  /// it.  No solve happens: O(slots) time.
+  std::vector<graph::EdgeId> compact_store();
+
+  /// Installs (or clears, with nullptr) the execution budget consulted by
+  /// subsequent solves — apply_batch, recompute and nothing else.  The
+  /// serving layer points this at a per-request deadline budget for the
+  /// duration of one call and clears it right after; the budget must outlive
+  /// every solve it covers.  Overrides any budget set in the constructor
+  /// options.
+  void set_budget(const ExecutionBudget* budget) { opts_.msf.budget = budget; }
 
   [[nodiscard]] const EdgeStore& store() const { return store_; }
   /// Current forest as ascending store ids.

@@ -95,6 +95,28 @@ std::optional<EdgeId> EdgeStore::find_live(VertexId u, VertexId v) const {
   return best;
 }
 
+std::vector<EdgeId> EdgeStore::compact() {
+  std::vector<EdgeId> remap(edges_.size(), graph::kInvalidEdge);
+  EdgeId next = 0;
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    if (dead_[static_cast<std::size_t>(id)]) continue;
+    remap[static_cast<std::size_t>(id)] = next;
+    // In-place left-compaction: next <= id always, so the move never
+    // clobbers an unvisited slot.
+    edges_[static_cast<std::size_t>(next)] = edges_[static_cast<std::size_t>(id)];
+    ++next;
+  }
+  edges_.resize(static_cast<std::size_t>(next));
+  edges_.shrink_to_fit();
+  dead_.assign(edges_.size(), 0);
+  dead_.shrink_to_fit();
+  live_ = edges_.size();
+  // The pair index maps to old ids; cheaper to rebuild lazily than remap.
+  pair_index_.clear();
+  pair_index_built_ = false;
+  return remap;
+}
+
 EdgeList EdgeStore::live_graph(std::vector<EdgeId>* out_ids) const {
   EdgeList g(n_);
   g.edges.reserve(live_);

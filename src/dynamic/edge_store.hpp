@@ -77,6 +77,19 @@ class EdgeStore {
   [[nodiscard]] graph::EdgeList live_graph(
       std::vector<graph::EdgeId>* out_ids = nullptr) const;
 
+  /// Drops every tombstoned slot, renumbering the live edges to
+  /// [0, num_live()) in ascending old-id order.  Because the renumbering is
+  /// order-preserving, the relative ⟨weight, store-id⟩ total order of the
+  /// live edges — the repo-wide WeightOrder tie-break — is unchanged, so a
+  /// from-scratch solve after compaction picks the same forest edge for
+  /// edge.  Returns the remap table: old id -> new id, kInvalidEdge for
+  /// tombstoned slots.  Every id held outside the store is stale afterwards
+  /// and must be translated through the table.  Without compaction a
+  /// sustained delete workload grows the slab (and every live_graph scan)
+  /// without bound; the serving layer calls this when live/size falls below
+  /// its threshold.
+  std::vector<graph::EdgeId> compact();
+
  private:
   static void check_edge(graph::VertexId u, graph::VertexId v, graph::Weight w,
                          graph::VertexId n);

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+namespace smp {
+
+/// Toolchain and machine facts stamped into committed BENCH_*.json runs and
+/// the serving layer's stats dump, so numbers stay attributable and
+/// comparable across machines (same graph + different compiler is not a
+/// regression).
+struct BuildInfo {
+  std::string compiler;    ///< e.g. "gcc 12.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE at configure time
+  unsigned hardware_threads = 0;
+};
+
+[[nodiscard]] inline BuildInfo build_info() {
+  BuildInfo b;
+#if defined(__clang__)
+  b.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  b.compiler = std::string("gcc ") + __VERSION__;
+#else
+  b.compiler = "unknown";
+#endif
+#ifdef SMPMSF_BUILD_TYPE
+  b.build_type = SMPMSF_BUILD_TYPE;
+#else
+  b.build_type = "unknown";
+#endif
+  b.hardware_threads = std::thread::hardware_concurrency();
+  return b;
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars) for the
+/// hand-rolled JSON emitters in the CLI, the serve layer and the benches.
+[[nodiscard]] inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The build block shared by every stats emitter:
+/// {"compiler": "...", "build_type": "...", "hardware_threads": N}
+[[nodiscard]] inline std::string build_info_json() {
+  const BuildInfo b = build_info();
+  return "{\"compiler\": \"" + json_escape(b.compiler) +
+         "\", \"build_type\": \"" + json_escape(b.build_type) +
+         "\", \"hardware_threads\": " + std::to_string(b.hardware_threads) +
+         "}";
+}
+
+}  // namespace smp

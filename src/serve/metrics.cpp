@@ -1,0 +1,80 @@
+#include "serve/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "pprim/build_info.hpp"
+
+namespace smp::serve {
+
+namespace {
+
+std::string histogram_json(const Histogram& h) {
+  const Histogram::Snapshot s = h.snapshot();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"count\": %" PRIu64
+                ", \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, "
+                "\"p99\": %.1f, \"max\": %" PRIu64 "}",
+                s.count, s.mean(), s.quantile(0.50), s.quantile(0.95),
+                s.quantile(0.99), s.max);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json(std::size_t queue_capacity,
+                                     double uptime_s) const {
+  const auto u64 = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  char buf[512];
+  std::string json = "{";
+  json += "\"build\": " + build_info_json();
+  std::snprintf(buf, sizeof buf, ", \"uptime_s\": %.3f", uptime_s);
+  json += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      ", \"queue\": {\"capacity\": %zu, \"depth\": %" PRIu64
+      ", \"max_depth\": %" PRIu64 ", \"submitted\": %" PRIu64
+      ", \"rejected_overload\": %" PRIu64 ", \"rejected_shutdown\": %" PRIu64
+      "}",
+      queue_capacity, u64(queue_depth), u64(max_queue_depth), u64(submitted),
+      u64(rejected_overload), u64(rejected_shutdown));
+  json += buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"coalescing\": {\"apply_batches\": %" PRIu64
+                ", \"coalesced_writes\": %" PRIu64 ", \"conflicts\": %" PRIu64
+                ", \"batch_size\": ",
+                u64(apply_batches), u64(coalesced_writes),
+                u64(coalesce_conflicts));
+  json += buf;
+  json += histogram_json(coalesce_size) + "}";
+  std::snprintf(buf, sizeof buf,
+                ", \"deadline_exceeded\": %" PRIu64
+                ", \"solver_repairs\": %" PRIu64 ", \"compactions\": %" PRIu64
+                ", \"slots_reclaimed\": %" PRIu64,
+                u64(deadline_exceeded), u64(solver_repairs), u64(compactions),
+                u64(slots_reclaimed));
+  json += buf;
+  json += ", \"ops\": {";
+  bool first = true;
+  for (int i = 0; i < kNumOps; ++i) {
+    const OpMetrics& m = ops[static_cast<std::size_t>(i)];
+    const std::uint64_t completed = m.completed.load(std::memory_order_relaxed);
+    if (completed == 0) continue;
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + std::string(to_string(static_cast<Op>(i))) + "\": ";
+    std::snprintf(buf, sizeof buf,
+                  "{\"completed\": %" PRIu64 ", \"errors\": %" PRIu64
+                  ", \"latency_us\": ",
+                  completed, m.errors.load(std::memory_order_relaxed));
+    json += buf;
+    json += histogram_json(m.latency_us) + "}";
+  }
+  json += "}}";
+  return json;
+}
+
+}  // namespace smp::serve

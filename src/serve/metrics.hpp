@@ -1,0 +1,107 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pprim/histogram.hpp"
+#include "serve/request.hpp"
+
+namespace smp::serve {
+
+/// Per-op serving metrics: end-to-end latency (submission to completion,
+/// microseconds — queue wait included, because that is what a client
+/// experiences) plus completion and error counts.
+struct OpMetrics {
+  Histogram latency_us;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> errors{0};  ///< non-kOk completions
+};
+
+/// All counters of the service, updated lock-free on the hot path and
+/// dumped as one JSON document by the `stats` request.  Everything here is
+/// monotone or a gauge, so concurrent scrapes are always consistent enough
+/// to difference across time.
+class MetricsRegistry {
+ public:
+  // --- admission / queue ---
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> rejected_overload{0};
+  std::atomic<std::uint64_t> rejected_shutdown{0};
+  std::atomic<std::uint64_t> queue_depth{0};      ///< gauge
+  std::atomic<std::uint64_t> max_queue_depth{0};  ///< high-water mark
+
+  // --- write coalescing ---
+  /// apply_batch calls issued (each serves >= 1 write request).
+  std::atomic<std::uint64_t> apply_batches{0};
+  /// Write requests served by those batches; mean batch size is the ratio.
+  std::atomic<std::uint64_t> coalesced_writes{0};
+  /// Batch-size distribution (requests per apply_batch).
+  Histogram coalesce_size;
+  /// Merges cut short because a later write depended on an earlier one in
+  /// the same group (delete of a just-inserted or just-deleted edge).
+  std::atomic<std::uint64_t> coalesce_conflicts{0};
+
+  // --- budgets / maintenance ---
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  std::atomic<std::uint64_t> solver_repairs{0};  ///< recompute() after a failed apply
+  std::atomic<std::uint64_t> compactions{0};
+  std::atomic<std::uint64_t> slots_reclaimed{0};
+
+  std::array<OpMetrics, kNumOps> ops;
+
+  OpMetrics& op(Op o) { return ops[static_cast<std::size_t>(o)]; }
+  const OpMetrics& op(Op o) const { return ops[static_cast<std::size_t>(o)]; }
+
+  void record_queue_depth(std::uint64_t depth) {
+    queue_depth.store(depth, std::memory_order_relaxed);
+    std::uint64_t prev = max_queue_depth.load(std::memory_order_relaxed);
+    while (prev < depth && !max_queue_depth.compare_exchange_weak(
+                               prev, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  void record_completion(Op o, Status s, std::uint64_t latency_us) {
+    OpMetrics& m = op(o);
+    m.latency_us.record(latency_us);
+    m.completed.fetch_add(1, std::memory_order_relaxed);
+    if (s != Status::kOk) m.errors.fetch_add(1, std::memory_order_relaxed);
+    if (s == Status::kDeadlineExceeded) {
+      deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Zeroes every counter and histogram.  Bench/test support for isolating
+  /// a measured window from setup traffic — not used on the serving path,
+  /// and not atomic with respect to concurrent recorders.
+  void reset_counters() {
+    submitted.store(0, std::memory_order_relaxed);
+    rejected_overload.store(0, std::memory_order_relaxed);
+    rejected_shutdown.store(0, std::memory_order_relaxed);
+    queue_depth.store(0, std::memory_order_relaxed);
+    max_queue_depth.store(0, std::memory_order_relaxed);
+    apply_batches.store(0, std::memory_order_relaxed);
+    coalesced_writes.store(0, std::memory_order_relaxed);
+    coalesce_size.reset();
+    coalesce_conflicts.store(0, std::memory_order_relaxed);
+    deadline_exceeded.store(0, std::memory_order_relaxed);
+    solver_repairs.store(0, std::memory_order_relaxed);
+    compactions.store(0, std::memory_order_relaxed);
+    slots_reclaimed.store(0, std::memory_order_relaxed);
+    for (OpMetrics& m : ops) {
+      m.latency_us.reset();
+      m.completed.store(0, std::memory_order_relaxed);
+      m.errors.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// One JSON object with build info, queue/admission counters, coalescing
+  /// stats and per-op latency percentiles (p50/p95/p99/max, microseconds).
+  /// Ops that never completed are omitted.
+  [[nodiscard]] std::string to_json(std::size_t queue_capacity,
+                                    double uptime_s) const;
+};
+
+}  // namespace smp::serve

@@ -1,0 +1,267 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace smp::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& why) {
+  throw Error(ErrorCode::kInvalidInput, why);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) == 0) {
+      ++i;
+    }
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& tok, const char* what) {
+  if (tok.empty() || tok[0] == '-') bad(std::string(what) + ": '" + tok + "'");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) {
+    bad(std::string(what) + ": '" + tok + "'");
+  }
+  return v;
+}
+
+double parse_double(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || errno != 0 || end != tok.c_str() + tok.size()) {
+    bad(std::string(what) + ": '" + tok + "'");
+  }
+  return v;
+}
+
+/// Wire vertices are 1-based; 0 is the DIMACS "no such vertex".
+graph::VertexId parse_vertex(const std::string& tok) {
+  const std::uint64_t v = parse_u64(tok, "bad vertex");
+  if (v == 0 || v > std::numeric_limits<graph::VertexId>::max()) {
+    bad("vertex out of range (wire vertices are 1-based): '" + tok + "'");
+  }
+  return static_cast<graph::VertexId>(v - 1);
+}
+
+bool consume_option(std::vector<std::string>& toks, const std::string& key,
+                    std::string* value) {
+  // Options are trailing `key=value` tokens; order among them is free.
+  for (auto it = toks.begin(); it != toks.end(); ++it) {
+    if (it->rfind(key + "=", 0) == 0) {
+      *value = it->substr(key.size() + 1);
+      toks.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string need_session(const std::vector<std::string>& toks) {
+  if (toks.size() < 2) bad("missing session name");
+  return toks[1];
+}
+
+std::string fmt_weight(graph::Weight w) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", w);
+  return buf;
+}
+
+void append_forest_facts(std::string& out, const Response& r) {
+  out += " weight=" + fmt_weight(r.weight);
+  out += " trees=" + std::to_string(r.trees);
+  out += " forest=" + std::to_string(r.forest_edges);
+  out += " live=" + std::to_string(r.live_edges);
+}
+
+bool is_write_shaped(Op op) {
+  return op == Op::kInsert || op == Op::kDelete || op == Op::kRecompute ||
+         op == Op::kCompact;
+}
+
+}  // namespace
+
+WireRequest parse_line(const std::string& line) {
+  std::vector<std::string> toks = tokenize(line);
+  if (toks.empty()) bad("empty request line");
+
+  WireRequest wr;
+  std::string opt;
+  if (consume_option(toks, "deadline", &opt)) {
+    const double ms = parse_double(opt, "bad deadline");
+    if (ms <= 0) bad("deadline must be positive milliseconds");
+    wr.req.deadline_s = ms / 1000.0;
+  }
+
+  const std::string& verb = toks[0];
+  if (verb == "quit") {
+    wr.quit = true;
+    return wr;
+  }
+  if (verb == "shutdown") {
+    wr.shutdown = true;
+    return wr;
+  }
+  if (verb == "ping") {
+    wr.req.op = Op::kPing;
+  } else if (verb == "list") {
+    wr.req.op = Op::kList;
+  } else if (verb == "stats") {
+    wr.req.op = Op::kStats;
+  } else if (verb == "open") {
+    wr.req.op = Op::kOpen;
+    wr.req.session = need_session(toks);
+    std::string n;
+    std::string file;
+    const bool has_n = consume_option(toks, "n", &n);
+    const bool has_file = consume_option(toks, "file", &file);
+    if (has_n == has_file) bad("open needs exactly one of n=N or file=PATH");
+    if (has_n) {
+      const std::uint64_t v = parse_u64(n, "bad vertex count");
+      if (v == 0 || v > std::numeric_limits<graph::VertexId>::max()) {
+        bad("vertex count out of range: '" + n + "'");
+      }
+      wr.req.num_vertices = static_cast<graph::VertexId>(v);
+    } else {
+      if (file.empty()) bad("empty file path");
+      wr.req.path = file;
+    }
+    if (toks.size() != 2) bad("trailing tokens after open");
+  } else if (verb == "drop" || verb == "weight" || verb == "recompute" ||
+             verb == "compact") {
+    wr.req.op = verb == "drop"        ? Op::kDrop
+                : verb == "weight"    ? Op::kWeight
+                : verb == "recompute" ? Op::kRecompute
+                                      : Op::kCompact;
+    wr.req.session = need_session(toks);
+    if (toks.size() != 2) bad("trailing tokens after " + verb);
+  } else if (verb == "connected") {
+    wr.req.op = Op::kConnected;
+    wr.req.session = need_session(toks);
+    if (toks.size() != 4) bad("usage: connected NAME U V");
+    wr.req.u = parse_vertex(toks[2]);
+    wr.req.v = parse_vertex(toks[3]);
+  } else if (verb == "edges") {
+    wr.req.op = Op::kForestEdges;
+    wr.req.session = need_session(toks);
+    std::string max;
+    if (consume_option(toks, "max", &max)) {
+      wr.req.limit = parse_u64(max, "bad max");
+      if (wr.req.limit == 0) bad("max must be >= 1 (omit it for all edges)");
+    }
+    if (toks.size() != 2) bad("trailing tokens after edges");
+  } else if (verb == "insert") {
+    wr.req.op = Op::kInsert;
+    wr.req.session = need_session(toks);
+    if (toks.size() < 5 || (toks.size() - 2) % 3 != 0) {
+      bad("usage: insert NAME U V W [U V W ...]");
+    }
+    for (std::size_t i = 2; i + 2 < toks.size(); i += 3) {
+      graph::WEdge e;
+      e.u = parse_vertex(toks[i]);
+      e.v = parse_vertex(toks[i + 1]);
+      e.w = parse_double(toks[i + 2], "bad weight");
+      wr.req.insertions.push_back(e);
+    }
+  } else if (verb == "delete") {
+    wr.req.op = Op::kDelete;
+    wr.req.session = need_session(toks);
+    if (toks.size() < 4 || (toks.size() - 2) % 2 != 0) {
+      bad("usage: delete NAME U V [U V ...]");
+    }
+    for (std::size_t i = 2; i + 1 < toks.size(); i += 2) {
+      wr.req.deletions.emplace_back(parse_vertex(toks[i]),
+                                    parse_vertex(toks[i + 1]));
+    }
+  } else {
+    bad("unknown verb '" + verb + "'");
+  }
+  return wr;
+}
+
+std::string render_response(Op op, const Response& r) {
+  if (!r.ok()) {
+    std::string out = "err ";
+    out += to_string(r.status);
+    // A write can fail *after* its store mutation went in (deadline tripped
+    // mid-solve; the service repaired the forest).  Clients must be able to
+    // tell that from a clean rejection, so the applied bit rides along.
+    if (is_write_shaped(op)) out += r.applied ? " applied=1" : " applied=0";
+    if (!r.detail.empty()) out += " " + r.detail;
+    out += "\n";
+    return out;
+  }
+  switch (op) {
+    case Op::kPing:
+    case Op::kDrop:
+      return "ok\n";
+    case Op::kList: {
+      std::string out = "ok count=" + std::to_string(r.sessions.size());
+      out += " sessions=";
+      for (std::size_t i = 0; i < r.sessions.size(); ++i) {
+        if (i > 0) out += ",";
+        out += r.sessions[i];
+      }
+      return out + "\n";
+    }
+    case Op::kConnected:
+      return std::string("ok connected=") + (r.connected ? "1" : "0") + "\n";
+    case Op::kForestEdges: {
+      std::string out = "ok count=" + std::to_string(r.edges.size()) +
+                        " total=" + std::to_string(r.edges_total) + "\n";
+      for (const graph::WEdge& e : r.edges) {
+        out += "e " + std::to_string(e.u + 1) + " " + std::to_string(e.v + 1) +
+               " " + fmt_weight(e.w) + "\n";
+      }
+      return out + ".\n";
+    }
+    case Op::kStats:
+      return "ok\n" + r.stats_json + "\n.\n";
+    case Op::kInsert:
+    case Op::kDelete: {
+      std::string out = "ok applied=1 coalesced=" + std::to_string(r.coalesced);
+      append_forest_facts(out, r);
+      return out + "\n";
+    }
+    case Op::kRecompute: {
+      std::string out = "ok applied=1";
+      append_forest_facts(out, r);
+      return out + "\n";
+    }
+    case Op::kCompact: {
+      std::string out = "ok applied=1 remapped=" + std::to_string(r.remapped);
+      append_forest_facts(out, r);
+      return out + "\n";
+    }
+    case Op::kOpen:
+    case Op::kWeight:
+    default: {
+      std::string out = "ok";
+      append_forest_facts(out, r);
+      return out + "\n";
+    }
+  }
+}
+
+}  // namespace smp::serve

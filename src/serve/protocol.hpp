@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace smp::serve {
+
+/// One parsed wire line.  `quit` and `shutdown` are connection/daemon
+/// control verbs that never reach the ServiceCore.
+struct WireRequest {
+  Request req;
+  bool quit = false;      ///< close this connection
+  bool shutdown = false;  ///< stop the daemon (after responding)
+};
+
+/// Parses one request line of the line protocol (see docs/SERVING.md):
+///
+///   ping | list | stats | quit | shutdown
+///   open NAME (n=N | file=PATH)
+///   drop NAME | weight NAME | recompute NAME | compact NAME
+///   connected NAME U V
+///   edges NAME [max=K]
+///   insert NAME U V W [U V W ...]
+///   delete NAME U V [U V ...]
+///
+/// any of which may end with `deadline=MS` (milliseconds).  Vertices are
+/// 1-based on the wire (DIMACS convention) and 0-based in the returned
+/// Request.  Throws Error{kInvalidInput} on anything malformed; the server
+/// answers those with `err invalid_input ...` instead of dropping the
+/// connection.
+[[nodiscard]] WireRequest parse_line(const std::string& line);
+
+/// Renders a core response as wire text — one `ok ...` / `err ...` header
+/// line, plus a payload block terminated by a lone `.` for the multi-line
+/// ops (edges, stats).  Always newline-terminated.  `op` selects the
+/// response shape; pass the op of the request that produced `r`.
+[[nodiscard]] std::string render_response(Op op, const Response& r);
+
+}  // namespace smp::serve

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace smp::serve {
+
+/// Bounded multi-producer / multi-consumer FIFO with *rejecting* admission
+/// control: a full queue fails the push immediately instead of blocking the
+/// producer or growing without bound.  That is the load-shedding contract of
+/// the serving layer — under overload, clients get a fast `overloaded`
+/// response and retry with backoff, and queue latency stays bounded by
+/// capacity x service time instead of compounding.
+///
+/// Consumers block in pop() until an item or close() arrives.  close()
+/// drains: items already admitted are still handed out, then pop() returns
+/// nullopt to every waiter.  A mutex + condvar is deliberate — the queue
+/// hands requests to solvers that run for milliseconds, so contention on
+/// the queue lock is nowhere near the critical path, and the blocking pop
+/// keeps idle dispatcher threads parked in the kernel instead of spinning.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is full or closed; the item is not consumed then.
+  [[nodiscard]] bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; nullopt once closed and drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ready_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace smp::serve

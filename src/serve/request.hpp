@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace smp::serve {
+
+/// The request vocabulary of the serving layer.  Reads (kWeight, kConnected,
+/// kForestEdges, kSnapshot) run concurrently under a shared session lock;
+/// writes (kInsert, kDelete) are coalesced per session into one apply_batch;
+/// kRecompute and kCompact are exclusive but never coalesced.
+enum class Op : int {
+  kPing = 0,
+  kOpen,         ///< create a session (empty graph or loaded from file)
+  kDrop,         ///< destroy a session
+  kList,         ///< enumerate sessions
+  kWeight,       ///< forest weight / tree count / edge counts
+  kConnected,    ///< are u and v in the same forest component?
+  kForestEdges,  ///< materialize forest edges (optionally capped)
+  kInsert,       ///< insert an edge batch
+  kDelete,       ///< delete an edge batch (by endpoints, canonical edge)
+  kRecompute,    ///< force a from-scratch solve of the live graph
+  kCompact,      ///< drop tombstoned store slots
+  kStats,        ///< metrics dump as JSON
+  kSnapshot,     ///< in-process only: atomic live-graph + forest snapshot
+};
+inline constexpr int kNumOps = static_cast<int>(Op::kSnapshot) + 1;
+
+[[nodiscard]] constexpr std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::kPing:
+      return "ping";
+    case Op::kOpen:
+      return "open";
+    case Op::kDrop:
+      return "drop";
+    case Op::kList:
+      return "list";
+    case Op::kWeight:
+      return "weight";
+    case Op::kConnected:
+      return "connected";
+    case Op::kForestEdges:
+      return "edges";
+    case Op::kInsert:
+      return "insert";
+    case Op::kDelete:
+      return "delete";
+    case Op::kRecompute:
+      return "recompute";
+    case Op::kCompact:
+      return "compact";
+    case Op::kStats:
+      return "stats";
+    case Op::kSnapshot:
+      return "snapshot";
+  }
+  return "?";
+}
+
+/// Response status.  kOk aside, these are the failure surface of the
+/// service: admission control (kOverloaded), per-request budgets
+/// (kDeadlineExceeded / kCancelled / kOutOfMemory via PR 1's
+/// ExecutionBudget), request validation (kInvalidInput, kNotFound,
+/// kAlreadyExists), and lifecycle (kShuttingDown).  kInternal is the
+/// catch-all for a solver failure the service could not classify.
+enum class Status : int {
+  kOk = 0,
+  kOverloaded,
+  kDeadlineExceeded,
+  kCancelled,
+  kOutOfMemory,
+  kInvalidInput,
+  kNotFound,
+  kAlreadyExists,
+  kShuttingDown,
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kOverloaded:
+      return "overloaded";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kCancelled:
+      return "cancelled";
+    case Status::kOutOfMemory:
+      return "out_of_memory";
+    case Status::kInvalidInput:
+      return "invalid_input";
+    case Status::kNotFound:
+      return "not_found";
+    case Status::kAlreadyExists:
+      return "already_exists";
+    case Status::kShuttingDown:
+      return "shutting_down";
+    case Status::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+/// One service request.  Vertices are 0-based here (the wire protocol is
+/// 1-based, DIMACS style; protocol.cpp converts).  `deadline_s` is relative
+/// to submission; 0 means "use the service default" (which may be none).
+struct Request {
+  Op op = Op::kPing;
+  std::string session;
+  // kOpen: exactly one of num_vertices (> 0, empty graph) or path (load).
+  graph::VertexId num_vertices = 0;
+  std::string path;
+  // kConnected.
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+  // kInsert / kDelete payloads.
+  std::vector<graph::WEdge> insertions;
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> deletions;
+  // kForestEdges: cap on returned edges (0 = all).
+  std::size_t limit = 0;
+  double deadline_s = 0;
+};
+
+/// In-process snapshot payload (kSnapshot): the live graph, its store ids,
+/// and the maintained forest, captured under one shared lock — i.e. all
+/// three are consistent with each other.  The stress tests solve `live`
+/// from scratch and demand bit-identity with `forest_ids`/`weight`.
+struct SnapshotData {
+  graph::EdgeList live;
+  std::vector<graph::EdgeId> live_ids;
+  std::vector<graph::EdgeId> forest_ids;  ///< ascending store ids
+  graph::Weight weight = 0;
+  std::size_t trees = 0;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::string detail;  ///< human-readable reason on error
+  // Forest facts (kWeight, kOpen, kInsert, kDelete, kRecompute, kCompact).
+  graph::Weight weight = 0;
+  std::size_t trees = 0;
+  std::size_t forest_edges = 0;
+  std::size_t live_edges = 0;
+  bool connected = false;      // kConnected
+  std::vector<graph::WEdge> edges;  // kForestEdges payload
+  std::size_t edges_total = 0;      // kForestEdges: forest size before `limit`
+  // Writes: how many requests the service merged into the apply_batch that
+  // carried this one (>= 1), and whether this request's mutation reached the
+  // store (a write failing *mid-solve* is applied; one rejected up front or
+  // expired while queued is not).
+  std::size_t coalesced = 0;
+  bool applied = false;
+  std::size_t remapped = 0;          // kCompact: live edges renumbered
+  std::vector<std::string> sessions;  // kList
+  std::string stats_json;             // kStats
+  std::shared_ptr<SnapshotData> snapshot;  // kSnapshot
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+}  // namespace smp::serve

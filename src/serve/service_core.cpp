@@ -1,0 +1,654 @@
+#include "serve/service_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <exception>
+#include <future>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_set>
+#include <utility>
+
+#include "core/connected_components.hpp"
+#include "core/error.hpp"
+#include "dynamic/dynamic_msf.hpp"
+#include "graph/io.hpp"
+
+namespace smp::serve {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+using graph::WEdge;
+
+/// One named graph session.  `state_mu` is the reader/writer lock of the
+/// tentpole: reads share it, the write flusher and recompute/compact hold it
+/// exclusively.  The pending list + flushing flag implement write
+/// coalescing; the cc cache memoizes forest component labels per committed
+/// forest version so repeated connectivity queries cost O(1) after the
+/// first.
+struct Session {
+  std::string name;
+
+  std::shared_mutex state_mu;
+  std::unique_ptr<dynamic::DynamicMsf> msf;  ///< guarded by state_mu
+  std::uint64_t version = 0;  ///< committed-mutation counter, guarded by state_mu
+  std::atomic<bool> ready{false};  ///< set once the initial solve committed
+
+  std::mutex pending_mu;
+  std::vector<ServiceCore::QueuedRequest> pending;
+  bool flushing = false;
+
+  std::mutex cc_mu;
+  std::uint64_t cc_version = ~std::uint64_t{0};
+  core::CcResult cc;
+};
+
+namespace {
+
+constexpr auto kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
+Response make_error(Status s, std::string detail) {
+  Response r;
+  r.status = s;
+  r.detail = std::move(detail);
+  return r;
+}
+
+Status status_of(const Error& e) {
+  switch (e.code()) {
+    case ErrorCode::kCancelled:
+      return Status::kCancelled;
+    case ErrorCode::kDeadlineExceeded:
+      return Status::kDeadlineExceeded;
+    case ErrorCode::kOutOfMemory:
+      return Status::kOutOfMemory;
+    case ErrorCode::kInvalidInput:
+      return Status::kInvalidInput;
+  }
+  return Status::kInternal;
+}
+
+bool valid_session_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '-' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void fill_forest_facts(Response& r, const dynamic::DynamicMsf& m) {
+  r.weight = m.total_weight();
+  r.trees = m.num_trees();
+  r.forest_edges = m.forest_edge_ids().size();
+  r.live_edges = m.store().num_live();
+}
+
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+ServeOptions normalize(ServeOptions opts) {
+  opts.msf.threads = std::max(1, opts.msf.threads);
+  opts.dispatchers = std::max(1, opts.dispatchers);
+  opts.queue_capacity = std::max<std::size_t>(1, opts.queue_capacity);
+  // Per-request budgets are installed by the dispatcher; a caller-supplied
+  // one would dangle across requests.
+  opts.msf.budget = nullptr;
+  return opts;
+}
+
+}  // namespace
+
+ServiceCore::ServiceCore(ServeOptions opts)
+    : opts_(normalize(std::move(opts))),
+      solver_team_(opts_.msf.threads),
+      started_(Clock::now()),
+      queue_(opts_.queue_capacity) {
+  dispatchers_.reserve(static_cast<std::size_t>(opts_.dispatchers));
+  for (int i = 0; i < opts_.dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+ServiceCore::~ServiceCore() { shutdown(); }
+
+void ServiceCore::shutdown() {
+  std::call_once(shutdown_once_, [&] {
+    stopping_.store(true, std::memory_order_release);
+    queue_.close();  // admitted requests still drain
+    for (auto& t : dispatchers_) t.join();
+  });
+}
+
+bool ServiceCore::submit(Request req, std::function<void(Response)> done) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  QueuedRequest qr;
+  qr.req = std::move(req);
+  qr.done = std::move(done);
+  qr.submitted = Clock::now();
+  qr.deadline = kNoDeadline;
+  const double dl =
+      qr.req.deadline_s > 0 ? qr.req.deadline_s : opts_.default_deadline_s;
+  if (dl > 0) {
+    qr.deadline =
+        qr.submitted + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(dl));
+  }
+  if (!queue_.try_push(std::move(qr))) {
+    // try_push only consumes the item on success, so qr is intact here.
+    const bool down = stopping_.load(std::memory_order_acquire);
+    auto& counter = down ? metrics_.rejected_shutdown : metrics_.rejected_overload;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    qr.done(make_error(down ? Status::kShuttingDown : Status::kOverloaded,
+                       down ? "service is shutting down"
+                            : "request queue is full"));
+    return false;
+  }
+  metrics_.record_queue_depth(queue_.size());
+  return true;
+}
+
+Response ServiceCore::call(Request req) {
+  std::promise<Response> p;
+  std::future<Response> f = p.get_future();
+  submit(std::move(req), [&p](Response r) { p.set_value(std::move(r)); });
+  return f.get();
+}
+
+std::string ServiceCore::stats_json() const {
+  const double uptime =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  return metrics_.to_json(queue_.capacity(), uptime);
+}
+
+void ServiceCore::dispatcher_loop() {
+  while (auto item = queue_.pop()) {
+    metrics_.record_queue_depth(queue_.size());
+    execute(std::move(*item));
+  }
+}
+
+void ServiceCore::finish(QueuedRequest& qr, Response r) {
+  const auto us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            qr.submitted)
+          .count());
+  metrics_.record_completion(qr.req.op, r.status, us);
+  qr.done(std::move(r));
+}
+
+std::shared_ptr<Session> ServiceCore::find_session(const std::string& name) {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end() ||
+      !it->second->ready.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+void ServiceCore::execute(QueuedRequest qr) {
+  if (qr.deadline != kNoDeadline && Clock::now() >= qr.deadline) {
+    finish(qr, make_error(Status::kDeadlineExceeded,
+                          "deadline expired while queued"));
+    return;
+  }
+  try {
+    switch (qr.req.op) {
+      case Op::kPing:
+        finish(qr, Response{});
+        return;
+      case Op::kStats: {
+        Response r;
+        r.stats_json = stats_json();
+        finish(qr, std::move(r));
+        return;
+      }
+      case Op::kOpen:
+        finish(qr, do_open(qr.req));
+        return;
+      case Op::kDrop:
+        finish(qr, do_drop(qr.req));
+        return;
+      case Op::kList:
+        finish(qr, do_list());
+        return;
+      default:
+        break;
+    }
+    const std::shared_ptr<Session> s = find_session(qr.req.session);
+    if (s == nullptr) {
+      finish(qr, make_error(Status::kNotFound,
+                            "no session named '" + qr.req.session + "'"));
+      return;
+    }
+    switch (qr.req.op) {
+      case Op::kInsert:
+      case Op::kDelete:
+        enqueue_write(s, std::move(qr));  // responds from the flusher
+        return;
+      case Op::kRecompute:
+        finish(qr, do_recompute(*s, qr));
+        return;
+      case Op::kCompact:
+        finish(qr, do_compact(*s));
+        return;
+      default:
+        finish(qr, do_read(*s, qr));
+        return;
+    }
+  } catch (const Error& e) {
+    finish(qr, make_error(status_of(e), e.what()));
+  } catch (const std::exception& e) {
+    finish(qr, make_error(Status::kInternal, e.what()));
+  }
+}
+
+Response ServiceCore::do_open(const Request& req) {
+  if (!valid_session_name(req.session)) {
+    return make_error(Status::kInvalidInput,
+                      "session names are [A-Za-z0-9_.-]{1,64}");
+  }
+  if (req.path.empty() && req.num_vertices == 0) {
+    return make_error(Status::kInvalidInput,
+                      "open needs a vertex count or a graph file");
+  }
+  auto session = std::make_shared<Session>();
+  session->name = req.session;
+  {
+    // Reserve the name first so two concurrent opens cannot both build the
+    // (possibly expensive) initial solve for it.
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    const auto [it, inserted] = sessions_.emplace(req.session, session);
+    if (!inserted) {
+      return make_error(
+          it->second->ready.load(std::memory_order_acquire)
+              ? Status::kAlreadyExists
+              : Status::kInvalidInput,
+          "session '" + req.session + "' already exists or is opening");
+    }
+  }
+  const auto drop_placeholder = [&] {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    sessions_.erase(req.session);
+  };
+  try {
+    dynamic::DynamicMsfOptions dopts;
+    dopts.msf = opts_.msf;
+    dopts.team = &solver_team_;
+    if (req.path.empty()) {
+      session->msf = std::make_unique<dynamic::DynamicMsf>(req.num_vertices,
+                                                           dopts);
+    } else {
+      const bool binary = req.path.size() > 5 &&
+                          req.path.compare(req.path.size() - 5, 5, ".smpg") == 0;
+      const EdgeList g = binary ? graph::read_binary_file(req.path)
+                                : graph::read_dimacs_file(req.path);
+      // The initial solve is scheduled like any other on the shared team.
+      std::lock_guard<std::mutex> solver(solver_mu_);
+      session->msf = std::make_unique<dynamic::DynamicMsf>(g, dopts);
+    }
+  } catch (const Error& e) {
+    drop_placeholder();
+    return make_error(status_of(e), e.what());
+  } catch (const std::exception& e) {
+    drop_placeholder();
+    return make_error(Status::kInvalidInput, e.what());
+  }
+  session->ready.store(true, std::memory_order_release);
+  Response r;
+  fill_forest_facts(r, *session->msf);
+  return r;
+}
+
+Response ServiceCore::do_drop(const Request& req) {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  const auto it = sessions_.find(req.session);
+  if (it == sessions_.end() ||
+      !it->second->ready.load(std::memory_order_acquire)) {
+    return make_error(Status::kNotFound,
+                      "no session named '" + req.session + "'");
+  }
+  // In-flight requests hold their own shared_ptr and finish against the
+  // detached session; new lookups fail from here on.
+  sessions_.erase(it);
+  return Response{};
+}
+
+Response ServiceCore::do_list() {
+  Response r;
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  for (const auto& [name, s] : sessions_) {
+    if (s->ready.load(std::memory_order_acquire)) r.sessions.push_back(name);
+  }
+  return r;
+}
+
+Response ServiceCore::do_read(Session& s, const QueuedRequest& qr) {
+  std::shared_lock<std::shared_mutex> lk(s.state_mu);
+  const dynamic::DynamicMsf& m = *s.msf;
+  Response r;
+  switch (qr.req.op) {
+    case Op::kWeight:
+      fill_forest_facts(r, m);
+      return r;
+    case Op::kConnected: {
+      const VertexId n = m.store().num_vertices();
+      if (qr.req.u >= n || qr.req.v >= n) {
+        return make_error(Status::kInvalidInput, "vertex out of range");
+      }
+      // Forest component labels, memoized per committed forest version.
+      // Rebuilding under the shared state lock is safe: writers need the
+      // exclusive lock to change the forest, so the cache cannot go stale
+      // mid-build, and cc_mu serializes concurrent readers rebuilding.
+      std::lock_guard<std::mutex> cc_lk(s.cc_mu);
+      if (s.cc_version != s.version) {
+        EdgeList fg(n);
+        fg.edges.reserve(m.forest_edge_ids().size());
+        for (const EdgeId id : m.forest_edge_ids()) {
+          fg.edges.push_back(m.store().edge(id));
+        }
+        s.cc = core::connected_components(fg, 1);
+        s.cc_version = s.version;
+      }
+      r.connected = s.cc.label[qr.req.u] == s.cc.label[qr.req.v];
+      return r;
+    }
+    case Op::kForestEdges: {
+      fill_forest_facts(r, m);
+      const auto& forest = m.forest_edge_ids();
+      r.edges_total = forest.size();
+      const std::size_t take = qr.req.limit == 0
+                                   ? forest.size()
+                                   : std::min(qr.req.limit, forest.size());
+      r.edges.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        r.edges.push_back(m.store().edge(forest[i]));
+      }
+      return r;
+    }
+    case Op::kSnapshot: {
+      auto snap = std::make_shared<SnapshotData>();
+      snap->live = m.store().live_graph(&snap->live_ids);
+      snap->forest_ids = m.forest_edge_ids();
+      snap->weight = m.total_weight();
+      snap->trees = m.num_trees();
+      fill_forest_facts(r, m);
+      r.snapshot = std::move(snap);
+      return r;
+    }
+    default:
+      return make_error(Status::kInternal, "bad read dispatch");
+  }
+}
+
+Response ServiceCore::do_recompute(Session& s, const QueuedRequest& qr) {
+  std::unique_lock<std::shared_mutex> lk(s.state_mu);
+  ExecutionBudget budget;
+  const bool bounded = qr.deadline != kNoDeadline;
+  if (bounded) {
+    budget.set_deadline_after(
+        std::chrono::duration<double>(qr.deadline - Clock::now()).count());
+  }
+  Response r;
+  try {
+    s.msf->set_budget(bounded ? &budget : nullptr);
+    {
+      std::lock_guard<std::mutex> solver(solver_mu_);
+      s.msf->recompute();
+    }
+    s.msf->set_budget(nullptr);
+    ++s.version;
+    fill_forest_facts(r, *s.msf);
+    r.applied = true;
+    return r;
+  } catch (const Error& e) {
+    // recompute() does not mutate the store, so a budget failure leaves the
+    // previous (still valid) forest in place — nothing to repair.
+    s.msf->set_budget(nullptr);
+    return make_error(status_of(e), e.what());
+  }
+}
+
+Response ServiceCore::do_compact(Session& s) {
+  std::unique_lock<std::shared_mutex> lk(s.state_mu);
+  const std::size_t before = s.msf->store().size();
+  s.msf->compact_store();
+  const std::size_t after = s.msf->store().size();
+  metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
+  metrics_.slots_reclaimed.fetch_add(before - after, std::memory_order_relaxed);
+  Response r;
+  fill_forest_facts(r, *s.msf);
+  r.remapped = after;
+  r.applied = true;
+  return r;
+}
+
+void ServiceCore::maybe_compact(Session& s) {
+  // Caller holds the exclusive state lock.
+  const std::size_t slots = s.msf->store().size();
+  const std::size_t live = s.msf->store().num_live();
+  if (slots < opts_.compact_min_slots) return;
+  if (static_cast<double>(live) >=
+      opts_.compact_live_ratio * static_cast<double>(slots)) {
+    return;
+  }
+  s.msf->compact_store();
+  metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
+  metrics_.slots_reclaimed.fetch_add(slots - s.msf->store().size(),
+                                     std::memory_order_relaxed);
+}
+
+void ServiceCore::enqueue_write(const std::shared_ptr<Session>& s,
+                                QueuedRequest qr) {
+  {
+    std::lock_guard<std::mutex> lk(s->pending_mu);
+    s->pending.push_back(std::move(qr));
+    if (s->flushing) return;  // the active flusher will pick it up
+    s->flushing = true;
+  }
+  // This thread became the session's flusher.  An optional coalescing
+  // window lets a burst accumulate behind us before the first drain.
+  if (opts_.coalesce_window_s > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts_.coalesce_window_s));
+  }
+  flush_writes(*s);
+}
+
+void ServiceCore::flush_writes(Session& s) {
+  std::unique_lock<std::shared_mutex> state(s.state_mu);
+  for (;;) {
+    std::vector<QueuedRequest> batch;
+    {
+      std::lock_guard<std::mutex> lk(s.pending_mu);
+      batch.swap(s.pending);
+      if (batch.empty()) {
+        s.flushing = false;
+        return;
+      }
+    }
+
+    // Merge the drained writes, in arrival order, into groups that one
+    // apply_batch can serve.  A group ends early only when a later delete
+    // depends on the outcome of an earlier write in the same group (it
+    // targets a just-inserted pair, or the canonical live edge it resolves
+    // to is already being deleted) — applying first keeps replay
+    // order-exact, exactly like the CLI's trace flush.
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      std::vector<std::size_t> members;
+      std::vector<WEdge> ins;
+      std::vector<EdgeId> del;
+      std::unordered_set<std::uint64_t> ins_pairs;
+      std::unordered_set<EdgeId> del_ids;
+      auto earliest = kNoDeadline;
+      const auto now = Clock::now();
+
+      while (i < batch.size()) {
+        QueuedRequest& w = batch[i];
+        if (w.deadline != kNoDeadline && now >= w.deadline) {
+          // Expired while waiting to be merged: dropped atomically, nothing
+          // of it reaches the store.
+          Response r = make_error(Status::kDeadlineExceeded,
+                                  "deadline expired before apply");
+          finish(w, std::move(r));
+          ++i;
+          continue;
+        }
+        if (w.req.op == Op::kInsert) {
+          bool bad = false;
+          for (const WEdge& e : w.req.insertions) {
+            try {
+              s.msf->store().validate_edge(e.u, e.v, e.w);
+            } catch (const Error& err) {
+              finish(w, make_error(Status::kInvalidInput, err.what()));
+              bad = true;
+              break;
+            }
+          }
+          if (!bad) {
+            members.push_back(i);
+            for (const WEdge& e : w.req.insertions) {
+              ins.push_back(e);
+              ins_pairs.insert(pair_key(e.u, e.v));
+            }
+            if (w.deadline < earliest) earliest = w.deadline;
+          }
+          ++i;
+          continue;
+        }
+        // Op::kDelete: resolve endpoint pairs to canonical live store ids.
+        std::vector<EdgeId> resolved;
+        bool conflict = false;
+        std::string bad;
+        const VertexId n = s.msf->store().num_vertices();
+        for (const auto& [u, v] : w.req.deletions) {
+          if (u >= n || v >= n || u == v) {
+            bad = "delete endpoint out of range";
+            break;
+          }
+          if (ins_pairs.count(pair_key(u, v)) != 0) {
+            conflict = true;  // may target an edge this group inserts
+            break;
+          }
+          const auto id = s.msf->store().find_live(u, v);
+          if (!id) {
+            bad = "no live edge (" + std::to_string(u + 1) + "," +
+                  std::to_string(v + 1) + ")";
+            break;
+          }
+          if (del_ids.count(*id) != 0) {
+            conflict = true;  // canonical edge already deleted by the group
+            break;
+          }
+          if (std::find(resolved.begin(), resolved.end(), *id) !=
+              resolved.end()) {
+            bad = "duplicate delete of the same canonical edge in one request";
+            break;
+          }
+          resolved.push_back(*id);
+        }
+        if (conflict) {
+          // Leave w for the next group; the current group applies first.
+          metrics_.coalesce_conflicts.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (!bad.empty()) {
+          finish(w, make_error(Status::kInvalidInput, bad));
+          ++i;
+          continue;
+        }
+        members.push_back(i);
+        for (const EdgeId id : resolved) {
+          del.push_back(id);
+          del_ids.insert(id);
+        }
+        if (w.deadline < earliest) earliest = w.deadline;
+        ++i;
+      }
+
+      if (members.empty()) continue;
+
+      // One apply_batch for the whole group — this is the coalescing the
+      // tentpole is about: burst traffic pays one sparsified solve.
+      ExecutionBudget budget;
+      const bool bounded = earliest != kNoDeadline;
+      if (bounded) {
+        budget.set_deadline_after(
+            std::chrono::duration<double>(earliest - Clock::now()).count());
+      }
+      try {
+        s.msf->set_budget(bounded ? &budget : nullptr);
+        {
+          std::lock_guard<std::mutex> solver(solver_mu_);
+          s.msf->apply_batch(ins, del);
+        }
+        s.msf->set_budget(nullptr);
+        ++s.version;
+        metrics_.apply_batches.fetch_add(1, std::memory_order_relaxed);
+        metrics_.coalesced_writes.fetch_add(members.size(),
+                                            std::memory_order_relaxed);
+        metrics_.coalesce_size.record(members.size());
+        Response base;
+        fill_forest_facts(base, *s.msf);
+        base.applied = true;
+        base.coalesced = members.size();
+        for (const std::size_t idx : members) {
+          finish(batch[idx], Response(base));
+        }
+      } catch (const Error& e) {
+        s.msf->set_budget(nullptr);
+        const Status st = status_of(e);
+        if (st == Status::kInvalidInput) {
+          // apply_batch validates before mutating, so nothing was applied.
+          for (const std::size_t idx : members) {
+            finish(batch[idx], make_error(st, e.what()));
+          }
+        } else {
+          // Mid-solve failure (deadline/cancel/OOM): the store mutations
+          // are in, the forest is stale.  Repair with an unbudgeted
+          // recompute so later requests see a correct forest — the failed
+          // deadline must not poison the session.
+          repair_after_failed_apply(s);
+          Response r = make_error(st, e.what());
+          r.applied = true;
+          r.coalesced = members.size();
+          for (const std::size_t idx : members) {
+            finish(batch[idx], Response(r));
+          }
+        }
+      } catch (const std::exception& e) {
+        s.msf->set_budget(nullptr);
+        repair_after_failed_apply(s);
+        Response r = make_error(Status::kInternal, e.what());
+        r.applied = true;
+        for (const std::size_t idx : members) {
+          finish(batch[idx], Response(r));
+        }
+      }
+    }
+    maybe_compact(s);
+  }
+}
+
+void ServiceCore::repair_after_failed_apply(Session& s) {
+  metrics_.solver_repairs.fetch_add(1, std::memory_order_relaxed);
+  try {
+    std::lock_guard<std::mutex> solver(solver_mu_);
+    s.msf->recompute();
+    ++s.version;
+  } catch (...) {
+    // Repair itself failed (true OOM): the forest stays stale.  The next
+    // successful apply/recompute will fix it; readers meanwhile see the
+    // pre-batch forest, which is the documented DynamicMsf failure surface.
+  }
+}
+
+}  // namespace smp::serve

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/msf.hpp"
+#include "pprim/thread_team.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace smp::serve {
+
+struct Session;  // service_core.cpp
+
+struct ServeOptions {
+  /// Solver backend for every session: algorithm, seed, fallback policy.
+  /// `msf.threads` sizes the shared solver ThreadTeam — one pool for the
+  /// whole service, scheduled one solve at a time; per-request budgets are
+  /// installed by the dispatcher, so any budget set here is ignored.
+  core::MsfOptions msf;
+  /// Dispatcher threads executing requests off the queue.  Reads on one
+  /// session run concurrently (shared lock), so this is also the read
+  /// concurrency; it must be >= 2 for write coalescing to ever happen (one
+  /// thread flushing while others feed the session's pending list).
+  int dispatchers = 4;
+  /// Admission-controlled request queue bound: a submit against a full
+  /// queue fails fast with kOverloaded instead of growing the backlog.
+  std::size_t queue_capacity = 256;
+  /// Deadline applied to requests that carry none; 0 = unbounded.
+  double default_deadline_s = 0;
+  /// Coalescing window: after picking up the first write of a burst the
+  /// flusher waits this long before draining the session's pending list, so
+  /// a burst arriving over the window pays ONE sparsified solve instead of
+  /// N (the request-batching shape of inference serving).  0 = flush
+  /// immediately; bursts then only coalesce while a previous solve runs.
+  double coalesce_window_s = 0;
+  /// Store compaction trigger, checked after each flush: compact when
+  /// live/slots < compact_live_ratio and slots >= compact_min_slots.
+  double compact_live_ratio = 0.5;
+  std::size_t compact_min_slots = 4096;
+};
+
+/// Transport-agnostic core of the MSF service: owns named graph sessions
+/// (EdgeStore + DynamicMsf each), a bounded MPMC request queue, the
+/// dispatcher pool, the shared solver ThreadTeam, and the metrics registry.
+/// The UDS daemon, the in-process bench and the tests all drive exactly
+/// this object — the wire protocol is a thin layer on top.
+///
+/// Concurrency model per session:
+///  * reads take a shared lock and run concurrently (with each other and
+///    with reads on other sessions);
+///  * writes enter a per-session pending list; one dispatcher becomes the
+///    flusher, merges every compatible queued write into a single
+///    apply_batch under the exclusive lock, and answers all of them —
+///    coalescing N queued writes into one sparsified solve;
+///  * solves (initial, apply, recompute) are scheduled one at a time on the
+///    shared ThreadTeam, so cross-session solver load queues here instead
+///    of oversubscribing the machine.
+///
+/// Every request carries a deadline (its own or the default) mapped onto
+/// smp::ExecutionBudget: a slow solve returns kDeadlineExceeded at the next
+/// iteration checkpoint instead of wedging the queue.  A write that fails
+/// *mid-solve* has already mutated the store; the service repairs the
+/// forest with an unbudgeted recompute before touching the session again
+/// (response field `applied` says which side of the line a failure fell).
+class ServiceCore {
+ public:
+  explicit ServiceCore(ServeOptions opts = {});
+  ~ServiceCore();
+
+  ServiceCore(const ServiceCore&) = delete;
+  ServiceCore& operator=(const ServiceCore&) = delete;
+
+  /// Asynchronous entry point: admit the request or fail fast.  `done` is
+  /// invoked exactly once, on a dispatcher thread (or inline for a
+  /// rejection), and must not block on the service.  Returns false when the
+  /// request was rejected up front (queue full or shutting down; `done` has
+  /// already run with kOverloaded / kShuttingDown).
+  bool submit(Request req, std::function<void(Response)> done);
+
+  /// Synchronous convenience wrapper around submit().
+  Response call(Request req);
+
+  /// Stops admitting, drains every queued request, joins the dispatchers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] std::string stats_json() const;
+  [[nodiscard]] const ServeOptions& options() const { return opts_; }
+
+ private:
+  friend struct Session;  // pending lists hold QueuedRequest
+
+  using Clock = std::chrono::steady_clock;
+
+  struct QueuedRequest {
+    Request req;
+    std::function<void(Response)> done;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  ///< Clock::time_point::max() = none
+  };
+
+  void dispatcher_loop();
+  void execute(QueuedRequest qr);
+  void finish(QueuedRequest& qr, Response r);
+
+  [[nodiscard]] std::shared_ptr<Session> find_session(const std::string& name);
+
+  Response do_open(const Request& req);
+  Response do_drop(const Request& req);
+  Response do_list();
+  Response do_read(Session& s, const QueuedRequest& qr);
+  Response do_recompute(Session& s, const QueuedRequest& qr);
+  Response do_compact(Session& s);
+  void enqueue_write(const std::shared_ptr<Session>& s, QueuedRequest qr);
+  void flush_writes(Session& s);
+  void maybe_compact(Session& s);
+  void repair_after_failed_apply(Session& s);
+
+  ServeOptions opts_;
+  ThreadTeam solver_team_;
+  std::mutex solver_mu_;  ///< serializes solves on solver_team_
+  MetricsRegistry metrics_;
+  Clock::time_point started_;
+
+  std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+
+  BoundedQueue<QueuedRequest> queue_;
+  std::vector<std::thread> dispatchers_;
+  std::atomic<bool> stopping_{false};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace smp::serve

@@ -1,0 +1,113 @@
+#include "serve/uds_client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace smp::serve {
+
+namespace {
+
+/// First whitespace-delimited token of the request — enough to know the
+/// response shape (edges/stats carry a payload block on success).
+std::string verb_of(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  std::size_t j = i;
+  while (j < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[j]))) {
+    ++j;
+  }
+  return line.substr(i, j - i);
+}
+
+}  // namespace
+
+UdsClient::UdsClient(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw Error(ErrorCode::kInvalidInput, "bad socket path: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(ErrorCode::kInvalidInput,
+                std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorCode::kInvalidInput,
+                "cannot connect to '" + path + "': " + why);
+  }
+}
+
+UdsClient::~UdsClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdsClient::send_line(const std::string& line) {
+  const std::string data = line + "\n";
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw Error(ErrorCode::kInvalidInput, "server closed the connection");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string UdsClient::read_line() {
+  for (;;) {
+    const std::size_t nl = acc_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = acc_.substr(0, nl);
+      acc_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw Error(ErrorCode::kInvalidInput,
+                  "server hung up mid-response");
+    }
+    acc_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::vector<std::string> UdsClient::read_response(const std::string& line) {
+  std::vector<std::string> out;
+  out.push_back(read_line());
+  const std::string verb = verb_of(line);
+  const bool multi = (verb == "edges" || verb == "stats") &&
+                     out.front().rfind("ok", 0) == 0;
+  if (multi) {
+    for (std::string l = read_line(); l != "."; l = read_line()) {
+      out.push_back(std::move(l));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> UdsClient::request(const std::string& line) {
+  send_line(line);
+  return read_response(line);
+}
+
+}  // namespace smp::serve

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smp::serve {
+
+/// Minimal synchronous client for the UDS line protocol: connect, send one
+/// request line, read the response block.  Used by the smpmsf_client tool
+/// and the socket end-to-end tests; one instance per connection, not
+/// thread-safe.
+class UdsClient {
+ public:
+  /// Connects; throws Error{kInvalidInput} when nobody listens on `path`.
+  explicit UdsClient(const std::string& path);
+  ~UdsClient();
+
+  UdsClient(const UdsClient&) = delete;
+  UdsClient& operator=(const UdsClient&) = delete;
+
+  /// Sends `line` and reads the full response block for it: the header
+  /// line, plus — for the multi-line verbs (`edges`, `stats`) on success —
+  /// payload lines up to and including the terminating ".".  Returns the
+  /// response lines (terminator excluded).  Throws Error{kInvalidInput} if
+  /// the server hangs up mid-response.
+  std::vector<std::string> request(const std::string& line);
+
+  /// Sends without reading — for pipelined bursts; pair with read_response.
+  void send_line(const std::string& line);
+  /// Reads one response block for a previously sent `line` (the request
+  /// text decides whether a payload block is expected).
+  std::vector<std::string> read_response(const std::string& line);
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string acc_;
+};
+
+}  // namespace smp::serve

@@ -1,0 +1,247 @@
+#include "serve/uds_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <utility>
+
+#include "core/error.hpp"
+#include "serve/protocol.hpp"
+
+namespace smp::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  throw Error(ErrorCode::kInvalidInput, why + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw Error(ErrorCode::kInvalidInput,
+                "socket path must be 1.." +
+                    std::to_string(sizeof addr.sun_path - 1) + " bytes: '" +
+                    path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// True when a daemon is actually accepting on `path` (as opposed to a
+/// stale socket file left by a crash).
+bool socket_is_live(const sockaddr_un& addr) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return true;  // be conservative: do not clobber the path
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr);
+  ::close(fd);
+  return rc == 0;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+UdsServer::UdsServer(ServiceCore& core, UdsServerOptions opts)
+    : core_(core), opts_(std::move(opts)) {}
+
+UdsServer::~UdsServer() { stop(); }
+
+void UdsServer::start() {
+  const sockaddr_un addr = make_addr(opts_.socket_path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail("socket");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    if (errno != EADDRINUSE || socket_is_live(addr)) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw Error(ErrorCode::kInvalidInput,
+                  "cannot bind '" + opts_.socket_path +
+                      "' (another daemon live on it?)");
+    }
+    // Stale socket file from a crashed daemon: reclaim the path.
+    ::unlink(opts_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      fail("bind");
+    }
+  }
+  if (::listen(listen_fd_, opts_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
+    fail("listen");
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void UdsServer::wait() {
+  std::unique_lock<std::mutex> lk(wait_mu_);
+  wait_cv_.wait(lk, [&] { return wake_waiters_; });
+}
+
+void UdsServer::stop() {
+  std::lock_guard<std::mutex> stop_lk(stop_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept loop; on Linux shutdown() on a listening socket makes
+  // blocked accept() return.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+    for (auto& c : conns_) {
+      if (c->thread.joinable()) c->thread.join();
+      ::close(c->fd);
+    }
+    conns_.clear();
+  }
+  ::unlink(opts_.socket_path.c_str());
+  {
+    std::lock_guard<std::mutex> lk(wait_mu_);
+    wake_waiters_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
+void UdsServer::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void UdsServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == ECONNABORTED) continue;
+      return;  // listener is gone; stop() will finish the teardown
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    reap_finished_locked();
+    auto conn = std::make_unique<Connection>();
+    Connection& c = *conn;
+    c.fd = fd;
+    conns_.push_back(std::move(conn));
+    c.thread = std::thread([this, &c] { serve_connection(c); });
+  }
+}
+
+void UdsServer::serve_connection(Connection& conn) {
+  const int fd = conn.fd;
+  std::string acc;
+  // Responses go back in request order; futures keep several requests in
+  // flight at once so a pipelined burst reaches the core together (and its
+  // writes coalesce) before we write anything back.
+  std::deque<std::pair<Op, std::future<Response>>> inflight;
+  bool alive = true;
+  bool ask_shutdown = false;
+
+  const auto drain_all = [&] {
+    while (!inflight.empty()) {
+      auto [op, fut] = std::move(inflight.front());
+      inflight.pop_front();
+      if (!send_all(fd, render_response(op, fut.get()))) alive = false;
+    }
+  };
+
+  char buf[4096];
+  while (alive) {
+    // No complete line buffered: everything submitted so far must answer
+    // before we block on the peer again.
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    acc.append(buf, static_cast<std::size_t>(n));
+    if (acc.size() > opts_.max_line) {
+      send_all(fd, "err invalid_input request line too long\n");
+      break;
+    }
+
+    std::size_t start = 0;
+    for (std::size_t nl = acc.find('\n', start); nl != std::string::npos;
+         nl = acc.find('\n', start)) {
+      std::string line = acc.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      try {
+        WireRequest wr = parse_line(line);
+        if (wr.quit || wr.shutdown) {
+          drain_all();
+          send_all(fd, "ok\n");
+          if (wr.shutdown) ask_shutdown = true;
+          alive = false;
+          break;
+        }
+        auto promise = std::make_shared<std::promise<Response>>();
+        inflight.emplace_back(wr.req.op, promise->get_future());
+        core_.submit(std::move(wr.req), [promise](Response r) {
+          promise->set_value(std::move(r));
+        });
+      } catch (const Error& e) {
+        drain_all();
+        if (!send_all(fd, std::string("err invalid_input ") + e.what() +
+                              "\n")) {
+          alive = false;
+        }
+      }
+      if (!alive) break;
+    }
+    acc.erase(0, start);
+    if (alive) drain_all();
+  }
+  drain_all();
+  // The fd is closed by whoever joins this thread (reap or stop) — closing
+  // it here would race a concurrent stop() shutting the same fd down after
+  // the kernel reused the number.
+  conn.done.store(true, std::memory_order_release);
+  if (ask_shutdown) {
+    std::lock_guard<std::mutex> lk(wait_mu_);
+    wake_waiters_ = true;
+    wait_cv_.notify_all();
+  }
+}
+
+}  // namespace smp::serve

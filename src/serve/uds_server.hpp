@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service_core.hpp"
+
+namespace smp::serve {
+
+struct UdsServerOptions {
+  std::string socket_path;
+  /// Hard cap on one request line; a longer line fails the connection
+  /// instead of buffering without bound.
+  std::size_t max_line = std::size_t{1} << 20;
+  int listen_backlog = 64;
+};
+
+/// Line-protocol transport over an AF_UNIX stream socket: an accept-loop
+/// thread plus one thread per connection, each parsing request lines with
+/// protocol.hpp and driving the shared ServiceCore.  Requests that arrive
+/// together on one connection are submitted together before the responses
+/// are written back (in order), so a pipelined client coalesces its own
+/// write bursts just like concurrent clients do.
+///
+/// A stale socket file (daemon died without unlinking) is detected by
+/// probing connect() and replaced; a live one fails start() so two daemons
+/// never fight over a path.  stop() closes the listener, shuts every
+/// connection down, joins all threads and unlinks the socket.  The wire
+/// verb `shutdown` makes wait() return so the owning daemon can stop()
+/// gracefully from its main thread.
+class UdsServer {
+ public:
+  UdsServer(ServiceCore& core, UdsServerOptions opts);
+  ~UdsServer();
+
+  UdsServer(const UdsServer&) = delete;
+  UdsServer& operator=(const UdsServer&) = delete;
+
+  /// Binds, listens and starts accepting.  Throws Error{kInvalidInput} when
+  /// the path is unusable or another daemon is live on it.
+  void start();
+
+  /// Blocks until stop() is called from another thread or a client sends
+  /// the `shutdown` verb.
+  void wait();
+
+  /// Stops accepting, disconnects every client, joins all threads, unlinks
+  /// the socket.  Idempotent and safe to call from several threads (e.g. a
+  /// signal-watcher racing the main thread).  Must not be called from a
+  /// connection thread (the `shutdown` verb signals wait() instead).
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return opts_.socket_path;
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection& conn);
+  void reap_finished_locked();
+
+  ServiceCore& core_;
+  UdsServerOptions opts_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  ///< serializes concurrent stop() callers
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  bool wake_waiters_ = false;
+};
+
+}  // namespace smp::serve

@@ -349,6 +349,85 @@ TEST(EdgeStore, RejectsInvalidEdges) {
   EXPECT_EQ(s.size(), 0u);
 }
 
+TEST(EdgeStore, CompactReclaimsTombstonesPreservingOrder) {
+  EdgeStore s(VertexId{6});
+  std::vector<EdgeId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(s.insert(static_cast<VertexId>(i % 5),
+                           static_cast<VertexId>(i % 5 + 1), 1.0 + i));
+  }
+  s.erase(ids[1]);
+  s.erase(ids[4]);
+  const std::vector<WEdge> live_before = {s.edge(ids[0]), s.edge(ids[2]),
+                                          s.edge(ids[3]), s.edge(ids[5])};
+
+  const std::vector<EdgeId> remap = s.compact();
+  ASSERT_EQ(remap.size(), 6u);
+  // Order-preserving renumber of the survivors; tombstones map nowhere.
+  EXPECT_EQ(remap[0], 0u);
+  EXPECT_EQ(remap[1], kInvalidEdge);
+  EXPECT_EQ(remap[2], 1u);
+  EXPECT_EQ(remap[3], 2u);
+  EXPECT_EQ(remap[4], kInvalidEdge);
+  EXPECT_EQ(remap[5], 3u);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.num_live(), 4u);
+  for (std::size_t i = 0; i < live_before.size(); ++i) {
+    EXPECT_EQ(s.edge(static_cast<EdgeId>(i)).u, live_before[i].u);
+    EXPECT_EQ(s.edge(static_cast<EdgeId>(i)).v, live_before[i].v);
+    EXPECT_EQ(s.edge(static_cast<EdgeId>(i)).w, live_before[i].w);
+  }
+  // The pair index rebuilds against the new ids, and fresh inserts continue
+  // from the compacted end.
+  EXPECT_EQ(s.find_live(1, 2), std::nullopt);  // ids[1] was {1,2}, erased
+  EXPECT_EQ(s.find_live(2, 3), std::optional<EdgeId>(1));
+  EXPECT_EQ(s.insert(0, 5, 9.0), EdgeId{4});
+}
+
+TEST(EdgeStore, CompactOfFullyLiveStoreIsIdentity) {
+  EdgeStore s(VertexId{3});
+  s.insert(0, 1, 1.0);
+  s.insert(1, 2, 2.0);
+  const std::vector<EdgeId> remap = s.compact();
+  EXPECT_EQ(remap, (std::vector<EdgeId>{0, 1}));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.num_live(), 2u);
+}
+
+TEST(DynamicMsf, CompactStoreKeepsForestBitIdentical) {
+  // Grow, delete (tombstoning forest and non-forest edges alike), compact,
+  // then demand the remapped forest still solves bit-identically from
+  // scratch and survives further batches.
+  const EdgeList g0 = random_graph(120, 400, 7);
+  DynamicMsf d(g0, dyn_opts(core::Algorithm::kBorFAL, 2));
+  std::vector<EdgeId> del;
+  for (EdgeId id = 0; id < 200; id += 2) del.push_back(id);
+  d.apply_batch({}, del);
+  const Weight weight_before = d.total_weight();
+  const std::size_t trees_before = d.num_trees();
+  const std::size_t live_before = d.store().num_live();
+
+  const std::vector<EdgeId> remap = d.compact_store();
+  ASSERT_EQ(remap.size(), 400u);
+  EXPECT_EQ(d.store().size(), live_before);
+  EXPECT_EQ(d.store().num_live(), live_before);
+  EXPECT_EQ(d.total_weight(), weight_before);
+  EXPECT_EQ(d.num_trees(), trees_before);
+  for (const EdgeId id : d.forest_edge_ids()) {
+    EXPECT_TRUE(d.store().is_live(id));
+  }
+  Reference ref = scratch_reference(d, core::Algorithm::kBorFAL, 2);
+  EXPECT_EQ(d.forest_edge_ids(), ref.forest);
+  EXPECT_EQ(d.total_weight(), ref.weight);
+
+  // Batches after compaction behave like nothing happened.
+  const std::vector<WEdge> more = {WEdge{0, 1, 0.001}, WEdge{5, 9, 0.002}};
+  d.apply_batch(more, {});
+  ref = scratch_reference(d, core::Algorithm::kBorFAL, 2);
+  EXPECT_EQ(d.forest_edge_ids(), ref.forest);
+  EXPECT_EQ(d.total_weight(), ref.weight);
+}
+
 TEST(CandidateMsf, MapsIdsBackAndRejectsUnsortedIds) {
   // Solve a 2-edge candidate subset of a 4-edge graph.
   EdgeList cand(3);

@@ -1,0 +1,125 @@
+// Lock-free log-scale histogram: bucket math, quantile error bounds,
+// concurrent recording.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "pprim/histogram.hpp"
+
+namespace {
+
+using smp::Histogram;
+
+TEST(Histogram, BucketOfMatchesBucketBounds) {
+  // Every value must land in a bucket whose [lo, hi) range contains it —
+  // exhaustively for small values, then across the whole 64-bit range at
+  // octave boundaries and mid-octave points.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 4096; ++v) values.push_back(v);
+  for (int e = 12; e < 64; ++e) {
+    const std::uint64_t p = std::uint64_t{1} << e;
+    values.push_back(p - 1);
+    values.push_back(p);
+    values.push_back(p + p / 3);
+    values.push_back(p + p / 2);
+  }
+  values.push_back(~std::uint64_t{0});
+  for (const std::uint64_t v : values) {
+    const std::size_t b = Histogram::bucket_of(v);
+    ASSERT_LT(b, Histogram::kBuckets) << "value " << v;
+    const auto [lo, hi] = Histogram::bucket_bounds(b);
+    ASSERT_LE(lo, v) << "value " << v << " bucket " << b;
+    if (b + 1 < Histogram::kBuckets) {
+      ASSERT_LT(v, hi) << "value " << v << " bucket " << b;
+    }
+  }
+}
+
+TEST(Histogram, BucketsAreContiguousAndMonotone) {
+  for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    const auto [lo, hi] = Histogram::bucket_bounds(b);
+    const auto [next_lo, next_hi] = Histogram::bucket_bounds(b + 1);
+    ASSERT_LT(lo, hi);
+    ASSERT_EQ(hi, next_lo) << "gap/overlap between buckets " << b << " and "
+                           << b + 1;
+    ASSERT_LT(next_lo, next_hi);
+  }
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileWithin25Percent) {
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(v);
+    h.record(v);
+    v = v * 17 / 16 + 1;  // roughly log-spaced up to ~hundreds of thousands
+  }
+  const auto s = h.snapshot();
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    const double est = s.quantile(q);
+    const double exact = static_cast<double>(
+        values[static_cast<std::size_t>(q * (values.size() - 1))]);
+    EXPECT_NEAR(est, exact, exact * 0.25 + 1.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  const auto s = h.snapshot();
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_LE(s.quantile(q), 1000.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(7);
+  h.reset();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.max, static_cast<std::uint64_t>(kThreads) * kPerThread - 1);
+  std::uint64_t total = 0;
+  for (const auto b : s.buckets) total += b;
+  EXPECT_EQ(total, s.count);
+}
+
+}  // namespace

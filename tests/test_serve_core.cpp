@@ -1,0 +1,318 @@
+// ServiceCore: session lifecycle, write coalescing, deadline budgets,
+// admission control, store compaction — everything the tentpole promises,
+// exercised in-process without a socket.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "serve/service_core.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+using namespace smp::serve;
+
+Request make(Op op, std::string session = {}) {
+  Request r;
+  r.op = op;
+  r.session = std::move(session);
+  return r;
+}
+
+Request insert_req(const std::string& session, std::vector<WEdge> edges) {
+  Request r = make(Op::kInsert, session);
+  r.insertions = std::move(edges);
+  return r;
+}
+
+Request delete_req(const std::string& session,
+                   std::vector<std::pair<VertexId, VertexId>> pairs) {
+  Request r = make(Op::kDelete, session);
+  r.deletions = std::move(pairs);
+  return r;
+}
+
+TEST(ServeCore, SessionLifecycleAndReads) {
+  ServiceCore svc;
+  EXPECT_EQ(svc.call(make(Op::kPing)).status, Status::kOk);
+
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 5;
+  EXPECT_EQ(svc.call(open).status, Status::kOk);
+  EXPECT_EQ(svc.call(open).status, Status::kAlreadyExists);
+
+  Response w = svc.call(make(Op::kWeight, "g"));
+  EXPECT_EQ(w.status, Status::kOk);
+  EXPECT_EQ(w.trees, 5u);
+  EXPECT_EQ(w.forest_edges, 0u);
+
+  Response ins = svc.call(insert_req("g", {{0, 1, 1.5}, {1, 2, 2.0}}));
+  EXPECT_EQ(ins.status, Status::kOk);
+  EXPECT_TRUE(ins.applied);
+  EXPECT_GE(ins.coalesced, 1u);
+  EXPECT_EQ(ins.trees, 3u);
+  EXPECT_DOUBLE_EQ(ins.weight, 3.5);
+
+  Request conn = make(Op::kConnected, "g");
+  conn.u = 0;
+  conn.v = 2;
+  EXPECT_TRUE(svc.call(conn).connected);
+  conn.v = 4;
+  EXPECT_FALSE(svc.call(conn).connected);
+
+  Response edges = svc.call(make(Op::kForestEdges, "g"));
+  EXPECT_EQ(edges.edges.size(), 2u);
+  EXPECT_EQ(edges.edges_total, 2u);
+
+  Response list = svc.call(make(Op::kList));
+  EXPECT_EQ(list.sessions, std::vector<std::string>{"g"});
+
+  EXPECT_EQ(svc.call(make(Op::kDrop, "g")).status, Status::kOk);
+  EXPECT_EQ(svc.call(make(Op::kWeight, "g")).status, Status::kNotFound);
+  EXPECT_EQ(svc.call(make(Op::kDrop, "g")).status, Status::kNotFound);
+}
+
+TEST(ServeCore, ValidatesRequests) {
+  ServiceCore svc;
+  Request open = make(Op::kOpen, "bad name!");
+  open.num_vertices = 3;
+  EXPECT_EQ(svc.call(open).status, Status::kInvalidInput);
+
+  open = make(Op::kOpen, "g");
+  EXPECT_EQ(svc.call(open).status, Status::kInvalidInput);  // no n, no file
+  open.num_vertices = 3;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  // Deleting an edge that is not live fails that request atomically.
+  Response del = svc.call(delete_req("g", {{0, 1}}));
+  EXPECT_EQ(del.status, Status::kInvalidInput);
+  EXPECT_FALSE(del.applied);
+
+  Request conn = make(Op::kConnected, "g");
+  conn.u = 0;
+  conn.v = 99;
+  EXPECT_EQ(svc.call(conn).status, Status::kInvalidInput);
+
+  EXPECT_EQ(svc.call(make(Op::kWeight, "nope")).status, Status::kNotFound);
+}
+
+TEST(ServeCore, CoalescesConcurrentWritesIntoOneBatch) {
+  ServeOptions opts;
+  opts.dispatchers = 4;
+  opts.coalesce_window_s = 0.05;  // let the whole burst pile up
+  ServiceCore svc(opts);
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 64;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  constexpr int kWrites = 12;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  std::vector<Response> responses(kWrites);
+  for (int i = 0; i < kWrites; ++i) {
+    const bool ok = svc.submit(
+        insert_req("g", {{static_cast<VertexId>(i), 63, 1.0 + i}}),
+        [&, i](Response r) {
+          std::lock_guard<std::mutex> lk(mu);
+          responses[static_cast<std::size_t>(i)] = std::move(r);
+          ++done;
+          cv.notify_one();
+        });
+    ASSERT_TRUE(ok);
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done == kWrites; });
+  }
+
+  std::size_t max_coalesced = 0;
+  for (const Response& r : responses) {
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_TRUE(r.applied);
+    max_coalesced = std::max(max_coalesced, r.coalesced);
+  }
+  // The burst must not have paid one solve per request.
+  EXPECT_GE(max_coalesced, 2u);
+  const auto& m = svc.metrics();
+  EXPECT_EQ(m.coalesced_writes.load(), static_cast<std::uint64_t>(kWrites));
+  EXPECT_LT(m.apply_batches.load(), static_cast<std::uint64_t>(kWrites));
+  EXPECT_GE(m.coalesce_size.count(), 1u);
+
+  // All writes landed exactly once.
+  Response w = svc.call(make(Op::kWeight, "g"));
+  EXPECT_EQ(w.live_edges, static_cast<std::size_t>(kWrites));
+  EXPECT_EQ(w.forest_edges, static_cast<std::size_t>(kWrites));
+}
+
+TEST(ServeCore, DeadlineExceededDoesNotPoisonTheSession) {
+  ServeOptions opts;
+  opts.msf.threads = 2;
+  ServiceCore svc(opts);
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 2000;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+  Request grow = insert_req("g", {});
+  for (VertexId v = 1; v < 2000; ++v) {
+    grow.insertions.push_back(WEdge{v - 1, v, 1.0 / v});
+  }
+  ASSERT_EQ(svc.call(grow).status, Status::kOk);
+  const Response before = svc.call(make(Op::kWeight, "g"));
+
+  // A recompute that cannot possibly finish inside its budget fails with
+  // kDeadlineExceeded instead of wedging a dispatcher forever...
+  Request re = make(Op::kRecompute, "g");
+  re.deadline_s = 1e-7;
+  const Response r = svc.call(re);
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+
+  // ...and the session answers the next requests with the intact forest.
+  const Response after = svc.call(make(Op::kWeight, "g"));
+  EXPECT_EQ(after.status, Status::kOk);
+  EXPECT_EQ(after.weight, before.weight);
+  EXPECT_EQ(after.forest_edges, before.forest_edges);
+
+  // An unbudgeted recompute still works.
+  EXPECT_EQ(svc.call(make(Op::kRecompute, "g")).status, Status::kOk);
+  EXPECT_GE(svc.metrics().deadline_exceeded.load(), 1u);
+}
+
+TEST(ServeCore, ExpiredWriteIsDroppedAtomically) {
+  ServiceCore svc;
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 4;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  Request ins = insert_req("g", {{0, 1, 1.0}});
+  ins.deadline_s = 1e-9;  // expires before any dispatcher can touch it
+  const Response r = svc.call(ins);
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  EXPECT_FALSE(r.applied);
+  const Response w = svc.call(make(Op::kWeight, "g"));
+  EXPECT_EQ(w.live_edges, 0u);
+}
+
+TEST(ServeCore, AdmissionControlShedsLoad) {
+  ServeOptions opts;
+  opts.dispatchers = 1;
+  opts.queue_capacity = 2;
+  opts.coalesce_window_s = 0.2;  // parks the only dispatcher in the window
+  ServiceCore svc(opts);
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 4;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  std::atomic<int> overloaded{0};
+  int accepted = 0;
+  const int kBurst = 8;
+  // First write occupies the dispatcher (coalesce window), the rest pile
+  // into the bounded queue until it rejects.
+  for (int i = 0; i < kBurst; ++i) {
+    const bool ok = svc.submit(
+        insert_req("g", {{0, 1, 1.0 + i}}), [&](Response r) {
+          if (r.status == Status::kOverloaded) ++overloaded;
+          std::lock_guard<std::mutex> lk(mu);
+          ++done;
+          cv.notify_one();
+        });
+    if (ok) ++accepted;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done == kBurst; });
+  }
+  EXPECT_LT(accepted, kBurst);
+  EXPECT_GT(overloaded.load(), 0);
+  EXPECT_EQ(svc.metrics().rejected_overload.load(),
+            static_cast<std::uint64_t>(kBurst - accepted));
+}
+
+TEST(ServeCore, CompactionKicksInBelowLiveRatio) {
+  ServeOptions opts;
+  opts.compact_min_slots = 64;
+  opts.compact_live_ratio = 0.5;
+  ServiceCore svc(opts);
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 100;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  Request grow = insert_req("g", {});
+  for (VertexId v = 1; v < 100; ++v) {
+    grow.insertions.push_back(WEdge{v - 1, v, 1.0});
+  }
+  ASSERT_EQ(svc.call(grow).status, Status::kOk);  // fully live: no compact
+
+  Request del = delete_req("g", {});
+  for (VertexId v = 1; v < 60; ++v) del.deletions.emplace_back(v - 1, v);
+  const Response d = svc.call(del);
+  ASSERT_EQ(d.status, Status::kOk);
+  EXPECT_EQ(d.live_edges, 40u);
+
+  // The renumbered forest still serves and solves identically.  (This read
+  // also serializes after the flusher's post-apply compaction check, which
+  // runs under the exclusive state lock after write responses go out.)
+  const Response snap = svc.call(make(Op::kSnapshot, "g"));
+  ASSERT_EQ(snap.status, Status::kOk);
+  ASSERT_NE(snap.snapshot, nullptr);
+  // 99 slots >= 64 and 40/99 < 0.5: the flush compacted the store.
+  EXPECT_GE(svc.metrics().compactions.load(), 1u);
+  EXPECT_GE(svc.metrics().slots_reclaimed.load(), 59u);
+  EXPECT_EQ(snap.snapshot->live.num_edges(), 40u);
+  for (const EdgeId id : snap.snapshot->forest_ids) EXPECT_LT(id, 40u);
+}
+
+TEST(ServeCore, ExplicitCompactRequest) {
+  ServiceCore svc;
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 10;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+  ASSERT_EQ(svc.call(insert_req("g", {{0, 1, 1.0}, {1, 2, 2.0}})).status,
+            Status::kOk);
+  ASSERT_EQ(svc.call(delete_req("g", {{0, 1}})).status, Status::kOk);
+  const Response c = svc.call(make(Op::kCompact, "g"));
+  EXPECT_EQ(c.status, Status::kOk);
+  EXPECT_EQ(c.remapped, 1u);
+  EXPECT_EQ(c.live_edges, 1u);
+  EXPECT_GE(svc.metrics().compactions.load(), 1u);
+}
+
+TEST(ServeCore, StatsJsonHasTheAdvertisedShape) {
+  ServiceCore svc;
+  ASSERT_EQ(svc.call(make(Op::kPing)).status, Status::kOk);
+  const Response stats = svc.call(make(Op::kStats));
+  ASSERT_EQ(stats.status, Status::kOk);
+  for (const char* key :
+       {"\"build\"", "\"compiler\"", "\"queue\"", "\"coalescing\"",
+        "\"apply_batches\"", "\"batch_size\"", "\"deadline_exceeded\"",
+        "\"ops\"", "\"ping\"", "\"p99\""}) {
+    EXPECT_NE(stats.stats_json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ServeCore, ShutdownDrainsAndRejectsLateSubmits) {
+  ServiceCore svc;
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 8;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+  svc.shutdown();
+  const Response r = svc.call(make(Op::kWeight, "g"));
+  EXPECT_EQ(r.status, Status::kShuttingDown);
+  EXPECT_GE(svc.metrics().rejected_shutdown.load(), 1u);
+  svc.shutdown();  // idempotent
+}
+
+}  // namespace

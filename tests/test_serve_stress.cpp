@@ -1,0 +1,176 @@
+// Serving-layer determinism under concurrency: writers hammer one session
+// through the ServiceCore while readers take atomic snapshots — and every
+// snapshot's forest must be bit-identical (edge ids and deterministically
+// summed weight) to a from-scratch solve of that snapshot's live edge set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/msf.hpp"
+#include "pprim/rng.hpp"
+#include "serve/service_core.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+using namespace smp::serve;
+
+/// Solves the snapshot's live graph from scratch with the same backend and
+/// checks bit-identity against the forest the service maintained.
+void check_snapshot(const SnapshotData& snap, const core::MsfOptions& opts) {
+  const MsfResult ref = core::minimum_spanning_forest_of_candidates(
+      snap.live, snap.live_ids, opts);
+  std::vector<EdgeId> ref_forest = ref.edge_ids;
+  std::sort(ref_forest.begin(), ref_forest.end());
+  ASSERT_EQ(snap.forest_ids, ref_forest);
+
+  std::unordered_map<EdgeId, Weight> weight_of;
+  weight_of.reserve(snap.live_ids.size());
+  for (std::size_t i = 0; i < snap.live_ids.size(); ++i) {
+    weight_of[snap.live_ids[i]] = snap.live.edges[i].w;
+  }
+  Weight ref_weight = 0;
+  for (const EdgeId id : snap.forest_ids) ref_weight += weight_of.at(id);
+  ASSERT_EQ(snap.weight, ref_weight);
+  ASSERT_EQ(snap.trees, ref.num_trees);
+}
+
+TEST(ServeStress, EverySnapshotIsBitIdenticalToScratch) {
+  constexpr VertexId kN = 150;
+  ServeOptions opts;
+  opts.msf.threads = 2;
+  opts.dispatchers = 4;
+  opts.compact_min_slots = 256;  // let compaction fire mid-stress too
+  ServiceCore svc(opts);
+
+  Request open;
+  open.op = Op::kOpen;
+  open.session = "g";
+  open.num_vertices = kN;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  constexpr int kWriters = 3;
+  constexpr int kOpsPerWriter = 40;
+  constexpr int kReaders = 2;
+  std::atomic<bool> writers_done{false};
+  std::atomic<int> write_failures{0};
+  std::atomic<int> snapshots_checked{0};
+
+  std::vector<std::thread> threads;
+  for (int wi = 0; wi < kWriters; ++wi) {
+    threads.emplace_back([&, wi] {
+      Rng rng(1000 + static_cast<std::uint64_t>(wi));
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        Request req;
+        req.session = "g";
+        if (rng.next_below(3) != 0) {
+          req.op = Op::kInsert;
+          for (std::uint64_t k = 0; k < 1 + rng.next_below(4); ++k) {
+            const auto u = static_cast<VertexId>(rng.next_below(kN));
+            auto v = static_cast<VertexId>(rng.next_below(kN - 1));
+            if (v >= u) ++v;
+            const Weight w = (rng.next_below(4) == 0) ? 0.5 : rng.next_double();
+            req.insertions.push_back(WEdge{u, v, w});
+          }
+        } else {
+          // Delete by endpoints picked from a fresh snapshot; a concurrent
+          // writer may win the race for the same canonical edge, in which
+          // case kInvalidInput is the contract, not a failure.
+          Request snap_req;
+          snap_req.op = Op::kSnapshot;
+          snap_req.session = "g";
+          const Response snap = svc.call(snap_req);
+          if (!snap.ok() || snap.snapshot->live.num_edges() == 0) continue;
+          const auto& edges = snap.snapshot->live.edges;
+          const auto& e = edges[static_cast<std::size_t>(
+              rng.next_below(edges.size()))];
+          req.op = Op::kDelete;
+          req.deletions.emplace_back(e.u, e.v);
+        }
+        const Response r = svc.call(req);
+        if (!r.ok() &&
+            !(req.op == Op::kDelete && r.status == Status::kInvalidInput)) {
+          ++write_failures;
+        }
+      }
+    });
+  }
+  for (int ri = 0; ri < kReaders; ++ri) {
+    threads.emplace_back([&] {
+      while (!writers_done.load(std::memory_order_acquire)) {
+        Request req;
+        req.op = Op::kSnapshot;
+        req.session = "g";
+        const Response r = svc.call(req);
+        if (!r.ok()) continue;
+        ASSERT_NE(r.snapshot, nullptr);
+        check_snapshot(*r.snapshot, opts.msf);
+        ++snapshots_checked;
+      }
+    });
+  }
+  for (int wi = 0; wi < kWriters; ++wi) threads[static_cast<std::size_t>(wi)].join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(write_failures.load(), 0);
+  EXPECT_GT(snapshots_checked.load(), 0);
+
+  // Final state must also be bit-identical, via one last snapshot.
+  Request req;
+  req.op = Op::kSnapshot;
+  req.session = "g";
+  const Response last = svc.call(req);
+  ASSERT_TRUE(last.ok());
+  check_snapshot(*last.snapshot, opts.msf);
+  svc.shutdown();
+}
+
+TEST(ServeStress, MixedReadersAndWritersAcrossSessions) {
+  ServeOptions opts;
+  opts.dispatchers = 4;
+  opts.coalesce_window_s = 0.005;
+  ServiceCore svc(opts);
+  for (const char* name : {"a", "b"}) {
+    Request open;
+    open.op = Op::kOpen;
+    open.session = name;
+    open.num_vertices = 60;
+    ASSERT_EQ(svc.call(open).status, Status::kOk);
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string session = (t % 2 == 0) ? "a" : "b";
+      Rng rng(77 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 30; ++i) {
+        Request ins;
+        ins.op = Op::kInsert;
+        ins.session = session;
+        const auto u = static_cast<VertexId>(rng.next_below(60));
+        auto v = static_cast<VertexId>(rng.next_below(59));
+        if (v >= u) ++v;
+        ins.insertions.push_back(WEdge{u, v, rng.next_double()});
+        if (!svc.call(ins).ok()) ++failures;
+        Request w;
+        w.op = Op::kWeight;
+        w.session = session;
+        if (!svc.call(w).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // 120 writes total; the coalescing window must have merged some.
+  EXPECT_LT(svc.metrics().apply_batches.load(), 120u);
+  svc.shutdown();
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 //   smpmsf convert IN OUT           (format chosen by extension: .smpg = binary)
 //   smpmsf solve [--alg A] [--threads P] [--seed S] [--timeout SECS]
 //                [--mem-cap BYTES] [--no-fallback] [--validate] [--steps]
+//                [--stats-json FILE]
 //                [--mode static|dynamic] [--batch-size N] [--update-trace FILE]
 //                FILE
 //   smpmsf cc [--threads P] FILE
@@ -51,6 +52,7 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "graph/validate.hpp"
+#include "pprim/build_info.hpp"
 #include "pprim/timer.hpp"
 
 namespace {
@@ -67,7 +69,7 @@ using namespace smp::graph;
                "  smpmsf convert IN OUT\n"
                "  smpmsf solve [--alg A] [--threads P] [--seed S]"
                " [--timeout SECS] [--mem-cap BYTES] [--no-fallback]"
-               " [--validate] [--steps]\n"
+               " [--validate] [--steps] [--stats-json FILE]\n"
                "               [--mode static|dynamic] [--batch-size N]"
                " [--update-trace FILE] FILE\n"
                "  smpmsf cc [--threads P] FILE\n"
@@ -372,6 +374,54 @@ int solve_dynamic(const Flags& f, const EdgeList& g,
   return 0;
 }
 
+/// `solve --stats-json FILE`: one JSON object with the build info (compiler,
+/// build type, hardware threads), the run parameters, the solver's
+/// PhaseStats / StepTimes instrumentation and the result facts — the
+/// machine-readable sibling of the human solve output.
+void write_stats_json(const std::string& path, const std::string& alg,
+                      const core::MsfOptions& opts, const EdgeList& g,
+                      const MsfResult& r, double secs,
+                      const core::StepTimes& steps,
+                      const core::PhaseStats& pstats) {
+  std::ofstream os(path);
+  if (!os) {
+    throw smp::Error(smp::ErrorCode::kInvalidInput, "cannot write " + path);
+  }
+  char buf[512];
+  os << "{\"build\": " << smp::build_info_json();
+  std::snprintf(buf, sizeof buf,
+                ", \"algorithm\": \"%s\", \"threads\": %d, \"seed\": %llu",
+                alg.c_str(), opts.threads,
+                static_cast<unsigned long long>(opts.seed));
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"graph\": {\"vertices\": %u, \"edges\": %llu}",
+                g.num_vertices,
+                static_cast<unsigned long long>(g.num_edges()));
+  os << buf;
+  std::snprintf(buf, sizeof buf, ", \"seconds\": %.6f", secs);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"phase_stats\": {\"iterations\": %llu, \"regions\": %llu"
+                ", \"regions_per_iteration\": %.3f}",
+                static_cast<unsigned long long>(pstats.iterations),
+                static_cast<unsigned long long>(pstats.regions),
+                pstats.regions_per_iteration());
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"step_times\": {\"find_min\": %.6f, \"connect\": %.6f"
+                ", \"compact\": %.6f, \"other\": %.6f, \"total\": %.6f}",
+                steps.find_min, steps.connect, steps.compact, steps.other,
+                steps.total());
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"result\": {\"forest_edges\": %zu, \"weight\": %.17g"
+                ", \"trees\": %zu, \"degraded_to_sequential\": %s}}",
+                r.edges.size(), r.total_weight, r.num_trees,
+                r.degraded_to_sequential ? "true" : "false");
+  os << buf << "\n";
+}
+
 int cmd_solve(const Flags& f) {
   if (f.positional.size() != 1) usage("solve needs exactly one FILE");
   const EdgeList g = load(f.positional[0]);
@@ -383,7 +433,14 @@ int cmd_solve(const Flags& f) {
   opts.threads = threads;
   opts.seed = seed;
   core::StepTimes steps;
+  core::PhaseStats pstats;
   if (f.has("--steps")) opts.step_times = &steps;
+  const auto stats_path = f.get("--stats-json");
+  if (stats_path) {
+    // The dump wants the instrumentation regardless of --steps.
+    opts.step_times = &steps;
+    opts.phase_stats = &pstats;
+  }
 
   // Execution budget: wall-clock deadline and/or arena memory cap.  The
   // solver fails as an smp::Error (distinct exit code) instead of running
@@ -405,7 +462,10 @@ int cmd_solve(const Flags& f) {
   opts.algorithm = parse_algorithm(alg);
 
   const SolveMode mode = parse_mode(f.get("--mode").value_or("static"));
-  if (mode == SolveMode::kDynamic) return solve_dynamic(f, g, opts, alg);
+  if (mode == SolveMode::kDynamic) {
+    if (stats_path) usage("--stats-json needs --mode static");
+    return solve_dynamic(f, g, opts, alg);
+  }
   if (f.get("--update-trace") || f.get("--batch-size")) {
     usage("--update-trace/--batch-size need --mode dynamic");
   }
@@ -418,6 +478,10 @@ int cmd_solve(const Flags& f) {
               secs);
   if (r.degraded_to_sequential) {
     std::printf("note: degraded to sequential kruskal (memory budget)\n");
+  }
+  if (stats_path) {
+    write_stats_json(*stats_path, alg, opts, g, r, secs, steps, pstats);
+    std::printf("stats: wrote %s\n", stats_path->c_str());
   }
   if (f.has("--steps")) {
     std::printf("steps: find-min %.3fs connect %.3fs compact %.3fs other %.3fs\n",

@@ -1,0 +1,135 @@
+// smpmsf-client — line-protocol client for smpmsf-server.
+//
+//   smpmsf-client --socket PATH [-e "CMD"]... [--script FILE] [--clients N]
+//
+// Commands come from -e flags (in order), a script file, or stdin (one per
+// line; blank lines and # comments skipped).  --clients N runs the same
+// command list over N concurrent connections, tagging output lines [i] —
+// the one-binary way to put multiple concurrent clients on a session.
+//
+// Exit codes: 0 every response ok, 1 any err response or lost connection,
+// 2 usage, 3 cannot connect.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "serve/uds_client.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: smpmsf-client --socket PATH [-e \"CMD\"]..."
+               " [--script FILE] [--clients N]\n");
+  std::exit(2);
+}
+
+std::mutex print_mu;
+
+/// Runs the command list over one connection; returns 1 on any err.
+int run_commands(const std::string& socket_path,
+                 const std::vector<std::string>& commands, int idx, bool tag) {
+  int rc = 0;
+  try {
+    smp::serve::UdsClient client(socket_path);
+    for (const std::string& cmd : commands) {
+      const std::vector<std::string> resp = client.request(cmd);
+      std::lock_guard<std::mutex> lk(print_mu);
+      for (const std::string& line : resp) {
+        if (tag) {
+          std::printf("[%d] %s\n", idx, line.c_str());
+        } else {
+          std::printf("%s\n", line.c_str());
+        }
+      }
+      if (resp.front().rfind("err", 0) == 0) rc = 1;
+    }
+  } catch (const smp::Error& ex) {
+    std::lock_guard<std::mutex> lk(print_mu);
+    std::fprintf(stderr, "client %d: %s\n", idx, ex.what());
+    return 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string script;
+  std::vector<std::string> commands;
+  int clients = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = value();
+    } else if (a == "-e") {
+      commands.push_back(value());
+    } else if (a == "--script") {
+      script = value();
+    } else if (a == "--clients") {
+      clients = std::atoi(value().c_str());
+    } else {
+      usage(("unknown flag " + a).c_str());
+    }
+  }
+  if (socket_path.empty()) usage("--socket PATH is required");
+  if (clients < 1) usage("--clients must be >= 1");
+
+  if (!script.empty()) {
+    std::ifstream is(script);
+    if (!is) {
+      std::fprintf(stderr, "error: cannot open %s\n", script.c_str());
+      return 2;
+    }
+    for (std::string line; std::getline(is, line);) commands.push_back(line);
+  } else if (commands.empty()) {
+    for (std::string line; std::getline(std::cin, line);) {
+      commands.push_back(line);
+    }
+  }
+  // Drop blanks and comments here so every connection replays the same list.
+  std::vector<std::string> cleaned;
+  for (const std::string& c : commands) {
+    const std::size_t pos = c.find_first_not_of(" \t");
+    if (pos == std::string::npos || c[pos] == '#') continue;
+    cleaned.push_back(c);
+  }
+  if (cleaned.empty()) usage("no commands (use -e, --script or stdin)");
+
+  // Probe the socket once so "nothing is listening" is a distinct exit code.
+  try {
+    smp::serve::UdsClient probe(socket_path);
+  } catch (const smp::Error& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 3;
+  }
+
+  if (clients == 1) return run_commands(socket_path, cleaned, 0, false);
+  std::vector<int> rcs(static_cast<std::size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      rcs[static_cast<std::size_t>(i)] =
+          run_commands(socket_path, cleaned, i, true);
+    });
+  }
+  int rc = 0;
+  for (int i = 0; i < clients; ++i) {
+    threads[static_cast<std::size_t>(i)].join();
+    rc |= rcs[static_cast<std::size_t>(i)];
+  }
+  return rc;
+}

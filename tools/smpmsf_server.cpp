@@ -1,0 +1,152 @@
+// smpmsf-server — the MSF serving daemon: a ServiceCore behind an AF_UNIX
+// line-protocol socket (grammar in docs/SERVING.md).
+//
+//   smpmsf-server --socket PATH [--threads P] [--dispatchers N]
+//                 [--queue-cap N] [--default-deadline MS]
+//                 [--coalesce-window MS] [--alg A] [--seed S]
+//
+// Runs in the foreground until SIGINT/SIGTERM or a client sends the
+// `shutdown` verb; either way it drains admitted requests, disconnects
+// clients, unlinks the socket and exits 0.  Exit codes otherwise match the
+// CLI: 2 usage, 3 invalid input.
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/msf.hpp"
+#include "serve/service_core.hpp"
+#include "serve/uds_server.hpp"
+
+namespace {
+
+using namespace smp;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: smpmsf-server --socket PATH [--threads P]"
+               " [--dispatchers N] [--queue-cap N]\n"
+               "                     [--default-deadline MS]"
+               " [--coalesce-window MS] [--alg A] [--seed S]\n");
+  std::exit(2);
+}
+
+core::Algorithm parse_algorithm(const std::string& s) {
+  // The serving default is the paper's fused variant; anything the CLI
+  // accepts works here too (the core reuses the same MsfOptions).
+  static constexpr struct {
+    const char* name;
+    core::Algorithm alg;
+  } kTable[] = {
+      {"bor-el", core::Algorithm::kBorEL},
+      {"bor-al", core::Algorithm::kBorAL},
+      {"bor-alm", core::Algorithm::kBorALM},
+      {"bor-fal", core::Algorithm::kBorFAL},
+      {"mst-bc", core::Algorithm::kMstBC},
+      {"bor-uf", core::Algorithm::kBorUF},
+      {"par-kruskal", core::Algorithm::kParKruskal},
+      {"filter-kruskal", core::Algorithm::kFilterKruskal},
+      {"sample-filter", core::Algorithm::kSampleFilter},
+      {"prim", core::Algorithm::kSeqPrim},
+      {"kruskal", core::Algorithm::kSeqKruskal},
+      {"boruvka", core::Algorithm::kSeqBoruvka},
+  };
+  std::string valid;
+  for (const auto& row : kTable) {
+    if (s == row.name) return row.alg;
+    if (!valid.empty()) valid += ' ';
+    valid += row.name;
+  }
+  throw Error(ErrorCode::kInvalidInput,
+              "unknown algorithm '" + s + "' (valid: " + valid + ")");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  serve::ServeOptions opts;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+        return argv[++i];
+      };
+      if (a == "--socket") {
+        socket_path = value();
+      } else if (a == "--threads") {
+        opts.msf.threads = std::atoi(value().c_str());
+      } else if (a == "--dispatchers") {
+        opts.dispatchers = std::atoi(value().c_str());
+      } else if (a == "--queue-cap") {
+        opts.queue_capacity =
+            static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
+      } else if (a == "--default-deadline") {
+        opts.default_deadline_s = std::strtod(value().c_str(), nullptr) / 1000.0;
+      } else if (a == "--coalesce-window") {
+        opts.coalesce_window_s = std::strtod(value().c_str(), nullptr) / 1000.0;
+      } else if (a == "--alg") {
+        opts.msf.algorithm = parse_algorithm(value());
+      } else if (a == "--seed") {
+        opts.msf.seed = std::strtoull(value().c_str(), nullptr, 10);
+      } else {
+        usage(("unknown flag " + a).c_str());
+      }
+    }
+    if (socket_path.empty()) usage("--socket PATH is required");
+
+    // Block the termination signals in every thread, then watch them from a
+    // dedicated sigwait thread — the only async-signal-safe way to run the
+    // full graceful teardown (drain, join, unlink) on a signal.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    serve::ServiceCore core(opts);
+    serve::UdsServer server(core, {.socket_path = socket_path});
+    server.start();
+    std::printf("smpmsf-server: listening on %s (threads=%d dispatchers=%d"
+                " queue=%zu)\n",
+                socket_path.c_str(), core.options().msf.threads,
+                core.options().dispatchers, core.options().queue_capacity);
+    std::fflush(stdout);
+
+    std::atomic<bool> exiting{false};
+    std::thread watcher([&] {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      if (exiting.load()) return;  // woken by main for a clean wire shutdown
+      std::printf("smpmsf-server: caught %s, draining\n", strsignal(sig));
+      std::fflush(stdout);
+      server.stop();
+    });
+
+    server.wait();   // a wire `shutdown` or the watcher's stop() wakes this
+    exiting.store(true);
+    // Unblock the watcher if the shutdown came over the wire (no-op if it
+    // already consumed a real signal).
+    pthread_kill(watcher.native_handle(), SIGTERM);
+    watcher.join();
+    server.stop();   // idempotent
+    core.shutdown();
+    std::printf("smpmsf-server: stopped\n");
+    return 0;
+  } catch (const smp::Error& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return ex.code() == smp::ErrorCode::kInvalidInput ? 3 : 1;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+}
