@@ -11,16 +11,41 @@
 //
 // Also reports the fused-execution counters: iterations, SPMD regions, and
 // regions per iteration (1.0 for the fused algorithms — each Borůvka
-// iteration is one persistent region, not one fork/join per parallel loop).
+// iteration is one persistent region, not one fork/join per parallel loop),
+// and the find-min layer facts: which kernel ran (mode + SIMD ISA) and how
+// many arcs Bor-FAL's live-arc pruning retired.  Every density block ends
+// with a determinism check — the Bor-FAL forest must be bit-identical
+// across p ∈ {1,2,4,8} × {scan,simd}; a mismatch aborts the bench.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common.hpp"
+#include "core/find_min.hpp"
 #include "core/msf.hpp"
 #include "graph/generators.hpp"
+#include "pprim/simd.hpp"
 
 using namespace smp;
 using namespace smp::graph;
+
+namespace {
+
+/// Sorted forest edge ids of one solve — the bit-identical-forest witness.
+std::vector<EdgeId> forest_ids(const EdgeList& g, int threads,
+                               core::FindMinMode mode) {
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorFAL;
+  opts.threads = threads;
+  opts.find_min = mode;
+  auto r = core::minimum_spanning_forest(g, opts);
+  std::sort(r.edge_ids.begin(), r.edge_ids.end());
+  return r.edge_ids;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
@@ -60,23 +85,56 @@ int main(int argc, char** argv) {
                   best.other, best.total(),
                   static_cast<unsigned long long>(best_ps.iterations),
                   best_ps.regions_per_iteration());
-      char buf[512];
+      const core::FindMinMode resolved =
+          core::resolve_find_min_mode(core::FindMinMode::kAuto, g.num_edges());
+      char buf[640];
       std::snprintf(
           buf, sizeof buf,
           "{\"density\": %d, \"n\": %u, \"m\": %llu, \"alg\": \"%s\", "
           "\"threads\": %d, \"find_min\": %.6f, \"connect\": %.6f, "
           "\"compact\": %.6f, \"other\": %.6f, \"total\": %.6f, "
           "\"iterations\": %llu, \"regions\": %llu, "
-          "\"regions_per_iteration\": %.4f}",
+          "\"regions_per_iteration\": %.4f, "
+          "\"find_min_mode\": \"%s\", \"simd_kernel\": \"%s\", "
+          "\"find_min_pruned_arcs\": %llu}",
           density, g.num_vertices, static_cast<unsigned long long>(g.num_edges()),
           name.c_str(), args.max_threads, best.find_min, best.connect,
           best.compact, best.other, best.total(),
           static_cast<unsigned long long>(best_ps.iterations),
           static_cast<unsigned long long>(best_ps.regions),
-          best_ps.regions_per_iteration());
+          best_ps.regions_per_iteration(),
+          std::string(core::to_string(resolved)).c_str(), simd_isa_name(),
+          static_cast<unsigned long long>(best.pruned_arcs));
       sink.add(buf);
     }
-    std::printf("\n");
+
+    // Determinism gate: the accelerated find-min must not change the forest.
+    // Compare Bor-FAL across p ∈ {1,2,4,8} and both kernels against the
+    // single-threaded seed scan; any drift is a correctness bug, so fail the
+    // whole bench rather than record timings for a wrong answer.
+    const std::vector<EdgeId> ref = forest_ids(g, 1, core::FindMinMode::kScan);
+    int configs = 0;
+    for (const int p : {1, 2, 4, 8}) {
+      for (const auto mode : {core::FindMinMode::kScan, core::FindMinMode::kSimd}) {
+        ++configs;
+        if (forest_ids(g, p, mode) != ref) {
+          std::fprintf(stderr,
+                       "FAIL: Bor-FAL forest differs at p=%d find-min=%s "
+                       "(density %d)\n",
+                       p, std::string(core::to_string(mode)).c_str(), density);
+          return 1;
+        }
+      }
+    }
+    std::printf("  forest identity: OK (%d Bor-FAL configs bit-identical)\n\n",
+                configs);
+    char check[192];
+    std::snprintf(check, sizeof check,
+                  "{\"density\": %d, \"check\": \"forest_identity\", "
+                  "\"alg\": \"Bor-FAL\", \"configs\": %d, "
+                  "\"forests_identical\": true}",
+                  density, configs);
+    sink.add(check);
   }
   sink.write("fig2_breakdown", args);
   return 0;

@@ -43,6 +43,16 @@ Args parse_args(int argc, char** argv) {
       std::exit(2);
     }
   }
+  // Benches sweep p up to --threads even on smaller machines (the paper's
+  // oversubscription runs); flag it so a result file is never mistaken for a
+  // true scaling measurement.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && a.max_threads > static_cast<int>(hw)) {
+    std::fprintf(stderr,
+                 "warning: --threads %d exceeds the %u available hardware "
+                 "thread(s); timings reflect oversubscription\n",
+                 a.max_threads, hw);
+  }
   return a;
 }
 
@@ -134,15 +144,20 @@ void JsonSink::write(const std::string& bench_name, const Args& args) const {
     std::fprintf(stderr, "cannot open %s for writing\n", args.json_path.c_str());
     std::exit(2);
   }
+  const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"%s\",\n"
                "  \"meta\": {\"scale\": %g, \"paper\": %s, \"max_threads\": %d, "
-               "\"seed\": %llu, \"reps\": %d, \"hardware_concurrency\": %u},\n"
+               "\"seed\": %llu, \"reps\": %d, \"hardware_concurrency\": %u, "
+               "\"threads_requested\": %d, \"threads_available\": %u, "
+               "\"oversubscribed\": %s},\n"
                "  \"records\": [\n",
                bench_name.c_str(), args.scale, args.paper ? "true" : "false",
                args.max_threads, static_cast<unsigned long long>(args.seed),
-               args.reps, std::thread::hardware_concurrency());
+               args.reps, hw, args.max_threads, hw,
+               (hw != 0 && args.max_threads > static_cast<int>(hw)) ? "true"
+                                                                    : "false");
   for (std::size_t i = 0; i < records_.size(); ++i) {
     std::fprintf(f, "    %s%s\n", records_[i].c_str(),
                  i + 1 < records_.size() ? "," : "");

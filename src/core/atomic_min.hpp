@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include "graph/types.hpp"
 
@@ -22,6 +23,20 @@ void atomic_write_min(std::atomic<graph::EdgeId>& slot, graph::EdgeId cand,
       return;
     }
     if (cand == cur) return;
+  }
+}
+
+/// Single-CAS write-min over a packed 64-bit find-min key whose integer
+/// order IS the ⟨weight, orig⟩ total order (see core/find_min.hpp), so the
+/// two-word comparator above collapses to one unsigned compare.  `slot` is a
+/// plain uint64 (kEmptyKey == all-ones means empty, and loses every compare
+/// for free); relaxed ordering suffices because results are only read after
+/// the region's next barrier.
+inline void atomic_min_u64(std::uint64_t& slot, std::uint64_t key) {
+  std::atomic_ref<std::uint64_t> ref(slot);
+  std::uint64_t cur = ref.load(std::memory_order_relaxed);
+  while (key < cur && !ref.compare_exchange_weak(cur, key,
+                                                 std::memory_order_relaxed)) {
   }
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/detail.hpp"
+#include "core/find_min.hpp"
 #include "core/hook_jump.hpp"
 #include "core/msf.hpp"
 #include "pprim/arena.hpp"
@@ -135,14 +136,11 @@ MsfResult bor_al_impl(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
     // compaction — runs as ONE persistent SPMD region.
     team.run([&](TeamCtx& ctx) {
       WallTimer t0;
-      // --- find-min: per-vertex scan of its adjacency array ---------------
+      // --- find-min: per-vertex scan of its adjacency array, through the
+      //     shared slice-argmin of the find-min layer ------------------------
       if (ctx.tid() == 0) fault_point("bor-al.find-min");
       for_range_dynamic(ctx, find_cursor, cur_n, 128, [&](std::size_t v) {
-        EdgeId b = kInvalidEdge;
-        for (EdgeId a = adj.offsets[v]; a < adj.offsets[v + 1]; ++a) {
-          if (b == kInvalidEdge || adj.arcs[a].order() < adj.arcs[b].order()) b = a;
-        }
-        best[v] = b;
+        best[v] = best_arc_in_slice(adj.arcs, adj.offsets[v], adj.offsets[v + 1]);
       });
       ctx.barrier();
 

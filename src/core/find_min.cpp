@@ -1,0 +1,299 @@
+#include "core/find_min.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "pprim/partition.hpp"
+
+namespace smp::core {
+
+std::string_view to_string(FindMinMode m) {
+  switch (m) {
+    case FindMinMode::kAuto:
+      return "auto";
+    case FindMinMode::kScan:
+      return "scan";
+    case FindMinMode::kSimd:
+      return "simd";
+  }
+  return "?";
+}
+
+namespace {
+
+// Rank sort: 16-bit digits, so a full 64-bit key costs 4 scatter passes
+// instead of the 8 the general-purpose 8-bit radix sort pays.  The rank
+// build is the packed path's setup tax on every solve, and its keys are
+// weight bits — nearly every byte position varies, so the shared sort's
+// constant-byte skipping rarely helps it.  The wider digit doubles the
+// count-slab footprint (64Ki counters per thread) but halves the passes
+// over the m-element key/index arrays, which is what dominates.
+constexpr int kRankDigitBits = 16;
+constexpr std::size_t kRankBuckets = std::size_t{1} << kRankDigitBits;
+// Below this size the parallel machinery costs more than one std::sort.
+constexpr std::size_t kRankSeqCutoff = std::size_t{1} << 15;
+// Sequential packed variant: when the index fits 24 bits it shares the
+// 64-bit sort element with the top 40 weight bits (see below).
+constexpr int kRankPackedIdxBits = 24;
+
+}  // namespace
+
+std::vector<std::uint32_t> build_weight_ranks(
+    ThreadTeam& team, const graph::EdgeList& g,
+    std::vector<std::uint32_t>* rank_to_edge) {
+  const std::size_t m = g.edges.size();
+  std::vector<std::uint32_t> rank(m);
+  if (m == 0) {
+    if (rank_to_edge != nullptr) rank_to_edge->clear();
+    return rank;
+  }
+
+  // ⟨weight bits, input index⟩ pairs; the index both carries the payload and
+  // completes the WeightOrder tie-break, so sorting pairs needs no stability.
+  auto keys = std::make_unique_for_overwrite<std::uint64_t[]>(m);
+  auto idx = std::make_unique_for_overwrite<std::uint32_t[]>(m);
+
+  if (m < kRankSeqCutoff) {
+    for (std::size_t i = 0; i < m; ++i) {
+      keys[i] = monotone_weight_bits(g.edges[i].w);
+      idx[i] = static_cast<std::uint32_t>(i);
+    }
+    std::sort(idx.get(), idx.get() + m, [&](std::uint32_t a, std::uint32_t b) {
+      return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+    });
+    for (std::size_t i = 0; i < m; ++i) {
+      rank[idx[i]] = static_cast<std::uint32_t>(i);
+    }
+    if (rank_to_edge != nullptr) rank_to_edge->assign(idx.get(), idx.get() + m);
+    return rank;
+  }
+
+  auto keys_aux = std::make_unique_for_overwrite<std::uint64_t[]>(m);
+  auto idx_aux = std::make_unique_for_overwrite<std::uint32_t[]>(m);
+
+  // With one worker — or a team oversubscribed onto a single hardware
+  // thread — the parallel sort's barriers and count-merge buy nothing, so
+  // run the same passes serially without them.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (team.size() == 1 || hw == 1) {
+    std::vector<std::uint64_t> count(kRankBuckets);
+    if (m <= (std::size_t{1} << kRankPackedIdxBits)) {
+      // Self-contained 8-byte elements: the index rides in the low 24 bits
+      // of the sort element, so each scatter moves 8 bytes instead of a
+      // 12-byte (key, idx) pair, and only the top 40 weight bits are radix
+      // passes (3 instead of 4).  Distinct weights that collide in those 40
+      // bits are rare for real inputs; the run fix-up below restores the
+      // exact order for them.
+      constexpr std::uint64_t kIdxMask =
+          (std::uint64_t{1} << kRankPackedIdxBits) - 1;
+      std::uint64_t key_or = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t k = monotone_weight_bits(g.edges[i].w);
+        keys[i] = (k & ~kIdxMask) | i;
+        key_or |= k;
+      }
+      std::uint64_t* vsrc = keys.get();
+      std::uint64_t* vdst = keys_aux.get();
+      for (int shift = kRankPackedIdxBits; shift < 64; shift += kRankDigitBits) {
+        const int width = std::min(64 - shift, kRankDigitBits);
+        const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+        if (((key_or >> shift) & mask) == 0) continue;
+        std::fill(count.begin(), count.begin() + (std::size_t{1} << width), 0);
+        for (std::size_t i = 0; i < m; ++i) {
+          ++count[(vsrc[i] >> shift) & mask];
+        }
+        std::uint64_t sum = 0;
+        for (std::size_t b = 0; b <= mask; ++b) {
+          const std::uint64_t c = count[b];
+          count[b] = sum;
+          sum += c;
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          vdst[count[(vsrc[i] >> shift) & mask]++] = vsrc[i];
+        }
+        std::swap(vsrc, vdst);
+      }
+      // Fix-up: inside a run of equal top-40 bits the stable passes left
+      // input-index order, which is correct only if the low 24 weight bits
+      // agree too.  Re-sort mixed runs under the full ⟨weight bits, index⟩
+      // order; runs are short and rare, so this gathers a handful of edges.
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> run;
+      for (std::size_t i = 0; i < m;) {
+        std::size_t j = i + 1;
+        const std::uint64_t hi = vsrc[i] & ~kIdxMask;
+        while (j < m && (vsrc[j] & ~kIdxMask) == hi) ++j;
+        if (j - i > 1) {
+          run.clear();
+          bool mixed = false;
+          for (std::size_t k = i; k < j; ++k) {
+            const auto e = static_cast<std::uint32_t>(vsrc[k] & kIdxMask);
+            run.emplace_back(monotone_weight_bits(g.edges[e].w), e);
+            mixed = mixed || run.back().first != run.front().first;
+          }
+          if (mixed) {
+            std::sort(run.begin(), run.end());
+            for (std::size_t k = i; k < j; ++k) {
+              vsrc[k] = hi | run[k - i].second;
+            }
+          }
+        }
+        i = j;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        rank[vsrc[i] & kIdxMask] = static_cast<std::uint32_t>(i);
+      }
+      if (rank_to_edge != nullptr) {
+        rank_to_edge->resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          (*rank_to_edge)[i] = static_cast<std::uint32_t>(vsrc[i] & kIdxMask);
+        }
+      }
+      return rank;
+    }
+
+    std::uint64_t key_or = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint64_t k = monotone_weight_bits(g.edges[i].w);
+      keys[i] = k;
+      idx[i] = static_cast<std::uint32_t>(i);
+      key_or |= k;
+    }
+    std::uint64_t* ksrc = keys.get();
+    std::uint64_t* kdst = keys_aux.get();
+    std::uint32_t* isrc = idx.get();
+    std::uint32_t* idst = idx_aux.get();
+    for (int shift = 0; shift < 64; shift += kRankDigitBits) {
+      if (((key_or >> shift) & (kRankBuckets - 1)) == 0) continue;
+      std::fill(count.begin(), count.end(), 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        ++count[(ksrc[i] >> shift) & (kRankBuckets - 1)];
+      }
+      std::uint64_t sum = 0;
+      for (std::size_t b = 0; b < kRankBuckets; ++b) {
+        const std::uint64_t c = count[b];
+        count[b] = sum;
+        sum += c;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t b = (ksrc[i] >> shift) & (kRankBuckets - 1);
+        const std::uint64_t pos = count[b]++;
+        kdst[pos] = ksrc[i];
+        idst[pos] = isrc[i];
+      }
+      std::swap(ksrc, kdst);
+      std::swap(isrc, idst);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      rank[isrc[i]] = static_cast<std::uint32_t>(i);
+    }
+    if (rank_to_edge != nullptr) rank_to_edge->assign(isrc, isrc + m);
+    return rank;
+  }
+
+  const int p = team.size();
+  const auto P = static_cast<std::size_t>(p);
+  // Per-thread count slabs, thread-major; 64Ki buckets is too large to pad
+  // per line, but threads only touch their own slab between barriers.
+  std::vector<std::uint64_t> counts(P * kRankBuckets);
+  std::vector<Padded<std::uint64_t>> or_partial(P);
+  std::uint64_t key_or = 0;
+
+  team.run([&](TeamCtx& ctx) {
+    const auto t = static_cast<std::size_t>(ctx.tid());
+    const IndexRange r = block_range(m, ctx.tid(), ctx.nthreads());
+    {
+      std::uint64_t acc = 0;
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        const std::uint64_t k = monotone_weight_bits(g.edges[i].w);
+        keys[i] = k;
+        idx[i] = static_cast<std::uint32_t>(i);
+        acc |= k;
+      }
+      or_partial[t].value = acc;
+    }
+    ctx.barrier();
+    if (ctx.tid() == 0) {
+      std::uint64_t acc = 0;
+      for (std::size_t t2 = 0; t2 < P; ++t2) acc |= or_partial[t2].value;
+      key_or = acc;
+    }
+    ctx.barrier();
+
+    std::uint64_t* ksrc = keys.get();
+    std::uint64_t* kdst = keys_aux.get();
+    std::uint32_t* isrc = idx.get();
+    std::uint32_t* idst = idx_aux.get();
+    std::uint64_t* my_counts = counts.data() + t * kRankBuckets;
+
+    for (int shift = 0; shift < 64; shift += kRankDigitBits) {
+      if (((key_or >> shift) & (kRankBuckets - 1)) == 0) continue;
+      std::fill(my_counts, my_counts + kRankBuckets, 0);
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        ++my_counts[(ksrc[i] >> shift) & (kRankBuckets - 1)];
+      }
+      ctx.barrier();
+      // Serial (bucket, thread)-order scan on tid 0: 64Ki·p additions, dwarfed
+      // by the m-element scatter it steers.
+      if (ctx.tid() == 0) {
+        std::uint64_t sum = 0;
+        for (std::size_t b = 0; b < kRankBuckets; ++b) {
+          for (std::size_t t2 = 0; t2 < P; ++t2) {
+            const std::uint64_t c = counts[t2 * kRankBuckets + b];
+            counts[t2 * kRankBuckets + b] = sum;
+            sum += c;
+          }
+        }
+      }
+      ctx.barrier();
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        const std::size_t b = (ksrc[i] >> shift) & (kRankBuckets - 1);
+        const std::uint64_t pos = my_counts[b]++;
+        kdst[pos] = ksrc[i];
+        idst[pos] = isrc[i];
+      }
+      ctx.barrier();
+      std::swap(ksrc, kdst);
+      std::swap(isrc, idst);
+    }
+
+    // Every pass scatters each thread's contiguous range in order behind a
+    // (bucket, thread)-ordered scan, so the sort is stable: equal weight
+    // bits stay in input-index order, which is exactly WeightOrder's
+    // tie-break.  An odd pass count leaves the result in the aux arrays.
+    if (ctx.tid() == 0 && isrc != idx.get()) {
+      std::copy(ksrc, ksrc + m, keys.get());
+      std::copy(isrc, isrc + m, idx.get());
+    }
+    ctx.barrier();
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      rank[idx[i]] = static_cast<std::uint32_t>(i);
+    }
+  });
+  if (rank_to_edge != nullptr) rank_to_edge->assign(idx.get(), idx.get() + m);
+  return rank;
+}
+
+void build_packed_arcs(const graph::EdgeList& g, graph::VertexId n,
+                       std::span<const std::uint32_t> rank,
+                       std::vector<graph::EdgeId>& offsets,
+                       std::unique_ptr<std::uint64_t[]>& keys) {
+  using graph::EdgeId;
+  offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : g.edges) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  keys = std::make_unique_for_overwrite<std::uint64_t[]>(offsets.back());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    const graph::WEdge& e = g.edges[i];
+    const std::uint32_t r = rank[i];
+    keys[cursor[e.u]++] = pack_key(r, e.v);
+    keys[cursor[e.v]++] = pack_key(r, e.u);
+  }
+}
+
+}  // namespace smp::core

@@ -62,6 +62,16 @@ namespace {
   return false;
 }
 
+[[nodiscard]] bool known_find_min_mode(FindMinMode m) {
+  switch (m) {
+    case FindMinMode::kAuto:
+    case FindMinMode::kScan:
+    case FindMinMode::kSimd:
+      return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 void validate_request(const graph::EdgeList& g, const MsfOptions& opts) {
@@ -69,6 +79,11 @@ void validate_request(const graph::EdgeList& g, const MsfOptions& opts) {
     throw Error(ErrorCode::kInvalidInput,
                 "unknown algorithm id " +
                     std::to_string(static_cast<int>(opts.algorithm)));
+  }
+  if (!known_find_min_mode(opts.find_min)) {
+    throw Error(ErrorCode::kInvalidInput,
+                "unknown find-min mode id " +
+                    std::to_string(static_cast<int>(opts.find_min)));
   }
   if (opts.threads < 1) {
     throw Error(ErrorCode::kInvalidInput,

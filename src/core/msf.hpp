@@ -46,6 +46,22 @@ inline constexpr Algorithm kExtensionAlgorithms[] = {
     Algorithm::kParKruskal, Algorithm::kFilterKruskal, Algorithm::kSampleFilter,
     Algorithm::kBorUF};
 
+/// How the find-min step scans for each supervertex's lightest arc.
+///
+/// kScan is the seed kernel: every arc compared under the two-word
+/// ⟨weight, orig⟩ comparator, no pruning, no packing — kept as the exact
+/// A/B baseline.  kSimd is the accelerated path: per-edge weight ranks
+/// packed with the arc index into a uint64 whose integer order equals
+/// WeightOrder, live-arc pruning (Bor-FAL), the runtime-dispatched SIMD
+/// min-scan kernel, and the contention-aware local-best reduction.  The
+/// packed path needs ranks and directed-arc indices to fit 32 bits
+/// (m ≤ 2^31); kAuto picks kSimd when that holds and kScan otherwise, and a
+/// forced kSimd on an unpackable graph silently degrades to kScan.  Both
+/// paths produce bit-identical forests.
+enum class FindMinMode { kAuto, kScan, kSimd };
+
+[[nodiscard]] std::string_view to_string(FindMinMode m);
+
 /// Wall-clock seconds spent in each step of the Borůvka iteration — the
 /// instrumentation behind the Fig. 2 breakdown.
 struct StepTimes {
@@ -53,6 +69,9 @@ struct StepTimes {
   double connect = 0;
   double compact = 0;
   double other = 0;  ///< setup, result assembly, base-case solve (MST-BC)
+  /// Arcs permanently retired from the Bor-FAL live-arc working set across
+  /// all iterations (0 under FindMinMode::kScan and for other algorithms).
+  std::uint64_t pruned_arcs = 0;
 
   [[nodiscard]] double total() const { return find_min + connect + compact + other; }
 
@@ -61,6 +80,7 @@ struct StepTimes {
     connect += o.connect;
     compact += o.compact;
     other += o.other;
+    pruned_arcs += o.pruned_arcs;
     return *this;
   }
 };
@@ -108,6 +128,15 @@ struct MsfOptions {
   PhaseStats* phase_stats = nullptr;
   /// compact-graph sort dispatch (kAuto = packed-key radix when possible).
   CompactSortMode compact_sort = CompactSortMode::kAuto;
+  /// find-min scan dispatch (kAuto = packed-key SIMD path when possible).
+  FindMinMode find_min = FindMinMode::kAuto;
+  /// Find-min contention-cutoff overrides; 0 keeps the defaults in
+  /// pprim/tuning.hpp (kFindMinLocalBestThreads / kFindMinLocalBestCutoff /
+  /// kFindMinPruneBlock).  Setting find_min_local_best_threads above the
+  /// team size disables the local-best reduction entirely.
+  int find_min_local_best_threads = 0;
+  std::size_t find_min_local_best_cutoff = 0;
+  std::size_t find_min_prune_block = 0;
   /// Sequential-cutoff overrides for the cutoff-ablation benches; 0 keeps
   /// the process-global tuning value (see pprim/tuning.hpp).  Applied for
   /// the duration of the minimum_spanning_forest call.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/detail.hpp"
+#include "core/find_min.hpp"
 #include "core/hook_jump.hpp"
 #include "core/msf.hpp"
 #include "pprim/cacheline.hpp"
@@ -300,13 +301,12 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
       // leaves the siblings blocked at ctx.barrier() unless the poisoned
       // release rescues them — the hardest failure shape this layer covers.
       fault_point("mst-bc.step3.region");
-      // step 3: unvisited vertices pick their lightest incident edge.
+      // step 3: unvisited vertices pick their lightest incident edge via the
+      // shared slice-argmin of the find-min layer.
       for_range(ctx, n, [&](std::size_t v) {
         if (visited[v]) return;
-        EdgeId b = kInvalidEdge;
-        for (EdgeId a = cur.offsets[v]; a < cur.offsets[v + 1]; ++a) {
-          if (b == kInvalidEdge || cur.arcs[a].order() < cur.arcs[b].order()) b = a;
-        }
+        const EdgeId b =
+            best_arc_in_slice(cur.arcs, cur.offsets[v], cur.offsets[v + 1]);
         best[v] = b;
         parent[v] = b == kInvalidEdge ? static_cast<VertexId>(v) : cur.arcs[b].target;
       });
@@ -347,10 +347,8 @@ MsfResult mst_bc_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts
         // vanishingly rare).  Borůvka always progresses, so fall back to one
         // find-min-over-all-vertices round.
         for_range(ctx, n, [&](std::size_t v) {
-          EdgeId b = kInvalidEdge;
-          for (EdgeId a = cur.offsets[v]; a < cur.offsets[v + 1]; ++a) {
-            if (b == kInvalidEdge || cur.arcs[a].order() < cur.arcs[b].order()) b = a;
-          }
+          const EdgeId b =
+              best_arc_in_slice(cur.arcs, cur.offsets[v], cur.offsets[v + 1]);
           best[v] = b;
           parent[v] = b == kInvalidEdge ? static_cast<VertexId>(v) : cur.arcs[b].target;
         });

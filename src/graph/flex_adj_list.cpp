@@ -8,8 +8,10 @@
 namespace smp::graph {
 
 FlexAdjList::FlexAdjList(const CsrGraph& csr)
-    : csr_(&csr), num_super_(csr.num_vertices()) {
-  const VertexId n = num_super_;
+    : FlexAdjList(csr.num_vertices(), csr.offsets()) {}
+
+FlexAdjList::FlexAdjList(VertexId n, std::span<const EdgeId> offsets)
+    : offsets_(offsets), num_super_(n) {
   label_.resize(n);
   head_.resize(n);
   tail_.resize(n);
@@ -17,6 +19,15 @@ FlexAdjList::FlexAdjList(const CsrGraph& csr)
   std::iota(label_.begin(), label_.end(), VertexId{0});
   std::iota(head_.begin(), head_.end(), VertexId{0});
   std::iota(tail_.begin(), tail_.end(), VertexId{0});
+  live_end_.assign(offsets.begin() + 1, offsets.end());
+}
+
+EdgeId FlexAdjList::live_arcs() const {
+  EdgeId total = 0;
+  for (std::size_t x = 0; x < live_end_.size(); ++x) {
+    total += live_end_[x] - offsets_[x];
+  }
+  return total;
 }
 
 std::size_t FlexAdjList::member_count(VertexId s) const {

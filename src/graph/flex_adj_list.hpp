@@ -28,12 +28,30 @@ class FlexAdjList {
   /// Start state: every vertex is its own supervertex with one segment.
   explicit FlexAdjList(const CsrGraph& csr);
 
+  /// Same, from bare adjacency offsets (n + 1 entries, caller keeps them
+  /// alive) — the packed find-min path carries targets inside its key array
+  /// and never materializes a full CsrGraph.
+  FlexAdjList(VertexId n, std::span<const EdgeId> offsets);
+
   [[nodiscard]] VertexId num_super() const { return num_super_; }
-  [[nodiscard]] const CsrGraph& csr() const { return *csr_; }
 
   /// Current supervertex of an original vertex (the lookup table).
   [[nodiscard]] VertexId super_of(VertexId orig) const { return label_[orig]; }
   [[nodiscard]] std::span<const VertexId> labels() const { return label_; }
+
+  /// Live-arc working set (packed-key find-min acceleration): for each
+  /// original vertex x, only the arc slots in [csr.offsets()[x],
+  /// live_ends()[x]) can still connect x's supervertex to another one.
+  /// Initialized to the full slice; find-min block-compacts arcs out of the
+  /// prefix once the labels prove them permanent supervertex self-loops
+  /// (contraction only ever merges supervertices, so a dead arc stays dead).
+  /// Contraction itself never touches the set — segments stay keyed by
+  /// original vertex.  FindMinMode::kScan ignores it.
+  [[nodiscard]] std::span<EdgeId> live_ends() { return live_end_; }
+  [[nodiscard]] std::span<const EdgeId> live_ends() const { return live_end_; }
+
+  /// Directed arcs still live across all vertices (Σ slice lengths).
+  [[nodiscard]] EdgeId live_arcs() const;
 
   /// Visit every member (original vertex) of supervertex `s`.
   template <class Fn>
@@ -70,12 +88,13 @@ class FlexAdjList {
                 ContractScratch& scratch);
 
  private:
-  const CsrGraph* csr_;
+  std::span<const EdgeId> offsets_;  // n + 1 adjacency offsets (not owned)
   VertexId num_super_;
   std::vector<VertexId> label_;  // per original vertex
   std::vector<VertexId> head_;   // per supervertex: first member
   std::vector<VertexId> tail_;   // per supervertex: last member
   std::vector<VertexId> next_;   // per original vertex: next member in list
+  std::vector<EdgeId> live_end_;  // per original vertex: end of live prefix
 };
 
 }  // namespace smp::graph

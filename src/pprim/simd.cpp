@@ -1,0 +1,152 @@
+#include "pprim/simd.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace smp {
+
+namespace {
+
+/// Below this length the vector paths fall back to the plain loop: the
+/// horizontal reduce plus the second locate pass cost more than they save.
+constexpr std::size_t kVectorCutoff = 16;
+
+}  // namespace
+
+std::size_t u64_argmin_scalar(const std::uint64_t* keys, std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (keys[i] < keys[best]) best = i;
+  }
+  return best;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+// Two-pass argmin: pass 1 is a pure vertical min-reduce (no index tracking,
+// so the loop is a load + compare + blend per 4 lanes), pass 2 locates the
+// first element equal to that min, which is exactly the lowest-index
+// tie-break the scalar loop implements.  AVX2 has no unsigned 64-bit compare,
+// so both operands are sign-flipped and compared signed — an
+// order-preserving bijection on uint64.
+__attribute__((target("avx2"))) std::size_t u64_argmin_avx2(
+    const std::uint64_t* keys, std::size_t n) {
+  if (n < kVectorCutoff) return u64_argmin_scalar(keys, n);
+  const __m256i sign =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  __m256i vmin = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys)), sign);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i)), sign);
+    vmin = _mm256_blendv_epi8(vmin, v, _mm256_cmpgt_epi64(vmin, v));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmin);
+  std::uint64_t m = lanes[0] ^ 0x8000000000000000ULL;
+  for (int l = 1; l < 4; ++l) {
+    const std::uint64_t cand = lanes[l] ^ 0x8000000000000000ULL;
+    if (cand < m) m = cand;
+  }
+  for (std::size_t t = i; t < n; ++t) {
+    if (keys[t] < m) m = keys[t];
+  }
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(m));
+  for (i = 0; i + 4 <= n; i += 4) {
+    const __m256i eq = _mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i)), vm);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctz(mask));
+    }
+  }
+  for (; i < n; ++i) {
+    if (keys[i] == m) return i;
+  }
+  return 0;  // unreachable: m was read from keys[0..n)
+}
+
+#endif  // x86_64
+
+#if defined(__aarch64__)
+
+std::size_t u64_argmin_neon(const std::uint64_t* keys, std::size_t n) {
+  if (n < kVectorCutoff) return u64_argmin_scalar(keys, n);
+  uint64x2_t vmin = vld1q_u64(keys);
+  std::size_t i = 2;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(keys + i);
+    vmin = vbslq_u64(vcgtq_u64(vmin, v), v, vmin);
+  }
+  std::uint64_t m = vgetq_lane_u64(vmin, 0);
+  if (vgetq_lane_u64(vmin, 1) < m) m = vgetq_lane_u64(vmin, 1);
+  for (std::size_t t = i; t < n; ++t) {
+    if (keys[t] < m) m = keys[t];
+  }
+  const uint64x2_t vm = vdupq_n_u64(m);
+  for (i = 0; i + 2 <= n; i += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(keys + i), vm);
+    if (vgetq_lane_u64(eq, 0) != 0) return i;
+    if (vgetq_lane_u64(eq, 1) != 0) return i + 1;
+  }
+  for (; i < n; ++i) {
+    if (keys[i] == m) return i;
+  }
+  return 0;  // unreachable: m was read from keys[0..n)
+}
+
+#endif  // aarch64
+
+namespace {
+
+SimdIsa detect_isa() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) return SimdIsa::kAvx2;
+  return SimdIsa::kScalar;
+#elif defined(__aarch64__)
+  return SimdIsa::kNeon;
+#else
+  return SimdIsa::kScalar;
+#endif
+}
+
+}  // namespace
+
+SimdIsa active_simd_isa() {
+  static const SimdIsa isa = detect_isa();
+  return isa;
+}
+
+const char* simd_isa_name() {
+  switch (active_simd_isa()) {
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kNeon:
+      return "neon";
+    case SimdIsa::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+std::size_t u64_argmin(const std::uint64_t* keys, std::size_t n) {
+  switch (active_simd_isa()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case SimdIsa::kAvx2:
+      return u64_argmin_avx2(keys, n);
+#endif
+#if defined(__aarch64__)
+    case SimdIsa::kNeon:
+      return u64_argmin_neon(keys, n);
+#endif
+    default:
+      return u64_argmin_scalar(keys, n);
+  }
+}
+
+}  // namespace smp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smp {
+
+/// Instruction set the 64-bit min-scan kernel dispatches to at runtime.
+enum class SimdIsa { kScalar, kAvx2, kNeon };
+
+/// Detected once per process and cached: what u64_argmin() will run.
+[[nodiscard]] SimdIsa active_simd_isa();
+
+/// "scalar" | "avx2" | "neon" — stamped into bench records and stats dumps
+/// so a committed JSON file says which kernel produced its numbers.
+[[nodiscard]] const char* simd_isa_name();
+
+/// Index of the minimum of keys[0..n), ties resolved to the LOWEST index.
+///
+/// This is the branch-light inner loop of the packed-key find-min step: the
+/// keys encode ⟨weight, orig⟩ (see core/find_min.hpp), so the unsigned
+/// integer argmin IS the lightest-arc argmin.  All paths (scalar, AVX2,
+/// NEON) return the identical index for identical input — the dispatch is a
+/// pure speed choice, never a semantic one.  n == 0 returns 0.
+[[nodiscard]] std::size_t u64_argmin(const std::uint64_t* keys, std::size_t n);
+
+/// Pinned-path variants, exposed for the kernel unit tests (the scalar one
+/// doubles as the dispatcher's fallback).
+[[nodiscard]] std::size_t u64_argmin_scalar(const std::uint64_t* keys,
+                                            std::size_t n);
+#if defined(__x86_64__) || defined(_M_X64)
+/// Compiled with a per-function target attribute; call only when
+/// active_simd_isa() == SimdIsa::kAvx2 (or under an explicit CPU check).
+[[nodiscard]] std::size_t u64_argmin_avx2(const std::uint64_t* keys,
+                                          std::size_t n);
+#endif
+#if defined(__aarch64__)
+[[nodiscard]] std::size_t u64_argmin_neon(const std::uint64_t* keys,
+                                          std::size_t n);
+#endif
+
+}  // namespace smp

@@ -19,6 +19,24 @@ inline constexpr std::size_t kDefaultParallelForCutoff = 2048;
 /// Below this many items, sample_sort degrades to a single std::sort.
 inline constexpr std::size_t kDefaultSampleSortCutoff = std::size_t{1} << 15;
 
+/// Find-min contention cutoffs (see core/find_min.hpp).  With at least this
+/// many threads AND at most kFindMinLocalBestCutoff supervertices, the
+/// packed-key find-min switches from shared atomic write-mins to per-thread
+/// local-best arrays merged by a for_range reduce in the same region: late
+/// Borůvka iterations leave a handful of best[s] slots that every thread
+/// would otherwise hammer through the coherence protocol.  Both bounds must
+/// hold — small teams don't contend enough to amortize the p·cur_n merge,
+/// and large cur_n makes the per-thread arrays themselves the cost.
+/// Overridable per solve via MsfOptions::find_min_local_best_{threads,cutoff}
+/// (0 = these defaults), like the compact-sort cutoffs.
+inline constexpr int kFindMinLocalBestThreads = 4;
+inline constexpr std::size_t kFindMinLocalBestCutoff = 4096;
+/// Vertices per dynamic-scheduling chunk of the Bor-FAL prune+scan loop.
+/// Live-arc counts skew heavily after a few contractions, so static blocks
+/// load-imbalance; 64 vertices keeps the cursor traffic negligible.
+/// Overridable via MsfOptions::find_min_prune_block.
+inline constexpr std::size_t kFindMinPruneBlock = 64;
+
 namespace tuning_detail {
 inline std::atomic<std::size_t> g_parallel_for_cutoff{kDefaultParallelForCutoff};
 inline std::atomic<std::size_t> g_sample_sort_cutoff{kDefaultSampleSortCutoff};

@@ -1,0 +1,365 @@
+// The shared find-min layer: packed ⟨weight-rank, arc⟩ keys, Bor-FAL
+// live-arc pruning, the contention-aware local-best reduction, and the
+// runtime-dispatched SIMD min-scan kernel (pprim/simd.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "core/find_min.hpp"
+#include "core/msf.hpp"
+#include "graph/csr.hpp"
+#include "graph/flex_adj_list.hpp"
+#include "graph/generators.hpp"
+#include "pprim/fault.hpp"
+#include "pprim/simd.hpp"
+#include "pprim/thread_team.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+MsfResult solve(const EdgeList& g, core::Algorithm alg, int threads,
+                core::FindMinMode mode, core::MsfOptions extra = {}) {
+  core::MsfOptions opts = extra;
+  opts.algorithm = alg;
+  opts.threads = threads;
+  opts.bc_base_size = 32;
+  opts.find_min = mode;
+  return core::minimum_spanning_forest(g, opts);
+}
+
+EdgeList all_equal_weights(EdgeList g, Weight w) {
+  for (auto& e : g.edges) e.w = w;
+  return g;
+}
+
+EdgeList signed_zero_weights(EdgeList g) {
+  // Alternate +0.0 / -0.0: equal as weights, different bit patterns — the
+  // forest is then decided purely by the input-index tie-break, which the
+  // packed path must reproduce (monotone_weight_bits normalizes -0.0).
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    g.edges[i].w = (i % 2 == 0) ? 0.0 : -0.0;
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical forests: packed/SIMD path vs the seed scan kernel, across
+// all five parallel algorithms, thread counts, and graph families.
+
+TEST(FindMin, BitIdenticalForestsAcrossModesAndThreads) {
+  const EdgeList graphs[] = {
+      structured_graph(0, 512, 7),
+      rmat_graph(10, 5000, 42),
+      random_graph(2000, 8000, 4),
+      all_equal_weights(random_graph(1000, 4000, 9), 2.5),
+      signed_zero_weights(random_graph(600, 2400, 11)),
+  };
+  for (std::size_t gi = 0; gi < std::size(graphs); ++gi) {
+    const EdgeList& g = graphs[gi];
+    for (const auto alg : core::kParallelAlgorithms) {
+      const auto baseline =
+          test::sorted_ids(solve(g, alg, 1, core::FindMinMode::kScan));
+      for (const int p : {1, 2, 4, 8}) {
+        for (const auto mode :
+             {core::FindMinMode::kScan, core::FindMinMode::kSimd,
+              core::FindMinMode::kAuto}) {
+          const auto ids = test::sorted_ids(solve(g, alg, p, mode));
+          EXPECT_EQ(ids, baseline)
+              << core::to_string(alg) << " graph " << gi << " p=" << p
+              << " mode=" << core::to_string(mode);
+        }
+      }
+    }
+  }
+}
+
+TEST(FindMin, TuningKnobsDoNotChangeTheForest) {
+  const EdgeList g = random_graph(3000, 12000, 21);
+  const auto baseline =
+      test::sorted_ids(solve(g, core::Algorithm::kBorFAL, 1,
+                             core::FindMinMode::kScan));
+  for (const auto alg : {core::Algorithm::kBorFAL, core::Algorithm::kBorEL}) {
+    core::MsfOptions force_local_best;
+    force_local_best.find_min_local_best_threads = 1;
+    force_local_best.find_min_local_best_cutoff =
+        std::numeric_limits<std::size_t>::max();
+    core::MsfOptions no_local_best;
+    no_local_best.find_min_local_best_threads = 9999;
+    core::MsfOptions tiny_blocks;
+    tiny_blocks.find_min_prune_block = 1;
+    core::MsfOptions huge_blocks;
+    huge_blocks.find_min_prune_block = 4096;
+    for (const auto& extra :
+         {force_local_best, no_local_best, tiny_blocks, huge_blocks}) {
+      const auto ids = test::sorted_ids(
+          solve(g, alg, 4, core::FindMinMode::kSimd, extra));
+      EXPECT_EQ(ids, baseline) << core::to_string(alg);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pruning invariants
+
+TEST(FindMin, LiveArcCountsMonotoneNonIncreasingAndPruningCounted) {
+  const EdgeList g = random_graph(4000, 16000, 33);
+  std::vector<core::IterationStat> stats;
+  core::StepTimes st;
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorFAL;
+  opts.threads = 4;
+  opts.iteration_stats = &stats;
+  opts.step_times = &st;
+  const MsfResult r = core::minimum_spanning_forest(g, opts);
+  ASSERT_GE(stats.size(), 2u);
+  EXPECT_EQ(stats[0].directed_edges, 2 * g.num_edges());
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_LE(stats[i].directed_edges, stats[i - 1].directed_edges)
+        << "iteration " << i;
+  }
+  // A random multigraph sheds most arcs in the first contractions.
+  EXPECT_GT(st.pruned_arcs, 0u);
+  // The final no-progress probe iteration retires every remaining arc (all
+  // are intra-component by then), so across the whole solve pruning must
+  // account for exactly all 2m arcs; the live count at the start of the
+  // final iteration is what that probe still had to scan.
+  EXPECT_EQ(st.pruned_arcs, 2 * g.num_edges());
+  EXPECT_GE(stats.back().directed_edges,
+            2 * g.num_edges() - st.pruned_arcs);
+  // Liveness at selection time: a pruned MSF edge could never be selected,
+  // so the forest matching the seed kernel (and Kruskal) proves every MSF
+  // edge was still live when find-min picked it.
+  core::MsfOptions seq;
+  seq.algorithm = core::Algorithm::kSeqKruskal;
+  EXPECT_EQ(test::sorted_ids(r),
+            test::sorted_ids(core::minimum_spanning_forest(g, seq)));
+}
+
+TEST(FindMin, ScanModeReportsNoPruning) {
+  const EdgeList g = random_graph(2000, 8000, 5);
+  core::StepTimes st;
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorFAL;
+  opts.threads = 2;
+  opts.find_min = core::FindMinMode::kScan;
+  opts.step_times = &st;
+  (void)core::minimum_spanning_forest(g, opts);
+  EXPECT_EQ(st.pruned_arcs, 0u);
+}
+
+TEST(FindMin, ContractionNeverTouchesTheLiveArcSet) {
+  // The live-arc working set is keyed by ORIGINAL vertex; contract() merges
+  // supervertices without looking at it.
+  const EdgeList g = random_graph(256, 1024, 17);
+  const CsrGraph csr(g);
+  FlexAdjList fal(csr);
+  ASSERT_EQ(fal.live_arcs(), csr.num_arcs());
+  const auto ends_before = std::vector<EdgeId>(fal.live_ends().begin(),
+                                               fal.live_ends().end());
+  // Merge pairs: new_label[s] = s / 2.
+  std::vector<VertexId> new_label(fal.num_super());
+  for (VertexId s = 0; s < fal.num_super(); ++s) new_label[s] = s / 2;
+  ThreadTeam team(2);
+  fal.contract(team, new_label, fal.num_super() / 2);
+  EXPECT_EQ(std::vector<EdgeId>(fal.live_ends().begin(),
+                                fal.live_ends().end()),
+            ends_before);
+  EXPECT_EQ(fal.live_arcs(), csr.num_arcs());
+}
+
+TEST(FindMin, PruneFaultLeavesTeamReusable) {
+  const EdgeList g = random_graph(1000, 4000, 3);
+  const auto expected = test::sorted_ids(
+      solve(g, core::Algorithm::kBorFAL, 1, core::FindMinMode::kScan));
+  ThreadTeam team(4);
+  core::MsfOptions opts;
+  opts.algorithm = core::Algorithm::kBorFAL;
+  FaultInjector::arm("bor-fal.find-min.prune", FaultKind::kRuntimeError);
+  EXPECT_THROW((void)core::minimum_spanning_forest(team, g, opts),
+               std::runtime_error);
+  EXPECT_EQ(FaultInjector::hits("bor-fal.find-min.prune"), 1u);
+  FaultInjector::disarm_all();
+  // The poisoned barrier released every sibling; the same team must solve
+  // correctly afterwards.
+  const MsfResult r = core::minimum_spanning_forest(team, g, opts);
+  EXPECT_EQ(test::sorted_ids(r), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-key building blocks
+
+TEST(FindMin, MonotoneWeightBitsPreservesOrder) {
+  const double samples[] = {-1e300, -2.5, -1.0, -1e-300, -0.0, 0.0,
+                            1e-300, 0.5,  1.0,  2.5,     1e300};
+  for (std::size_t i = 0; i < std::size(samples); ++i) {
+    for (std::size_t j = 0; j < std::size(samples); ++j) {
+      const auto bi = core::monotone_weight_bits(samples[i]);
+      const auto bj = core::monotone_weight_bits(samples[j]);
+      if (samples[i] < samples[j]) {
+        EXPECT_LT(bi, bj) << samples[i] << " vs " << samples[j];
+      } else if (samples[i] > samples[j]) {
+        EXPECT_GT(bi, bj) << samples[i] << " vs " << samples[j];
+      } else {
+        // Covers -0.0 == +0.0: identical bits, so the stable rank sort
+        // falls back to the input-index tie-break.
+        EXPECT_EQ(bi, bj) << samples[i] << " vs " << samples[j];
+      }
+    }
+  }
+}
+
+TEST(FindMin, PackKeyRoundTrips) {
+  const std::uint32_t ranks[] = {0u, 1u, 0x7fffffffu, 0xffffffffu};
+  const std::uint64_t arcs[] = {0u, 1u, 0xfffffffeu, 0xffffffffu};
+  for (const auto r : ranks) {
+    for (const auto a : arcs) {
+      const std::uint64_t k = core::pack_key(r, a);
+      EXPECT_EQ(core::key_rank(k), r);
+      EXPECT_EQ(core::key_index(k), a);
+    }
+  }
+  EXPECT_TRUE(core::find_min_packable(std::size_t{1} << 31));
+  EXPECT_FALSE(core::find_min_packable((std::size_t{1} << 31) + 1));
+}
+
+TEST(FindMin, WeightRanksAgreeWithWeightOrder) {
+  // Heavy weight duplication so the rank sort's stability (the input-index
+  // tie-break) actually decides most of the order.
+  EdgeList g = random_graph(500, 3000, 8);
+  std::mt19937_64 rng(99);
+  for (auto& e : g.edges) e.w = static_cast<Weight>(rng() % 7);
+  ThreadTeam team(4);
+  const auto rank = core::build_weight_ranks(team, g);
+  ASSERT_EQ(rank.size(), g.edges.size());
+  std::vector<bool> seen(rank.size(), false);
+  for (const auto r : rank) {
+    ASSERT_LT(r, rank.size());
+    EXPECT_FALSE(seen[r]) << "ranks must be a permutation";
+    seen[r] = true;
+  }
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    for (EdgeId j = i + 1; j < std::min<EdgeId>(g.edges.size(), i + 40); ++j) {
+      const WeightOrder oi{g.edges[i].w, i};
+      const WeightOrder oj{g.edges[j].w, j};
+      EXPECT_EQ(oi < oj, rank[i] < rank[j]) << i << " vs " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD kernel: all paths return the identical lowest-index argmin.
+
+std::size_t reference_argmin(const std::vector<std::uint64_t>& v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return best;
+}
+
+void check_all_paths(const std::vector<std::uint64_t>& v) {
+  const std::size_t want = reference_argmin(v);
+  EXPECT_EQ(u64_argmin_scalar(v.data(), v.size()), want);
+  EXPECT_EQ(u64_argmin(v.data(), v.size()), want);
+#if defined(__x86_64__) || defined(_M_X64)
+  if (active_simd_isa() == SimdIsa::kAvx2) {
+    EXPECT_EQ(u64_argmin_avx2(v.data(), v.size()), want);
+  }
+#endif
+#if defined(__aarch64__)
+  EXPECT_EQ(u64_argmin_neon(v.data(), v.size()), want);
+#endif
+}
+
+TEST(SimdKernel, ExhaustiveSmallArrays) {
+  // Every array of length ≤ 5 over a 3-value alphabet (ties everywhere).
+  const std::uint64_t alphabet[] = {1u, 2u, ~std::uint64_t{0}};
+  for (std::size_t n = 1; n <= 5; ++n) {
+    std::vector<std::size_t> digits(n, 0);
+    for (;;) {
+      std::vector<std::uint64_t> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = alphabet[digits[i]];
+      check_all_paths(v);
+      std::size_t d = 0;
+      while (d < n && ++digits[d] == std::size(alphabet)) digits[d++] = 0;
+      if (d == n) break;
+    }
+  }
+}
+
+TEST(SimdKernel, BoundaryLengthsAndTailMinima) {
+  // Lengths straddling the vector width and the internal scalar cutoff;
+  // plant the unique minimum at every position including the tail.
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{7}, std::size_t{8}, std::size_t{15}, std::size_t{16},
+        std::size_t{17}, std::size_t{31}, std::size_t{32}, std::size_t{33},
+        std::size_t{63}, std::size_t{64}, std::size_t{65}}) {
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      std::vector<std::uint64_t> v(n, 500u);
+      v[pos] = 7u;
+      const std::size_t got = u64_argmin(v.data(), n);
+      EXPECT_EQ(got, pos) << "n=" << n;
+      check_all_paths(v);
+    }
+  }
+}
+
+TEST(SimdKernel, AllEqualKeysTieToLowestIndex) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{16}, std::size_t{37},
+                              std::size_t{128}}) {
+    const std::vector<std::uint64_t> same(n, 42u);
+    EXPECT_EQ(u64_argmin(same.data(), n), 0u);
+    const std::vector<std::uint64_t> empty_keys(n, core::kEmptyKey);
+    EXPECT_EQ(u64_argmin(empty_keys.data(), n), 0u);
+    check_all_paths(same);
+    check_all_paths(empty_keys);
+  }
+}
+
+TEST(SimdKernel, SignBitBoundaryAndRandomFuzz) {
+  // Keys straddling 2^63 catch a broken unsigned-compare emulation (AVX2
+  // only has signed 64-bit compares).  NaN-free by construction: keys are
+  // integer ranks, never raw double bits — so no NaN ordering caveats apply.
+  std::mt19937_64 rng(1234);
+  const std::uint64_t interesting[] = {
+      0u, 1u, 0x7fffffffffffffffu, 0x8000000000000000u, ~std::uint64_t{0}};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng() % 97;
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) {
+      x = (rng() % 3 == 0) ? interesting[rng() % std::size(interesting)]
+                           : rng();
+    }
+    check_all_paths(v);
+  }
+}
+
+TEST(SimdKernel, IsaNameMatchesActiveIsa) {
+  const char* name = simd_isa_name();
+  switch (active_simd_isa()) {
+    case SimdIsa::kAvx2:
+      EXPECT_STREQ(name, "avx2");
+      break;
+    case SimdIsa::kNeon:
+      EXPECT_STREQ(name, "neon");
+      break;
+    case SimdIsa::kScalar:
+      EXPECT_STREQ(name, "scalar");
+      break;
+  }
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) {
+    EXPECT_EQ(active_simd_isa(), SimdIsa::kAvx2);
+  }
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regression gate for the fig-2 step-breakdown bench.
+
+Compares a freshly produced fig2_breakdown JSON against a committed
+baseline (bench/baselines/BENCH_05_smoke.json) and fails when the find-min
+acceleration regresses:
+
+  * Bor-FAL's find-min share of its own total exceeds the baseline share by
+    more than --tolerance (relative, default 15%) plus a small absolute
+    slack.  Comparing fractions-of-total rather than raw seconds makes the
+    gate robust to CI machines of different speeds; the absolute slack keeps
+    sub-millisecond smoke timings from tripping it on noise.
+  * A Bor-FAL record claims the packed-key kernel ("simd") but reports zero
+    pruned arcs — live-arc pruning silently stopped working.
+  * A forest-identity check record is missing or not identical.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
+Exit: 0 clean, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+# Absolute slack, in fraction-of-total points, added on top of the relative
+# tolerance: smoke-scale find-min times are ~1ms, where scheduler noise
+# easily moves the share by a point or two without any code change.
+ABS_SLACK = 0.02
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def timing_rows(doc):
+    """(alg, density, n) -> record, for the per-algorithm timing records."""
+    rows = {}
+    for r in doc.get("records", []):
+        if "alg" in r and "total" in r and "find_min" in r:
+            rows[(r["alg"], r["density"], r["n"])] = r
+    return rows
+
+
+def identity_rows(doc):
+    return [r for r in doc.get("records", []) if r.get("check") == "forest_identity"]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative growth of Bor-FAL's find-min share")
+    args = ap.parse_args()
+
+    base = timing_rows(load(args.baseline))
+    cur_doc = load(args.current)
+    cur = timing_rows(cur_doc)
+    failures = []
+
+    for key, b in sorted(base.items()):
+        alg, density, n = key
+        c = cur.get(key)
+        if c is None:
+            failures.append(f"{alg} density={density} n={n}: missing from current run")
+            continue
+        if alg != "Bor-FAL":
+            continue
+        b_share = b["find_min"] / b["total"] if b["total"] > 0 else 0.0
+        c_share = c["find_min"] / c["total"] if c["total"] > 0 else 0.0
+        limit = b_share * (1.0 + args.tolerance) + ABS_SLACK
+        verdict = "OK" if c_share <= limit else "REGRESSED"
+        print(f"  Bor-FAL density={density} n={n}: find-min share "
+              f"{b_share:.3f} -> {c_share:.3f} (limit {limit:.3f}) {verdict}")
+        if c_share > limit:
+            failures.append(
+                f"Bor-FAL density={density} n={n}: find-min share {c_share:.3f} "
+                f"exceeds baseline {b_share:.3f} by more than {args.tolerance:.0%}")
+        if c.get("find_min_mode") == "simd" and c.get("find_min_pruned_arcs", 0) == 0:
+            failures.append(
+                f"Bor-FAL density={density} n={n}: simd mode but 0 pruned arcs "
+                "(live-arc pruning is dead)")
+
+    idents = identity_rows(cur_doc)
+    if not idents:
+        failures.append("no forest_identity check records in current run")
+    for r in idents:
+        if not r.get("forests_identical", False):
+            failures.append(f"forest identity failed at density {r.get('density')}")
+    if idents and all(r.get("forests_identical", False) for r in idents):
+        print(f"  forest identity: OK ({len(idents)} densities)")
+
+    if failures:
+        print("\nbench_compare: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,9 @@
 //   smpmsf convert IN OUT           (format chosen by extension: .smpg = binary)
 //   smpmsf solve [--alg A] [--threads P] [--seed S] [--timeout SECS]
 //                [--mem-cap BYTES] [--no-fallback] [--validate] [--steps]
-//                [--stats-json FILE]
+//                [--stats-json FILE] [--find-min auto|scan|simd]
+//                [--find-min-local-best-threads N]
+//                [--find-min-local-best-cutoff N] [--find-min-prune-block N]
 //                [--mode static|dynamic] [--batch-size N] [--update-trace FILE]
 //                FILE
 //   smpmsf cc [--threads P] FILE
@@ -23,7 +25,8 @@
 //   d <u> <v>             delete the canonical (lightest, then oldest) live
 //                         edge with these endpoints
 //
-// Unknown --alg / --mode / trace operations are invalid input (exit 3), with
+// Flags accept both "--key value" and "--key=value".  Unknown --alg /
+// --mode / --find-min / trace operations are invalid input (exit 3), with
 // the accepted values listed.
 //
 // Exit codes: 0 success, 1 runtime/validation failure, 2 usage, then one per
@@ -39,11 +42,13 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <unordered_set>
 
 #include "core/connected_components.hpp"
 #include "core/error.hpp"
 #include "core/filter_kruskal.hpp"
+#include "core/find_min.hpp"
 #include "core/sample_filter.hpp"
 #include "core/verify_msf.hpp"
 #include "core/msf.hpp"
@@ -53,6 +58,7 @@
 #include "graph/stats.hpp"
 #include "graph/validate.hpp"
 #include "pprim/build_info.hpp"
+#include "pprim/simd.hpp"
 #include "pprim/timer.hpp"
 
 namespace {
@@ -70,6 +76,9 @@ using namespace smp::graph;
                "  smpmsf solve [--alg A] [--threads P] [--seed S]"
                " [--timeout SECS] [--mem-cap BYTES] [--no-fallback]"
                " [--validate] [--steps] [--stats-json FILE]\n"
+               "               [--find-min auto|scan|simd]"
+               " [--find-min-local-best-threads N]"
+               " [--find-min-local-best-cutoff N] [--find-min-prune-block N]\n"
                "               [--mode static|dynamic] [--batch-size N]"
                " [--update-trace FILE] FILE\n"
                "  smpmsf cc [--threads P] FILE\n"
@@ -118,6 +127,14 @@ SolveMode parse_mode(const std::string& s) {
   if (s == "dynamic") return SolveMode::kDynamic;
   throw smp::Error(smp::ErrorCode::kInvalidInput,
                    "unknown mode '" + s + "' (valid: static dynamic)");
+}
+
+core::FindMinMode parse_find_min(const std::string& s) {
+  if (s == "auto") return core::FindMinMode::kAuto;
+  if (s == "scan") return core::FindMinMode::kScan;
+  if (s == "simd") return core::FindMinMode::kSimd;
+  throw smp::Error(smp::ErrorCode::kInvalidInput,
+                   "unknown find-min mode '" + s + "' (valid: auto scan simd)");
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -180,6 +197,12 @@ Flags parse(int argc, char** argv, int from) {
     }
     if (is_switch) continue;
     if (a.rfind("--", 0) == 0 || a == "-o") {
+      // "--key=value" and "--key value" are equivalent.
+      const std::size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        f.kv.emplace_back(a.substr(0, eq), a.substr(eq + 1));
+        continue;
+      }
       if (i + 1 >= argc) usage(("missing value for " + a).c_str());
       f.kv.emplace_back(a == "-o" ? "--out" : a, argv[++i]);
     } else {
@@ -394,6 +417,29 @@ void write_stats_json(const std::string& path, const std::string& alg,
                 alg.c_str(), opts.threads,
                 static_cast<unsigned long long>(opts.seed));
   os << buf;
+  // Oversubscription visibility: requested vs. hardware threads, so a run on
+  // a small CI box is never mistaken for a true scaling measurement.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::snprintf(buf, sizeof buf,
+                ", \"threads_requested\": %d, \"threads_available\": %u"
+                ", \"oversubscribed\": %s",
+                opts.threads, hw,
+                (hw != 0 && opts.threads > static_cast<int>(hw)) ? "true"
+                                                                 : "false");
+  os << buf;
+  // Find-min kernel facts: the mode as requested and as resolved (a forced
+  // "simd" silently degrades to "scan" when the graph is not packable), the
+  // SIMD ISA the dispatcher picked, and how many arcs live-arc pruning
+  // retired (0 in scan mode or for algorithms without pruning).
+  const core::FindMinMode resolved =
+      core::resolve_find_min_mode(opts.find_min, g.num_edges());
+  std::snprintf(buf, sizeof buf,
+                ", \"find_min\": {\"mode\": \"%s\", \"resolved\": \"%s\""
+                ", \"kernel\": \"%s\", \"pruned_arcs\": %llu}",
+                std::string(core::to_string(opts.find_min)).c_str(),
+                std::string(core::to_string(resolved)).c_str(), simd_isa_name(),
+                static_cast<unsigned long long>(steps.pruned_arcs));
+  os << buf;
   std::snprintf(buf, sizeof buf,
                 ", \"graph\": {\"vertices\": %u, \"edges\": %llu}",
                 g.num_vertices,
@@ -432,6 +478,25 @@ int cmd_solve(const Flags& f) {
   core::MsfOptions opts;
   opts.threads = threads;
   opts.seed = seed;
+  opts.find_min = parse_find_min(f.get("--find-min").value_or("auto"));
+  opts.find_min_local_best_threads =
+      static_cast<int>(f.num("--find-min-local-best-threads", 0));
+  opts.find_min_local_best_cutoff =
+      static_cast<std::size_t>(f.num("--find-min-local-best-cutoff", 0));
+  opts.find_min_prune_block =
+      static_cast<std::size_t>(f.num("--find-min-prune-block", 0));
+
+  // Asking for more threads than the machine has is legal (the paper's
+  // oversubscription runs do exactly that) but silently skews timings, so
+  // say it out loud once per solve.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && threads > static_cast<int>(hw)) {
+    std::fprintf(stderr,
+                 "warning: %d threads requested but only %u hardware thread(s)"
+                 " available; timings reflect oversubscription\n",
+                 threads, hw);
+  }
+
   core::StepTimes steps;
   core::PhaseStats pstats;
   if (f.has("--steps")) opts.step_times = &steps;
