@@ -4,11 +4,29 @@
 // charged to the service, not hidden by a slow client), runs ≥2 read:write
 // ratios, and reports client-side p50/p95/p99 plus achieved throughput and
 // the registry's coalescing counters.  --json writes BENCH_04.json.
+//
+// Durability extensions (BENCH_06):
+//   --data-dir DIR   run the mixes against a durable service (WAL + group
+//                    commit under --fsync) rooted at DIR; every JSON row
+//                    records the fsync policy so throughput can be compared
+//                    against the non-durable BENCH_04 numbers.
+//   --fsync P        always | interval | none (default interval)
+//   --recover        instead of the mixes, time cold-start recovery: log
+//                    10^4..10^6 updates (scaled by --scale), tear the core
+//                    down without the clean-shutdown marker, and time a
+//                    fresh ServiceCore replaying the WAL tail.  Replay goes
+//                    through the same coalescing apply_batch path as live
+//                    traffic, so the ratio recover_s/apply_s stays far
+//                    below the acceptance bound of 10.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <mutex>
 #include <random>
 #include <string>
@@ -16,6 +34,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "persist/wal.hpp"
 #include "serve/service_core.hpp"
 
 using namespace smp;
@@ -175,10 +194,165 @@ MixResult run_mix(ServiceCore& svc, const Mix& mix, VertexId n, int threads,
   return r;
 }
 
+/// One cold-start recovery measurement: log `updates` single-edge inserts
+/// through a durable core under maximum write pressure (a large in-flight
+/// window, so the flusher coalesces exactly as it would for a real burst),
+/// tear the core down with the clean-shutdown marker disabled, then time a
+/// fresh ServiceCore recovering the directory (snapshot load + WAL replay).
+struct RecoverResult {
+  double apply_s = 0;
+  double recover_s = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t replayed_records = 0;
+  std::size_t errors = 0;
+};
+
+RecoverResult run_recover(const std::string& dir, persist::FsyncPolicy fsync,
+                          VertexId n, std::size_t updates,
+                          std::uint64_t seed) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  ServeOptions opts;
+  opts.msf.threads = 4;
+  opts.dispatchers = 4;
+  opts.queue_capacity = 1u << 15;
+  opts.data_dir = dir;
+  opts.fsync = fsync;
+  // The whole point is to replay the tail: never truncate it mid-run and
+  // leave no clean marker behind, so the restart takes the cold path.
+  opts.snapshot_wal_bytes = ~0ull;
+  opts.clean_shutdown = false;
+
+  RecoverResult res;
+  {
+    ServiceCore svc(opts);
+    Request open;
+    open.op = Op::kOpen;
+    open.session = "g";
+    open.num_vertices = n;
+    if (!svc.call(open).ok()) {
+      std::fprintf(stderr, "recover bench: open failed\n");
+      std::exit(1);
+    }
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<VertexId> vtx(0, n - 1);
+    std::uniform_real_distribution<double> wgt(0.0, 1.0);
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> errors{0};
+    constexpr std::size_t kWindow = 1u << 14;  // max in-flight writes
+    WallTimer t;
+    for (std::size_t i = 0; i < updates; ++i) {
+      Request ins;
+      ins.op = Op::kInsert;
+      ins.session = "g";
+      VertexId u = vtx(rng), v = vtx(rng);
+      while (v == u) v = vtx(rng);
+      ins.insertions.push_back(WEdge{u, v, wgt(rng)});
+      while (i - done.load(std::memory_order_acquire) >= kWindow) {
+        std::this_thread::yield();
+      }
+      while (!svc.submit(ins, [&](const Response& r) {
+        if (!r.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_release);
+      })) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    while (done.load(std::memory_order_acquire) < updates) {
+      std::this_thread::yield();
+    }
+    res.apply_s = t.elapsed_s();
+    res.errors = errors.load();
+    res.wal_records = svc.metrics().persist.wal_appends.load();
+    svc.shutdown();  // clean_shutdown=false: the WAL tail stays behind
+  }
+  {
+    WallTimer t;
+    ServiceCore svc(opts);  // recovery happens in the constructor
+    res.recover_s = t.elapsed_s();
+    res.replayed_records = svc.metrics().replayed_records.load();
+    svc.shutdown();
+  }
+  std::filesystem::remove_all(dir, ec);
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::parse_args(argc, argv);
+  // Strip the durability flags before the shared parser sees them (it
+  // rejects unknown flags).
+  std::string data_dir;
+  persist::FsyncPolicy fsync = persist::FsyncPolicy::kInterval;
+  bool recover_mode = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_serve: missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--data-dir") == 0) {
+      data_dir = need("--data-dir");
+    } else if (std::strcmp(argv[i], "--fsync") == 0) {
+      fsync = persist::parse_fsync_policy(need("--fsync"));
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover_mode = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const bench::Args args =
+      bench::parse_args(static_cast<int>(rest.size()), rest.data());
+  if ((recover_mode || !data_dir.empty()) && data_dir.empty()) {
+    data_dir = (std::filesystem::temp_directory_path() /
+                ("bench_serve_data_" + std::to_string(::getpid())))
+                   .string();
+  }
+
+  if (recover_mode) {
+    std::printf("bench_serve --recover  fsync=%s\n",
+                std::string(persist::to_string(fsync)).c_str());
+    std::printf("%-10s %10s %10s %10s %8s %10s %10s\n", "updates", "n",
+                "apply_s", "recover_s", "ratio", "wal_recs", "replayed");
+    bench::JsonSink sink;
+    for (const std::size_t base : {10'000ul, 100'000ul, 1'000'000ul}) {
+      const std::size_t updates = std::max<std::size_t>(64, args.size(base, base));
+      const auto n = static_cast<VertexId>(
+          std::max<std::size_t>(256, updates / 20));
+      const RecoverResult r = run_recover(
+          data_dir + "/recover_" + std::to_string(base), fsync, n, updates,
+          args.seed);
+      const double ratio = r.apply_s > 0 ? r.recover_s / r.apply_s : 0.0;
+      std::printf("%-10zu %10llu %10.3f %10.3f %8.2f %10llu %10llu\n",
+                  updates, static_cast<unsigned long long>(n), r.apply_s,
+                  r.recover_s, ratio,
+                  static_cast<unsigned long long>(r.wal_records),
+                  static_cast<unsigned long long>(r.replayed_records));
+      if (r.errors != 0) {
+        std::fprintf(stderr, "recover bench: %zu write errors\n", r.errors);
+        return 1;
+      }
+      char rec[512];
+      std::snprintf(
+          rec, sizeof rec,
+          "{\"tag\": \"recover\", \"updates\": %zu, \"n\": %llu, "
+          "\"fsync\": \"%s\", \"apply_s\": %.4f, \"recover_s\": %.4f, "
+          "\"replay_ratio\": %.3f, \"wal_records\": %llu, "
+          "\"replayed_records\": %llu}",
+          updates, static_cast<unsigned long long>(n),
+          std::string(persist::to_string(fsync)).c_str(), r.apply_s,
+          r.recover_s, ratio, static_cast<unsigned long long>(r.wal_records),
+          static_cast<unsigned long long>(r.replayed_records));
+      sink.add(rec);
+    }
+    sink.write("bench_serve_recover", args);
+    return 0;
+  }
   const auto n = static_cast<VertexId>(args.size(20000, 100000));
   const auto m = static_cast<EdgeId>(3 * static_cast<EdgeId>(n));
   const int clients = std::max(2, args.max_threads);
@@ -186,10 +360,15 @@ int main(int argc, char** argv) {
   const std::size_t ops_per_client = 3000 / static_cast<std::size_t>(clients);
 
   const Mix mixes[] = {{"r90w10", 90}, {"r50w50", 50}};
+  const bool durable = !data_dir.empty();
+  const std::string fsync_name =
+      durable ? std::string(persist::to_string(fsync)) : "none";
 
-  std::printf("bench_serve  n=%llu m=%llu clients=%d target_rps=%.0f\n",
+  std::printf("bench_serve  n=%llu m=%llu clients=%d target_rps=%.0f"
+              " fsync=%s\n",
               static_cast<unsigned long long>(n),
-              static_cast<unsigned long long>(m), clients, target_rps);
+              static_cast<unsigned long long>(m), clients, target_rps,
+              fsync_name.c_str());
   std::printf("%-8s %10s %8s %8s %9s %9s %9s %9s %9s %7s\n", "mix", "rps",
               "ok", "rej", "p50ms", "p95ms", "p99ms", "w.p50ms", "w.p99ms",
               "coal");
@@ -202,6 +381,13 @@ int main(int argc, char** argv) {
     opts.dispatchers = 4;
     opts.queue_capacity = 1024;
     opts.coalesce_window_s = 0.002;
+    if (durable) {
+      // Fresh per-mix directory: mixes must not recover each other's state.
+      opts.data_dir = data_dir + "/mix_" + mix.name;
+      opts.fsync = fsync;
+      std::error_code ec;
+      std::filesystem::remove_all(opts.data_dir, ec);
+    }
     ServiceCore svc(opts);
     prepopulate(svc, n, m, args.seed);
     svc.metrics().reset_counters();
@@ -235,6 +421,7 @@ int main(int argc, char** argv) {
     std::snprintf(
         rec, sizeof rec,
         "{\"tag\": \"serve\", \"mix\": \"%s\", \"read_pct\": %d, "
+        "\"fsync\": \"%s\", "
         "\"n\": %llu, \"m\": %llu, \"clients\": %d, \"target_rps\": %.0f, "
         "\"achieved_rps\": %.1f, \"ok\": %zu, \"rejected\": %zu, "
         "\"errors\": %zu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
@@ -242,7 +429,8 @@ int main(int argc, char** argv) {
         "\"write_p50_ms\": %.3f, \"write_p99_ms\": %.3f, "
         "\"apply_batches\": %llu, \"coalesced_writes\": %llu, "
         "\"avg_coalesce\": %.2f}",
-        mix.name, mix.read_pct, static_cast<unsigned long long>(n),
+        mix.name, mix.read_pct, fsync_name.c_str(),
+        static_cast<unsigned long long>(n),
         static_cast<unsigned long long>(m), clients, target_rps, rps, r.ok,
         r.rejected, r.errors, p50, p95, p99, rp50, rp99, wp50, wp99,
         static_cast<unsigned long long>(batches),
@@ -251,5 +439,9 @@ int main(int argc, char** argv) {
     svc.shutdown();
   }
   sink.write("bench_serve", args);
+  if (durable) {
+    std::error_code ec;
+    std::filesystem::remove_all(data_dir, ec);
+  }
   return 0;
 }

@@ -36,6 +36,35 @@ DynamicMsf::DynamicMsf(VertexId num_vertices, DynamicMsfOptions opts)
   trees_ = num_vertices;
 }
 
+DynamicMsf::DynamicMsf(EdgeStore store, std::vector<EdgeId> forest,
+                       DynamicMsfOptions opts)
+    : store_(std::move(store)), opts_(std::move(opts)),
+      forest_(std::move(forest)) {
+  core::validate_request(EdgeList(store_.num_vertices()), opts_.msf);
+  std::sort(forest_.begin(), forest_.end());
+  for (std::size_t i = 0; i < forest_.size(); ++i) {
+    if (i > 0 && forest_[i] == forest_[i - 1]) {
+      throw Error(ErrorCode::kInvalidInput,
+                  "restore: duplicate forest id " + std::to_string(forest_[i]));
+    }
+    if (!store_.is_live(forest_[i])) {
+      throw Error(ErrorCode::kInvalidInput,
+                  "restore: forest id " + std::to_string(forest_[i]) +
+                      " is dead or unknown in the store");
+    }
+  }
+  const auto n = static_cast<std::size_t>(store_.num_vertices());
+  if (!forest_.empty() && forest_.size() >= n) {
+    throw Error(ErrorCode::kInvalidInput,
+                "restore: " + std::to_string(forest_.size()) +
+                    " forest edges cannot be acyclic on " + std::to_string(n) +
+                    " vertices");
+  }
+  // A forest with k edges on n vertices has exactly n - k trees.
+  trees_ = n - forest_.size();
+  recompute_weight();
+}
+
 MsfDelta DynamicMsf::apply_batch(std::span<const WEdge> insertions,
                                  std::span<const EdgeId> deletions) {
   // ---- Validate the whole batch before mutating anything (a bad batch

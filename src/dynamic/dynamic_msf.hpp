@@ -66,6 +66,16 @@ class DynamicMsf {
   explicit DynamicMsf(graph::VertexId num_vertices,
                       DynamicMsfOptions opts = {});
 
+  /// Restores a previously maintained state without solving: adopts `store`
+  /// as-is and `forest` as the committed forest (store ids, any order; they
+  /// are sorted here).  Used by the persistence layer to rebuild a session
+  /// from a snapshot — the forest was bit-identical to MSF(live graph) when
+  /// snapshotted, so no recompute is needed.  Validates that every forest id
+  /// is live, that ids are unique, and that the edge count is consistent
+  /// with a forest (<= n - 1); throws Error{kInvalidInput} otherwise.
+  DynamicMsf(EdgeStore store, std::vector<graph::EdgeId> forest,
+             DynamicMsfOptions opts = {});
+
   /// Applies one batch: `deletions` are store ids that must be live at
   /// batch entry (deletions are processed first, so a batch cannot delete
   /// its own insertions) and batch-unique; `insertions` are new edges

@@ -1,6 +1,7 @@
 #include "dynamic/edge_store.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "core/error.hpp"
@@ -115,6 +116,75 @@ std::vector<EdgeId> EdgeStore::compact() {
   pair_index_.clear();
   pair_index_built_ = false;
   return remap;
+}
+
+namespace {
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+template <typename T>
+T take(const unsigned char* data, std::size_t size, std::size_t& off,
+       const char* what) {
+  if (off + sizeof(T) > size) {
+    throw Error(ErrorCode::kInvalidInput,
+                std::string("edge store restore: truncated ") + what);
+  }
+  T v;
+  std::memcpy(&v, data + off, sizeof v);
+  off += sizeof v;
+  return v;
+}
+
+}  // namespace
+
+void EdgeStore::serialize(std::string& out) const {
+  put<std::uint32_t>(out, n_);
+  put<std::uint64_t>(out, edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    put<std::uint32_t>(out, edges_[i].u);
+    put<std::uint32_t>(out, edges_[i].v);
+    put<double>(out, edges_[i].w);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(dead_[i]));
+  }
+}
+
+EdgeStore EdgeStore::restore(const unsigned char* data, std::size_t size,
+                             std::size_t* consumed) {
+  std::size_t off = 0;
+  EdgeStore s(take<std::uint32_t>(data, size, off, "vertex count"));
+  const auto slots = take<std::uint64_t>(data, size, off, "slot count");
+  // 17 bytes per slot: reject counts the remaining bytes cannot hold before
+  // reserving anything.
+  if (slots > (size - off) / 17) {
+    throw Error(ErrorCode::kInvalidInput,
+                "edge store restore: slot count " + std::to_string(slots) +
+                    " exceeds the serialized payload");
+  }
+  s.edges_.reserve(static_cast<std::size_t>(slots));
+  s.dead_.reserve(static_cast<std::size_t>(slots));
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    WEdge e;
+    e.u = take<std::uint32_t>(data, size, off, "edge");
+    e.v = take<std::uint32_t>(data, size, off, "edge");
+    e.w = take<double>(data, size, off, "edge");
+    const auto dead = take<std::uint8_t>(data, size, off, "dead flag");
+    if (dead > 1) {
+      throw Error(ErrorCode::kInvalidInput,
+                  "edge store restore: bad dead flag at slot " +
+                      std::to_string(i));
+    }
+    check_edge(e.u, e.v, e.w, s.n_);  // tombstoned slots were once live too
+    s.edges_.push_back(e);
+    s.dead_.push_back(static_cast<char>(dead));
+    if (dead == 0) ++s.live_;
+  }
+  if (consumed != nullptr) *consumed = off;
+  return s;
 }
 
 EdgeList EdgeStore::live_graph(std::vector<EdgeId>* out_ids) const {

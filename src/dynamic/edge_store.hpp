@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -89,6 +90,20 @@ class EdgeStore {
   /// without bound; the serving layer calls this when live/size falls below
   /// its threshold.
   std::vector<graph::EdgeId> compact();
+
+  /// Appends the full store state — vertex count, every slot (live *and*
+  /// tombstoned, so store ids survive the round trip), dead flags — to
+  /// `out` in the fixed little-endian layout the persistence layer
+  /// snapshots.  The pair index is derived state and not serialized.
+  void serialize(std::string& out) const;
+
+  /// Inverse of serialize(): reconstructs a store from `size` bytes at
+  /// `data`, validating structure and every slot like the adopting
+  /// constructor (tombstoned slots are exempt from liveness-only checks but
+  /// still bounds-checked).  `consumed` (optional) receives the bytes read.
+  /// Throws Error{kInvalidInput} on truncated or malformed input.
+  static EdgeStore restore(const unsigned char* data, std::size_t size,
+                           std::size_t* consumed = nullptr);
 
  private:
   static void check_edge(graph::VertexId u, graph::VertexId v, graph::Weight w,

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smp::persist {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+/// framing every WAL record and snapshot body.  Software slicing-by-4;
+/// `crc` chains across calls (pass the previous return value), starting
+/// from 0 for a fresh message.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t size,
+                                   std::uint32_t crc = 0);
+
+}  // namespace smp::persist

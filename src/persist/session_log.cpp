@@ -1,0 +1,435 @@
+#include "persist/session_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "core/error.hpp"
+#include "pprim/fault.hpp"
+
+namespace smp::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kCleanMarker = "CLEAN";
+
+[[noreturn]] void sys_fail(const std::string& what, const std::string& path) {
+  throw Error(ErrorCode::kInvalidInput,
+              what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string wal_path(const std::string& dir, std::uint64_t base) {
+  char name[32];
+  std::snprintf(name, sizeof name, "wal-%016" PRIx64 ".log", base);
+  return dir + "/" + name;
+}
+
+/// wal-<16 hex digits>.log -> base lsn, or nullopt for anything else.
+std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
+  if (name.size() != 3 + 1 + 16 + 4 || name.rfind("wal-", 0) != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t base = 0;
+  for (std::size_t i = 4; i < 4 + 16; ++i) {
+    const char c = name[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return std::nullopt;
+    }
+    base = (base << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return base;
+}
+
+/// Segment base LSNs present in `dir`, ascending.
+std::vector<std::uint64_t> list_segments(const std::string& dir) {
+  std::vector<std::uint64_t> bases;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const auto base = parse_segment_name(entry.path().filename().string());
+    if (base) bases.push_back(*base);
+  }
+  std::sort(bases.begin(), bases.end());
+  return bases;
+}
+
+void write_all(int fd, const char* p, std::size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("write to WAL", path);
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) sys_fail("cannot open directory", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    sys_fail("fsync directory", dir);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+SessionLog::SessionLog(std::string dir, SessionLogOptions opts,
+                       RecoveredState* out)
+    : dir_(std::move(dir)), opts_(opts) {
+  if (opts_.snapshot_retain < 1) opts_.snapshot_retain = 1;
+  fs::create_directories(dir_);
+  RecoveredState st;
+
+  // ---- Clean-shutdown marker: read, then unlink immediately — it attests
+  // to the directory state at shutdown, not to anything we do next. ----
+  std::uint64_t marker_lsn = 0;
+  bool have_marker = false;
+  {
+    const std::string marker = dir_ + "/" + kCleanMarker;
+    std::ifstream is(marker);
+    if (is) {
+      have_marker = static_cast<bool>(is >> marker_lsn);
+      is.close();
+      std::error_code ec;
+      fs::remove(marker, ec);
+      fsync_dir(dir_);
+    }
+  }
+
+  // ---- Newest loadable snapshot; unloadable generations are proven bad
+  // (complete .snap files failing validation), so delete them rather than
+  // let retention ever prefer them over an older good one. ----
+  for (const std::uint64_t lsn : list_snapshots(dir_)) {
+    const std::string path = snapshot_path(dir_, lsn);
+    try {
+      SnapshotBody body = load_snapshot_file(path);
+      st.have_snapshot = true;
+      st.snapshot_lsn = body.lsn;
+      st.store = std::move(body.store);
+      st.forest = std::move(body.forest);
+      st.idem = std::move(body.idem);
+      break;
+    } catch (const Error& e) {
+      st.warnings.push_back(std::string("skipping snapshot generation: ") +
+                            e.what());
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+  }
+
+  // ---- Chain-validate the WAL segments past the snapshot. ----
+  const std::vector<std::uint64_t> bases = list_segments(dir_);
+  if (!st.have_snapshot && !bases.empty()) {
+    throw Error(ErrorCode::kInvalidInput,
+                "session directory '" + dir_ +
+                    "' has WAL segments but no loadable snapshot: the vertex "
+                    "count is unrecoverable (every session writes an initial "
+                    "snapshot at open)");
+  }
+  // Segments fully covered by the snapshot need no replay; start from the
+  // newest base <= snapshot_lsn + 1 and skip records the snapshot contains.
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    if (bases[i] <= st.snapshot_lsn + 1) first = i;
+  }
+  std::uint64_t expected = 0;
+  std::uint64_t active_base = st.snapshot_lsn + 1;
+  std::uint64_t active_valid = 0;
+  bool active_exists = false;
+  for (std::size_t i = first; i < bases.size(); ++i) {
+    const std::uint64_t base = bases[i];
+    const std::string path = wal_path(dir_, base);
+    if (expected == 0) {
+      if (base > st.snapshot_lsn + 1) {
+        throw Error(ErrorCode::kInvalidInput,
+                    "WAL segment gap in '" + dir_ + "': snapshot covers lsn " +
+                        std::to_string(st.snapshot_lsn) +
+                        " but the oldest segment starts at lsn " +
+                        std::to_string(base) +
+                        " (records in between are missing)");
+      }
+      expected = base;
+    } else if (base != expected) {
+      throw Error(ErrorCode::kInvalidInput,
+                  "WAL segment gap in '" + dir_ + "': segment '" + path +
+                      "' starts at lsn " + std::to_string(base) +
+                      " but the previous segment ended at lsn " +
+                      std::to_string(expected - 1));
+    }
+    WalScan scan = scan_wal(path, base);
+    if (scan.torn_tail && i + 1 != bases.size()) {
+      throw Error(ErrorCode::kInvalidInput,
+                  "corrupt WAL in '" + dir_ + "': segment '" + path +
+                      "' has a torn record at byte " +
+                      std::to_string(scan.valid_bytes) +
+                      " but later segments exist — a crash tears only the "
+                      "final segment (refusing to replay past it)");
+    }
+    for (WalRecord& rec : scan.records) {
+      expected = rec.lsn + 1;
+      if (rec.lsn > st.snapshot_lsn) st.tail.push_back(std::move(rec));
+    }
+    if (i + 1 == bases.size()) {
+      active_base = base;
+      active_valid = scan.valid_bytes;
+      active_exists = true;
+      st.torn_tail_truncated = scan.torn_tail;
+    }
+  }
+
+  const std::uint64_t last = expected == 0 ? st.snapshot_lsn : expected - 1;
+  last_lsn_.store(last, std::memory_order_release);
+  last_snapshot_lsn_ = st.snapshot_lsn;
+  durable_lsn_ = last;  // everything recovery just read back is on disk
+  st.clean = have_marker && marker_lsn == st.snapshot_lsn && st.tail.empty();
+  if (have_marker && !st.clean) {
+    st.warnings.push_back("stale clean-shutdown marker (lsn " +
+                          std::to_string(marker_lsn) +
+                          ") ignored; replaying the WAL tail");
+  }
+
+  // ---- Truncate a torn tail durably *before* appending after it, so a
+  // second crash cannot interleave old torn bytes with a new record. ----
+  if (active_exists && st.torn_tail_truncated) {
+    const std::string path = wal_path(dir_, active_base);
+    const int tfd = ::open(path.c_str(), O_WRONLY);
+    if (tfd < 0) sys_fail("cannot reopen WAL segment", path);
+    if (::ftruncate(tfd, static_cast<off_t>(active_valid)) != 0 ||
+        ::fdatasync(tfd) != 0) {
+      ::close(tfd);
+      sys_fail("truncate torn tail of", path);
+    }
+    ::close(tfd);
+  }
+
+  open_segment(active_base);
+  segment_bytes_ = active_valid;
+  records_since_snapshot_ = st.tail.size();
+
+  if (opts_.fsync == FsyncPolicy::kInterval) {
+    flusher_ = std::thread([this] { flusher_main(); });
+  }
+  *out = std::move(st);
+}
+
+SessionLog::~SessionLog() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    flusher_.join();
+  }
+  // Best-effort final sync: a non-clean teardown (error path) still leaves
+  // every appended record durable.
+  if (opts_.fsync != FsyncPolicy::kNone &&
+      durable_lsn() < last_lsn_.load(std::memory_order_acquire)) {
+    try {
+      fsync_now();
+    } catch (const Error&) {
+      // Destructor: nothing to do but leave the records to the page cache.
+    }
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SessionLog::open_segment(std::uint64_t base) {
+  const std::string path = wal_path(dir_, base);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd_ < 0) sys_fail("cannot open WAL segment", path);
+  fsync_dir(dir_);  // the segment file itself must survive a crash
+  segment_base_ = base;
+}
+
+std::uint64_t SessionLog::append(WalRecord rec) {
+  rec.lsn = last_lsn_.load(std::memory_order_relaxed) + 1;
+  const std::string frame = encode_record(rec);
+  const std::string path = wal_path(dir_, segment_base_);
+  fault_point("persist.pre_append");
+  // Two write() calls so the mid-append crash point sits between them and a
+  // kill there leaves exactly the torn-tail shape recovery truncates.
+  const std::size_t half = frame.size() / 2;
+  write_all(fd_, frame.data(), half, path);
+  fault_point("persist.mid_append");
+  write_all(fd_, frame.data() + half, frame.size() - half, path);
+  fault_point("persist.post_append");
+  segment_bytes_ += frame.size();
+  ++records_since_snapshot_;
+  last_lsn_.store(rec.lsn, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.appends;
+    stats_.append_bytes += frame.size();
+    if (opts_.fsync == FsyncPolicy::kNone) durable_lsn_ = rec.lsn;
+  }
+  if (opts_.counters != nullptr) {
+    opts_.counters->wal_appends.fetch_add(1, std::memory_order_relaxed);
+    opts_.counters->wal_bytes.fetch_add(frame.size(),
+                                        std::memory_order_relaxed);
+  }
+  if (opts_.fsync == FsyncPolicy::kAlways) fsync_now();
+  return rec.lsn;
+}
+
+void SessionLog::fsync_now() {
+  const std::uint64_t target = last_lsn_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> fsync_lk(fsync_mu_);
+    if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
+      sys_fail("fdatasync WAL segment", wal_path(dir_, segment_base_));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Only `target` is credited: writes racing the fdatasync may or may not
+    // have made it, so their ack keeps waiting for the next sync.
+    durable_lsn_ = std::max(durable_lsn_, target);
+    ++stats_.fsyncs;
+  }
+  if (opts_.counters != nullptr) {
+    opts_.counters->fsyncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+}
+
+void SessionLog::flusher_main() {
+  const auto interval = std::chrono::duration<double>(opts_.fsync_interval_s);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait_for(lk, interval);
+    if (stop_) break;
+    if (durable_lsn_ >= last_lsn_.load(std::memory_order_acquire)) continue;
+    lk.unlock();
+    fsync_now();
+    lk.lock();
+  }
+}
+
+void SessionLog::wait_durable(std::uint64_t lsn) {
+  if (opts_.fsync == FsyncPolicy::kInterval) {
+    bool need_inline = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return durable_lsn_ >= lsn || stop_; });
+      need_inline = durable_lsn_ < lsn;
+    }
+    if (need_inline) fsync_now();  // flusher stopped under us: sync inline
+  }
+  // kAlways synced inline in append(); kNone acks from the page cache.
+  fault_point("persist.pre_ack");
+}
+
+bool SessionLog::snapshot_due() const {
+  if (records_since_snapshot_ == 0) return false;
+  if (segment_bytes_ >= opts_.snapshot_wal_bytes) return true;
+  return opts_.snapshot_every_records > 0 &&
+         records_since_snapshot_ >= opts_.snapshot_every_records;
+}
+
+void SessionLog::write_snapshot(
+    const dynamic::EdgeStore& store, const std::vector<graph::EdgeId>& forest,
+    const std::vector<std::pair<std::string, std::uint64_t>>& idem) {
+  const std::uint64_t lsn = last_lsn_.load(std::memory_order_acquire);
+  write_snapshot_file(dir_, lsn, store, forest, idem);
+
+  if (segment_base_ != lsn + 1) {
+    const std::string path = wal_path(dir_, lsn + 1);
+    const int nfd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (nfd < 0) sys_fail("cannot open WAL segment", path);
+    fsync_dir(dir_);
+    int old;
+    {
+      std::lock_guard<std::mutex> fsync_lk(fsync_mu_);
+      old = fd_;
+      fd_ = nfd;
+    }
+    if (old >= 0) ::close(old);
+    segment_base_ = lsn + 1;
+    segment_bytes_ = 0;
+  }
+  records_since_snapshot_ = 0;
+  last_snapshot_lsn_ = lsn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // The snapshot *is* the durable copy of every record it covers, so it
+    // doubles as a group commit for any ack still waiting below `lsn`.
+    durable_lsn_ = std::max(durable_lsn_, lsn);
+    ++stats_.snapshots;
+  }
+  if (opts_.counters != nullptr) {
+    opts_.counters->snapshots.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+
+  retain_snapshots(dir_, opts_.snapshot_retain);
+  trim_segments();
+}
+
+void SessionLog::mark_clean(
+    const dynamic::EdgeStore& store, const std::vector<graph::EdgeId>& forest,
+    const std::vector<std::pair<std::string, std::uint64_t>>& idem) {
+  if (last_lsn_.load(std::memory_order_acquire) > last_snapshot_lsn_) {
+    write_snapshot(store, forest, idem);
+  }
+  const std::string marker = dir_ + "/" + kCleanMarker;
+  const int fd = ::open(marker.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) sys_fail("cannot create clean marker", marker);
+  const std::string text = std::to_string(last_snapshot_lsn_) + "\n";
+  write_all(fd, text.data(), text.size(), marker);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    sys_fail("fsync clean marker", marker);
+  }
+  ::close(fd);
+  fsync_dir(dir_);
+}
+
+std::uint64_t SessionLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_lsn_;
+}
+
+SessionLog::Stats SessionLog::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void SessionLog::trim_segments() {
+  const std::vector<std::uint64_t> snaps = list_snapshots(dir_);
+  if (snaps.empty()) return;
+  const std::uint64_t oldest = snaps.back();  // list is newest-first
+  const std::vector<std::uint64_t> bases = list_segments(dir_);
+  // Keep the newest segment starting at or before oldest+1 (it holds the
+  // oldest retained snapshot's first tail record) and everything after it.
+  std::size_t keep_from = 0;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    if (bases[i] <= oldest + 1) keep_from = i;
+  }
+  for (std::size_t i = 0; i < keep_from; ++i) {
+    std::error_code ec;
+    fs::remove(wal_path(dir_, bases[i]), ec);
+  }
+}
+
+}  // namespace smp::persist

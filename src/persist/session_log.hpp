@@ -1,0 +1,180 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dynamic/edge_store.hpp"
+#include "graph/types.hpp"
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
+
+namespace smp::persist {
+
+/// Process-wide persistence counters many SessionLogs can feed (relaxed
+/// atomics; the serving metrics registry embeds one).
+struct PersistCounters {
+  std::atomic<std::uint64_t> wal_appends{0};
+  std::atomic<std::uint64_t> wal_bytes{0};
+  std::atomic<std::uint64_t> fsyncs{0};
+  std::atomic<std::uint64_t> snapshots{0};
+};
+
+struct SessionLogOptions {
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+  /// Group-commit window for FsyncPolicy::kInterval: the flusher thread
+  /// issues at most one fdatasync per interval, and every ack waits for the
+  /// fsync covering its LSN.  5 ms keeps ack latency bounded while letting
+  /// one fsync absorb every batch committed in the window.
+  double fsync_interval_s = 0.005;
+  /// Snapshot (and rotate the WAL) once the active segment exceeds this.
+  std::uint64_t snapshot_wal_bytes = 64ull << 20;
+  /// Additionally snapshot every N logged records (0 = size-based only).
+  std::uint64_t snapshot_every_records = 0;
+  /// Snapshot generations to keep; WAL segments older than the oldest
+  /// retained generation are deleted with it.  Clamped to >= 1.
+  int snapshot_retain = 2;
+  /// Optional shared counters, bumped alongside the per-log stats().
+  PersistCounters* counters = nullptr;
+};
+
+/// What recovery found in a session directory.  `store` + `forest` + `idem`
+/// come from the newest loadable snapshot (identity state when none —
+/// `have_snapshot` false — which only happens for a brand-new directory);
+/// `tail` holds the WAL records past the snapshot, in LSN order, still to be
+/// replayed through DynamicMsf::apply_batch.
+struct RecoveredState {
+  bool have_snapshot = false;
+  std::uint64_t snapshot_lsn = 0;
+  dynamic::EdgeStore store;
+  std::vector<graph::EdgeId> forest;
+  std::vector<std::pair<std::string, std::uint64_t>> idem;
+  std::vector<WalRecord> tail;
+  /// Clean-shutdown marker matched the newest snapshot and the tail is
+  /// empty: replay (and the replay solve) can be skipped entirely.
+  bool clean = false;
+  /// A torn trailing record was found and truncated (crash mid-append).
+  bool torn_tail_truncated = false;
+  /// Non-fatal recovery events (an unloadable snapshot generation that was
+  /// skipped and deleted, a stale marker) — surfaced in server logs.
+  std::vector<std::string> warnings;
+};
+
+/// Durable write-ahead log + snapshot manager for ONE session directory.
+///
+/// Layout of `<dir>`:
+///
+///   snap-<16 hex lsn>.snap   snapshot generations (see snapshot.hpp)
+///   wal-<16 hex lsn>.log     WAL segments; the name is the LSN of the first
+///                            record the segment may hold (= the LSN of the
+///                            snapshot that rotated it into existence, + 1)
+///   CLEAN                    clean-shutdown marker (decimal snapshot LSN)
+///
+/// The constructor *is* recovery: it picks the newest loadable snapshot,
+/// chain-validates every WAL segment past it (LSN-continuous, CRC-intact),
+/// truncates a torn tail on the final segment, refuses mid-log corruption
+/// with a diagnostic, and reopens the final segment for appending.
+///
+/// Threading: append / write_snapshot / mark_clean / snapshot_due must be
+/// called from one thread at a time (the session's flush thread — the
+/// serving layer already serializes them).  wait_durable, durable_lsn and
+/// stats are safe from any thread; FsyncPolicy::kInterval runs a private
+/// flusher thread.
+class SessionLog {
+ public:
+  /// Recovers `dir` (created if absent) into `*out` and opens the log.
+  /// Throws Error{kInvalidInput} on corruption recovery must not guess past.
+  SessionLog(std::string dir, SessionLogOptions opts, RecoveredState* out);
+  ~SessionLog();
+  SessionLog(const SessionLog&) = delete;
+  SessionLog& operator=(const SessionLog&) = delete;
+
+  /// Appends one record (rec.lsn is assigned here), returning its LSN.  The
+  /// write is in the page cache on return; durability is wait_durable's job.
+  /// Crash points: persist.pre_append, persist.mid_append (frame half
+  /// written), persist.post_append (written, not yet fsynced).
+  std::uint64_t append(WalRecord rec);
+
+  /// Blocks until `lsn` is durable under the configured policy (kAlways:
+  /// already durable; kInterval: waits for the covering group fsync; kNone:
+  /// returns immediately).  Crash point persist.pre_ack fires on the way
+  /// out — durable on disk, caller not yet told.
+  void wait_durable(std::uint64_t lsn);
+
+  /// True when enough WAL accumulated since the last snapshot that the next
+  /// quiescent moment should snapshot (size or record-count trigger).
+  [[nodiscard]] bool snapshot_due() const;
+
+  /// Writes a snapshot of the given session state at last_lsn(), rotates to
+  /// a fresh WAL segment, applies snapshot retention and deletes WAL
+  /// segments no retained generation needs.  The caller guarantees `store`/
+  /// `forest` reflect every record up to last_lsn() applied.
+  void write_snapshot(
+      const dynamic::EdgeStore& store,
+      const std::vector<graph::EdgeId>& forest,
+      const std::vector<std::pair<std::string, std::uint64_t>>& idem);
+
+  /// Graceful-shutdown epilogue: snapshots any unsnapshotted tail, then
+  /// writes the CLEAN marker so the next startup can skip replay.  The
+  /// marker is deleted (by recovery) the moment the directory is reopened.
+  void mark_clean(
+      const dynamic::EdgeStore& store,
+      const std::vector<graph::EdgeId>& forest,
+      const std::vector<std::pair<std::string, std::uint64_t>>& idem);
+
+  [[nodiscard]] std::uint64_t last_lsn() const {
+    return last_lsn_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t durable_lsn() const;
+  [[nodiscard]] std::uint64_t last_snapshot_lsn() const {
+    return last_snapshot_lsn_;
+  }
+  [[nodiscard]] FsyncPolicy policy() const { return opts_.fsync; }
+
+  struct Stats {
+    std::uint64_t appends = 0;
+    std::uint64_t append_bytes = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t snapshots = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void open_segment(std::uint64_t base);
+  /// fdatasync the active segment and advance durable_lsn_ to everything
+  /// appended before the call.
+  void fsync_now();
+  void flusher_main();
+  /// Deletes WAL segments entirely covered by the oldest retained snapshot.
+  void trim_segments();
+
+  std::string dir_;
+  SessionLogOptions opts_;
+
+  // Owned by the appending thread.
+  std::uint64_t segment_base_ = 1;
+  std::uint64_t segment_bytes_ = 0;
+  std::uint64_t records_since_snapshot_ = 0;
+  std::uint64_t last_snapshot_lsn_ = 0;
+
+  std::atomic<std::uint64_t> last_lsn_{0};
+
+  /// Serializes fdatasync against segment rotation's close/swap of fd_.
+  /// Lock order where both are held: fsync_mu_ before mu_.
+  std::mutex fsync_mu_;
+  int fd_ = -1;  ///< active segment; guarded by fsync_mu_ for the swap
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t durable_lsn_ = 0;
+  bool stop_ = false;
+  Stats stats_;
+  std::thread flusher_;
+};
+
+}  // namespace smp::persist

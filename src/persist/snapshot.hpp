@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dynamic/edge_store.hpp"
+#include "graph/types.hpp"
+
+namespace smp::persist {
+
+/// Everything a snapshot file captures: the commit LSN it is consistent
+/// with, the full EdgeStore (live + tombstoned slots, so store ids are
+/// stable across the round trip), the committed forest, and the session's
+/// idempotency-id window (oldest first) so deduplication survives restarts.
+struct SnapshotBody {
+  std::uint64_t lsn = 0;
+  dynamic::EdgeStore store;
+  std::vector<graph::EdgeId> forest;
+  std::vector<std::pair<std::string, std::uint64_t>> idem;
+};
+
+/// File layout:
+///
+///   "SMPSNAP1"  u64 lsn
+///   EdgeStore::serialize bytes
+///   u64 n_forest  n_forest * (u64 id)
+///   u32 n_idem    n_idem * (u16 len, bytes, u64 lsn)
+///   trailer: u32 crc32c(everything above)  u32 0x50414E53 ("SNAP")
+///
+/// The trailer makes "file complete and intact" a single check: a crash mid
+/// write leaves either no file (we write to snap-*.tmp first) or a .tmp the
+/// loader never considers; a flipped bit fails the CRC.
+
+[[nodiscard]] std::string snapshot_path(const std::string& dir,
+                                        std::uint64_t lsn);
+
+/// Serializes a snapshot to `snapshot_path(dir, lsn)` via tmp file, fsync,
+/// atomic rename, directory fsync.  Fault points `persist.mid_snapshot`
+/// (half the body written) and `persist.mid_rename` (tmp durable, final
+/// name absent) mark the crash windows the chaos harness drills.
+void write_snapshot_file(
+    const std::string& dir, std::uint64_t lsn, const dynamic::EdgeStore& store,
+    const std::vector<graph::EdgeId>& forest,
+    const std::vector<std::pair<std::string, std::uint64_t>>& idem);
+
+/// Loads + fully validates one snapshot file.  Throws Error{kInvalidInput}
+/// on a missing, truncated, or checksum-failing file.
+[[nodiscard]] SnapshotBody load_snapshot_file(const std::string& path);
+
+/// LSNs of the snapshot generations present in `dir`, newest first.
+[[nodiscard]] std::vector<std::uint64_t> list_snapshots(const std::string& dir);
+
+/// Unlinks all but the newest `keep` snapshot generations, plus any stale
+/// snap-*.tmp leftovers from interrupted writes.
+void retain_snapshots(const std::string& dir, int keep);
+
+}  // namespace smp::persist

@@ -16,6 +16,9 @@ namespace smp {
 enum class FaultKind {
   kBadAlloc,      ///< std::bad_alloc — simulates allocation failure
   kRuntimeError,  ///< std::runtime_error — simulates a logic fault
+  kCrash,         ///< std::_Exit(137) — simulates kill -9 at the point (no
+                  ///< destructors, no atexit, no buffered-IO flush), the
+                  ///< primitive under the crash-point chaos harness
 };
 
 /// Deterministic fault injection for tests.
@@ -122,6 +125,8 @@ class FaultInjector {
         throw std::bad_alloc();
       case FaultKind::kRuntimeError:
         throw std::runtime_error("injected fault at " + found->name);
+      case FaultKind::kCrash:
+        std::_Exit(137);  // the same exit a SIGKILLed process reports
     }
   }
 };

@@ -57,6 +57,16 @@ std::string MetricsRegistry::to_json(std::size_t queue_capacity,
                 u64(deadline_exceeded), u64(solver_repairs), u64(compactions),
                 u64(slots_reclaimed));
   json += buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"persist\": {\"wal_appends\": %" PRIu64
+                ", \"wal_bytes\": %" PRIu64 ", \"fsyncs\": %" PRIu64
+                ", \"snapshots\": %" PRIu64 ", \"recoveries\": %" PRIu64
+                ", \"replayed_records\": %" PRIu64 ", \"dedup_hits\": %" PRIu64
+                "}",
+                u64(persist.wal_appends), u64(persist.wal_bytes),
+                u64(persist.fsyncs), u64(persist.snapshots), u64(recoveries),
+                u64(replayed_records), u64(dedup_hits));
+  json += buf;
   json += ", \"ops\": {";
   bool first = true;
   for (int i = 0; i < kNumOps; ++i) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "persist/session_log.hpp"
 #include "pprim/histogram.hpp"
 #include "serve/request.hpp"
 
@@ -50,6 +51,15 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> compactions{0};
   std::atomic<std::uint64_t> slots_reclaimed{0};
 
+  // --- durability ---
+  /// WAL append/fsync/snapshot counters, fed directly by the SessionLogs.
+  persist::PersistCounters persist;
+  /// Sessions restored from disk at startup and WAL records replayed.
+  std::atomic<std::uint64_t> recoveries{0};
+  std::atomic<std::uint64_t> replayed_records{0};
+  /// Writes answered from the idempotency window instead of re-applying.
+  std::atomic<std::uint64_t> dedup_hits{0};
+
   std::array<OpMetrics, kNumOps> ops;
 
   OpMetrics& op(Op o) { return ops[static_cast<std::size_t>(o)]; }
@@ -90,6 +100,13 @@ class MetricsRegistry {
     solver_repairs.store(0, std::memory_order_relaxed);
     compactions.store(0, std::memory_order_relaxed);
     slots_reclaimed.store(0, std::memory_order_relaxed);
+    persist.wal_appends.store(0, std::memory_order_relaxed);
+    persist.wal_bytes.store(0, std::memory_order_relaxed);
+    persist.fsyncs.store(0, std::memory_order_relaxed);
+    persist.snapshots.store(0, std::memory_order_relaxed);
+    recoveries.store(0, std::memory_order_relaxed);
+    replayed_records.store(0, std::memory_order_relaxed);
+    dedup_hits.store(0, std::memory_order_relaxed);
     for (OpMetrics& m : ops) {
       m.latency_us.reset();
       m.completed.store(0, std::memory_order_relaxed);

@@ -129,6 +129,10 @@ WireRequest parse_line(const std::string& line) {
     wr.req.op = Op::kList;
   } else if (verb == "stats") {
     wr.req.op = Op::kStats;
+  } else if (verb == "health") {
+    wr.req.op = Op::kHealth;
+    if (toks.size() > 2) bad("usage: health [NAME]");
+    if (toks.size() == 2) wr.req.session = toks[1];
   } else if (verb == "open") {
     wr.req.op = Op::kOpen;
     wr.req.session = need_session(toks);
@@ -174,6 +178,7 @@ WireRequest parse_line(const std::string& line) {
   } else if (verb == "insert") {
     wr.req.op = Op::kInsert;
     wr.req.session = need_session(toks);
+    consume_option(toks, "id", &wr.req.idem_id);
     if (toks.size() < 5 || (toks.size() - 2) % 3 != 0) {
       bad("usage: insert NAME U V W [U V W ...]");
     }
@@ -187,6 +192,7 @@ WireRequest parse_line(const std::string& line) {
   } else if (verb == "delete") {
     wr.req.op = Op::kDelete;
     wr.req.session = need_session(toks);
+    consume_option(toks, "id", &wr.req.idem_id);
     if (toks.size() < 4 || (toks.size() - 2) % 2 != 0) {
       bad("usage: delete NAME U V [U V ...]");
     }
@@ -238,10 +244,22 @@ std::string render_response(Op op, const Response& r) {
     }
     case Op::kStats:
       return "ok\n" + r.stats_json + "\n.\n";
+    case Op::kHealth: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3f", r.uptime_s);
+      return "ok queue=" + std::to_string(r.health_queue_depth) +
+             " sessions=" + std::to_string(r.health_sessions) +
+             " lsn=" + std::to_string(r.lsn) + " uptime_s=" + buf + "\n";
+    }
     case Op::kInsert:
     case Op::kDelete: {
       std::string out = "ok applied=1 coalesced=" + std::to_string(r.coalesced);
       append_forest_facts(out, r);
+      // Durability/idempotency fields only appear when set, so responses
+      // from a persistence-free service render exactly as before.
+      if (r.dedup) out += " dedup=1";
+      if (r.lsn != 0) out += " lsn=" + std::to_string(r.lsn);
+      if (!r.idem_id.empty()) out += " id=" + r.idem_id;
       return out + "\n";
     }
     case Op::kRecompute: {
@@ -252,6 +270,7 @@ std::string render_response(Op op, const Response& r) {
     case Op::kCompact: {
       std::string out = "ok applied=1 remapped=" + std::to_string(r.remapped);
       append_forest_facts(out, r);
+      if (r.lsn != 0) out += " lsn=" + std::to_string(r.lsn);
       return out + "\n";
     }
     case Op::kOpen:

@@ -30,8 +30,9 @@ enum class Op : int {
   kCompact,      ///< drop tombstoned store slots
   kStats,        ///< metrics dump as JSON
   kSnapshot,     ///< in-process only: atomic live-graph + forest snapshot
+  kHealth,       ///< liveness probe: queue depth, sessions, LSN, uptime
 };
-inline constexpr int kNumOps = static_cast<int>(Op::kSnapshot) + 1;
+inline constexpr int kNumOps = static_cast<int>(Op::kHealth) + 1;
 
 [[nodiscard]] constexpr std::string_view to_string(Op op) {
   switch (op) {
@@ -61,6 +62,8 @@ inline constexpr int kNumOps = static_cast<int>(Op::kSnapshot) + 1;
       return "stats";
     case Op::kSnapshot:
       return "snapshot";
+    case Op::kHealth:
+      return "health";
   }
   return "?";
 }
@@ -128,6 +131,10 @@ struct Request {
   // kForestEdges: cap on returned edges (0 = all).
   std::size_t limit = 0;
   double deadline_s = 0;
+  /// kInsert / kDelete: optional client idempotency id.  A retried write
+  /// carrying the id of an already-committed one is answered from the
+  /// committed state instead of being applied twice (see Response::dedup).
+  std::string idem_id;
 };
 
 /// In-process snapshot payload (kSnapshot): the live graph, its store ids,
@@ -163,6 +170,17 @@ struct Response {
   std::vector<std::string> sessions;  // kList
   std::string stats_json;             // kStats
   std::shared_ptr<SnapshotData> snapshot;  // kSnapshot
+  // Durability (writes, when the service runs with a data dir): the commit
+  // LSN the mutation is logged under (0 = persistence off), whether this
+  // request deduplicated against an already-committed idempotency id, and
+  // the echoed id so retrying clients can match responses to requests.
+  std::uint64_t lsn = 0;
+  bool dedup = false;
+  std::string idem_id;
+  // kHealth.
+  std::uint64_t health_queue_depth = 0;
+  std::size_t health_sessions = 0;
+  double uptime_s = 0;
 
   [[nodiscard]] bool ok() const { return status == Status::kOk; }
 };

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <deque>
 #include <exception>
+#include <filesystem>
 #include <future>
 #include <optional>
 #include <shared_mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -42,6 +45,20 @@ struct Session {
   std::mutex cc_mu;
   std::uint64_t cc_version = ~std::uint64_t{0};
   core::CcResult cc;
+
+  // --- durability (log is null when the service runs without a data dir).
+  // All SessionLog mutations (append / snapshot / mark_clean) happen under
+  // the exclusive state lock; only wait_durable runs unlocked, so reads
+  // never block on an fsync. ---
+  std::unique_ptr<persist::SessionLog> log;
+  std::atomic<bool> dropped{false};  ///< directory is being deleted
+  std::atomic<std::uint64_t> committed_lsn{0};
+  bool log_broken = false;  ///< an append failed; serve on, stop logging
+  /// Idempotency window: id -> commit LSN, FIFO-bounded.  Guarded by the
+  /// exclusive state lock (single active flusher; recovery runs before
+  /// serving starts).
+  std::unordered_map<std::string, std::uint64_t> idem;
+  std::deque<std::string> idem_fifo;
 };
 
 namespace {
@@ -72,6 +89,14 @@ Status status_of(const Error& e) {
 
 bool valid_session_name(const std::string& name) {
   if (name.empty() || name.size() > 64) return false;
+  // Session names double as directory names under the data dir: "." and
+  // ".." would escape it, and the ".dropping" suffix is reserved for
+  // half-deleted directories startup recovery sweeps away.
+  if (name == "." || name == "..") return false;
+  if (name.size() >= 9 &&
+      name.compare(name.size() - 9, 9, ".dropping") == 0) {
+    return false;
+  }
   for (const char c : name) {
     if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
         c != '-' && c != '.') {
@@ -79,6 +104,35 @@ bool valid_session_name(const std::string& name) {
     }
   }
   return true;
+}
+
+/// Bound on remembered idempotency ids per session; old ids age out FIFO.
+constexpr std::size_t kIdemWindow = 65536;
+
+void register_idem(Session& s, std::string id, std::uint64_t lsn) {
+  if (id.empty()) return;
+  const auto [it, inserted] = s.idem.emplace(std::move(id), lsn);
+  if (!inserted) {
+    it->second = lsn;
+    return;
+  }
+  s.idem_fifo.push_back(it->first);
+  while (s.idem_fifo.size() > kIdemWindow) {
+    s.idem.erase(s.idem_fifo.front());
+    s.idem_fifo.pop_front();
+  }
+}
+
+/// The idempotency window as snapshot payload, oldest first.
+std::vector<std::pair<std::string, std::uint64_t>> idem_window(
+    const Session& s) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(s.idem_fifo.size());
+  for (const std::string& id : s.idem_fifo) {
+    const auto it = s.idem.find(id);
+    if (it != s.idem.end()) out.emplace_back(it->first, it->second);
+  }
+  return out;
 }
 
 void fill_forest_facts(Response& r, const dynamic::DynamicMsf& m) {
@@ -100,6 +154,8 @@ ServeOptions normalize(ServeOptions opts) {
   // Per-request budgets are installed by the dispatcher; a caller-supplied
   // one would dangle across requests.
   opts.msf.budget = nullptr;
+  if (opts.fsync_interval_s <= 0) opts.fsync_interval_s = 0.005;
+  opts.snapshot_retain = std::max(1, opts.snapshot_retain);
   return opts;
 }
 
@@ -110,6 +166,9 @@ ServiceCore::ServiceCore(ServeOptions opts)
       solver_team_(opts_.msf.threads),
       started_(Clock::now()),
       queue_(opts_.queue_capacity) {
+  // Recovery happens before the first dispatcher exists, so every restored
+  // session is fully replayed before any request can observe it.
+  if (!opts_.data_dir.empty()) recover_sessions();
   dispatchers_.reserve(static_cast<std::size_t>(opts_.dispatchers));
   for (int i = 0; i < opts_.dispatchers; ++i) {
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
@@ -123,6 +182,24 @@ void ServiceCore::shutdown() {
     stopping_.store(true, std::memory_order_release);
     queue_.close();  // admitted requests still drain
     for (auto& t : dispatchers_) t.join();
+    if (!opts_.data_dir.empty() && opts_.clean_shutdown) {
+      // Graceful drain: every write is flushed and logged, so a final
+      // snapshot + CLEAN marker lets the next startup skip replay.
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      for (auto& [name, s] : sessions_) {
+        if (!s->ready.load(std::memory_order_acquire) || s->log == nullptr ||
+            s->log_broken || s->dropped.load(std::memory_order_acquire)) {
+          continue;
+        }
+        std::unique_lock<std::shared_mutex> state(s->state_mu);
+        try {
+          s->log->mark_clean(s->msf->store(), s->msf->forest_edge_ids(),
+                             idem_window(*s));
+        } catch (...) {
+          // Best effort: without the marker the next start replays the WAL.
+        }
+      }
+    }
   });
 }
 
@@ -219,6 +296,9 @@ void ServiceCore::execute(QueuedRequest qr) {
       case Op::kList:
         finish(qr, do_list());
         return;
+      case Op::kHealth:
+        finish(qr, do_health(qr.req));
+        return;
       default:
         break;
     }
@@ -301,6 +381,30 @@ Response ServiceCore::do_open(const Request& req) {
     drop_placeholder();
     return make_error(Status::kInvalidInput, e.what());
   }
+  if (!opts_.data_dir.empty()) {
+    const std::string dir = session_dir(req.session);
+    try {
+      persist::RecoveredState st;
+      session->log = std::make_unique<persist::SessionLog>(dir, log_options(),
+                                                           &st);
+      if (st.have_snapshot || !st.tail.empty()) {
+        // Unreachable after a correct recovery pass, but never overwrite
+        // durable state that a fresh open did not create.
+        throw Error(ErrorCode::kInvalidInput,
+                    "directory '" + dir + "' already holds durable state");
+      }
+      // Initial snapshot at LSN 0: recovery reads the vertex count (and any
+      // file-loaded edges) from it, so it must exist before open is acked.
+      session->log->write_snapshot(session->msf->store(),
+                                   session->msf->forest_edge_ids(), {});
+    } catch (const Error& e) {
+      session->log.reset();
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      drop_placeholder();
+      return make_error(status_of(e), e.what());
+    }
+  }
   session->ready.store(true, std::memory_order_release);
   Response r;
   fill_forest_facts(r, *session->msf);
@@ -308,16 +412,32 @@ Response ServiceCore::do_open(const Request& req) {
 }
 
 Response ServiceCore::do_drop(const Request& req) {
-  std::lock_guard<std::mutex> lk(sessions_mu_);
-  const auto it = sessions_.find(req.session);
-  if (it == sessions_.end() ||
-      !it->second->ready.load(std::memory_order_acquire)) {
-    return make_error(Status::kNotFound,
-                      "no session named '" + req.session + "'");
+  std::shared_ptr<Session> victim;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    const auto it = sessions_.find(req.session);
+    if (it == sessions_.end() ||
+        !it->second->ready.load(std::memory_order_acquire)) {
+      return make_error(Status::kNotFound,
+                        "no session named '" + req.session + "'");
+    }
+    // In-flight requests hold their own shared_ptr and finish against the
+    // detached session; new lookups fail from here on.
+    victim = it->second;
+    sessions_.erase(it);
   }
-  // In-flight requests hold their own shared_ptr and finish against the
-  // detached session; new lookups fail from here on.
-  sessions_.erase(it);
+  if (victim->log != nullptr) {
+    // Atomic-rename the directory out of the namespace first: a crash
+    // mid-delete leaves a '<name>.dropping' husk recovery sweeps, never a
+    // half-valid session.  Open fds inside keep working (writes land in
+    // unlinked inodes), so a straggling flusher is harmless.
+    victim->dropped.store(true, std::memory_order_release);
+    const std::string dir = session_dir(req.session);
+    const std::string doomed = dir + ".dropping";
+    std::error_code ec;
+    std::filesystem::rename(dir, doomed, ec);
+    if (!ec) std::filesystem::remove_all(doomed, ec);
+  }
   return Response{};
 }
 
@@ -327,6 +447,32 @@ Response ServiceCore::do_list() {
   for (const auto& [name, s] : sessions_) {
     if (s->ready.load(std::memory_order_acquire)) r.sessions.push_back(name);
   }
+  return r;
+}
+
+Response ServiceCore::do_health(const Request& req) {
+  Response r;
+  r.health_queue_depth = queue_.size();
+  r.uptime_s = std::chrono::duration<double>(Clock::now() - started_).count();
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  std::uint64_t lsn = 0;
+  std::size_t count = 0;
+  for (const auto& [name, s] : sessions_) {
+    if (!s->ready.load(std::memory_order_acquire)) continue;
+    ++count;
+    lsn = std::max(lsn, s->committed_lsn.load(std::memory_order_relaxed));
+  }
+  if (!req.session.empty()) {
+    const auto it = sessions_.find(req.session);
+    if (it == sessions_.end() ||
+        !it->second->ready.load(std::memory_order_acquire)) {
+      return make_error(Status::kNotFound,
+                        "no session named '" + req.session + "'");
+    }
+    lsn = it->second->committed_lsn.load(std::memory_order_relaxed);
+  }
+  r.health_sessions = count;
+  r.lsn = lsn;
   return r;
 }
 
@@ -423,10 +569,16 @@ Response ServiceCore::do_compact(Session& s) {
   const std::size_t after = s.msf->store().size();
   metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
   metrics_.slots_reclaimed.fetch_add(before - after, std::memory_order_relaxed);
+  // Compaction renumbers store ids, which every later WAL record names —
+  // replay must reproduce the renumbering at exactly this point.
+  const std::uint64_t lsn = log_compact_record(s);
   Response r;
   fill_forest_facts(r, *s.msf);
   r.remapped = after;
   r.applied = true;
+  r.lsn = lsn;
+  lk.unlock();
+  if (lsn != 0) s.log->wait_durable(lsn);
   return r;
 }
 
@@ -443,6 +595,9 @@ void ServiceCore::maybe_compact(Session& s) {
   metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
   metrics_.slots_reclaimed.fetch_add(slots - s.msf->store().size(),
                                      std::memory_order_relaxed);
+  // Logged but not awaited: auto-compaction is not separately acked, and
+  // any later acked write has a higher LSN, whose fsync covers this record.
+  log_compact_record(s);
 }
 
 void ServiceCore::enqueue_write(const std::shared_ptr<Session>& s,
@@ -486,6 +641,8 @@ void ServiceCore::flush_writes(Session& s) {
       std::vector<std::size_t> members;
       std::vector<WEdge> ins;
       std::vector<EdgeId> del;
+      std::vector<std::string> group_idem;
+      std::unordered_set<std::string> group_idem_set;
       std::unordered_set<std::uint64_t> ins_pairs;
       std::unordered_set<EdgeId> del_ids;
       auto earliest = kNoDeadline;
@@ -501,6 +658,34 @@ void ServiceCore::flush_writes(Session& s) {
           finish(w, std::move(r));
           ++i;
           continue;
+        }
+        if (!w.req.idem_id.empty()) {
+          const auto hit = s.idem.find(w.req.idem_id);
+          if (hit != s.idem.end()) {
+            // A retry of a write that already committed (the ack was lost in
+            // transit): answer from the idempotency window instead of
+            // re-applying, echoing the original commit LSN.  The original
+            // ack already waited for durability, so no wait here.
+            metrics_.dedup_hits.fetch_add(1, std::memory_order_relaxed);
+            Response r;
+            fill_forest_facts(r, *s.msf);
+            r.applied = true;
+            r.coalesced = 1;
+            r.dedup = true;
+            r.lsn = hit->second;
+            r.idem_id = w.req.idem_id;
+            finish(w, std::move(r));
+            ++i;
+            continue;
+          }
+          if (group_idem_set.count(w.req.idem_id) != 0) {
+            // Same id twice in one group (an eager retry caught up with the
+            // original): cut the group here; once it commits and registers
+            // its ids, the retry dedups on the next pass.
+            metrics_.coalesce_conflicts.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            break;
+          }
         }
         if (w.req.op == Op::kInsert) {
           bool bad = false;
@@ -518,6 +703,10 @@ void ServiceCore::flush_writes(Session& s) {
             for (const WEdge& e : w.req.insertions) {
               ins.push_back(e);
               ins_pairs.insert(pair_key(e.u, e.v));
+            }
+            if (!w.req.idem_id.empty()) {
+              group_idem.push_back(w.req.idem_id);
+              group_idem_set.insert(w.req.idem_id);
             }
             if (w.deadline < earliest) earliest = w.deadline;
           }
@@ -570,6 +759,10 @@ void ServiceCore::flush_writes(Session& s) {
           del.push_back(id);
           del_ids.insert(id);
         }
+        if (!w.req.idem_id.empty()) {
+          group_idem.push_back(w.req.idem_id);
+          group_idem_set.insert(w.req.idem_id);
+        }
         if (w.deadline < earliest) earliest = w.deadline;
         ++i;
       }
@@ -596,13 +789,33 @@ void ServiceCore::flush_writes(Session& s) {
         metrics_.coalesced_writes.fetch_add(members.size(),
                                             std::memory_order_relaxed);
         metrics_.coalesce_size.record(members.size());
+        // Commit: one WAL record for the whole group, appended under the
+        // same exclusive lock as the mutation so log order == store order.
+        const std::uint64_t lsn = log_applied_group(
+            s, std::move(ins), std::move(del), std::move(group_idem));
+        // Compact before the ack goes out so a reader that sees the write
+        // response also sees the post-compaction store (and a due snapshot
+        // below captures the compacted, smaller store).
+        maybe_compact(s);
         Response base;
         fill_forest_facts(base, *s.msf);
         base.applied = true;
         base.coalesced = members.size();
-        for (const std::size_t idx : members) {
-          finish(batch[idx], Response(base));
+        base.lsn = lsn;
+        if (s.log != nullptr && s.log->snapshot_due()) {
+          snapshot_session_locked(s);
         }
+        // Acks only after the commit LSN is durable.  Only the wait runs
+        // unlocked — reads proceed, the pending list refills behind us, and
+        // no other flusher can exist while s.flushing is set.
+        state.unlock();
+        if (lsn != 0) s.log->wait_durable(lsn);
+        for (const std::size_t idx : members) {
+          Response r(base);
+          r.idem_id = batch[idx].req.idem_id;
+          finish(batch[idx], std::move(r));
+        }
+        state.lock();
       } catch (const Error& e) {
         s.msf->set_budget(nullptr);
         const Status st = status_of(e);
@@ -613,28 +826,255 @@ void ServiceCore::flush_writes(Session& s) {
           }
         } else {
           // Mid-solve failure (deadline/cancel/OOM): the store mutations
-          // are in, the forest is stale.  Repair with an unbudgeted
-          // recompute so later requests see a correct forest — the failed
-          // deadline must not poison the session.
+          // are in, the forest is stale.  The mutation still happened, so
+          // it is logged like a success (replay must reproduce the store);
+          // then repair with an unbudgeted recompute so later requests see
+          // a correct forest — the failed deadline must not poison the
+          // session.
+          const std::uint64_t lsn = log_applied_group(
+              s, std::move(ins), std::move(del), std::move(group_idem));
           repair_after_failed_apply(s);
+          maybe_compact(s);
           Response r = make_error(st, e.what());
           r.applied = true;
           r.coalesced = members.size();
+          r.lsn = lsn;
+          state.unlock();
+          if (lsn != 0) s.log->wait_durable(lsn);
           for (const std::size_t idx : members) {
-            finish(batch[idx], Response(r));
+            Response resp(r);
+            resp.idem_id = batch[idx].req.idem_id;
+            finish(batch[idx], std::move(resp));
           }
+          state.lock();
         }
       } catch (const std::exception& e) {
         s.msf->set_budget(nullptr);
+        const std::uint64_t lsn = log_applied_group(
+            s, std::move(ins), std::move(del), std::move(group_idem));
         repair_after_failed_apply(s);
+        maybe_compact(s);
         Response r = make_error(Status::kInternal, e.what());
         r.applied = true;
+        r.lsn = lsn;
+        state.unlock();
+        if (lsn != 0) s.log->wait_durable(lsn);
         for (const std::size_t idx : members) {
-          finish(batch[idx], Response(r));
+          Response resp(r);
+          resp.idem_id = batch[idx].req.idem_id;
+          finish(batch[idx], std::move(resp));
         }
+        state.lock();
       }
     }
-    maybe_compact(s);
+  }
+}
+
+persist::SessionLogOptions ServiceCore::log_options() {
+  persist::SessionLogOptions lo;
+  lo.fsync = opts_.fsync;
+  lo.fsync_interval_s = opts_.fsync_interval_s;
+  lo.snapshot_wal_bytes = opts_.snapshot_wal_bytes;
+  lo.snapshot_every_records = opts_.snapshot_every_records;
+  lo.snapshot_retain = opts_.snapshot_retain;
+  lo.counters = &metrics_.persist;
+  return lo;
+}
+
+std::string ServiceCore::session_dir(const std::string& name) const {
+  return opts_.data_dir + "/" + name;
+}
+
+void ServiceCore::recover_sessions() {
+  namespace fs = std::filesystem;
+  fs::create_directories(opts_.data_dir);
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(opts_.data_dir)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() >= 9 &&
+        name.compare(name.size() - 9, 9, ".dropping") == 0) {
+      // A drop that died between rename and remove: finish it.
+      std::error_code ec;
+      fs::remove_all(entry.path(), ec);
+      recovery_notes_.push_back("removed interrupted drop '" + name + "'");
+      continue;
+    }
+    if (!valid_session_name(name)) {
+      recovery_notes_.push_back("ignoring non-session entry '" + name + "'");
+      continue;
+    }
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+
+  for (const std::string& name : names) {
+    persist::RecoveredState st;
+    std::unique_ptr<persist::SessionLog> log;
+    try {
+      log = std::make_unique<persist::SessionLog>(session_dir(name),
+                                                  log_options(), &st);
+    } catch (const Error& e) {
+      throw Error(e.code(), "recovering session '" + name + "': " + e.what());
+    }
+    if (!st.have_snapshot) {
+      // open() crashed before the initial snapshot: the open was never
+      // acknowledged, so the session does not exist.  Remove the husk.
+      log.reset();
+      std::error_code ec;
+      fs::remove_all(session_dir(name), ec);
+      recovery_notes_.push_back("removed half-opened session '" + name + "'");
+      continue;
+    }
+    for (const std::string& w : st.warnings) {
+      recovery_notes_.push_back("session '" + name + "': " + w);
+    }
+
+    auto session = std::make_shared<Session>();
+    session->name = name;
+    dynamic::DynamicMsfOptions dopts;
+    dopts.msf = opts_.msf;
+    dopts.team = &solver_team_;
+    const std::size_t tail_records = st.tail.size();
+    try {
+      session->msf = std::make_unique<dynamic::DynamicMsf>(
+          std::move(st.store), std::move(st.forest), dopts);
+      for (auto& [id, lsn] : st.idem) {
+        register_idem(*session, std::move(id), lsn);
+      }
+      session->log = std::move(log);
+      if (!st.tail.empty()) replay_tail(*session, std::move(st.tail));
+    } catch (const Error& e) {
+      throw Error(e.code(), "recovering session '" + name + "': " + e.what());
+    }
+    session->committed_lsn.store(session->log->last_lsn(),
+                                 std::memory_order_relaxed);
+    session->ready.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      sessions_.emplace(name, std::move(session));
+    }
+    metrics_.recoveries.fetch_add(1, std::memory_order_relaxed);
+    metrics_.replayed_records.fetch_add(tail_records,
+                                        std::memory_order_relaxed);
+    std::string note = "recovered session '" + name + "': snapshot lsn " +
+                       std::to_string(st.snapshot_lsn);
+    note += st.clean ? ", clean shutdown"
+                     : ", replayed " + std::to_string(tail_records) +
+                           " WAL records";
+    if (st.torn_tail_truncated) note += ", torn tail truncated";
+    recovery_notes_.push_back(std::move(note));
+  }
+}
+
+void ServiceCore::replay_tail(Session& s,
+                              std::vector<persist::WalRecord> tail) {
+  // Replay reuses the live path's coalescing: consecutive batch records
+  // merge into one apply_batch (one sparsified solve) until a record's
+  // deletion targets an id this group inserts, repeats a deletion, or a
+  // compact record intervenes — the same dependency cuts the flusher makes,
+  // so a 10^6-record tail costs a handful of solves, not 10^6.
+  std::size_t i = 0;
+  while (i < tail.size()) {
+    if (tail[i].compact) {
+      s.msf->compact_store();
+      ++i;
+      continue;
+    }
+    std::vector<WEdge> ins;
+    std::vector<EdgeId> del;
+    std::unordered_set<EdgeId> del_ids;
+    const EdgeId group_base = s.msf->store().size();
+    std::size_t j = i;
+    while (j < tail.size() && !tail[j].compact) {
+      bool cut = false;
+      for (const EdgeId id : tail[j].deletions) {
+        if (id >= group_base || del_ids.count(id) != 0) {
+          cut = true;
+          break;
+        }
+      }
+      // j == i cannot legitimately cut (a record's deletions always name
+      // pre-record ids); if a malformed log does, the record goes through
+      // alone and apply_batch rejects it with a clear diagnostic.
+      if (cut && j > i) break;
+      ins.insert(ins.end(), tail[j].insertions.begin(),
+                 tail[j].insertions.end());
+      for (const EdgeId id : tail[j].deletions) {
+        del.push_back(id);
+        del_ids.insert(id);
+      }
+      for (std::string& id : tail[j].idem_ids) {
+        register_idem(s, std::move(id), tail[j].lsn);
+      }
+      ++j;
+    }
+    {
+      std::lock_guard<std::mutex> solver(solver_mu_);
+      s.msf->apply_batch(ins, del);
+    }
+    ++s.version;
+    i = j;
+  }
+}
+
+std::uint64_t ServiceCore::log_applied_group(
+    Session& s, std::vector<WEdge> insertions, std::vector<EdgeId> deletions,
+    std::vector<std::string> idem_ids) {
+  std::uint64_t lsn = 0;
+  if (s.log != nullptr && !s.log_broken &&
+      !s.dropped.load(std::memory_order_acquire)) {
+    persist::WalRecord rec;
+    rec.insertions = std::move(insertions);
+    rec.deletions = std::move(deletions);
+    rec.idem_ids = idem_ids;
+    try {
+      lsn = s.log->append(std::move(rec));
+      s.committed_lsn.store(lsn, std::memory_order_relaxed);
+    } catch (...) {
+      // The mutation is applied in memory but could not be logged.  Any
+      // later append would leave a gap replay refuses to cross, so logging
+      // stops for this session: served state stays correct, durability
+      // degrades to the last good record, and responses carry lsn 0.
+      s.log_broken = true;
+      lsn = 0;
+    }
+  }
+  // Registered even without a log (persistence off, or just broken): the
+  // mutation IS applied, so a client retry must dedup either way.
+  for (std::string& id : idem_ids) register_idem(s, std::move(id), lsn);
+  return lsn;
+}
+
+std::uint64_t ServiceCore::log_compact_record(Session& s) {
+  if (s.log == nullptr || s.log_broken ||
+      s.dropped.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  persist::WalRecord rec;
+  rec.compact = true;
+  std::uint64_t lsn = 0;
+  try {
+    lsn = s.log->append(std::move(rec));
+  } catch (...) {
+    s.log_broken = true;
+    return 0;
+  }
+  s.committed_lsn.store(lsn, std::memory_order_relaxed);
+  return lsn;
+}
+
+void ServiceCore::snapshot_session_locked(Session& s) {
+  if (s.log == nullptr || s.log_broken ||
+      s.dropped.load(std::memory_order_acquire)) {
+    return;
+  }
+  try {
+    s.log->write_snapshot(s.msf->store(), s.msf->forest_edge_ids(),
+                          idem_window(s));
+  } catch (...) {
+    // Not fatal: the WAL still covers everything; the next due snapshot
+    // retries.
   }
 }
 

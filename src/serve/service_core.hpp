@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/msf.hpp"
+#include "persist/session_log.hpp"
 #include "pprim/thread_team.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
@@ -47,6 +48,27 @@ struct ServeOptions {
   /// live/slots < compact_live_ratio and slots >= compact_min_slots.
   double compact_live_ratio = 0.5;
   std::size_t compact_min_slots = 4096;
+
+  // --- durability (PR 6) ---
+  /// Root of the durable state: each session persists to
+  /// <data_dir>/<name>/ (WAL segments + snapshots, see persist/).  Empty
+  /// disables persistence entirely — the in-memory behavior every earlier
+  /// test relies on.  Opening the service recovers every session found
+  /// under the root before the first request is admitted; corruption that
+  /// recovery must not guess past makes the constructor throw.
+  std::string data_dir;
+  /// When an acknowledged write is actually on disk (see persist::FsyncPolicy).
+  persist::FsyncPolicy fsync = persist::FsyncPolicy::kInterval;
+  /// Group-commit window for fsync=interval, seconds.
+  double fsync_interval_s = 0.005;
+  /// Snapshot + WAL-rotation triggers and snapshot retention.
+  std::uint64_t snapshot_wal_bytes = 64ull << 20;
+  std::uint64_t snapshot_every_records = 0;  ///< 0 = size-based only
+  int snapshot_retain = 2;
+  /// Write the clean-shutdown epilogue (final snapshot + CLEAN marker) on
+  /// shutdown().  Benches and recovery tests turn this off to leave a WAL
+  /// tail behind for the next cold start to replay.
+  bool clean_shutdown = true;
 };
 
 /// Transport-agnostic core of the MSF service: owns named graph sessions
@@ -98,6 +120,13 @@ class ServiceCore {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] std::string stats_json() const;
   [[nodiscard]] const ServeOptions& options() const { return opts_; }
+  /// What startup recovery did (sessions restored, records replayed, torn
+  /// tails truncated, snapshot generations skipped) — one line per event,
+  /// for the daemon to log.  Empty when persistence is off or the data dir
+  /// was empty.
+  [[nodiscard]] const std::vector<std::string>& recovery_notes() const {
+    return recovery_notes_;
+  }
 
  private:
   friend struct Session;  // pending lists hold QueuedRequest
@@ -120,6 +149,7 @@ class ServiceCore {
   Response do_open(const Request& req);
   Response do_drop(const Request& req);
   Response do_list();
+  Response do_health(const Request& req);
   Response do_read(Session& s, const QueuedRequest& qr);
   Response do_recompute(Session& s, const QueuedRequest& qr);
   Response do_compact(Session& s);
@@ -128,14 +158,34 @@ class ServiceCore {
   void maybe_compact(Session& s);
   void repair_after_failed_apply(Session& s);
 
+  // --- durability plumbing (all no-ops when data_dir is empty) ---
+  [[nodiscard]] persist::SessionLogOptions log_options();
+  [[nodiscard]] std::string session_dir(const std::string& name) const;
+  void recover_sessions();
+  void replay_tail(Session& s, std::vector<persist::WalRecord> tail);
+  /// Appends a WAL record for an applied group and registers its
+  /// idempotency ids; returns the commit LSN (0 when logging is off or the
+  /// log failed — see Session::log_broken).
+  std::uint64_t log_applied_group(Session& s,
+                                  std::vector<graph::WEdge> insertions,
+                                  std::vector<graph::EdgeId> deletions,
+                                  std::vector<std::string> idem_ids);
+  /// Appends a compact marker record (replay must reproduce the store-id
+  /// renumbering at the same point); returns its LSN, 0 when logging is off.
+  std::uint64_t log_compact_record(Session& s);
+  /// Snapshots the session state at its current committed LSN (caller holds
+  /// the exclusive state lock).
+  void snapshot_session_locked(Session& s);
+
   ServeOptions opts_;
   ThreadTeam solver_team_;
   std::mutex solver_mu_;  ///< serializes solves on solver_team_
   MetricsRegistry metrics_;
   Clock::time_point started_;
 
-  std::mutex sessions_mu_;
+  mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::vector<std::string> recovery_notes_;
 
   BoundedQueue<QueuedRequest> queue_;
   std::vector<std::thread> dispatchers_;

@@ -34,17 +34,6 @@ sockaddr_un make_addr(const std::string& path) {
   return addr;
 }
 
-/// True when a daemon is actually accepting on `path` (as opposed to a
-/// stale socket file left by a crash).
-bool socket_is_live(const sockaddr_un& addr) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return true;  // be conservative: do not clobber the path
-  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                           sizeof addr);
-  ::close(fd);
-  return rc == 0;
-}
-
 bool send_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
@@ -57,6 +46,36 @@ bool send_all(int fd, const std::string& data) {
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// True when a daemon is actually accepting on `path` (as opposed to a
+/// stale socket file left by a crash).  Probes with the `health` op instead
+/// of a bare connect: a refused connect is the definitive stale signal,
+/// a protocol-shaped reply ("ok ..." from this version, "err ..." from an
+/// older daemon that predates the verb) is definitive liveness, and
+/// anything ambiguous (timeout, send failure) stays conservative — never
+/// clobber a path that might be serving.
+bool socket_is_live(const sockaddr_un& addr) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return true;  // be conservative: do not clobber the path
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return false;  // stale socket file: nothing accepting behind it
+  }
+  timeval tv{};
+  tv.tv_usec = 500 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  bool live = true;
+  if (send_all(fd, "health\n")) {
+    char buf[256];
+    const ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
+    if (n >= 2) {
+      live = std::strncmp(buf, "ok", 2) == 0 || std::strncmp(buf, "er", 2) == 0;
+    }
+  }
+  ::close(fd);
+  return live;
 }
 
 }  // namespace

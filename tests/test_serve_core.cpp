@@ -262,9 +262,9 @@ TEST(ServeCore, CompactionKicksInBelowLiveRatio) {
   ASSERT_EQ(d.status, Status::kOk);
   EXPECT_EQ(d.live_edges, 40u);
 
-  // The renumbered forest still serves and solves identically.  (This read
-  // also serializes after the flusher's post-apply compaction check, which
-  // runs under the exclusive state lock after write responses go out.)
+  // The renumbered forest still serves and solves identically.  (The
+  // flusher's compaction check runs under the exclusive state lock before
+  // the write responses go out, so this read always sees its outcome.)
   const Response snap = svc.call(make(Op::kSnapshot, "g"));
   ASSERT_EQ(snap.status, Status::kOk);
   ASSERT_NE(snap.snapshot, nullptr);

@@ -1,19 +1,33 @@
 // smpmsf-client — line-protocol client for smpmsf-server.
 //
 //   smpmsf-client --socket PATH [-e "CMD"]... [--script FILE] [--clients N]
+//                 [--retries N] [--backoff-ms MS]
 //
 // Commands come from -e flags (in order), a script file, or stdin (one per
 // line; blank lines and # comments skipped).  --clients N runs the same
 // command list over N concurrent connections, tagging output lines [i] —
 // the one-binary way to put multiple concurrent clients on a session.
 //
+// --retries N survives a lost connection (server restart, crash+recovery):
+// the client reconnects with exponential backoff + jitter and resends the
+// command whose response it never saw.  Every insert/delete is stamped with
+// a unique idempotency id (unless the command carries its own id=), so a
+// resend of a write the server already committed dedups server-side instead
+// of applying twice — the response says dedup=1 and echoes the original
+// commit LSN.
+//
 // Exit codes: 0 every response ok, 1 any err response or lost connection,
 // 2 usage, 3 cannot connect.
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,20 +41,53 @@ namespace {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
                "usage: smpmsf-client --socket PATH [-e \"CMD\"]..."
-               " [--script FILE] [--clients N]\n");
+               " [--script FILE] [--clients N]\n"
+               "                     [--retries N] [--backoff-ms MS]\n");
   std::exit(2);
 }
 
 std::mutex print_mu;
 
-/// Runs the command list over one connection; returns 1 on any err.
+bool is_write_command(const std::string& cmd) {
+  return cmd.rfind("insert ", 0) == 0 || cmd.rfind("delete ", 0) == 0;
+}
+
+bool has_idem_id(const std::string& cmd) {
+  return cmd.find(" id=") != std::string::npos;
+}
+
+/// Runs the command list over one connection, reconnecting up to `retries`
+/// times on a lost connection; returns 1 on any err response or when the
+/// retries are exhausted.
 int run_commands(const std::string& socket_path,
-                 const std::vector<std::string>& commands, int idx, bool tag) {
+                 std::vector<std::string> commands, int idx, bool tag,
+                 int retries, int backoff_ms) {
+  // Stamp writes with per-run-unique idempotency ids so a resend after a
+  // reconnect cannot double-apply.  The nonce keeps ids from colliding
+  // across client invocations against the same long-lived session.
+  std::mt19937_64 rng(std::random_device{}() ^
+                      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                      static_cast<std::uint64_t>(idx));
+  char nonce[17];
+  std::snprintf(nonce, sizeof nonce, "%016llx",
+                static_cast<unsigned long long>(rng()));
+  for (std::size_t k = 0; k < commands.size(); ++k) {
+    if (is_write_command(commands[k]) && !has_idem_id(commands[k])) {
+      commands[k] += " id=c" + std::to_string(idx) + "-" + nonce + "-" +
+                     std::to_string(k);
+    }
+  }
+
   int rc = 0;
-  try {
-    smp::serve::UdsClient client(socket_path);
-    for (const std::string& cmd : commands) {
-      const std::vector<std::string> resp = client.request(cmd);
+  int attempts_left = retries;
+  std::unique_ptr<smp::serve::UdsClient> client;
+  std::size_t k = 0;
+  while (k < commands.size()) {
+    try {
+      if (client == nullptr) {
+        client = std::make_unique<smp::serve::UdsClient>(socket_path);
+      }
+      const std::vector<std::string> resp = client->request(commands[k]);
       std::lock_guard<std::mutex> lk(print_mu);
       for (const std::string& line : resp) {
         if (tag) {
@@ -50,11 +97,27 @@ int run_commands(const std::string& socket_path,
         }
       }
       if (resp.front().rfind("err", 0) == 0) rc = 1;
+      ++k;
+    } catch (const smp::Error& ex) {
+      client.reset();
+      if (attempts_left <= 0) {
+        std::lock_guard<std::mutex> lk(print_mu);
+        std::fprintf(stderr, "client %d: %s\n", idx, ex.what());
+        return 1;
+      }
+      // Exponential backoff with full jitter: 2^attempt * backoff_ms, drawn
+      // uniformly from [delay/2, delay] so a fleet of reconnecting clients
+      // does not stampede the restarting server in lockstep.
+      const int attempt = retries - attempts_left;
+      --attempts_left;
+      double delay = static_cast<double>(backoff_ms);
+      for (int b = 0; b < attempt && delay < 10'000; ++b) delay *= 2;
+      std::uniform_real_distribution<double> jitter(delay / 2, delay);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(jitter(rng)));
+      // Loop around: reconnect and resend command k (its idempotency id
+      // makes the resend safe even if the server committed it already).
     }
-  } catch (const smp::Error& ex) {
-    std::lock_guard<std::mutex> lk(print_mu);
-    std::fprintf(stderr, "client %d: %s\n", idx, ex.what());
-    return 1;
   }
   return rc;
 }
@@ -66,6 +129,8 @@ int main(int argc, char** argv) {
   std::string script;
   std::vector<std::string> commands;
   int clients = 1;
+  int retries = 0;
+  int backoff_ms = 50;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     const auto value = [&]() -> std::string {
@@ -80,12 +145,18 @@ int main(int argc, char** argv) {
       script = value();
     } else if (a == "--clients") {
       clients = std::atoi(value().c_str());
+    } else if (a == "--retries") {
+      retries = std::atoi(value().c_str());
+    } else if (a == "--backoff-ms") {
+      backoff_ms = std::atoi(value().c_str());
     } else {
       usage(("unknown flag " + a).c_str());
     }
   }
   if (socket_path.empty()) usage("--socket PATH is required");
   if (clients < 1) usage("--clients must be >= 1");
+  if (retries < 0) usage("--retries must be >= 0");
+  if (backoff_ms < 1) usage("--backoff-ms must be >= 1");
 
   if (!script.empty()) {
     std::ifstream is(script);
@@ -108,22 +179,31 @@ int main(int argc, char** argv) {
   }
   if (cleaned.empty()) usage("no commands (use -e, --script or stdin)");
 
-  // Probe the socket once so "nothing is listening" is a distinct exit code.
-  try {
-    smp::serve::UdsClient probe(socket_path);
-  } catch (const smp::Error& ex) {
-    std::fprintf(stderr, "error: %s\n", ex.what());
-    return 3;
+  // Probe the socket so "nothing is listening" is a distinct exit code;
+  // with --retries the probe waits out a server that is still restarting.
+  for (int left = retries;;) {
+    try {
+      smp::serve::UdsClient probe(socket_path);
+      break;
+    } catch (const smp::Error& ex) {
+      if (left-- <= 0) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return 3;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
   }
 
-  if (clients == 1) return run_commands(socket_path, cleaned, 0, false);
+  if (clients == 1) {
+    return run_commands(socket_path, cleaned, 0, false, retries, backoff_ms);
+  }
   std::vector<int> rcs(static_cast<std::size_t>(clients), 0);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int i = 0; i < clients; ++i) {
     threads.emplace_back([&, i] {
       rcs[static_cast<std::size_t>(i)] =
-          run_commands(socket_path, cleaned, i, true);
+          run_commands(socket_path, cleaned, i, true, retries, backoff_ms);
     });
   }
   int rc = 0;

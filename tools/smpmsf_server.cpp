@@ -4,6 +4,15 @@
 //   smpmsf-server --socket PATH [--threads P] [--dispatchers N]
 //                 [--queue-cap N] [--default-deadline MS]
 //                 [--coalesce-window MS] [--alg A] [--seed S]
+//                 [--data-dir DIR] [--fsync always|interval|none]
+//                 [--fsync-interval MS] [--snapshot-every RECORDS]
+//                 [--snapshot-retain N] [--crash-at SITE[:SKIP]]
+//
+// With --data-dir every session is durable: acknowledged writes are
+// WAL-logged and group-committed under the chosen fsync policy, snapshots
+// truncate the log, and startup recovers whatever the directory holds.
+// --crash-at arms a process-killing fault at a named persist crash point
+// (chaos testing; see tools/chaos_recovery.py).
 //
 // Runs in the foreground until SIGINT/SIGTERM or a client sends the
 // `shutdown` verb; either way it drains admitted requests, disconnects
@@ -21,6 +30,8 @@
 
 #include "core/error.hpp"
 #include "core/msf.hpp"
+#include "persist/wal.hpp"
+#include "pprim/fault.hpp"
 #include "serve/service_core.hpp"
 #include "serve/uds_server.hpp"
 
@@ -34,7 +45,11 @@ using namespace smp;
                "usage: smpmsf-server --socket PATH [--threads P]"
                " [--dispatchers N] [--queue-cap N]\n"
                "                     [--default-deadline MS]"
-               " [--coalesce-window MS] [--alg A] [--seed S]\n");
+               " [--coalesce-window MS] [--alg A] [--seed S]\n"
+               "                     [--data-dir DIR]"
+               " [--fsync always|interval|none] [--fsync-interval MS]\n"
+               "                     [--snapshot-every RECORDS]"
+               " [--snapshot-retain N] [--crash-at SITE[:SKIP]]\n");
   std::exit(2);
 }
 
@@ -72,6 +87,7 @@ core::Algorithm parse_algorithm(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string crash_at;
   serve::ServeOptions opts;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -97,11 +113,36 @@ int main(int argc, char** argv) {
         opts.msf.algorithm = parse_algorithm(value());
       } else if (a == "--seed") {
         opts.msf.seed = std::strtoull(value().c_str(), nullptr, 10);
+      } else if (a == "--data-dir") {
+        opts.data_dir = value();
+      } else if (a == "--fsync") {
+        opts.fsync = persist::parse_fsync_policy(value());
+      } else if (a == "--fsync-interval") {
+        opts.fsync_interval_s = std::strtod(value().c_str(), nullptr) / 1000.0;
+      } else if (a == "--snapshot-every") {
+        opts.snapshot_every_records =
+            std::strtoull(value().c_str(), nullptr, 10);
+      } else if (a == "--snapshot-retain") {
+        opts.snapshot_retain = std::atoi(value().c_str());
+      } else if (a == "--crash-at") {
+        crash_at = value();
       } else {
         usage(("unknown flag " + a).c_str());
       }
     }
     if (socket_path.empty()) usage("--socket PATH is required");
+    if (!crash_at.empty()) {
+      // Chaos harness: kill this process (exit 137, no flush, no
+      // destructors) at the (SKIP+1)-th hit of a named persist crash point.
+      std::uint64_t skip = 0;
+      std::string site = crash_at;
+      const auto colon = crash_at.rfind(':');
+      if (colon != std::string::npos) {
+        site = crash_at.substr(0, colon);
+        skip = std::strtoull(crash_at.c_str() + colon + 1, nullptr, 10);
+      }
+      FaultInjector::arm(site, FaultKind::kCrash, skip);
+    }
 
     // Block the termination signals in every thread, then watch them from a
     // dedicated sigwait thread — the only async-signal-safe way to run the
@@ -114,12 +155,20 @@ int main(int argc, char** argv) {
     signal(SIGPIPE, SIG_IGN);
 
     serve::ServiceCore core(opts);
+    for (const std::string& note : core.recovery_notes()) {
+      std::printf("smpmsf-server: %s\n", note.c_str());
+    }
     serve::UdsServer server(core, {.socket_path = socket_path});
     server.start();
     std::printf("smpmsf-server: listening on %s (threads=%d dispatchers=%d"
-                " queue=%zu)\n",
+                " queue=%zu",
                 socket_path.c_str(), core.options().msf.threads,
                 core.options().dispatchers, core.options().queue_capacity);
+    if (!opts.data_dir.empty()) {
+      std::printf(" data-dir=%s fsync=%s", opts.data_dir.c_str(),
+                  std::string(persist::to_string(core.options().fsync)).c_str());
+    }
+    std::printf(")\n");
     std::fflush(stdout);
 
     std::atomic<bool> exiting{false};
