@@ -34,15 +34,33 @@ using namespace smp::graph;
 namespace {
 
 /// Sorted forest edge ids of one solve — the bit-identical-forest witness.
-std::vector<EdgeId> forest_ids(const EdgeList& g, int threads,
-                               core::FindMinMode mode) {
+std::vector<EdgeId> forest_ids(const EdgeList& g, core::Algorithm alg,
+                               int threads, core::FindMinMode mode,
+                               core::CompactSortMode sort,
+                               double live_threshold = 0) {
   core::MsfOptions opts;
-  opts.algorithm = core::Algorithm::kBorFAL;
+  opts.algorithm = alg;
   opts.threads = threads;
   opts.find_min = mode;
+  opts.compact_sort = sort;
+  opts.compact_live_threshold = live_threshold;
   auto r = core::minimum_spanning_forest(g, opts);
   std::sort(r.edge_ids.begin(), r.edge_ids.end());
   return r.edge_ids;
+}
+
+/// Per-iteration strategy trace as a compact JSON array, e.g.
+/// ["defer","defer","hash"].
+std::string strategies_json(const std::vector<core::IterationStat>& stats) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    out += core::to_string(stats[i].strategy);
+    out += '"';
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace
@@ -53,7 +71,8 @@ int main(int argc, char** argv) {
   bench::JsonSink sink;
 
   const core::Algorithm algs[] = {core::Algorithm::kBorEL, core::Algorithm::kBorAL,
-                                  core::Algorithm::kBorALM, core::Algorithm::kBorFAL};
+                                  core::Algorithm::kBorALM, core::Algorithm::kBorFAL,
+                                  core::Algorithm::kChampion};
   for (const int density : {4, 6, 10}) {
     const auto m = static_cast<EdgeId>(density) * n;
     const EdgeList g = random_graph(n, m, args.seed + static_cast<std::uint64_t>(density));
@@ -63,20 +82,24 @@ int main(int argc, char** argv) {
     for (const auto alg : algs) {
       core::StepTimes best{};
       core::PhaseStats best_ps{};
+      std::vector<core::IterationStat> best_iters;
       double best_total = 1e300;
       for (int r = 0; r < args.reps; ++r) {
         core::StepTimes st;
         core::PhaseStats ps;
+        std::vector<core::IterationStat> iters;
         core::MsfOptions opts;
         opts.algorithm = alg;
         opts.threads = args.max_threads;
         opts.step_times = &st;
         opts.phase_stats = &ps;
+        opts.iteration_stats = &iters;
         (void)core::minimum_spanning_forest(g, opts);
         if (st.total() < best_total) {
           best_total = st.total();
           best = st;
           best_ps = ps;
+          best_iters = std::move(iters);
         }
       }
       const std::string name(core::to_string(alg));
@@ -87,7 +110,9 @@ int main(int argc, char** argv) {
                   best_ps.regions_per_iteration());
       const core::FindMinMode resolved =
           core::resolve_find_min_mode(core::FindMinMode::kAuto, g.num_edges());
-      char buf[640];
+      double live_last = 1.0;
+      if (!best_iters.empty()) live_last = best_iters.back().live_fraction;
+      char buf[1024];
       std::snprintf(
           buf, sizeof buf,
           "{\"density\": %d, \"n\": %u, \"m\": %llu, \"alg\": \"%s\", "
@@ -96,7 +121,12 @@ int main(int argc, char** argv) {
           "\"iterations\": %llu, \"regions\": %llu, "
           "\"regions_per_iteration\": %.4f, "
           "\"find_min_mode\": \"%s\", \"simd_kernel\": \"%s\", "
-          "\"find_min_pruned_arcs\": %llu}",
+          "\"find_min_pruned_arcs\": %llu, "
+          "\"deferred_iterations\": %llu, \"hash_compacts\": %llu, "
+          "\"sort_compacts\": %llu, \"merge_rebuilds\": %llu, "
+          "\"hash_keys\": %llu, \"hash_probe_steps\": %llu, "
+          "\"hash_max_probe\": %llu, \"live_fraction_last\": %.4f, "
+          "\"strategies\": %s}",
           density, g.num_vertices, static_cast<unsigned long long>(g.num_edges()),
           name.c_str(), args.max_threads, best.find_min, best.connect,
           best.compact, best.other, best.total(),
@@ -104,20 +134,32 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(best_ps.regions),
           best_ps.regions_per_iteration(),
           std::string(core::to_string(resolved)).c_str(), simd_isa_name(),
-          static_cast<unsigned long long>(best.pruned_arcs));
+          static_cast<unsigned long long>(best.pruned_arcs),
+          static_cast<unsigned long long>(best_ps.deferred_iterations),
+          static_cast<unsigned long long>(best_ps.hash_compacts),
+          static_cast<unsigned long long>(best_ps.sort_compacts),
+          static_cast<unsigned long long>(best_ps.merge_rebuilds),
+          static_cast<unsigned long long>(best_ps.hash_keys),
+          static_cast<unsigned long long>(best_ps.hash_probe_steps),
+          static_cast<unsigned long long>(best_ps.hash_max_probe), live_last,
+          strategies_json(best_iters).c_str());
       sink.add(buf);
     }
 
-    // Determinism gate: the accelerated find-min must not change the forest.
-    // Compare Bor-FAL across p ∈ {1,2,4,8} and both kernels against the
-    // single-threaded seed scan; any drift is a correctness bug, so fail the
-    // whole bench rather than record timings for a wrong answer.
-    const std::vector<EdgeId> ref = forest_ids(g, 1, core::FindMinMode::kScan);
+    // Determinism gate: neither the accelerated find-min nor any compact
+    // strategy may change the forest.  Compare Bor-FAL across p ∈ {1,2,4,8}
+    // and both kernels, plus champion across p and every compact-sort mode,
+    // against the single-threaded seed scan; any drift is a correctness bug,
+    // so fail the whole bench rather than record timings for a wrong answer.
+    const std::vector<EdgeId> ref =
+        forest_ids(g, core::Algorithm::kBorFAL, 1, core::FindMinMode::kScan,
+                   core::CompactSortMode::kAuto);
     int configs = 0;
     for (const int p : {1, 2, 4, 8}) {
       for (const auto mode : {core::FindMinMode::kScan, core::FindMinMode::kSimd}) {
         ++configs;
-        if (forest_ids(g, p, mode) != ref) {
+        if (forest_ids(g, core::Algorithm::kBorFAL, p, mode,
+                       core::CompactSortMode::kAuto) != ref) {
           std::fprintf(stderr,
                        "FAIL: Bor-FAL forest differs at p=%d find-min=%s "
                        "(density %d)\n",
@@ -125,13 +167,30 @@ int main(int argc, char** argv) {
           return 1;
         }
       }
+      // The explicit threshold pins the champion onto the deferred engine
+      // (its default routes to Bor-FAL) so every compact mode runs at scale.
+      for (const auto sort :
+           {core::CompactSortMode::kRadix, core::CompactSortMode::kSample,
+            core::CompactSortMode::kHash}) {
+        ++configs;
+        if (forest_ids(g, core::Algorithm::kChampion, p,
+                       core::FindMinMode::kAuto, sort,
+                       /*live_threshold=*/0.5) != ref) {
+          std::fprintf(stderr,
+                       "FAIL: champion forest differs at p=%d compact-sort=%d "
+                       "(density %d)\n",
+                       p, static_cast<int>(sort), density);
+          return 1;
+        }
+      }
     }
-    std::printf("  forest identity: OK (%d Bor-FAL configs bit-identical)\n\n",
-                configs);
+    std::printf(
+        "  forest identity: OK (%d Bor-FAL/champion configs bit-identical)\n\n",
+        configs);
     char check[192];
     std::snprintf(check, sizeof check,
                   "{\"density\": %d, \"check\": \"forest_identity\", "
-                  "\"alg\": \"Bor-FAL\", \"configs\": %d, "
+                  "\"alg\": \"Bor-FAL+champion\", \"configs\": %d, "
                   "\"forests_identical\": true}",
                   density, configs);
     sink.add(check);

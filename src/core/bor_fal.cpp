@@ -113,7 +113,15 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
     if (opts.iteration_stats) {
       // Packed path: the live-arc working set (monotone non-increasing).
       // Scan path: m never shrinks under lazy filtering — always 2m.
-      opts.iteration_stats->push_back({cur_n, packed ? live_total : num_arcs});
+      IterationStat is;
+      is.vertices = cur_n;
+      is.directed_edges = packed ? live_total : num_arcs;
+      is.live_fraction =
+          (packed && num_arcs > 0)
+              ? static_cast<double>(live_total) / static_cast<double>(num_arcs)
+              : 1.0;
+      is.strategy = CompactStrategy::kPointer;  // contraction never rebuilds
+      opts.iteration_stats->push_back(is);
     }
     const std::uint64_t regions_before = team.regions_started();
     any.store(false, std::memory_order_relaxed);

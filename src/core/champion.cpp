@@ -1,0 +1,51 @@
+#include "core/deferred_el.hpp"
+#include "core/find_min.hpp"
+#include "core/msf.hpp"
+
+namespace smp::core {
+
+/// Champion: the auto-tuned pipeline and the library default.
+///
+/// Strategy selection happens at two levels.  Per solve it picks an ENGINE:
+/// the Bor-FAL flexible-adjacency-list engine whenever the packed find-min
+/// path is available.  BENCH_07 measures why: FAL's find-min is
+/// vertex-parallel — each thread scans its vertices' live arc prefixes with
+/// the SIMD argmin and no cross-thread writes — while any edge-list engine
+/// is edge-parallel and pays an atomic min per arc into shared per-vertex
+/// bests.  At density 10 that is 0.94s vs 2.4s of find-min, which no
+/// compact-side saving recovers (champion-on-EL measured 1.96x FAL total).
+/// The deferred edge-list engine (watermark pruning, hash full-compacts)
+/// runs instead when the caller explicitly asks for deferral — an
+/// overridden compact_live_threshold or DeferredCompactMode::kOn — keeping
+/// every strategy reachable for ablations and tests.  Eager fallback
+/// (deferral kOff, which FAL's lazy design cannot express) also routes to
+/// Bor-FAL, the paper's strongest variant.
+///
+/// Per iteration, inside the deferred engine: the measured live-edge
+/// fraction decides between deferring (watermark pruning only) and a full
+/// compact, and CompactSortMode::kAuto resolves full compacts to the hash
+/// dedup (`prefer_hash`) instead of the radix sort.  An explicit
+/// --compact-sort still wins, so ablations stay expressible.
+///
+/// Every path produces the WeightOrder-unique forest, so the champion is
+/// bit-identical to all five paper variants.
+graph::MsfResult champion_msf(ThreadTeam& team, const graph::EdgeList& g,
+                              const MsfOptions& opts) {
+  const FindMinMode mode = resolve_find_min_mode(opts.find_min, g.edges.size());
+  const bool deferral_requested =
+      opts.deferred_compact == DeferredCompactMode::kOn ||
+      opts.compact_live_threshold > 0;
+  if (mode != FindMinMode::kSimd ||
+      opts.deferred_compact == DeferredCompactMode::kOff ||
+      !deferral_requested) {
+    return bor_fal_msf(team, g, opts);
+  }
+  static constexpr detail::DeferredElConfig cfg{
+      "champion.find-min",       "champion.connect",
+      "champion.connect.region", "champion.compact",
+      "champion.compact.region", "Champion iteration",
+      /*prefer_hash=*/true};
+  return detail::deferred_el_msf(team, g, opts, cfg);
+}
+
+}  // namespace smp::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/msf.hpp"
+#include "pprim/tuning.hpp"
+
+namespace smp::core::detail {
+
+[[nodiscard]] inline double resolve_compact_live_threshold(
+    const MsfOptions& o) {
+  return o.compact_live_threshold > 0 ? o.compact_live_threshold
+                                      : kDefaultCompactLiveThreshold;
+}
+
+[[nodiscard]] inline std::size_t resolve_compact_chunk(const MsfOptions& o) {
+  return o.compact_chunk > 0 ? o.compact_chunk : kDefaultDeferredChunkArcs;
+}
+
+/// Full-compact trigger, shared by the deferred EL and AL engines: the live
+/// fraction must sink below the threshold, and — under the auto-tuned
+/// threshold only — the live set must still be big enough that a rebuild
+/// beats just scanning the tail to the end.  An explicit user threshold is
+/// honored exactly (no size floor), so tests and ablations can force a
+/// rebuild on arbitrarily small graphs.
+[[nodiscard]] inline bool want_full_compact(const MsfOptions& o,
+                                            std::size_t live,
+                                            std::size_t total) {
+  if (static_cast<double>(live) >=
+      resolve_compact_live_threshold(o) * static_cast<double>(total)) {
+    return false;
+  }
+  return o.compact_live_threshold > 0 || live >= kDeferredMinCompactArcs;
+}
+
+/// Deferral needs the packed ⟨rank, payload⟩ keys (the watermark scan
+/// publishes one atomic_min_u64 per arc and never re-reads another thread's
+/// arc slots), so it is only available on the packed find-min path.
+[[nodiscard]] inline bool deferred_compact_enabled(const MsfOptions& o,
+                                                   bool packed) {
+  return packed && o.deferred_compact != DeferredCompactMode::kOff;
+}
+
+/// Per-caller wiring of the shared deferred edge-list engine: fault-site
+/// names (so Bor-EL keeps its historical sites and the champion gets its
+/// own) and the compact-mode policy.
+struct DeferredElConfig {
+  const char* site_find_min;
+  const char* site_connect;
+  const char* site_connect_region;
+  const char* site_compact;
+  const char* site_compact_region;
+  /// Budget-checkpoint label, e.g. "Bor-EL iteration".
+  const char* checkpoint;
+  /// Champion policy: resolve CompactSortMode::kAuto full compacts to the
+  /// radix hash-map dedup instead of the packed-key radix sort.
+  bool prefer_hash = false;
+};
+
+/// Bor-EL's edge list under deferred compaction (see bor_el.cpp for the
+/// eager reference loop).  The arc array stays in the vertex space of the
+/// last full compact; per-chunk live watermarks drop self-loops and
+/// dominated parallels during the find-min scan, labels compose in place
+/// each contraction, and the full dedup/relabel runs only when the live
+/// fraction sinks below the threshold.  Forests are bit-identical to the
+/// eager path.  Precondition: the packed find-min path is available
+/// (find_min_packable(g.edges.size())).
+graph::MsfResult deferred_el_msf(ThreadTeam& team, const graph::EdgeList& g,
+                                 const MsfOptions& opts,
+                                 const DeferredElConfig& cfg);
+
+}  // namespace smp::core::detail

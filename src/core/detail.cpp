@@ -32,6 +32,46 @@ MsfResult assemble_result(const EdgeList& input, std::vector<EdgeId> ids) {
   return res;
 }
 
+std::size_t CompactScratch::footprint_bytes() const {
+  std::size_t b = 0;
+  b += keep.capacity() * sizeof(EdgeId);
+  b += filtered.capacity() * sizeof(DirEdge);
+  b += head.capacity() * sizeof(EdgeId);
+  b += out.capacity() * sizeof(DirEdge);
+  b += radix.aux.capacity() * sizeof(DirEdge);
+  b += (radix.keys.capacity() + radix.keys_aux.capacity() +
+        radix.counts.capacity() + radix.scan.capacity()) *
+       sizeof(std::uint64_t);
+  b += (sample.samples.capacity() + sample.splitters.capacity() +
+        sample.aux.capacity()) *
+       sizeof(DirEdge);
+  b += (sample.counts.capacity() + sample.piece_begin.capacity()) *
+       sizeof(std::size_t);
+  b += hash.footprint_bytes();
+  b += winner_cap * sizeof(std::atomic<EdgeId>);
+  return b;
+}
+
+void CompactScratch::maybe_release(std::size_t need) {
+  // The largest per-arc buffer tracks the biggest compact seen so far; once
+  // the current arc count is a small fraction of that, re-allocating at the
+  // new scale is cheaper than pinning the peak slabs until solve end.
+  const std::size_t retained =
+      std::max({keep.capacity(), filtered.capacity(), out.capacity(),
+                hash.part.capacity()});
+  if (retained < kShrinkFloor) return;
+  if (need >= retained / kShrinkDivisor) return;
+  std::vector<EdgeId>().swap(keep);
+  std::vector<DirEdge>().swap(filtered);
+  std::vector<EdgeId>().swap(head);
+  std::vector<DirEdge>().swap(out);
+  radix = RadixSortScratch<DirEdge>{};
+  sample = SampleSortScratch<DirEdge>{};
+  hash.release();
+  winner.reset();
+  winner_cap = 0;
+}
+
 void compact_arcs_in_region(TeamCtx& ctx, std::vector<DirEdge>& arcs,
                             std::span<const VertexId> labels,
                             CompactSortMode mode, CompactScratch& s) {
@@ -39,6 +79,7 @@ void compact_arcs_in_region(TeamCtx& ctx, std::vector<DirEdge>& arcs,
   const int p = ctx.nthreads();
 
   if (ctx.tid() == 0) {
+    s.maybe_release(m);
     if (s.keep.size() < m) s.keep.resize(m);
     s.scan.ensure(p);
   }
@@ -62,13 +103,33 @@ void compact_arcs_in_region(TeamCtx& ctx, std::vector<DirEdge>& arcs,
   });
   ctx.barrier();
 
+  constexpr bool kPackable = sizeof(VertexId) <= 4;
+
+  // Hash mode resolves duplicate ⟨u, v⟩ pairs without sorting at all: one
+  // stable bucket scatter plus L2-resident open-addressing tables keep the
+  // WeightOrder-minimal arc per pair.  The output is deduplicated but not
+  // pair-sorted — no Borůvka loop depends on arc order.
+  if (mode == CompactSortMode::kHash && kPackable) {
+    radix_hash_dedup_in_region(
+        ctx, s.filtered, s.hash,
+        [](const DirEdge& e) {
+          return (static_cast<std::uint64_t>(e.u) << 32) |
+                 static_cast<std::uint64_t>(e.v);
+        },
+        [](const DirEdge& a, const DirEdge& b) { return a.order() < b.order(); },
+        ctx.tid() == 0 ? &s.hash_stats : nullptr);
+    if (ctx.tid() == 0) arcs.swap(s.filtered);
+    ctx.barrier();
+    return;
+  }
+
   // Sort so that multi-edges between the same supervertex pair become
   // consecutive.  When ⟨u, v⟩ packs into a 64-bit integer (always with a
   // 32-bit VertexId), LSD radix sort beats the comparison sample sort.
-  constexpr bool kPackable = sizeof(VertexId) <= 4;
   const bool use_radix =
       mode == CompactSortMode::kRadix ||
-      (mode == CompactSortMode::kAuto && kPackable);
+      (mode == CompactSortMode::kAuto && kPackable) ||
+      (mode == CompactSortMode::kHash && !kPackable);
   if (use_radix) {
     radix_sort_in_region(ctx, s.filtered, s.radix, [](const DirEdge& e) {
       return (static_cast<std::uint64_t>(e.u) << 32) |

@@ -10,6 +10,7 @@
 #include "graph/msf_result.hpp"
 #include "pprim/cacheline.hpp"
 #include "pprim/prefix_sum.hpp"
+#include "pprim/radix_hash_map.hpp"
 #include "pprim/radix_sort.hpp"
 #include "pprim/sample_sort.hpp"
 #include "pprim/thread_team.hpp"
@@ -51,9 +52,12 @@ class EdgeCollector {
 graph::MsfResult assemble_result(const graph::EdgeList& input,
                                  std::vector<graph::EdgeId> ids);
 
-/// Team-shared scratch for compact_arcs_in_region.  Grow-only across
-/// iterations: the fused Borůvka loop allocates once and every later
-/// iteration (whose arc count only shrinks) reuses the capacity.
+/// Team-shared scratch for compact_arcs_in_region.  Grow-only within a
+/// plateau: the fused Borůvka loop allocates once and later iterations
+/// (whose arc count only shrinks) reuse the capacity — until the arc count
+/// collapses far below it, at which point maybe_release() returns the peak
+/// slabs to the allocator (and thus to the arena memory-cap headroom)
+/// instead of pinning iteration-1-sized buffers until solve end.
 struct CompactScratch {
   std::vector<graph::EdgeId> keep;
   std::vector<DirEdge> filtered;
@@ -61,11 +65,29 @@ struct CompactScratch {
   std::vector<DirEdge> out;
   RadixSortScratch<DirEdge> radix;
   SampleSortScratch<DirEdge> sample;
+  RadixHashMapScratch<DirEdge> hash;
+  HashDedupStats hash_stats;
   ScanScratch<graph::EdgeId> scan;
   /// Per-⟨u,v⟩-group index of the lightest arc (radix path only; atomics are
   /// not movable, hence the manual grow-only buffer instead of a vector).
   std::unique_ptr<std::atomic<graph::EdgeId>[]> winner;
   std::size_t winner_cap = 0;
+
+  /// Bytes currently retained across all member buffers (capacity, not size).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  /// Release every retained buffer when `need` (the arc count about to be
+  /// compacted) has dropped below 1/kShrinkDivisor of the largest retained
+  /// capacity — the next compact re-allocates at the new, smaller scale.
+  /// Single-threaded: call on tid 0 behind a barrier (compact_arcs_in_region
+  /// does) or outside any region.
+  void maybe_release(std::size_t need);
+
+  /// Capacity ratio that triggers maybe_release.  4x means a release can
+  /// recoup at least ~75% of the retained bytes.
+  static constexpr std::size_t kShrinkDivisor = 4;
+  /// Never bother releasing below this many retained arcs' worth of buffers.
+  static constexpr std::size_t kShrinkFloor = std::size_t{1} << 14;
 };
 
 /// In-region compact-graph (Bor-EL §2.1; also MST-BC's between-rounds

@@ -37,6 +37,38 @@ std::string_view to_string(Algorithm a) {
       return "Sample-Filter";
     case Algorithm::kBorUF:
       return "Bor-UF";
+    case Algorithm::kChampion:
+      return "Champion";
+  }
+  return "?";
+}
+
+std::string_view to_string(DeferredCompactMode m) {
+  switch (m) {
+    case DeferredCompactMode::kAuto:
+      return "auto";
+    case DeferredCompactMode::kOn:
+      return "on";
+    case DeferredCompactMode::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::string_view to_string(CompactStrategy s) {
+  switch (s) {
+    case CompactStrategy::kEager:
+      return "eager";
+    case CompactStrategy::kDefer:
+      return "defer";
+    case CompactStrategy::kHash:
+      return "hash";
+    case CompactStrategy::kSort:
+      return "sort";
+    case CompactStrategy::kMerge:
+      return "merge";
+    case CompactStrategy::kPointer:
+      return "pointer";
   }
   return "?";
 }
@@ -57,6 +89,7 @@ namespace {
     case Algorithm::kFilterKruskal:
     case Algorithm::kSampleFilter:
     case Algorithm::kBorUF:
+    case Algorithm::kChampion:
       return true;
   }
   return false;
@@ -126,6 +159,8 @@ graph::MsfResult dispatch_parallel(ThreadTeam& team, const graph::EdgeList& g,
       return sample_filter_msf(team, g, opts.seed);
     case Algorithm::kBorUF:
       return bor_uf_msf(team, g);
+    case Algorithm::kChampion:
+      return champion_msf(team, g, opts);
     default:
       throw Error(ErrorCode::kInvalidInput, "unreachable algorithm dispatch");
   }

@@ -32,6 +32,8 @@ enum class Algorithm {
   kFilterKruskal,  ///< cycle-property filtering (§3's hinted approach)
   kSampleFilter,   ///< Cole–Klein–Tarjan random sampling + filtering
   kBorUF,          ///< Borůvka over a lock-free union-find (GBBS/Galois style)
+  kChampion,       ///< auto-tuned pipeline: deferred compaction + per-iteration
+                   ///< strategy choice (defer / hash dedup / sort compact)
 };
 
 [[nodiscard]] std::string_view to_string(Algorithm a);
@@ -44,7 +46,7 @@ inline constexpr Algorithm kParallelAlgorithms[] = {
 /// Extension algorithms (not part of the paper's evaluation).
 inline constexpr Algorithm kExtensionAlgorithms[] = {
     Algorithm::kParKruskal, Algorithm::kFilterKruskal, Algorithm::kSampleFilter,
-    Algorithm::kBorUF};
+    Algorithm::kBorUF, Algorithm::kChampion};
 
 /// How the find-min step scans for each supervertex's lightest arc.
 ///
@@ -62,6 +64,32 @@ enum class FindMinMode { kAuto, kScan, kSimd };
 
 [[nodiscard]] std::string_view to_string(FindMinMode m);
 
+/// Whether the edge-list variants defer compact-graph behind live-prefix
+/// watermarks (Bor-FAL's filter-on-the-fly ported to Bor-EL/AL/ALM): dead
+/// arcs are dropped during the find-min scan and the full dedup/relabel only
+/// runs when the live-edge fraction sinks below the compact_live_threshold.
+/// kAuto enables deferral whenever the packed find-min path is available
+/// (the watermark scan needs the uint64 ⟨rank, payload⟩ keys); kOff pins the
+/// paper's eager compact-every-iteration behaviour for A/B benches.  Both
+/// settings produce bit-identical forests.
+enum class DeferredCompactMode { kAuto, kOn, kOff };
+
+[[nodiscard]] std::string_view to_string(DeferredCompactMode m);
+
+/// What an iteration's compact-graph step actually did — recorded per
+/// iteration in IterationStat and counted in PhaseStats so BENCH_07 can
+/// explain *why* the champion picked each path.
+enum class CompactStrategy {
+  kEager,  ///< eager per-iteration sort compact (paper reference path)
+  kDefer,  ///< deferred: labels composed in place, no arc-array rebuild
+  kHash,   ///< full compact via the radix hash-map dedup
+  kSort,   ///< full compact via radix/sample sort
+  kMerge,  ///< Bor-AL/ALM k-way-merge adjacency rebuild
+  kPointer,  ///< Bor-FAL pointer contraction (never rebuilds arc storage)
+};
+
+[[nodiscard]] std::string_view to_string(CompactStrategy s);
+
 /// Wall-clock seconds spent in each step of the Borůvka iteration — the
 /// instrumentation behind the Fig. 2 breakdown.
 struct StepTimes {
@@ -69,8 +97,10 @@ struct StepTimes {
   double connect = 0;
   double compact = 0;
   double other = 0;  ///< setup, result assembly, base-case solve (MST-BC)
-  /// Arcs permanently retired from the Bor-FAL live-arc working set across
-  /// all iterations (0 under FindMinMode::kScan and for other algorithms).
+  /// Arcs permanently retired from a live-arc working set across all
+  /// iterations — Bor-FAL's prune as well as the deferred-compaction
+  /// watermark prunes of Bor-EL/AL/ALM and the champion (0 under
+  /// FindMinMode::kScan and for eager algorithms).
   std::uint64_t pruned_arcs = 0;
 
   [[nodiscard]] double total() const { return find_min + connect + compact + other; }
@@ -92,6 +122,15 @@ struct StepTimes {
 struct PhaseStats {
   std::uint64_t iterations = 0;  ///< Borůvka iterations / MST-BC rounds
   std::uint64_t regions = 0;     ///< SPMD regions started inside those iterations
+  // Compact-strategy accounting (deferred engines and the champion):
+  std::uint64_t deferred_iterations = 0;  ///< iterations that skipped the full compact
+  std::uint64_t hash_compacts = 0;   ///< full compacts resolved by hash dedup
+  std::uint64_t sort_compacts = 0;   ///< full compacts resolved by sorting
+  std::uint64_t merge_rebuilds = 0;  ///< Bor-AL/ALM k-way-merge rebuilds
+  // Radix hash-map probe statistics (see pprim/radix_hash_map.hpp):
+  std::uint64_t hash_keys = 0;         ///< elements inserted across all dedups
+  std::uint64_t hash_probe_steps = 0;  ///< probe advances past the home slot
+  std::uint64_t hash_max_probe = 0;    ///< longest single probe chain
 
   [[nodiscard]] double regions_per_iteration() const {
     return iterations == 0
@@ -102,6 +141,14 @@ struct PhaseStats {
   PhaseStats& operator+=(const PhaseStats& o) {
     iterations += o.iterations;
     regions += o.regions;
+    deferred_iterations += o.deferred_iterations;
+    hash_compacts += o.hash_compacts;
+    sort_compacts += o.sort_compacts;
+    merge_rebuilds += o.merge_rebuilds;
+    hash_keys += o.hash_keys;
+    hash_probe_steps += o.hash_probe_steps;
+    hash_max_probe = hash_max_probe > o.hash_max_probe ? hash_max_probe
+                                                       : o.hash_max_probe;
     return *this;
   }
 };
@@ -110,10 +157,15 @@ struct PhaseStats {
 struct IterationStat {
   graph::VertexId vertices = 0;    ///< supervertices at iteration start
   graph::EdgeId directed_edges = 0;  ///< live directed edges (the "2m" column)
+  /// Live arcs divided by arc-array size at iteration start (1.0 for the
+  /// eager paths, which rebuild the array every iteration).
+  double live_fraction = 1.0;
+  /// What compact-graph did this iteration.
+  CompactStrategy strategy = CompactStrategy::kEager;
 };
 
 struct MsfOptions {
-  Algorithm algorithm = Algorithm::kBorFAL;
+  Algorithm algorithm = Algorithm::kChampion;
   /// Worker threads (the paper's p).  <= 1 runs inline.
   int threads = 1;
   /// Seed for MST-BC's random vertex permutation.
@@ -126,8 +178,18 @@ struct MsfOptions {
   StepTimes* step_times = nullptr;
   std::vector<IterationStat>* iteration_stats = nullptr;
   PhaseStats* phase_stats = nullptr;
-  /// compact-graph sort dispatch (kAuto = packed-key radix when possible).
+  /// compact-graph sort dispatch (kAuto = packed-key radix when possible;
+  /// the champion resolves kAuto to the hash dedup instead).
   CompactSortMode compact_sort = CompactSortMode::kAuto;
+  /// Deferred-compaction dispatch for Bor-EL/AL/ALM and the champion
+  /// (kAuto = deferred whenever the packed find-min path is available).
+  DeferredCompactMode deferred_compact = DeferredCompactMode::kAuto;
+  /// Live-edge fraction below which a deferred engine runs the full compact;
+  /// 0 keeps kDefaultCompactLiveThreshold (pprim/tuning.hpp).
+  double compact_live_threshold = 0;
+  /// Arcs per chunk of the deferred find-min scan (the watermark/ownership
+  /// granule); 0 keeps kDefaultDeferredChunkArcs.
+  std::size_t compact_chunk = 0;
   /// find-min scan dispatch (kAuto = packed-key SIMD path when possible).
   FindMinMode find_min = FindMinMode::kAuto;
   /// Find-min contention-cutoff overrides; 0 keeps the defaults in
@@ -224,5 +286,15 @@ graph::MsfResult mst_bc_msf(ThreadTeam& team, const graph::EdgeList& g,
 /// that the paper's algorithms are implicitly measured against.
 graph::MsfResult par_kruskal_msf(ThreadTeam& team, const graph::EdgeList& g,
                                  const MsfOptions& opts = {});
+
+/// The auto-tuned champion pipeline (the `solve` default): Bor-EL's edge
+/// list under deferred compaction, choosing per iteration between deferring
+/// (label composition only), the radix hash-map dedup, and a sort compact,
+/// from the measured live fraction and the working-set size.  Falls back to
+/// Bor-FAL when the packed find-min path is unavailable (m > 2^31 or a
+/// pinned FindMinMode::kScan).  Forests are bit-identical to every other
+/// variant.
+graph::MsfResult champion_msf(ThreadTeam& team, const graph::EdgeList& g,
+                              const MsfOptions& opts = {});
 
 }  // namespace smp::core

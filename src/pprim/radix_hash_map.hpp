@@ -1,0 +1,377 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pprim/cacheline.hpp"
+#include "pprim/partition.hpp"
+#include "pprim/prefix_sum.hpp"
+#include "pprim/parallel_for.hpp"
+#include "pprim/radix_sort.hpp"
+#include "pprim/thread_team.hpp"
+#include "pprim/tuning.hpp"
+
+namespace smp {
+
+/// Cache-aware parallel hash-map dedup: keeps one winner per distinct 64-bit
+/// key without ever sorting.  The input is range-partitioned by the high bits
+/// of a multiplicative hash into `nb` buckets (a single stable counting-sort
+/// scatter), then each bucket is resolved in a small open-addressing table
+/// that fits in L2, and the winners are compacted back into the input vector.
+///
+/// Layout per probe table slot is a {key, value} pair split across two
+/// parallel arrays (8-byte keys probe at full cache-line density; values are
+/// only touched on hit/insert).  Tables are per-thread and sized to the
+/// largest bucket, so a solve reuses two slabs per thread for its lifetime.
+///
+/// Determinism: the scatter is stable and the bucket layout depends only on
+/// the input (never on the team size), elements are inserted in input order,
+/// and winners are emitted in slot order — so the output sequence is
+/// identical for every p.  The sequential path below triggers on input size
+/// only (not on p == 1) for the same reason.
+
+/// Sentinel for empty probe slots.  Callers must never present ~0 as a key;
+/// compact-graph's packed (u << 32 | v) keys cannot reach it because that
+/// would require u == v == 0xffffffff, i.e. a self-loop, and self-loops are
+/// filtered out before dedup.
+inline constexpr std::uint64_t kHashEmptyKey = ~std::uint64_t{0};
+
+/// Probe-behaviour counters, surfaced through PhaseStats/--stats-json so
+/// benches can tell a healthy ~0.5-load-factor run from a clustered one.
+struct HashDedupStats {
+  std::uint64_t keys = 0;         ///< elements inserted across all dedups
+  std::uint64_t probe_steps = 0;  ///< linear-probe advances past the home slot
+  std::uint64_t max_probe = 0;    ///< longest single probe chain observed
+  std::uint64_t dedup_calls = 0;  ///< number of dedup invocations
+
+  HashDedupStats& operator+=(const HashDedupStats& o) {
+    keys += o.keys;
+    probe_steps += o.probe_steps;
+    max_probe = std::max(max_probe, o.max_probe);
+    dedup_calls += o.dedup_calls;
+    return *this;
+  }
+};
+
+/// Fibonacci bucket hash: top `lg_nb` bits of the golden-ratio product.  The
+/// multiplier diffuses low-entropy packed ⟨u, v⟩ keys across buckets even
+/// when all arcs share a handful of supervertices.
+[[nodiscard]] inline std::uint64_t hash_bucket_of(std::uint64_t k, int lg_nb) {
+  return (k * 0x9e3779b97f4a7c15ULL) >> (64 - lg_nb);
+}
+
+/// splitmix64 finalizer for the in-bucket probe position.  Independent of the
+/// bucket hash (which consumes the top bits), so keys that collide into one
+/// bucket still spread inside its table.
+[[nodiscard]] inline std::uint64_t hash_mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+[[nodiscard]] inline std::size_t next_pow2_size(std::size_t v) {
+  std::size_t r = 1;
+  while (r < v) r <<= 1;
+  return r;
+}
+
+/// Team-shared scratch for radix_hash_dedup_in_region.  Grow-only across
+/// calls within a solve; `release()` returns everything to the allocator so
+/// CompactScratch can shed peak-iteration slabs once the graph has shrunk.
+template <class T>
+struct RadixHashMapScratch {
+  std::vector<std::uint64_t> keys;       ///< key cache aligned with the input
+  std::vector<T> part;                   ///< bucket-partitioned elements
+  std::vector<std::uint64_t> part_keys;  ///< keys aligned with `part`
+  std::vector<std::uint64_t> counts;     ///< thread-major padded count slabs
+  std::vector<std::uint64_t> scan;       ///< bucket-major cross-thread scan
+  std::vector<std::uint64_t> bucket_start;  ///< nb + 1 segment bounds
+  std::vector<std::uint64_t> uniq;          ///< nb + 1 winners per bucket
+  std::vector<std::vector<std::uint64_t>> slot_keys;  ///< per-thread tables
+  std::vector<std::vector<T>> slot_vals;
+  std::vector<Padded<HashDedupStats>> stat_partial;
+  ScanScratch<std::uint64_t> scan_scratch;
+  std::atomic<std::size_t> cursor{0};
+  std::size_t max_bucket = 0;  ///< published by tid 0 behind a barrier
+
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    std::size_t b = 0;
+    b += keys.capacity() * sizeof(std::uint64_t);
+    b += part.capacity() * sizeof(T);
+    b += part_keys.capacity() * sizeof(std::uint64_t);
+    b += counts.capacity() * sizeof(std::uint64_t);
+    b += scan.capacity() * sizeof(std::uint64_t);
+    b += bucket_start.capacity() * sizeof(std::uint64_t);
+    b += uniq.capacity() * sizeof(std::uint64_t);
+    for (const auto& v : slot_keys) b += v.capacity() * sizeof(std::uint64_t);
+    for (const auto& v : slot_vals) b += v.capacity() * sizeof(T);
+    return b;
+  }
+
+  void release() {
+    std::vector<std::uint64_t>().swap(keys);
+    std::vector<T>().swap(part);
+    std::vector<std::uint64_t>().swap(part_keys);
+    std::vector<std::uint64_t>().swap(counts);
+    std::vector<std::uint64_t>().swap(scan);
+    std::vector<std::uint64_t>().swap(bucket_start);
+    std::vector<std::uint64_t>().swap(uniq);
+    std::vector<std::vector<std::uint64_t>>().swap(slot_keys);
+    std::vector<std::vector<T>>().swap(slot_vals);
+  }
+};
+
+/// Deduplicate `data` by 64-bit key, keeping the `better()`-minimal element
+/// of every key group, as an in-region primitive: all team threads call it
+/// inside an open SPMD region with identical arguments; synchronization is
+/// ctx.barrier() only.  On return `data` holds exactly one element per
+/// distinct key (order deterministic and p-independent, but NOT sorted).
+///
+/// `key(elem)` must be pure and never return kHashEmptyKey.  `better(a, b)`
+/// must be a strict total order on same-key elements so the winner does not
+/// depend on encounter order.  Probe statistics are accumulated into `stats`
+/// (tid 0 only, behind the exit barrier) when non-null.
+template <class T, class KeyFn, class Better>
+void radix_hash_dedup_in_region(TeamCtx& ctx, std::vector<T>& data,
+                                RadixHashMapScratch<T>& s, KeyFn&& key,
+                                Better&& better,
+                                HashDedupStats* stats = nullptr) {
+  const std::size_t n = data.size();
+  const int p = ctx.nthreads();
+  const auto P = static_cast<std::size_t>(p);
+  const auto t = static_cast<std::size_t>(ctx.tid());
+
+  // Trivial inputs: still barrier before returning, so every thread's size
+  // read is ordered before any caller-side mutation of `data` after this
+  // call (e.g. compact-graph swapping the vector on tid 0).
+  if (n < 2) {
+    if (p > 1) ctx.barrier();
+    return;
+  }
+
+  // Sequential path, gated on input size ONLY (never on p) so the output is
+  // bit-identical across team sizes.
+  if (n < kCompactHashSeqCutoff) {
+    if (p > 1) ctx.barrier();  // entry: all threads read the header first
+    if (ctx.tid() == 0) {
+      HashDedupStats local;
+      const std::size_t tb = next_pow2_size(std::max<std::size_t>(2 * n, 8));
+      const std::uint64_t mask = tb - 1;
+      if (s.slot_keys.empty()) s.slot_keys.resize(1);
+      if (s.slot_vals.empty()) s.slot_vals.resize(1);
+      if (s.slot_keys[0].size() < tb) s.slot_keys[0].resize(tb);
+      if (s.slot_vals[0].size() < tb) s.slot_vals[0].resize(tb);
+      std::uint64_t* tk = s.slot_keys[0].data();
+      T* tv = s.slot_vals[0].data();
+      std::fill(tk, tk + tb, kHashEmptyKey);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t k = key(data[i]);
+        std::size_t slot = hash_mix64(k) & mask;
+        std::uint64_t chain = 0;
+        for (;;) {
+          if (tk[slot] == kHashEmptyKey) {
+            tk[slot] = k;
+            tv[slot] = data[i];
+            break;
+          }
+          if (tk[slot] == k) {
+            if (better(data[i], tv[slot])) tv[slot] = data[i];
+            break;
+          }
+          slot = (slot + 1) & mask;
+          ++chain;
+        }
+        local.probe_steps += chain;
+        local.max_probe = std::max(local.max_probe, chain);
+      }
+      local.keys = n;
+      local.dedup_calls = 1;
+      std::size_t out = 0;
+      for (std::size_t slot = 0; slot < tb; ++slot) {
+        if (tk[slot] != kHashEmptyKey) data[out++] = tv[slot];
+      }
+      data.resize(out);
+      if (stats) *stats += local;
+    }
+    if (p > 1) ctx.barrier();
+    return;
+  }
+
+  // Bucket count: ~kCompactHashBucketTarget elements per bucket so each
+  // probe table (2x slots, key array + value array) stays L2-resident.
+  // Depends only on n, never on p.
+  int lg_nb = 1;
+  while ((std::size_t{1} << lg_nb) * kCompactHashBucketTarget < n &&
+         lg_nb < 16) {
+    ++lg_nb;
+  }
+  const std::size_t nb = std::size_t{1} << lg_nb;
+  const std::size_t stride = nb + kCacheLineBytes / sizeof(std::uint64_t);
+
+  if (ctx.tid() == 0) {
+    s.keys.resize(n);
+    s.part.resize(n);
+    s.part_keys.resize(n);
+    s.counts.resize(P * stride);
+    s.scan.resize(nb * P);
+    s.bucket_start.resize(nb + 1);
+    s.uniq.assign(nb + 1, 0);
+    if (s.slot_keys.size() < P) s.slot_keys.resize(P);
+    if (s.slot_vals.size() < P) s.slot_vals.resize(P);
+    s.stat_partial.resize(P);
+    s.scan_scratch.ensure(p);
+    s.cursor.store(0, std::memory_order_relaxed);
+  }
+  ctx.barrier();
+
+  // Count pass: cache the keys (the only key() evaluation) and histogram
+  // them into this thread's padded slab.
+  const IndexRange r = block_range(n, ctx.tid(), p);
+  std::uint64_t* my_counts = s.counts.data() + t * stride;
+  std::fill(my_counts, my_counts + nb, 0);
+  for (std::size_t i = r.begin; i < r.end; ++i) {
+    const std::uint64_t k = key(data[i]);
+    s.keys[i] = k;
+    ++my_counts[hash_bucket_of(k, lg_nb)];
+  }
+  ctx.barrier();
+
+  // Transpose to bucket-major, scan, transpose back: scanning in (bucket,
+  // thread) order is what makes the scatter stable (same idiom as the radix
+  // sort's counting passes).
+  const IndexRange br = block_range(nb, ctx.tid(), p);
+  for (std::size_t b = br.begin; b < br.end; ++b) {
+    for (std::size_t t2 = 0; t2 < P; ++t2) {
+      s.scan[b * P + t2] = s.counts[t2 * stride + b];
+    }
+  }
+  ctx.barrier();
+  if (p >= kRadixParallelScanThreads) {
+    (void)prefix_sum_in_region(
+        ctx, std::span<std::uint64_t>(s.scan.data(), nb * P), s.scan_scratch);
+  } else {
+    if (ctx.tid() == 0) {
+      (void)exclusive_scan_seq(
+          std::span<std::uint64_t>(s.scan.data(), nb * P));
+    }
+    ctx.barrier();
+  }
+  if (ctx.tid() == 0) {
+    std::size_t mx = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      s.bucket_start[b] = s.scan[b * P];
+      if (b > 0) mx = std::max(mx, s.bucket_start[b] - s.bucket_start[b - 1]);
+    }
+    s.bucket_start[nb] = n;
+    mx = std::max(mx, n - s.bucket_start[nb - 1]);
+    s.max_bucket = mx;
+  }
+  for (std::size_t b = br.begin; b < br.end; ++b) {
+    for (std::size_t t2 = 0; t2 < P; ++t2) {
+      s.counts[t2 * stride + b] = s.scan[b * P + t2];
+    }
+  }
+  ctx.barrier();
+
+  // Stable scatter into bucket segments.
+  for (std::size_t i = r.begin; i < r.end; ++i) {
+    const std::size_t b = hash_bucket_of(s.keys[i], lg_nb);
+    const std::uint64_t pos = my_counts[b]++;
+    s.part[pos] = data[i];
+    s.part_keys[pos] = s.keys[i];
+  }
+  ctx.barrier();
+
+  // Probe phase: dynamically schedule buckets (sizes skew when many arcs
+  // share one supervertex pair); each thread owns one table slab sized to
+  // the largest bucket and re-masks it per bucket.
+  {
+    const std::size_t cap =
+        next_pow2_size(std::max<std::size_t>(2 * s.max_bucket, 8));
+    if (s.slot_keys[t].size() < cap) s.slot_keys[t].resize(cap);
+    if (s.slot_vals[t].size() < cap) s.slot_vals[t].resize(cap);
+    std::uint64_t* tk = s.slot_keys[t].data();
+    T* tv = s.slot_vals[t].data();
+    HashDedupStats local;
+    for_range_dynamic(ctx, s.cursor, nb, 1, [&](std::size_t b) {
+      const std::size_t lo = s.bucket_start[b];
+      const std::size_t hi = s.bucket_start[b + 1];
+      const std::size_t len = hi - lo;
+      if (len == 0) return;  // s.uniq[b + 1] stays 0
+      const std::size_t tb = next_pow2_size(std::max<std::size_t>(2 * len, 8));
+      const std::uint64_t mask = tb - 1;
+      std::fill(tk, tk + tb, kHashEmptyKey);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint64_t k = s.part_keys[i];
+        std::size_t slot = hash_mix64(k) & mask;
+        std::uint64_t chain = 0;
+        for (;;) {
+          if (tk[slot] == kHashEmptyKey) {
+            tk[slot] = k;
+            tv[slot] = s.part[i];
+            break;
+          }
+          if (tk[slot] == k) {
+            if (better(s.part[i], tv[slot])) tv[slot] = s.part[i];
+            break;
+          }
+          slot = (slot + 1) & mask;
+          ++chain;
+        }
+        local.probe_steps += chain;
+        local.max_probe = std::max(local.max_probe, chain);
+      }
+      local.keys += len;
+      // Winners overwrite the bucket's own segment prefix (every source
+      // element already lives in the table), emitted in slot order.
+      std::size_t out = lo;
+      for (std::size_t slot = 0; slot < tb; ++slot) {
+        if (tk[slot] != kHashEmptyKey) s.part[out++] = tv[slot];
+      }
+      s.uniq[b + 1] = out - lo;
+    });
+    s.stat_partial[t].value = local;
+  }
+  ctx.barrier();
+
+  // Compact bucket prefixes into the output.  nb + 1 is small (n / ~4096),
+  // so tid 0 scans it sequentially; the shrink never reallocates.
+  if (ctx.tid() == 0) {
+    for (std::size_t b = 0; b < nb; ++b) s.uniq[b + 1] += s.uniq[b];
+    data.resize(s.uniq[nb]);
+    if (stats) {
+      HashDedupStats sum;
+      for (std::size_t t2 = 0; t2 < P; ++t2) sum += s.stat_partial[t2].value;
+      sum.dedup_calls = 1;
+      *stats += sum;
+    }
+  }
+  ctx.barrier();
+  for (std::size_t b = br.begin; b < br.end; ++b) {
+    const std::size_t cnt = s.uniq[b + 1] - s.uniq[b];
+    std::copy(s.part.begin() + static_cast<std::ptrdiff_t>(s.bucket_start[b]),
+              s.part.begin() +
+                  static_cast<std::ptrdiff_t>(s.bucket_start[b] + cnt),
+              data.begin() + static_cast<std::ptrdiff_t>(s.uniq[b]));
+  }
+  ctx.barrier();
+}
+
+/// Fork-join wrapper for tests and callers not already inside a region.
+template <class T, class KeyFn, class Better>
+void radix_hash_dedup(ThreadTeam& team, std::vector<T>& data, KeyFn&& key,
+                      Better&& better, HashDedupStats* stats = nullptr) {
+  RadixHashMapScratch<T> scratch;
+  team.run([&](TeamCtx& ctx) {
+    radix_hash_dedup_in_region(ctx, data, scratch, key, better, stats);
+  });
+}
+
+}  // namespace smp

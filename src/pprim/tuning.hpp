@@ -37,6 +37,32 @@ inline constexpr std::size_t kFindMinLocalBestCutoff = 4096;
 /// Overridable via MsfOptions::find_min_prune_block.
 inline constexpr std::size_t kFindMinPruneBlock = 64;
 
+/// Compact-graph deferral knobs (see core/deferred_el.hpp).  The deferred
+/// engines skip the full dedup/relabel while the live-edge fraction (arcs
+/// that survived self-loop/dominated-parallel pruning divided by the arc
+/// array size) stays at or above this threshold; below it, a full compact
+/// pays for itself by shrinking every later scan.  Overridable per solve via
+/// MsfOptions::compact_live_threshold.
+inline constexpr double kDefaultCompactLiveThreshold = 0.25;
+/// Arcs per dynamic-scheduling chunk of the deferred find-min scan; one
+/// chunk is also the exclusive ownership unit that makes dominated-parallel
+/// kill slots stable (see deferred_el.cpp).  Overridable via
+/// MsfOptions::compact_chunk.
+inline constexpr std::size_t kDefaultDeferredChunkArcs = 4096;
+/// Below this many live arcs a full compact is never worth the relabel
+/// traffic — the deferred engines just keep scanning the remnant in place.
+inline constexpr std::size_t kDeferredMinCompactArcs = std::size_t{1} << 14;
+/// Below this many elements the radix hash-map dedup runs single-threaded on
+/// tid 0.  The gate reads the input size ONLY (never the team size) so the
+/// dedup output is bit-identical across p.
+inline constexpr std::size_t kCompactHashSeqCutoff = std::size_t{1} << 13;
+/// Target elements per hash bucket: at 2x slots a bucket's probe table is
+/// ~8k slots of 8-byte keys plus values, comfortably L2-resident.
+inline constexpr std::size_t kCompactHashBucketTarget = 4096;
+/// log2 size of the per-thread direct-mapped dominated-parallel filter used
+/// by the deferred find-min scan (2^11 entries x 24 B = 48 KiB, L1-adjacent).
+inline constexpr int kDominatedTableBits = 11;
+
 namespace tuning_detail {
 inline std::atomic<std::size_t> g_parallel_for_cutoff{kDefaultParallelForCutoff};
 inline std::atomic<std::size_t> g_sample_sort_cutoff{kDefaultSampleSortCutoff};

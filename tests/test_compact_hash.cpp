@@ -1,0 +1,518 @@
+// The PR-7 compact-graph mechanisms, tested from the primitive up: the
+// radix hash-map dedup, hash-mode compact-graph on adversarial multigraphs,
+// deferred compaction vs. the eager reference loops, and the champion
+// pipeline that auto-selects between them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <random>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/deferred_el.hpp"
+#include "core/detail.hpp"
+#include "core/msf.hpp"
+#include "graph/generators.hpp"
+#include "pprim/fault.hpp"
+#include "pprim/radix_hash_map.hpp"
+#include "pprim/thread_team.hpp"
+#include "seq/seq_msf.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+
+// ---------------------------------------------------------------------------
+// Adversarial multigraph builders.  EdgeList permits parallel edges (only
+// self-loops are rejected), which is exactly what the hash dedup must chew
+// through: few distinct ⟨u, v⟩ pairs, many arcs per pair.
+
+/// Every edge connects the same two vertices: the whole graph is ONE hash
+/// key, so every arc of one bucket probes the same slot.
+EdgeList all_parallel_graph(int copies, std::uint64_t seed) {
+  EdgeList g(4);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> w(0.0, 1.0);
+  for (int i = 0; i < copies; ++i) g.add_edge(0, 1, w(rng));
+  g.add_edge(1, 2, w(rng));
+  g.add_edge(2, 3, w(rng));
+  return g;
+}
+
+/// Every weight identical: winners are decided purely by the WeightOrder
+/// orig-index tiebreak, so any encounter-order dependence shows up as a
+/// forest mismatch.
+EdgeList equal_weight_graph(VertexId n, int m, std::uint64_t seed) {
+  EdgeList g(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> v(0, n - 1);
+  for (int i = 0; i < m;) {
+    const VertexId a = v(rng), b = v(rng);
+    if (a == b) continue;
+    g.add_edge(a, b, 1.0);
+    ++i;
+  }
+  return g;
+}
+
+/// >90% duplicate pairs: m edges drawn from a pool of distinct pairs that is
+/// less than a tenth of m, so nearly every arc is a parallel copy.
+EdgeList mostly_duplicate_graph(VertexId n, int pairs, int m,
+                                std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> v(0, n - 1);
+  std::vector<std::pair<VertexId, VertexId>> pool;
+  while (static_cast<int>(pool.size()) < pairs) {
+    const VertexId a = v(rng), b = v(rng);
+    if (a != b) pool.emplace_back(a, b);
+  }
+  EdgeList g(n);
+  std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+  std::uniform_real_distribution<double> w(0.0, 1.0);
+  for (int i = 0; i < m; ++i) {
+    const auto [a, b] = pool[pick(rng)];
+    g.add_edge(a, b, w(rng));
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// RadixHashMap: the primitive, against a sequential reference.
+
+struct Item {
+  std::uint64_t key;
+  std::uint64_t val;
+};
+
+constexpr auto kItemKey = [](const Item& x) { return x.key; };
+constexpr auto kItemBetter = [](const Item& a, const Item& b) {
+  return a.val < b.val;
+};
+
+std::vector<Item> make_items(std::size_t n, std::uint64_t key_range,
+                             std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> k(0, key_range - 1);
+  std::vector<Item> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Distinct values keep kItemBetter a strict total order within a key.
+    items[i] = {k(rng), (rng() << 20) | i};
+  }
+  return items;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> as_pairs(
+    const std::vector<Item>& items) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(items.size());
+  for (const auto& x : items) out.emplace_back(x.key, x.val);
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> reference_dedup(
+    const std::vector<Item>& items) {
+  std::map<std::uint64_t, std::uint64_t> best;
+  for (const auto& x : items) {
+    auto [it, fresh] = best.emplace(x.key, x.val);
+    if (!fresh && x.val < it->second) it->second = x.val;
+  }
+  return {best.begin(), best.end()};
+}
+
+TEST(RadixHashMap, KeepsMinElementPerKey) {
+  // Well above kCompactHashSeqCutoff so the bucketed parallel path runs.
+  auto items = make_items(40000, 1500, 101);
+  const auto want = reference_dedup(items);
+  ThreadTeam team(4);
+  HashDedupStats stats;
+  radix_hash_dedup(team, items, kItemKey, kItemBetter, &stats);
+  auto got = as_pairs(items);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(stats.keys, 40000u);
+  EXPECT_EQ(stats.dedup_calls, 1u);
+}
+
+TEST(RadixHashMap, OutputIdenticalAcrossThreadCounts) {
+  // Not just the same *set*: the scatter order is deterministic, so the
+  // byte-for-byte sequence must agree for p ∈ {1, 2, 4, 8} on both the
+  // sequential-cutoff path (small n) and the bucketed path (large n).
+  for (const std::size_t n : {std::size_t{3000}, std::size_t{50000}}) {
+    const auto input = make_items(n, 700, 202);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> first;
+    for (const int p : {1, 2, 4, 8}) {
+      auto items = input;
+      ThreadTeam team(p);
+      radix_hash_dedup(team, items, kItemKey, kItemBetter);
+      if (p == 1) {
+        first = as_pairs(items);
+      } else {
+        EXPECT_EQ(as_pairs(items), first) << "n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(RadixHashMap, AllIdenticalKeysCollapseToSingleWinner) {
+  // Worst-case probe distribution: every element lands in one bucket's one
+  // home slot.
+  std::vector<Item> items(30000);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = {42, items.size() - i};
+  }
+  ThreadTeam team(4);
+  HashDedupStats stats;
+  radix_hash_dedup(team, items, kItemKey, kItemBetter, &stats);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].key, 42u);
+  EXPECT_EQ(items[0].val, 1u);
+  EXPECT_EQ(stats.keys, 30000u);
+}
+
+TEST(RadixHashMap, EmptyAndTinyInputs) {
+  ThreadTeam team(4);
+  std::vector<Item> items;
+  radix_hash_dedup(team, items, kItemKey, kItemBetter);
+  EXPECT_TRUE(items.empty());
+  items = {{7, 9}};
+  radix_hash_dedup(team, items, kItemKey, kItemBetter);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].val, 9u);
+  items = {{7, 9}, {3, 5}, {7, 2}};
+  radix_hash_dedup(team, items, kItemKey, kItemBetter);
+  auto got = as_pairs(items);
+  std::sort(got.begin(), got.end());
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> want = {{3, 5},
+                                                                     {7, 2}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(RadixHashMap, StatsAccumulateAcrossCallsAndScratchReleases) {
+  ThreadTeam team(2);
+  RadixHashMapScratch<Item> scratch;
+  HashDedupStats stats;
+  for (int call = 0; call < 2; ++call) {
+    auto items = make_items(20000, std::uint64_t{1} << 40, 303 + call);
+    team.run([&](TeamCtx& ctx) {
+      radix_hash_dedup_in_region(ctx, items, scratch, kItemKey, kItemBetter,
+                                 &stats);
+    });
+  }
+  EXPECT_EQ(stats.dedup_calls, 2u);
+  EXPECT_EQ(stats.keys, 40000u);
+  // ~20000 distinct keys hashed into power-of-two tables: some pair lands
+  // on the same home slot, so the probe counters must be non-trivial.
+  EXPECT_GT(stats.probe_steps, 0u);
+  EXPECT_GE(stats.max_probe, 1u);
+  // The scratch retains its slabs across calls; release() hands every byte
+  // back so CompactScratch::maybe_release can shed the peak footprint.
+  EXPECT_GT(scratch.footprint_bytes(), 0u);
+  scratch.release();
+  EXPECT_EQ(scratch.footprint_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CompactHash: hash-mode compact-graph, arc-level and end-to-end.
+
+TEST(CompactHash, ArcLevelMatchesRadixDedup) {
+  const EdgeList g = mostly_duplicate_graph(500, 900, 30000, 404);
+  std::vector<core::DirEdge> arcs;
+  arcs.reserve(2 * g.edges.size());
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    const auto& e = g.edges[i];
+    arcs.push_back({e.u, e.v, e.w, i});
+    arcs.push_back({e.v, e.u, e.w, i});
+  }
+  std::vector<VertexId> labels(g.num_vertices);
+  std::iota(labels.begin(), labels.end(), VertexId{0});
+  ThreadTeam team(4);
+  auto radix = core::detail::compact_arcs(team, std::vector<core::DirEdge>(arcs),
+                                          labels, core::CompactSortMode::kRadix);
+  auto hash = core::detail::compact_arcs(team, std::move(arcs), labels,
+                                         core::CompactSortMode::kHash);
+  const core::DirEdgeCompactLess less;
+  std::sort(radix.begin(), radix.end(), less);
+  std::sort(hash.begin(), hash.end(), less);
+  ASSERT_EQ(radix.size(), hash.size());
+  for (std::size_t i = 0; i < radix.size(); ++i) {
+    EXPECT_EQ(radix[i].u, hash[i].u) << i;
+    EXPECT_EQ(radix[i].v, hash[i].v) << i;
+    EXPECT_EQ(radix[i].w, hash[i].w) << i;
+    EXPECT_EQ(radix[i].orig, hash[i].orig) << i;
+  }
+}
+
+TEST(CompactHash, AdversarialMultigraphsMatchKruskal) {
+  const struct {
+    const char* name;
+    EdgeList g;
+  } cases[] = {
+      {"all-parallel", all_parallel_graph(20000, 505)},
+      {"equal-weights", equal_weight_graph(400, 24000, 506)},
+      {"mostly-duplicate", mostly_duplicate_graph(400, 800, 25000, 507)},
+  };
+  for (const auto& c : cases) {
+    const auto ref = test::sorted_ids(seq::kruskal_msf(c.g));
+    // Eager Bor-EL compacts every iteration, so kHash runs immediately…
+    core::MsfOptions eager;
+    eager.algorithm = core::Algorithm::kBorEL;
+    eager.threads = 4;
+    eager.deferred_compact = core::DeferredCompactMode::kOff;
+    eager.compact_sort = core::CompactSortMode::kHash;
+    EXPECT_EQ(test::sorted_ids(core::minimum_spanning_forest(c.g, eager)), ref)
+        << c.name;
+    // …and the champion default (deferred, hash full-compacts) must agree.
+    core::MsfOptions champ;
+    champ.threads = 4;
+    EXPECT_EQ(test::sorted_ids(core::minimum_spanning_forest(c.g, champ)), ref)
+        << c.name;
+    // Forcing full compacts on every iteration exercises the hash rebuild on
+    // these small graphs (the default threshold would defer throughout).
+    champ.compact_live_threshold = 0.99;
+    EXPECT_EQ(test::sorted_ids(core::minimum_spanning_forest(c.g, champ)), ref)
+        << c.name;
+  }
+}
+
+TEST(CompactHash, BitIdenticalAcrossThreadCounts) {
+  const EdgeList graphs[] = {
+      mostly_duplicate_graph(600, 1200, 40000, 608),
+      mesh2d(40, 40, 609),
+  };
+  for (const auto& g : graphs) {
+    for (const auto alg :
+         {core::Algorithm::kBorEL, core::Algorithm::kChampion}) {
+      std::vector<EdgeId> first;
+      double first_weight = 0.0;
+      for (const int p : {1, 2, 4, 8}) {
+        core::MsfOptions opts;
+        opts.algorithm = alg;
+        opts.threads = p;
+        opts.compact_sort = core::CompactSortMode::kHash;
+        opts.compact_live_threshold = 0.99;  // force hash compacts to run
+        const auto r = core::minimum_spanning_forest(g, opts);
+        if (p == 1) {
+          first = test::sorted_ids(r);
+          first_weight = r.total_weight;
+        } else {
+          EXPECT_EQ(test::sorted_ids(r), first)
+              << core::to_string(alg) << " p=" << p;
+          EXPECT_WEIGHT_EQ(r.total_weight, first_weight);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeferredCompact: watermark pruning vs. the eager reference loops.
+
+TEST(DeferredCompact, MatchesEagerForEveryEdgeVariant) {
+  const EdgeList graphs[] = {
+      random_graph(4000, 16000, 710),
+      mesh2d(50, 50, 711),
+      mostly_duplicate_graph(500, 1000, 30000, 712),
+  };
+  for (const auto& g : graphs) {
+    for (const auto alg : {core::Algorithm::kBorEL, core::Algorithm::kBorAL,
+                           core::Algorithm::kBorALM}) {
+      for (const int p : {1, 4}) {
+        core::MsfOptions eager;
+        eager.algorithm = alg;
+        eager.threads = p;
+        eager.deferred_compact = core::DeferredCompactMode::kOff;
+        const auto ref = core::minimum_spanning_forest(g, eager);
+        core::MsfOptions deferred;
+        deferred.algorithm = alg;
+        deferred.threads = p;
+        const auto got = core::minimum_spanning_forest(g, deferred);
+        EXPECT_EQ(test::sorted_ids(got), test::sorted_ids(ref))
+            << core::to_string(alg) << " p=" << p;
+        EXPECT_WEIGHT_EQ(got.total_weight, ref.total_weight);
+      }
+    }
+  }
+}
+
+TEST(DeferredCompact, ThresholdExtremesStillCorrect) {
+  // 1e-9 never rebuilds (pure deferral to the end); 0.99 rebuilds almost
+  // every iteration.  Both extremes must produce Kruskal's forest.
+  const EdgeList g = random_graph(3000, 12000, 813);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  for (const auto alg : {core::Algorithm::kBorEL, core::Algorithm::kBorAL,
+                         core::Algorithm::kBorALM,
+                         core::Algorithm::kChampion}) {
+    for (const double threshold : {1e-9, 0.99}) {
+      core::MsfOptions opts;
+      opts.algorithm = alg;
+      opts.threads = 4;
+      opts.compact_live_threshold = threshold;
+      EXPECT_EQ(test::sorted_ids(core::minimum_spanning_forest(g, opts)), ref)
+          << core::to_string(alg) << " threshold=" << threshold;
+    }
+  }
+}
+
+TEST(DeferredCompact, StatsExposeStrategyAndLiveFraction) {
+  const EdgeList g = random_graph(8000, 32000, 914);
+  std::vector<core::IterationStat> stats;
+  core::PhaseStats ps;
+  core::MsfOptions opts;
+  opts.threads = 4;  // champion default
+  opts.compact_live_threshold = 0.99;
+  opts.iteration_stats = &stats;
+  opts.phase_stats = &ps;
+  (void)core::minimum_spanning_forest(g, opts);
+  ASSERT_FALSE(stats.empty());
+  for (const auto& s : stats) {
+    EXPECT_GE(s.live_fraction, 0.0);
+    EXPECT_LE(s.live_fraction, 1.0);
+    EXPECT_TRUE(s.strategy == core::CompactStrategy::kDefer ||
+                s.strategy == core::CompactStrategy::kHash ||
+                s.strategy == core::CompactStrategy::kSort)
+        << core::to_string(s.strategy);
+  }
+  // The aggressive threshold forces full hash compacts, so the probe
+  // statistics must be populated and consistent.
+  EXPECT_GE(ps.hash_compacts, 1u);
+  EXPECT_GT(ps.hash_keys, 0u);
+  EXPECT_GE(ps.hash_max_probe, 0u);
+  // With the default threshold the deferred engine (Bor-EL under kAuto)
+  // defers instead of compacting.
+  std::vector<core::IterationStat> defer_stats;
+  core::MsfOptions lazy;
+  lazy.algorithm = core::Algorithm::kBorEL;
+  lazy.threads = 4;
+  lazy.iteration_stats = &defer_stats;
+  core::PhaseStats lazy_ps;
+  lazy.phase_stats = &lazy_ps;
+  (void)core::minimum_spanning_forest(g, lazy);
+  EXPECT_GE(lazy_ps.deferred_iterations, 1u);
+  ASSERT_FALSE(defer_stats.empty());
+  EXPECT_TRUE(std::any_of(defer_stats.begin(), defer_stats.end(),
+                          [](const core::IterationStat& s) {
+                            return s.strategy == core::CompactStrategy::kDefer;
+                          }));
+  // The champion default picks the Bor-FAL engine (BENCH_07: vertex-parallel
+  // find-min wins), and that choice is observable in the recorded strategy.
+  std::vector<core::IterationStat> champ_stats;
+  core::MsfOptions champ;
+  champ.threads = 4;
+  champ.iteration_stats = &champ_stats;
+  (void)core::minimum_spanning_forest(g, champ);
+  ASSERT_FALSE(champ_stats.empty());
+  for (const auto& s : champ_stats) {
+    EXPECT_EQ(s.strategy, core::CompactStrategy::kPointer);
+    EXPECT_GE(s.live_fraction, 0.0);
+    EXPECT_LE(s.live_fraction, 1.0);
+  }
+}
+
+TEST(DeferredCompact, CompactScratchReleaseIsObservable) {
+  // Build a peak-sized compact, then show maybe_release() returns the slabs
+  // once the working set collapses — and retains them while it does not.
+  const EdgeList g = mostly_duplicate_graph(600, 1200, 60000, 915);
+  std::vector<core::DirEdge> arcs;
+  for (EdgeId i = 0; i < g.edges.size(); ++i) {
+    const auto& e = g.edges[i];
+    arcs.push_back({e.u, e.v, e.w, i});
+    arcs.push_back({e.v, e.u, e.w, i});
+  }
+  std::vector<VertexId> labels(g.num_vertices);
+  std::iota(labels.begin(), labels.end(), VertexId{0});
+  ThreadTeam team(4);
+  core::detail::CompactScratch scratch;
+  for (const auto mode :
+       {core::CompactSortMode::kRadix, core::CompactSortMode::kHash}) {
+    auto work = arcs;
+    team.run([&](TeamCtx& ctx) {
+      core::detail::compact_arcs_in_region(ctx, work, labels, mode, scratch);
+    });
+  }
+  const std::size_t peak = scratch.footprint_bytes();
+  ASSERT_GT(peak, 0u);
+  // A same-scale compact keeps the slabs (grow-only plateau)…
+  scratch.maybe_release(arcs.size());
+  EXPECT_EQ(scratch.footprint_bytes(), peak);
+  // …but once the arc count collapses below capacity / kShrinkDivisor the
+  // buffers go back to the allocator, observably.
+  scratch.maybe_release(64);
+  EXPECT_EQ(scratch.footprint_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Champion: the auto-tuned pipeline.
+
+TEST(Champion, IsTheDefaultAlgorithm) {
+  EXPECT_EQ(core::MsfOptions{}.algorithm, core::Algorithm::kChampion);
+  const EdgeList g = random_graph(2000, 8000, 110);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  EXPECT_EQ(test::sorted_ids(core::minimum_spanning_forest(g, {})), ref);
+}
+
+TEST(Champion, MatchesPaperVariantsAcrossThreadCounts) {
+  const EdgeList graphs[] = {
+      random_graph(4000, 16000, 111),
+      mesh2d_p(45, 45, 0.6, 112),
+      equal_weight_graph(500, 20000, 113),
+  };
+  for (const auto& g : graphs) {
+    const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+    for (const int p : {1, 2, 4, 8}) {
+      const auto champ = test::run_alg(g, core::Algorithm::kChampion, p);
+      const auto fal = test::run_alg(g, core::Algorithm::kBorFAL, p);
+      EXPECT_EQ(test::sorted_ids(champ), ref) << "p=" << p;
+      EXPECT_EQ(test::sorted_ids(fal), test::sorted_ids(champ)) << "p=" << p;
+      EXPECT_WEIGHT_EQ(champ.total_weight, fal.total_weight);
+    }
+  }
+}
+
+TEST(Champion, FallbackPathsMatch) {
+  // Scan find-min and disabled deferral both route champion onto reference
+  // paths (Bor-FAL and the eager loops); the forest must not change.
+  const EdgeList g = random_graph(3000, 12000, 214);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  core::MsfOptions scan;
+  scan.threads = 4;
+  scan.find_min = core::FindMinMode::kScan;
+  EXPECT_EQ(test::sorted_ids(core::minimum_spanning_forest(g, scan)), ref);
+  core::MsfOptions off;
+  off.threads = 4;
+  off.deferred_compact = core::DeferredCompactMode::kOff;
+  EXPECT_EQ(test::sorted_ids(core::minimum_spanning_forest(g, off)), ref);
+}
+
+class ChampionFaults : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::disarm_all(); }
+};
+
+TEST_F(ChampionFaults, FaultSitesUnwindAndTeamSurvives) {
+  const EdgeList g = random_graph(4000, 16000, 315);
+  const auto ref = test::sorted_ids(seq::kruskal_msf(g));
+  ThreadTeam team(4);
+  core::MsfOptions opts;
+  opts.threads = 4;
+  opts.compact_live_threshold = 0.99;  // make the compact sites reachable
+  for (const char* site :
+       {"champion.find-min", "champion.connect", "champion.connect.region",
+        "champion.compact", "champion.compact.region"}) {
+    FaultInjector::arm(site, FaultKind::kBadAlloc);
+    EXPECT_THROW((void)core::champion_msf(team, g, opts), std::bad_alloc)
+        << site;
+    EXPECT_GE(FaultInjector::hits(site), 1u) << site;
+    FaultInjector::disarm_all();
+    // No terminate, no hung barrier — the same team solves cleanly.
+    EXPECT_EQ(test::sorted_ids(core::champion_msf(team, g, opts)), ref)
+        << site;
+  }
+}
+
+}  // namespace

@@ -38,11 +38,20 @@ TEST(IterationStats, VerticesAtLeastHalvePerIteration) {
 
 TEST(IterationStats, EdgeListShrinksForELGrowsNeverForFAL) {
   const EdgeList g = random_graph(3000, 12000, 4);
-  std::vector<core::IterationStat> el_stats, fal_stats, fal_scan_stats;
+  std::vector<core::IterationStat> el_stats, el_defer_stats, fal_stats,
+      fal_scan_stats;
+  {
+    // Eager compact-graph: the historical Bor-EL loop, opted out of deferral.
+    core::MsfOptions opts;
+    opts.algorithm = core::Algorithm::kBorEL;
+    opts.deferred_compact = core::DeferredCompactMode::kOff;
+    opts.iteration_stats = &el_stats;
+    (void)core::minimum_spanning_forest(g, opts);
+  }
   {
     core::MsfOptions opts;
     opts.algorithm = core::Algorithm::kBorEL;
-    opts.iteration_stats = &el_stats;
+    opts.iteration_stats = &el_defer_stats;
     (void)core::minimum_spanning_forest(g, opts);
   }
   {
@@ -62,7 +71,20 @@ TEST(IterationStats, EdgeListShrinksForELGrowsNeverForFAL) {
   EXPECT_EQ(el_stats[0].directed_edges, 2 * g.num_edges());
   for (std::size_t i = 1; i < el_stats.size(); ++i) {
     EXPECT_LT(el_stats[i].directed_edges, el_stats[i - 1].directed_edges)
-        << "Bor-EL compacts edges every iteration";
+        << "eager Bor-EL compacts edges every iteration";
+    EXPECT_EQ(el_stats[i].strategy, core::CompactStrategy::kEager);
+  }
+  // Deferred Bor-EL (the packed-path default) reports the live-arc working
+  // set: it starts at 2m, never grows, and may stay flat across deferred
+  // iterations instead of shrinking every time.
+  ASSERT_GE(el_defer_stats.size(), 2u);
+  EXPECT_EQ(el_defer_stats[0].directed_edges, 2 * g.num_edges());
+  for (std::size_t i = 1; i < el_defer_stats.size(); ++i) {
+    EXPECT_LE(el_defer_stats[i].directed_edges,
+              el_defer_stats[i - 1].directed_edges)
+        << "deferred live-arc working set is monotone non-increasing";
+    EXPECT_LE(el_defer_stats[i].live_fraction, 1.0);
+    EXPECT_GE(el_defer_stats[i].live_fraction, 0.0);
   }
   // Bor-FAL never physically removes edges; the default packed-key path
   // reports its live-arc working set, which starts at 2m and only shrinks.
@@ -154,12 +176,13 @@ TEST(PhaseStats, MstBcRoundsStayWithinRegionBudget) {
   EXPECT_LE(ps.regions_per_iteration(), 4.0);
 }
 
-TEST(CompactSortMode, RadixAndSampleProduceIdenticalForests) {
-  // The packed-key radix path and the comparator sample path must yield the
-  // same deduplicated graph, hence the same forest, on every algorithm that
-  // compacts arcs.
+TEST(CompactSortMode, RadixSampleAndHashProduceIdenticalForests) {
+  // The packed-key radix path, the comparator sample path, and the radix
+  // hash-map dedup must yield the same deduplicated graph, hence the same
+  // forest, on every algorithm that compacts arcs.
   const EdgeList g = random_graph(4000, 16000, 23);
-  for (const auto alg : {core::Algorithm::kBorEL, core::Algorithm::kMstBC}) {
+  for (const auto alg : {core::Algorithm::kBorEL, core::Algorithm::kMstBC,
+                         core::Algorithm::kChampion}) {
     core::MsfOptions opts;
     opts.algorithm = alg;
     opts.threads = 4;
@@ -167,9 +190,15 @@ TEST(CompactSortMode, RadixAndSampleProduceIdenticalForests) {
     const auto radix = core::minimum_spanning_forest(g, opts);
     opts.compact_sort = core::CompactSortMode::kSample;
     const auto sample = core::minimum_spanning_forest(g, opts);
+    opts.compact_sort = core::CompactSortMode::kHash;
+    const auto hash = core::minimum_spanning_forest(g, opts);
     EXPECT_EQ(test::sorted_ids(radix), test::sorted_ids(sample))
         << core::to_string(alg);
+    EXPECT_EQ(test::sorted_ids(radix), test::sorted_ids(hash))
+        << core::to_string(alg);
     EXPECT_DOUBLE_EQ(radix.total_weight, sample.total_weight)
+        << core::to_string(alg);
+    EXPECT_DOUBLE_EQ(radix.total_weight, hash.total_weight)
         << core::to_string(alg);
   }
 }

@@ -105,7 +105,8 @@ INSTANTIATE_TEST_SUITE_P(
                           core::Algorithm::kMstBC, core::Algorithm::kParKruskal,
                           core::Algorithm::kFilterKruskal,
                           core::Algorithm::kSampleFilter,
-                          core::Algorithm::kBorUF),
+                          core::Algorithm::kBorUF,
+                          core::Algorithm::kChampion),
         ::testing::Values(Family::kRandomSparse, Family::kRandomDense,
                           Family::kUltraSparse, Family::kMesh2D,
                           Family::kMesh2D60, Family::kMesh3D40,

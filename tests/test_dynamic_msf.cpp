@@ -119,7 +119,8 @@ INSTANTIATE_TEST_SUITE_P(
                           core::Algorithm::kParKruskal,
                           core::Algorithm::kFilterKruskal,
                           core::Algorithm::kSampleFilter,
-                          core::Algorithm::kBorUF),
+                          core::Algorithm::kBorUF,
+                          core::Algorithm::kChampion),
         ::testing::Values(1, 2, 4, 8)),
     [](const auto& info) {
       std::string name(core::to_string(std::get<0>(info.param)));

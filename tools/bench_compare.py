@@ -2,8 +2,8 @@
 """Regression gate for the fig-2 step-breakdown bench.
 
 Compares a freshly produced fig2_breakdown JSON against a committed
-baseline (bench/baselines/BENCH_05_smoke.json) and fails when the find-min
-acceleration regresses:
+baseline (bench/baselines/BENCH_07_smoke.json) and fails when the find-min
+acceleration or the compact-graph acceleration regresses:
 
   * Bor-FAL's find-min share of its own total exceeds the baseline share by
     more than --tolerance (relative, default 15%) plus a small absolute
@@ -12,6 +12,12 @@ acceleration regresses:
     sub-millisecond smoke timings from tripping it on noise.
   * A Bor-FAL record claims the packed-key kernel ("simd") but reports zero
     pruned arcs — live-arc pruning silently stopped working.
+  * Bor-EL's compact-graph share of its own total exceeds
+    --max-el-compact-share (default 60%): deferred compaction broke and the
+    pre-PR-7 compact-graph wall (~85% of total at density 10) is back.
+  * The champion pipeline's total exceeds the best paper variant's total on
+    the same graph by more than --champion-tolerance (default 10%) plus an
+    absolute slack: the auto-tuner is picking losing strategies.
   * A forest-identity check record is missing or not identical.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
@@ -26,6 +32,11 @@ import sys
 # tolerance: smoke-scale find-min times are ~1ms, where scheduler noise
 # easily moves the share by a point or two without any code change.
 ABS_SLACK = 0.02
+
+# Absolute slack, in seconds, for the champion-vs-best-variant gate: smoke
+# totals are a few ms, where a single scheduler hiccup outweighs any real
+# algorithmic difference.
+CHAMPION_ABS_SLACK_S = 0.01
 
 
 def load(path):
@@ -56,6 +67,10 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed relative growth of Bor-FAL's find-min share")
+    ap.add_argument("--max-el-compact-share", type=float, default=0.60,
+                    help="hard cap on Bor-EL's compact share of its total")
+    ap.add_argument("--champion-tolerance", type=float, default=0.10,
+                    help="allowed champion slowdown vs the best paper variant")
     args = ap.parse_args()
 
     base = timing_rows(load(args.baseline))
@@ -85,6 +100,38 @@ def main():
             failures.append(
                 f"Bor-FAL density={density} n={n}: simd mode but 0 pruned arcs "
                 "(live-arc pruning is dead)")
+
+    # Compact-graph gates run on the current document alone: they are
+    # absolute properties of this run, not relative to the baseline.
+    paper_variants = ("Bor-EL", "Bor-AL", "Bor-ALM", "Bor-FAL")
+    by_graph = {}
+    for (alg, density, n), c in cur.items():
+        by_graph.setdefault((density, n), {})[alg] = c
+    for (density, n), algs in sorted(by_graph.items()):
+        el = algs.get("Bor-EL")
+        if el is not None and el["total"] > 0:
+            share = el["compact"] / el["total"]
+            verdict = "OK" if share <= args.max_el_compact_share else "REGRESSED"
+            print(f"  Bor-EL density={density} n={n}: compact share "
+                  f"{share:.3f} (limit {args.max_el_compact_share:.2f}) {verdict}")
+            if share > args.max_el_compact_share:
+                failures.append(
+                    f"Bor-EL density={density} n={n}: compact share {share:.3f} "
+                    f"exceeds {args.max_el_compact_share:.0%} — the "
+                    "compact-graph wall is back")
+        champ = algs.get("Champion")
+        best_variant = min((algs[a]["total"] for a in paper_variants if a in algs),
+                           default=None)
+        if champ is not None and best_variant is not None:
+            limit = best_variant * (1.0 + args.champion_tolerance) + CHAMPION_ABS_SLACK_S
+            verdict = "OK" if champ["total"] <= limit else "REGRESSED"
+            print(f"  Champion density={density} n={n}: total {champ['total']:.4f}s "
+                  f"vs best variant {best_variant:.4f}s (limit {limit:.4f}s) {verdict}")
+            if champ["total"] > limit:
+                failures.append(
+                    f"Champion density={density} n={n}: total {champ['total']:.4f}s "
+                    f"loses to the best paper variant ({best_variant:.4f}s) by "
+                    f"more than {args.champion_tolerance:.0%}")
 
     idents = identity_rows(cur_doc)
     if not idents:

@@ -42,7 +42,10 @@ run_cli(0 out solve --alg filter-kruskal --validate ${WORK}/g.gr)
 # Execution-budget flags: a generous timeout still solves; degradation under
 # a tiny memory cap still yields a valid forest (and says so).
 run_cli(0 out solve --alg bor-el --threads 4 --timeout 600 --validate ${WORK}/g.gr)
-run_cli(0 out solve --alg bor-alm --threads 4 --mem-cap 8192 --validate ${WORK}/g.gr)
+# The aggressive live threshold forces an early full rebuild so the deferred
+# default still draws on the (capped) arenas.
+run_cli(0 out solve --alg bor-alm --threads 4 --mem-cap 8192
+        --compact-live-threshold 0.99 --validate ${WORK}/g.gr)
 string(FIND "${out}" "degraded to sequential" pos)
 if(pos EQUAL -1)
   message(FATAL_ERROR "mem-cap solve did not report degradation: ${out}")
@@ -76,7 +79,8 @@ run_cli(3 out solve --mode dynamic --update-trace ${WORK}/does-not-exist.txt ${W
 run_cli(2 out solve --mode dynamic ${WORK}/g.gr)  # missing --update-trace: usage
 run_cli(2 out bogus-command)
 run_cli(5 out solve --alg bor-fal --threads 4 --timeout 0 ${WORK}/g.gr)
-run_cli(6 out solve --alg bor-alm --threads 4 --mem-cap 8192 --no-fallback ${WORK}/g.gr)
+run_cli(6 out solve --alg bor-alm --threads 4 --mem-cap 8192
+        --compact-live-threshold 0.99 --no-fallback ${WORK}/g.gr)
 # A trace deleting a dead edge is invalid input: the graph is simple after
 # canonicalized load, so the second delete of {1,2} must fail whether or not
 # the pair existed initially.

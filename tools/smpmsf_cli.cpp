@@ -8,14 +8,17 @@
 //                [--stats-json FILE] [--find-min auto|scan|simd]
 //                [--find-min-local-best-threads N]
 //                [--find-min-local-best-cutoff N] [--find-min-prune-block N]
+//                [--compact-sort auto|radix|sample|hash]
+//                [--deferred-compact auto|on|off]
+//                [--compact-live-threshold X] [--compact-chunk N]
 //                [--mode static|dynamic] [--batch-size N] [--update-trace FILE]
 //                FILE
 //   smpmsf cc [--threads P] FILE
 //
 // Graph types: random (needs --m), mesh2d, mesh2d60, mesh3d40,
 // geometric (--k), str0..str3, rmat (needs --m).
-// Algorithms: bor-el bor-al bor-alm bor-fal mst-bc filter-kruskal sample-filter
-//             prim kruskal boruvka.
+// Algorithms: champion (default) bor-el bor-al bor-alm bor-fal mst-bc
+//             filter-kruskal sample-filter prim kruskal boruvka.
 //
 // --mode dynamic maintains the forest through a batch-dynamic update trace
 // (--update-trace, applied in batches of --batch-size ops):
@@ -79,11 +82,14 @@ using namespace smp::graph;
                "               [--find-min auto|scan|simd]"
                " [--find-min-local-best-threads N]"
                " [--find-min-local-best-cutoff N] [--find-min-prune-block N]\n"
+               "               [--compact-sort auto|radix|sample|hash]"
+               " [--deferred-compact auto|on|off]"
+               " [--compact-live-threshold X] [--compact-chunk N]\n"
                "               [--mode static|dynamic] [--batch-size N]"
                " [--update-trace FILE] FILE\n"
                "  smpmsf cc [--threads P] FILE\n"
                "types: random mesh2d mesh2d60 mesh3d40 geometric str0-str3 rmat\n"
-               "algs:  bor-el bor-al bor-alm bor-fal mst-bc bor-uf par-kruskal filter-kruskal sample-filter"
+               "algs:  champion bor-el bor-al bor-alm bor-fal mst-bc bor-uf par-kruskal filter-kruskal sample-filter"
                " prim kruskal boruvka\n");
   std::exit(2);
 }
@@ -95,6 +101,7 @@ constexpr struct {
   const char* name;
   core::Algorithm alg;
 } kAlgorithms[] = {
+    {"champion", core::Algorithm::kChampion},
     {"bor-el", core::Algorithm::kBorEL},
     {"bor-al", core::Algorithm::kBorAL},
     {"bor-alm", core::Algorithm::kBorALM},
@@ -135,6 +142,25 @@ core::FindMinMode parse_find_min(const std::string& s) {
   if (s == "simd") return core::FindMinMode::kSimd;
   throw smp::Error(smp::ErrorCode::kInvalidInput,
                    "unknown find-min mode '" + s + "' (valid: auto scan simd)");
+}
+
+core::CompactSortMode parse_compact_sort(const std::string& s) {
+  if (s == "auto") return core::CompactSortMode::kAuto;
+  if (s == "radix") return core::CompactSortMode::kRadix;
+  if (s == "sample") return core::CompactSortMode::kSample;
+  if (s == "hash") return core::CompactSortMode::kHash;
+  throw smp::Error(
+      smp::ErrorCode::kInvalidInput,
+      "unknown compact-sort mode '" + s + "' (valid: auto radix sample hash)");
+}
+
+core::DeferredCompactMode parse_deferred_compact(const std::string& s) {
+  if (s == "auto") return core::DeferredCompactMode::kAuto;
+  if (s == "on") return core::DeferredCompactMode::kOn;
+  if (s == "off") return core::DeferredCompactMode::kOff;
+  throw smp::Error(smp::ErrorCode::kInvalidInput,
+                   "unknown deferred-compact mode '" + s +
+                       "' (valid: auto on off)");
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -454,6 +480,28 @@ void write_stats_json(const std::string& path, const std::string& alg,
                 static_cast<unsigned long long>(pstats.regions),
                 pstats.regions_per_iteration());
   os << buf;
+  // Compact-graph strategy mix (deferred-compaction engines only; all-zero
+  // for eager algorithms) plus the radix hash-map's probe statistics.
+  std::snprintf(buf, sizeof buf,
+                ", \"compact\": {\"deferred_iterations\": %llu"
+                ", \"hash_compacts\": %llu, \"sort_compacts\": %llu"
+                ", \"merge_rebuilds\": %llu",
+                static_cast<unsigned long long>(pstats.deferred_iterations),
+                static_cast<unsigned long long>(pstats.hash_compacts),
+                static_cast<unsigned long long>(pstats.sort_compacts),
+                static_cast<unsigned long long>(pstats.merge_rebuilds));
+  os << buf;
+  std::snprintf(
+      buf, sizeof buf,
+      ", \"hash\": {\"keys\": %llu, \"probe_steps\": %llu"
+      ", \"max_probe\": %llu, \"probe_steps_per_key\": %.3f}}",
+      static_cast<unsigned long long>(pstats.hash_keys),
+      static_cast<unsigned long long>(pstats.hash_probe_steps),
+      static_cast<unsigned long long>(pstats.hash_max_probe),
+      pstats.hash_keys != 0 ? static_cast<double>(pstats.hash_probe_steps) /
+                                  static_cast<double>(pstats.hash_keys)
+                            : 0.0);
+  os << buf;
   std::snprintf(buf, sizeof buf,
                 ", \"step_times\": {\"find_min\": %.6f, \"connect\": %.6f"
                 ", \"compact\": %.6f, \"other\": %.6f, \"total\": %.6f}",
@@ -471,7 +519,7 @@ void write_stats_json(const std::string& path, const std::string& alg,
 int cmd_solve(const Flags& f) {
   if (f.positional.size() != 1) usage("solve needs exactly one FILE");
   const EdgeList g = load(f.positional[0]);
-  const std::string alg = f.get("--alg").value_or("bor-fal");
+  const std::string alg = f.get("--alg").value_or("champion");
   const int threads = static_cast<int>(f.num("--threads", 1));
   const std::uint64_t seed = f.num("--seed", 1);
 
@@ -485,6 +533,17 @@ int cmd_solve(const Flags& f) {
       static_cast<std::size_t>(f.num("--find-min-local-best-cutoff", 0));
   opts.find_min_prune_block =
       static_cast<std::size_t>(f.num("--find-min-prune-block", 0));
+  opts.compact_sort = parse_compact_sort(f.get("--compact-sort").value_or("auto"));
+  opts.deferred_compact =
+      parse_deferred_compact(f.get("--deferred-compact").value_or("auto"));
+  if (const auto thr = f.real("--compact-live-threshold")) {
+    if (*thr <= 0 || *thr > 1) {
+      throw smp::Error(smp::ErrorCode::kInvalidInput,
+                       "--compact-live-threshold must be in (0, 1]");
+    }
+    opts.compact_live_threshold = *thr;
+  }
+  opts.compact_chunk = static_cast<std::size_t>(f.num("--compact-chunk", 0));
 
   // Asking for more threads than the machine has is legal (the paper's
   // oversubscription runs do exactly that) but silently skews timings, so
