@@ -5,6 +5,12 @@
 // ratios, and reports client-side p50/p95/p99 plus achieved throughput and
 // the registry's coalescing counters.  --json writes BENCH_04.json.
 //
+// Mix selection (BENCH_08):
+//   --mix SPEC       replace the default {r90w10, r50w50} mixes; repeatable.
+//                    SPEC is rNN[qNN]wNN — read/query/write percentages
+//                    summing to 100, where q ops hit the ForestIndex
+//                    (pathmax/conn, occasional topk).  e.g. --mix r40q40w20.
+//
 // Durability extensions (BENCH_06):
 //   --data-dir DIR   run the mixes against a durable service (WAL + group
 //                    commit under --fsync) rooted at DIR; every JSON row
@@ -22,6 +28,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -44,9 +51,44 @@ using namespace smp::serve;
 namespace {
 
 struct Mix {
-  const char* name;
-  int read_pct;  // reads per 100 ops; the rest are single-edge insertions
+  std::string name;
+  int read_pct;   // plain reads (weight/connected) per 100 ops
+  int query_pct;  // index queries (pathmax/conn/topk) per 100 ops
+  // the rest are single-edge insertions
 };
+
+/// Parses a mix spec like "r90w10" or "r40q40w20": each letter (r = read,
+/// q = query, w = write) is followed by its percentage; the three must sum
+/// to 100.  Letters may appear in any order; omitted ones default to 0.
+Mix parse_mix(const std::string& spec) {
+  Mix mix{spec, 0, 0};
+  int write_pct = 0;
+  std::size_t i = 0;
+  while (i < spec.size()) {
+    const char kind = spec[i++];
+    std::size_t j = i;
+    while (j < spec.size() && std::isdigit(static_cast<unsigned char>(spec[j]))) {
+      ++j;
+    }
+    if (j == i || (kind != 'r' && kind != 'q' && kind != 'w')) {
+      std::fprintf(stderr,
+                   "bench_serve: bad --mix %s (want rNN[qNN]wNN)\n",
+                   spec.c_str());
+      std::exit(2);
+    }
+    const int pct = std::atoi(spec.substr(i, j - i).c_str());
+    if (kind == 'r') mix.read_pct = pct;
+    if (kind == 'q') mix.query_pct = pct;
+    if (kind == 'w') write_pct = pct;
+    i = j;
+  }
+  if (mix.read_pct + mix.query_pct + write_pct != 100) {
+    std::fprintf(stderr, "bench_serve: --mix %s percentages must sum to 100\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  return mix;
+}
 
 struct MixResult {
   std::size_t ok = 0;
@@ -54,6 +96,7 @@ struct MixResult {
   std::size_t errors = 0;
   double wall_s = 0;
   std::vector<double> read_us;
+  std::vector<double> query_us;
   std::vector<double> write_us;
 };
 
@@ -138,13 +181,33 @@ MixResult run_mix(ServiceCore& svc, const Mix& mix, VertexId n, int threads,
 
         Request req;
         req.session = "g";
-        const bool read = pct(rng) < mix.read_pct;
-        is_read[slot] = read ? 1 : 0;
-        if (read) {
+        const int roll = pct(rng);
+        // 0 = write, 1 = read, 2 = index query.
+        const int kind = roll < mix.read_pct                  ? 1
+                         : roll < mix.read_pct + mix.query_pct ? 2
+                                                               : 0;
+        is_read[slot] = static_cast<std::uint8_t>(kind);
+        if (kind == 1) {
           if (pct(rng) < 50) {
             req.op = Op::kWeight;
           } else {
             req.op = Op::kConnected;
+            req.u = vtx(rng);
+            req.v = vtx(rng);
+            while (req.v == req.u) req.v = vtx(rng);
+          }
+        } else if (kind == 2) {
+          // Mostly the O(log n)/O(1) index ops, an occasional top-k scan.
+          const int q = pct(rng);
+          if (q < 45) {
+            req.op = Op::kPathMax;
+          } else if (q < 90) {
+            req.op = Op::kConn;
+          } else {
+            req.op = Op::kTopK;
+            req.limit = 8;
+          }
+          if (req.op != Op::kTopK) {
             req.u = vtx(rng);
             req.v = vtx(rng);
             while (req.v == req.u) req.v = vtx(rng);
@@ -188,7 +251,10 @@ MixResult run_mix(ServiceCore& svc, const Mix& mix, VertexId n, int threads,
       ++r.errors;
     } else {
       ++r.ok;
-      (is_read[i] ? r.read_us : r.write_us).push_back(lat[i]);
+      (is_read[i] == 1   ? r.read_us
+       : is_read[i] == 2 ? r.query_us
+                         : r.write_us)
+          .push_back(lat[i]);
     }
   }
   return r;
@@ -286,6 +352,7 @@ int main(int argc, char** argv) {
   std::string data_dir;
   persist::FsyncPolicy fsync = persist::FsyncPolicy::kInterval;
   bool recover_mode = false;
+  std::vector<Mix> mixes;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -302,9 +369,14 @@ int main(int argc, char** argv) {
       fsync = persist::parse_fsync_policy(need("--fsync"));
     } else if (std::strcmp(argv[i], "--recover") == 0) {
       recover_mode = true;
+    } else if (std::strcmp(argv[i], "--mix") == 0) {
+      mixes.push_back(parse_mix(need("--mix")));
     } else {
       rest.push_back(argv[i]);
     }
+  }
+  if (mixes.empty()) {
+    mixes = {parse_mix("r90w10"), parse_mix("r50w50")};
   }
   const bench::Args args =
       bench::parse_args(static_cast<int>(rest.size()), rest.data());
@@ -359,7 +431,6 @@ int main(int argc, char** argv) {
   const double target_rps = 1500.0;
   const std::size_t ops_per_client = 3000 / static_cast<std::size_t>(clients);
 
-  const Mix mixes[] = {{"r90w10", 90}, {"r50w50", 50}};
   const bool durable = !data_dir.empty();
   const std::string fsync_name =
       durable ? std::string(persist::to_string(fsync)) : "none";
@@ -369,9 +440,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(n),
               static_cast<unsigned long long>(m), clients, target_rps,
               fsync_name.c_str());
-  std::printf("%-8s %10s %8s %8s %9s %9s %9s %9s %9s %7s\n", "mix", "rps",
-              "ok", "rej", "p50ms", "p95ms", "p99ms", "w.p50ms", "w.p99ms",
-              "coal");
+  std::printf("%-10s %10s %8s %8s %9s %9s %9s %9s %9s %9s %7s\n", "mix",
+              "rps", "ok", "rej", "p50ms", "p95ms", "p99ms", "w.p50ms",
+              "w.p99ms", "q.p99ms", "coal");
 
   bench::JsonSink sink;
   for (const Mix& mix : mixes) {
@@ -406,6 +477,8 @@ int main(int argc, char** argv) {
     const double wp99 = quantile_us(r.write_us, 0.99) / 1000.0;
     const double rp50 = quantile_us(r.read_us, 0.50) / 1000.0;
     const double rp99 = quantile_us(r.read_us, 0.99) / 1000.0;
+    const double qp50 = quantile_us(r.query_us, 0.50) / 1000.0;
+    const double qp99 = quantile_us(r.query_us, 0.99) / 1000.0;
     const double rps = static_cast<double>(r.ok) / r.wall_s;
     const auto batches = svc.metrics().apply_batches.load();
     const auto coalesced = svc.metrics().coalesced_writes.load();
@@ -413,27 +486,29 @@ int main(int argc, char** argv) {
         batches == 0 ? 0.0
                      : static_cast<double>(coalesced) / static_cast<double>(batches);
 
-    std::printf("%-8s %10.1f %8zu %8zu %9.3f %9.3f %9.3f %9.3f %9.3f %7.2f\n",
-                mix.name, rps, r.ok, r.rejected, p50, p95, p99, wp50, wp99,
-                avg_coalesce);
+    std::printf(
+        "%-10s %10.1f %8zu %8zu %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %7.2f\n",
+        mix.name.c_str(), rps, r.ok, r.rejected, p50, p95, p99, wp50, wp99,
+        qp99, avg_coalesce);
 
-    char rec[768];
+    char rec[1024];
     std::snprintf(
         rec, sizeof rec,
         "{\"tag\": \"serve\", \"mix\": \"%s\", \"read_pct\": %d, "
-        "\"fsync\": \"%s\", "
+        "\"query_pct\": %d, \"fsync\": \"%s\", "
         "\"n\": %llu, \"m\": %llu, \"clients\": %d, \"target_rps\": %.0f, "
         "\"achieved_rps\": %.1f, \"ok\": %zu, \"rejected\": %zu, "
         "\"errors\": %zu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
         "\"p99_ms\": %.3f, \"read_p50_ms\": %.3f, \"read_p99_ms\": %.3f, "
+        "\"query_p50_ms\": %.3f, \"query_p99_ms\": %.3f, "
         "\"write_p50_ms\": %.3f, \"write_p99_ms\": %.3f, "
         "\"apply_batches\": %llu, \"coalesced_writes\": %llu, "
         "\"avg_coalesce\": %.2f}",
-        mix.name, mix.read_pct, fsync_name.c_str(),
+        mix.name.c_str(), mix.read_pct, mix.query_pct, fsync_name.c_str(),
         static_cast<unsigned long long>(n),
         static_cast<unsigned long long>(m), clients, target_rps, rps, r.ok,
-        r.rejected, r.errors, p50, p95, p99, rp50, rp99, wp50, wp99,
-        static_cast<unsigned long long>(batches),
+        r.rejected, r.errors, p50, p95, p99, rp50, rp99, qp50, qp99, wp50,
+        wp99, static_cast<unsigned long long>(batches),
         static_cast<unsigned long long>(coalesced), avg_coalesce);
     sink.add(rec);
     svc.shutdown();

@@ -1,0 +1,191 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/dendrogram.hpp"
+#include "dynamic/edge_store.hpp"
+#include "graph/types.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp::query {
+
+/// Immutable Euler-tour topology index over one committed version of a
+/// maintained forest — the query engine the serving layer answers pathmax /
+/// conn / cut / topk from, and the substrate the polylog dynamic-deletion
+/// line (Holm–Rotenberg–Wulff-Nilsen; ROADMAP) will search replacement
+/// edges on.
+///
+/// Built in parallel on the solver ThreadTeam from the forest edge list:
+///
+///   1. forest edges gathered ascending by store id, so the position of an
+///      edge in the index IS its WeightOrder tie-break rank order input —
+///      core::build_weight_ranks then yields a 32-bit *weight rank* per
+///      forest edge whose unsigned order equals ⟨weight, store-id⟩ exactly
+///      (the find_min packed-key scheme of PR 5, reused verbatim);
+///   2. a CSR adjacency over the 2·m_f forest arcs (stable counting sort,
+///      so child order is deterministic and thread-count independent);
+///   3. deterministic component labels (core::connected_components) and
+///      per-component roots (minimum vertex id of the component);
+///   4. an Euler/DFS tour: preorder vertex sequence with each component
+///      contiguous, entry/exit positions (tin/tout: the subtree of v is
+///      tour[tin(v), tout(v))), parent pointers, depths, and the packed
+///      ⟨rank, forest-position⟩ key of each vertex's parent edge;
+///   5. skip-level (binary-lifting) ancestor + path-max tables over the
+///      packed keys, so one unsigned uint64 max along a path is the full
+///      WeightOrder bottleneck comparison.
+///
+/// The whole object is immutable after construction (the lazily built
+/// dendrogram for cut() is memoized under an internal mutex); readers on
+/// any number of threads may query one instance concurrently.  Consistency
+/// with the live session state is the serving layer's job: each index
+/// carries the session `version` it was built from, and ServiceCore swaps
+/// whole instances via shared_ptr so a query never observes a half-built
+/// index.
+class ForestIndex {
+ public:
+  struct Stats {
+    std::uint64_t version = 0;
+    graph::VertexId num_vertices = 0;
+    std::size_t num_forest_edges = 0;
+    std::size_t num_components = 0;
+    std::uint32_t max_depth = 0;
+    std::uint32_t levels = 0;
+    double build_seconds = 0;
+  };
+
+  /// Bottleneck edge on the u–v forest path.  `connected == false` means
+  /// no path; u == v yields connected == true with edge_id == kInvalidEdge
+  /// (an empty path has no bottleneck — the serve layer rejects it before
+  /// it gets here).
+  struct PathMax {
+    bool connected = false;
+    graph::EdgeId edge_id = graph::kInvalidEdge;  ///< store id
+    graph::VertexId u = graph::kInvalidVertex;    ///< bottleneck endpoints
+    graph::VertexId v = graph::kInvalidVertex;
+    graph::Weight weight = 0;
+  };
+
+  /// Single-linkage cut at a threshold: cluster count plus an
+  /// order-sensitive FNV-1a digest of the (deterministic) label sequence,
+  /// cheap enough to ship over the wire and strong enough for the stress
+  /// suite's bit-identity comparison.
+  struct Cut {
+    std::size_t num_clusters = 0;
+    std::uint64_t labels_digest = 0;
+  };
+
+  struct TopkEdge {
+    graph::EdgeId id = graph::kInvalidEdge;  ///< store id
+    graph::VertexId u = 0;
+    graph::VertexId v = 0;
+    graph::Weight w = 0;
+  };
+
+  /// Builds from the live store and the maintained forest's store ids
+  /// (ascending, as DynamicMsf::forest_edge_ids returns them).  Runs a
+  /// sequence of parallel phases on `team` — the caller must own the team
+  /// (serving: hold solver_mu) and must not be inside an open region.
+  ForestIndex(ThreadTeam& team, const dynamic::EdgeStore& store,
+              std::span<const graph::EdgeId> forest_ids, std::uint64_t version);
+
+  [[nodiscard]] std::uint64_t version() const { return stats_.version; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::chrono::steady_clock::time_point built_at() const {
+    return built_at_;
+  }
+
+  /// O(1): same tree of the forest?
+  [[nodiscard]] bool connected(graph::VertexId u, graph::VertexId v) const {
+    return comp_[u] == comp_[v];
+  }
+
+  /// O(log n) bottleneck edge on the forest path (see PathMax).
+  [[nodiscard]] PathMax path_max(graph::VertexId u, graph::VertexId v) const;
+
+  /// Single-linkage clustering at threshold (edges with weight <= threshold
+  /// merge).  Memoizes the dendrogram on first use.  If `labels` is
+  /// non-null it receives the per-vertex cluster labels (dense, numbered by
+  /// first occurrence — deterministic).
+  [[nodiscard]] Cut cut(graph::Weight threshold,
+                        std::vector<graph::VertexId>* labels = nullptr) const;
+
+  /// The k lightest live edges of `store` crossing distinct clusters, in
+  /// ascending ⟨weight, store-id⟩ order.  With `lambda` the clusters are
+  /// cut(*lambda); without, every vertex is its own cluster, i.e. the k
+  /// lightest live edges overall.  The caller must hold the session state
+  /// (shared) lock: unlike the other ops this reads the mutable EdgeStore,
+  /// not just the index.  Scans in blocks, skimming each block with the
+  /// u64_argmin SIMD kernel over monotone weight bits so only candidates
+  /// that beat the current k-th bound are examined individually.
+  [[nodiscard]] std::vector<TopkEdge> top_k(
+      ThreadTeam& team, const dynamic::EdgeStore& store, std::size_t k,
+      std::optional<graph::Weight> lambda) const;
+
+  // --- topology accessors (tests; later: replacement-edge search) ---
+  [[nodiscard]] graph::VertexId num_vertices() const {
+    return stats_.num_vertices;
+  }
+  [[nodiscard]] std::size_t num_forest_edges() const { return fedges_.size(); }
+  [[nodiscard]] const graph::WEdge& forest_edge(std::size_t i) const {
+    return fedges_[i];
+  }
+  [[nodiscard]] graph::EdgeId forest_id(std::size_t i) const {
+    return fids_[i];
+  }
+  [[nodiscard]] graph::VertexId component(graph::VertexId v) const {
+    return comp_[v];
+  }
+  [[nodiscard]] graph::VertexId parent(graph::VertexId v) const {
+    return parent_[v];
+  }
+  [[nodiscard]] std::uint32_t depth(graph::VertexId v) const {
+    return depth_[v];
+  }
+  [[nodiscard]] std::uint32_t tin(graph::VertexId v) const { return tin_[v]; }
+  [[nodiscard]] std::uint32_t tout(graph::VertexId v) const { return tout_[v]; }
+  [[nodiscard]] const std::vector<graph::VertexId>& tour() const {
+    return tour_;
+  }
+
+ private:
+  [[nodiscard]] const core::Dendrogram& dendrogram() const;
+
+  Stats stats_;
+  std::chrono::steady_clock::time_point built_at_;
+
+  // Forest edges ascending by store id; position is the packed-key index.
+  std::vector<graph::WEdge> fedges_;
+  std::vector<graph::EdgeId> fids_;
+
+  // Per-vertex topology.
+  std::vector<graph::VertexId> comp_;    ///< dense component label
+  std::vector<graph::VertexId> parent_;  ///< roots point at themselves
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint64_t> pkey_;  ///< packed key of parent edge; 0 at roots
+  std::vector<graph::VertexId> tour_;
+  std::vector<std::uint32_t> tin_;
+  std::vector<std::uint32_t> tout_;
+
+  // Level-major skip tables: up_[k * n + v] jumps 2^k ancestors;
+  // upkey_[k * n + v] is the packed max key along that jump.
+  std::uint32_t levels_ = 0;
+  std::vector<graph::VertexId> up_;
+  std::vector<std::uint64_t> upkey_;
+
+  // Lazily built single-linkage dendrogram for cut().
+  mutable std::mutex dend_mu_;
+  mutable std::unique_ptr<core::Dendrogram> dend_;
+};
+
+/// Order-sensitive FNV-1a over a label sequence — the digest cut() reports.
+[[nodiscard]] std::uint64_t labels_digest(
+    std::span<const graph::VertexId> labels);
+
+}  // namespace smp::query

@@ -67,6 +67,13 @@ std::string MetricsRegistry::to_json(std::size_t queue_capacity,
                 u64(persist.fsyncs), u64(persist.snapshots), u64(recoveries),
                 u64(replayed_records), u64(dedup_hits));
   json += buf;
+  std::snprintf(buf, sizeof buf,
+                ", \"query_index\": {\"rebuilds\": %" PRIu64
+                ", \"hits\": %" PRIu64 ", \"misses\": %" PRIu64
+                ", \"rebuild_us\": ",
+                u64(index_rebuilds), u64(index_hits), u64(index_misses));
+  json += buf;
+  json += histogram_json(index_rebuild_us) + "}";
   json += ", \"ops\": {";
   bool first = true;
   for (int i = 0; i < kNumOps; ++i) {

@@ -51,6 +51,16 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> compactions{0};
   std::atomic<std::uint64_t> slots_reclaimed{0};
 
+  // --- query index ---
+  /// ForestIndex rebuilds (eager post-flush + lazy on the query path) and
+  /// their build-time distribution.
+  std::atomic<std::uint64_t> index_rebuilds{0};
+  Histogram index_rebuild_us;
+  /// Query fast path: answers served from a version-matched index without
+  /// the state lock vs. queries that found the index stale (or absent).
+  std::atomic<std::uint64_t> index_hits{0};
+  std::atomic<std::uint64_t> index_misses{0};
+
   // --- durability ---
   /// WAL append/fsync/snapshot counters, fed directly by the SessionLogs.
   persist::PersistCounters persist;
@@ -100,6 +110,10 @@ class MetricsRegistry {
     solver_repairs.store(0, std::memory_order_relaxed);
     compactions.store(0, std::memory_order_relaxed);
     slots_reclaimed.store(0, std::memory_order_relaxed);
+    index_rebuilds.store(0, std::memory_order_relaxed);
+    index_rebuild_us.reset();
+    index_hits.store(0, std::memory_order_relaxed);
+    index_misses.store(0, std::memory_order_relaxed);
     persist.wal_appends.store(0, std::memory_order_relaxed);
     persist.wal_bytes.store(0, std::memory_order_relaxed);
     persist.fsyncs.store(0, std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #include "serve/protocol.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -189,6 +190,33 @@ WireRequest parse_line(const std::string& line) {
       e.w = parse_double(toks[i + 2], "bad weight");
       wr.req.insertions.push_back(e);
     }
+  } else if (verb == "pathmax" || verb == "conn") {
+    wr.req.op = verb == "pathmax" ? Op::kPathMax : Op::kConn;
+    wr.req.session = need_session(toks);
+    if (toks.size() != 4) bad("usage: " + verb + " NAME U V");
+    wr.req.u = parse_vertex(toks[2]);
+    wr.req.v = parse_vertex(toks[3]);
+  } else if (verb == "cut") {
+    wr.req.op = Op::kCut;
+    wr.req.session = need_session(toks);
+    if (toks.size() != 3) bad("usage: cut NAME LAMBDA");
+    wr.req.lambda = parse_double(toks[2], "bad lambda");
+    if (!std::isfinite(wr.req.lambda)) bad("lambda must be finite");
+    wr.req.has_lambda = true;
+  } else if (verb == "topk") {
+    wr.req.op = Op::kTopK;
+    wr.req.session = need_session(toks);
+    std::string lambda;
+    if (consume_option(toks, "lambda", &lambda)) {
+      wr.req.lambda = parse_double(lambda, "bad lambda");
+      if (!std::isfinite(wr.req.lambda)) bad("lambda must be finite");
+      wr.req.has_lambda = true;
+    }
+    if (toks.size() != 3) bad("usage: topk NAME K [lambda=L]");
+    wr.req.limit = parse_u64(toks[2], "bad k");
+    if (wr.req.limit == 0 || wr.req.limit > kMaxTopK) {
+      bad("k must be in [1, " + std::to_string(kMaxTopK) + "]");
+    }
   } else if (verb == "delete") {
     wr.req.op = Op::kDelete;
     wr.req.session = need_session(toks);
@@ -247,9 +275,49 @@ std::string render_response(Op op, const Response& r) {
     case Op::kHealth: {
       char buf[64];
       std::snprintf(buf, sizeof buf, "%.3f", r.uptime_s);
-      return "ok queue=" + std::to_string(r.health_queue_depth) +
-             " sessions=" + std::to_string(r.health_sessions) +
-             " lsn=" + std::to_string(r.lsn) + " uptime_s=" + buf + "\n";
+      std::string out = "ok queue=" + std::to_string(r.health_queue_depth) +
+                        " sessions=" + std::to_string(r.health_sessions) +
+                        " lsn=" + std::to_string(r.lsn) + " uptime_s=" + buf;
+      // Per-session query-index status, present when a session was named.
+      if (r.index_status && !r.index_present) out += " index=none";
+      if (r.index_present) {
+        out += " index_version=" + std::to_string(r.index_version);
+        out += std::string(" index_fresh=") + (r.index_fresh ? "1" : "0");
+        out += " index_n=" + std::to_string(r.index_vertices);
+        out += " index_edges=" + std::to_string(r.index_edges);
+        std::snprintf(buf, sizeof buf, "%.3f", r.index_age_s);
+        out += std::string(" index_age_s=") + buf;
+        std::snprintf(buf, sizeof buf, "%.6f", r.index_build_s);
+        out += std::string(" index_build_s=") + buf;
+        out += " index_rebuilds=" + std::to_string(r.index_rebuilds);
+      }
+      return out + "\n";
+    }
+    case Op::kConn:
+      return std::string("ok connected=") + (r.connected ? "1" : "0") + "\n";
+    case Op::kPathMax: {
+      if (!r.pathmax_found) return "ok connected=0\n";
+      return "ok connected=1 id=" + std::to_string(r.pathmax_id) + " u=" +
+             std::to_string(r.pathmax_u + 1) + " v=" +
+             std::to_string(r.pathmax_v + 1) + " weight=" +
+             fmt_weight(r.pathmax_w) + "\n";
+    }
+    case Op::kCut: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(r.cut_digest));
+      return "ok clusters=" + std::to_string(r.clusters) + " digest=" + buf +
+             "\n";
+    }
+    case Op::kTopK: {
+      std::string out = "ok count=" + std::to_string(r.edges.size()) + "\n";
+      for (std::size_t i = 0; i < r.edges.size(); ++i) {
+        const graph::WEdge& e = r.edges[i];
+        out += "e " + std::to_string(e.u + 1) + " " + std::to_string(e.v + 1) +
+               " " + fmt_weight(e.w) + " id=" + std::to_string(r.edge_ids[i]) +
+               "\n";
+      }
+      return out + ".\n";
     }
     case Op::kInsert:
     case Op::kDelete: {

@@ -14,15 +14,22 @@ struct WireRequest {
   bool shutdown = false;  ///< stop the daemon (after responding)
 };
 
+/// Hard cap on `topk NAME K`: bounds both the response size and the
+/// per-thread candidate heaps of the scan.
+inline constexpr std::size_t kMaxTopK = 100000;
+
 /// Parses one request line of the line protocol (see docs/SERVING.md):
 ///
-///   ping | list | stats | quit | shutdown
+///   ping | list | stats | quit | shutdown | health [NAME]
 ///   open NAME (n=N | file=PATH)
 ///   drop NAME | weight NAME | recompute NAME | compact NAME
 ///   connected NAME U V
 ///   edges NAME [max=K]
 ///   insert NAME U V W [U V W ...]
 ///   delete NAME U V [U V ...]
+///   pathmax NAME U V | conn NAME U V
+///   cut NAME LAMBDA
+///   topk NAME K [lambda=L]
 ///
 /// any of which may end with `deadline=MS` (milliseconds).  Vertices are
 /// 1-based on the wire (DIMACS convention) and 0-based in the returned

@@ -15,7 +15,12 @@ namespace smp::serve {
 /// The request vocabulary of the serving layer.  Reads (kWeight, kConnected,
 /// kForestEdges, kSnapshot) run concurrently under a shared session lock;
 /// writes (kInsert, kDelete) are coalesced per session into one apply_batch;
-/// kRecompute and kCompact are exclusive but never coalesced.
+/// kRecompute and kCompact are exclusive but never coalesced.  The query ops
+/// (kPathMax, kConn, kCut) are served from the session's immutable
+/// ForestIndex snapshot — when the index matches the committed version they
+/// never take the state lock at all, so they cannot queue behind coalesced
+/// writes; kTopK additionally scans the live EdgeStore and therefore runs
+/// under the shared lock like the other reads.
 enum class Op : int {
   kPing = 0,
   kOpen,         ///< create a session (empty graph or loaded from file)
@@ -31,8 +36,12 @@ enum class Op : int {
   kStats,        ///< metrics dump as JSON
   kSnapshot,     ///< in-process only: atomic live-graph + forest snapshot
   kHealth,       ///< liveness probe: queue depth, sessions, LSN, uptime
+  kPathMax,      ///< bottleneck edge on the u-v forest path (O(log n))
+  kConn,         ///< O(1) connectivity from the index component labels
+  kCut,          ///< single-linkage clustering cut at threshold lambda
+  kTopK,         ///< k lightest live cluster-crossing edges
 };
-inline constexpr int kNumOps = static_cast<int>(Op::kHealth) + 1;
+inline constexpr int kNumOps = static_cast<int>(Op::kTopK) + 1;
 
 [[nodiscard]] constexpr std::string_view to_string(Op op) {
   switch (op) {
@@ -64,6 +73,14 @@ inline constexpr int kNumOps = static_cast<int>(Op::kHealth) + 1;
       return "snapshot";
     case Op::kHealth:
       return "health";
+    case Op::kPathMax:
+      return "pathmax";
+    case Op::kConn:
+      return "conn";
+    case Op::kCut:
+      return "cut";
+    case Op::kTopK:
+      return "topk";
   }
   return "?";
 }
@@ -128,8 +145,12 @@ struct Request {
   // kInsert / kDelete payloads.
   std::vector<graph::WEdge> insertions;
   std::vector<std::pair<graph::VertexId, graph::VertexId>> deletions;
-  // kForestEdges: cap on returned edges (0 = all).
+  // kForestEdges: cap on returned edges (0 = all).  kTopK: k (>= 1).
   std::size_t limit = 0;
+  // kCut: the clustering threshold.  kTopK: optional (has_lambda) cluster
+  // threshold restricting results to cluster-crossing edges.
+  double lambda = 0;
+  bool has_lambda = false;
   double deadline_s = 0;
   /// kInsert / kDelete: optional client idempotency id.  A retried write
   /// carrying the id of an already-committed one is answered from the
@@ -147,6 +168,10 @@ struct SnapshotData {
   std::vector<graph::EdgeId> forest_ids;  ///< ascending store ids
   graph::Weight weight = 0;
   std::size_t trees = 0;
+  /// Committed session version this snapshot captured.  Query responses
+  /// stamp the index version they answered from, so a stress reader can
+  /// pair an answer with the snapshot of the *same* committed state.
+  std::uint64_t version = 0;
 };
 
 struct Response {
@@ -181,6 +206,26 @@ struct Response {
   std::uint64_t health_queue_depth = 0;
   std::size_t health_sessions = 0;
   double uptime_s = 0;
+  // Query ops.  `index_version` is the committed version of the ForestIndex
+  // snapshot that produced the answer (kPathMax/kConn/kCut/kTopK).
+  std::uint64_t index_version = 0;
+  bool pathmax_found = false;          // kPathMax: false = disconnected
+  graph::EdgeId pathmax_id = 0;        // store id of the bottleneck edge
+  graph::VertexId pathmax_u = 0;       // its endpoints (0-based here)
+  graph::VertexId pathmax_v = 0;
+  graph::Weight pathmax_w = 0;
+  std::size_t clusters = 0;            // kCut
+  std::uint64_t cut_digest = 0;        // kCut: FNV-1a over the label sequence
+  std::vector<graph::EdgeId> edge_ids;  // kTopK: store ids parallel to edges
+  // kHealth, per session (when a session name was given): query-index state.
+  bool index_status = false;  ///< a session was named; index fields are valid
+  bool index_present = false;  ///< the session has a published index
+  bool index_fresh = false;
+  std::size_t index_vertices = 0;
+  std::size_t index_edges = 0;
+  double index_age_s = 0;       ///< seconds since last rebuild
+  double index_build_s = 0;     ///< duration of that rebuild
+  std::uint64_t index_rebuilds = 0;
 
   [[nodiscard]] bool ok() const { return status == Status::kOk; }
 };

@@ -16,6 +16,7 @@
 #include "core/error.hpp"
 #include "dynamic/dynamic_msf.hpp"
 #include "graph/io.hpp"
+#include "query/forest_index.hpp"
 
 namespace smp::serve {
 
@@ -45,6 +46,22 @@ struct Session {
   std::mutex cc_mu;
   std::uint64_t cc_version = ~std::uint64_t{0};
   core::CcResult cc;
+
+  // --- query engine (src/query) ---
+  /// Lock-free mirror of `version`, updated by every committer right after
+  /// the bump: the query fast path compares it against the published
+  /// index's version without touching state_mu.
+  std::atomic<std::uint64_t> committed_version{0};
+  /// Set by the first query op; write flushes only rebuild the index
+  /// eagerly for sessions that actually serve queries.
+  std::atomic<bool> query_active{false};
+  /// Guards the `index` pointer swap and serializes rebuilds (the cc_mu
+  /// pattern).  Readers copy the shared_ptr and drop the mutex — the index
+  /// object itself is immutable, so a whole-object swap means no query ever
+  /// observes a half-built index.
+  std::mutex index_mu;
+  std::shared_ptr<const query::ForestIndex> index;
+  std::atomic<std::uint64_t> index_rebuilds{0};
 
   // --- durability (log is null when the service runs without a data dir).
   // All SessionLog mutations (append / snapshot / mark_clean) happen under
@@ -133,6 +150,16 @@ std::vector<std::pair<std::string, std::uint64_t>> idem_window(
     if (it != s.idem.end()) out.emplace_back(it->first, it->second);
   }
   return out;
+}
+
+/// Committed-mutation bump, called under the exclusive state lock.  Every
+/// path that changes what a scratch solve of the session would return
+/// (apply / recompute / repair / compact — compaction renumbers the store
+/// ids the query index holds) goes through here, so the lock-free mirror
+/// the query fast path reads stays in step with the locked counter.
+void bump_version(Session& s) {
+  ++s.version;
+  s.committed_version.store(s.version, std::memory_order_release);
 }
 
 void fill_forest_facts(Response& r, const dynamic::DynamicMsf& m) {
@@ -319,6 +346,12 @@ void ServiceCore::execute(QueuedRequest qr) {
       case Op::kCompact:
         finish(qr, do_compact(*s));
         return;
+      case Op::kPathMax:
+      case Op::kConn:
+      case Op::kCut:
+      case Op::kTopK:
+        finish(qr, do_query(*s, qr));
+        return;
       default:
         finish(qr, do_read(*s, qr));
         return;
@@ -469,7 +502,30 @@ Response ServiceCore::do_health(const Request& req) {
       return make_error(Status::kNotFound,
                         "no session named '" + req.session + "'");
     }
-    lsn = it->second->committed_lsn.load(std::memory_order_relaxed);
+    Session& s = *it->second;
+    lsn = s.committed_lsn.load(std::memory_order_relaxed);
+    // Per-session query-index status.  The pointer copy is the only thing
+    // under index_mu; the index object itself is immutable.
+    r.index_status = true;
+    r.index_rebuilds = s.index_rebuilds.load(std::memory_order_relaxed);
+    std::shared_ptr<const query::ForestIndex> idx;
+    {
+      std::lock_guard<std::mutex> ilk(s.index_mu);
+      idx = s.index;
+    }
+    if (idx != nullptr) {
+      r.index_present = true;
+      r.index_version = idx->version();
+      r.index_fresh =
+          idx->version() ==
+          s.committed_version.load(std::memory_order_acquire);
+      r.index_vertices = idx->num_vertices();
+      r.index_edges = idx->num_forest_edges();
+      r.index_age_s =
+          std::chrono::duration<double>(Clock::now() - idx->built_at())
+              .count();
+      r.index_build_s = idx->stats().build_seconds;
+    }
   }
   r.health_sessions = count;
   r.lsn = lsn;
@@ -525,12 +581,125 @@ Response ServiceCore::do_read(Session& s, const QueuedRequest& qr) {
       snap->forest_ids = m.forest_edge_ids();
       snap->weight = m.total_weight();
       snap->trees = m.num_trees();
+      snap->version = s.version;
       fill_forest_facts(r, m);
       r.snapshot = std::move(snap);
       return r;
     }
     default:
       return make_error(Status::kInternal, "bad read dispatch");
+  }
+}
+
+std::shared_ptr<const query::ForestIndex> ServiceCore::index_snapshot(
+    Session& s) {
+  std::lock_guard<std::mutex> lk(s.index_mu);
+  return s.index;
+}
+
+std::shared_ptr<const query::ForestIndex> ServiceCore::refresh_index_locked(
+    Session& s) {
+  // index_mu serializes concurrent rebuilders (the cc_mu pattern): the
+  // first one builds, the rest find the fresh index published under the
+  // same mutex.  `s.version` is stable — the caller holds state_mu.
+  std::lock_guard<std::mutex> lk(s.index_mu);
+  if (s.index != nullptr && s.index->version() == s.version) return s.index;
+  std::shared_ptr<const query::ForestIndex> idx;
+  {
+    std::lock_guard<std::mutex> solver(solver_mu_);
+    idx = std::make_shared<query::ForestIndex>(
+        solver_team_, s.msf->store(),
+        std::span<const EdgeId>(s.msf->forest_edge_ids()), s.version);
+  }
+  s.index = idx;
+  s.index_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  metrics_.index_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  metrics_.index_rebuild_us.record(
+      static_cast<std::uint64_t>(idx->stats().build_seconds * 1e6));
+  return idx;
+}
+
+Response ServiceCore::do_query(Session& s, const QueuedRequest& qr) {
+  s.query_active.store(true, std::memory_order_relaxed);
+  const Request& req = qr.req;
+  std::shared_ptr<const query::ForestIndex> idx;
+  Response r;
+  if (req.op == Op::kTopK) {
+    if (req.limit == 0) {
+      return make_error(Status::kInvalidInput, "topk needs k >= 1");
+    }
+    // topk reads the mutable EdgeStore, not just the index, so it runs
+    // under the shared lock like any other read (concurrent with reads,
+    // excluded from the flusher's apply).
+    std::shared_lock<std::shared_mutex> state(s.state_mu);
+    idx = refresh_index_locked(s);
+    r.index_version = idx->version();
+    std::optional<graph::Weight> lambda;
+    if (req.has_lambda) lambda = req.lambda;
+    std::vector<query::ForestIndex::TopkEdge> top;
+    {
+      // The scan runs as a team region; solver_mu keeps the team exclusive.
+      std::lock_guard<std::mutex> solver(solver_mu_);
+      top = idx->top_k(solver_team_, s.msf->store(), req.limit, lambda);
+    }
+    r.edges.reserve(top.size());
+    r.edge_ids.reserve(top.size());
+    for (const auto& e : top) {
+      r.edges.push_back(WEdge{e.u, e.v, e.w});
+      r.edge_ids.push_back(e.id);
+    }
+    return r;
+  }
+
+  // pathmax / conn / cut: fast path first — if the published index matches
+  // the committed version, answer from it without touching the state lock,
+  // so these reads never queue behind a coalesced write burst.
+  idx = index_snapshot(s);
+  if (idx != nullptr &&
+      idx->version() == s.committed_version.load(std::memory_order_acquire)) {
+    metrics_.index_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.index_misses.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> state(s.state_mu);
+    idx = refresh_index_locked(s);
+  }
+  r.index_version = idx->version();
+  const VertexId n = idx->num_vertices();
+  switch (req.op) {
+    case Op::kConn:
+      if (req.u >= n || req.v >= n) {
+        return make_error(Status::kInvalidInput, "vertex out of range");
+      }
+      r.connected = idx->connected(req.u, req.v);
+      return r;
+    case Op::kPathMax: {
+      if (req.u >= n || req.v >= n) {
+        return make_error(Status::kInvalidInput, "vertex out of range");
+      }
+      if (req.u == req.v) {
+        return make_error(Status::kInvalidInput,
+                          "pathmax endpoints must differ (empty path has no "
+                          "bottleneck edge)");
+      }
+      const query::ForestIndex::PathMax pm = idx->path_max(req.u, req.v);
+      r.pathmax_found = pm.connected;
+      r.connected = pm.connected;
+      if (pm.connected) {
+        r.pathmax_id = pm.edge_id;
+        r.pathmax_u = pm.u;
+        r.pathmax_v = pm.v;
+        r.pathmax_w = pm.weight;
+      }
+      return r;
+    }
+    case Op::kCut: {
+      const query::ForestIndex::Cut c = idx->cut(req.lambda);
+      r.clusters = c.num_clusters;
+      r.cut_digest = c.labels_digest;
+      return r;
+    }
+    default:
+      return make_error(Status::kInternal, "bad query dispatch");
   }
 }
 
@@ -550,7 +719,7 @@ Response ServiceCore::do_recompute(Session& s, const QueuedRequest& qr) {
       s.msf->recompute();
     }
     s.msf->set_budget(nullptr);
-    ++s.version;
+    bump_version(s);
     fill_forest_facts(r, *s.msf);
     r.applied = true;
     return r;
@@ -566,6 +735,7 @@ Response ServiceCore::do_compact(Session& s) {
   std::unique_lock<std::shared_mutex> lk(s.state_mu);
   const std::size_t before = s.msf->store().size();
   s.msf->compact_store();
+  bump_version(s);
   const std::size_t after = s.msf->store().size();
   metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
   metrics_.slots_reclaimed.fetch_add(before - after, std::memory_order_relaxed);
@@ -592,6 +762,7 @@ void ServiceCore::maybe_compact(Session& s) {
     return;
   }
   s.msf->compact_store();
+  bump_version(s);
   metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
   metrics_.slots_reclaimed.fetch_add(slots - s.msf->store().size(),
                                      std::memory_order_relaxed);
@@ -784,7 +955,7 @@ void ServiceCore::flush_writes(Session& s) {
           s.msf->apply_batch(ins, del);
         }
         s.msf->set_budget(nullptr);
-        ++s.version;
+        bump_version(s);
         metrics_.apply_batches.fetch_add(1, std::memory_order_relaxed);
         metrics_.coalesced_writes.fetch_add(members.size(),
                                             std::memory_order_relaxed);
@@ -797,6 +968,20 @@ void ServiceCore::flush_writes(Session& s) {
         // response also sees the post-compaction store (and a due snapshot
         // below captures the compacted, smaller store).
         maybe_compact(s);
+        // Query-active sessions get their ForestIndex rebuilt eagerly while
+        // we still hold the exclusive lock — but only when no further
+        // writes are pending, so a coalesced burst pays one rebuild at its
+        // tail, not one per group.  Sized by the acceptance gate: the
+        // rebuild must stay within 1x of the apply_batch solve it follows.
+        if (opts_.query_index_eager &&
+            s.query_active.load(std::memory_order_relaxed)) {
+          bool more;
+          {
+            std::lock_guard<std::mutex> lk(s.pending_mu);
+            more = !s.pending.empty();
+          }
+          if (!more && i >= batch.size()) refresh_index_locked(s);
+        }
         Response base;
         fill_forest_facts(base, *s.msf);
         base.applied = true;
@@ -978,6 +1163,7 @@ void ServiceCore::replay_tail(Session& s,
   while (i < tail.size()) {
     if (tail[i].compact) {
       s.msf->compact_store();
+      bump_version(s);
       ++i;
       continue;
     }
@@ -1013,7 +1199,7 @@ void ServiceCore::replay_tail(Session& s,
       std::lock_guard<std::mutex> solver(solver_mu_);
       s.msf->apply_batch(ins, del);
     }
-    ++s.version;
+    bump_version(s);
     i = j;
   }
 }
@@ -1083,7 +1269,7 @@ void ServiceCore::repair_after_failed_apply(Session& s) {
   try {
     std::lock_guard<std::mutex> solver(solver_mu_);
     s.msf->recompute();
-    ++s.version;
+    bump_version(s);
   } catch (...) {
     // Repair itself failed (true OOM): the forest stays stale.  The next
     // successful apply/recompute will fix it; readers meanwhile see the

@@ -18,6 +18,10 @@
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 
+namespace smp::query {
+class ForestIndex;
+}
+
 namespace smp::serve {
 
 struct Session;  // service_core.cpp
@@ -48,6 +52,11 @@ struct ServeOptions {
   /// live/slots < compact_live_ratio and slots >= compact_min_slots.
   double compact_live_ratio = 0.5;
   std::size_t compact_min_slots = 4096;
+  /// Rebuild a query-active session's ForestIndex eagerly at the end of each
+  /// write flush (while no further writes are pending), so the query fast
+  /// path finds a version-matched index instead of rebuilding lazily under
+  /// the shared lock.  Sessions that never saw a query op never pay this.
+  bool query_index_eager = true;
 
   // --- durability (PR 6) ---
   /// Root of the durable state: each session persists to
@@ -153,6 +162,20 @@ class ServiceCore {
   Response do_read(Session& s, const QueuedRequest& qr);
   Response do_recompute(Session& s, const QueuedRequest& qr);
   Response do_compact(Session& s);
+  /// kPathMax / kConn / kCut / kTopK.  The first three serve entirely from
+  /// the session's published ForestIndex when it matches the committed
+  /// version — no state lock, so they never queue behind coalesced writes;
+  /// a stale index is rebuilt under the shared lock.  kTopK also scans the
+  /// live EdgeStore and always runs under the shared lock.
+  Response do_query(Session& s, const QueuedRequest& qr);
+  /// The currently published index (possibly stale or null); lock-free
+  /// apart from the pointer-swap mutex.
+  [[nodiscard]] std::shared_ptr<const query::ForestIndex> index_snapshot(
+      Session& s);
+  /// Returns a version-matched index, rebuilding on the solver team if the
+  /// published one is stale.  Caller must hold s.state_mu (shared or
+  /// exclusive) so `version` cannot move underneath the build.
+  std::shared_ptr<const query::ForestIndex> refresh_index_locked(Session& s);
   void enqueue_write(const std::shared_ptr<Session>& s, QueuedRequest qr);
   void flush_writes(Session& s);
   void maybe_compact(Session& s);

@@ -95,7 +95,7 @@ std::vector<std::string> UdsClient::read_response(const std::string& line) {
   std::vector<std::string> out;
   out.push_back(read_line());
   const std::string verb = verb_of(line);
-  const bool multi = (verb == "edges" || verb == "stats") &&
+  const bool multi = (verb == "edges" || verb == "stats" || verb == "topk") &&
                      out.front().rfind("ok", 0) == 0;
   if (multi) {
     for (std::string l = read_line(); l != "."; l = read_line()) {

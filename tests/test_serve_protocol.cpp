@@ -128,4 +128,68 @@ TEST(ServeProtocol, RendersPayloadBlocks) {
   EXPECT_EQ(render_response(Op::kList, list), "ok count=2 sessions=a,b\n");
 }
 
+TEST(ServeProtocol, ParsesQueryVerbs) {
+  const WireRequest pm = parse_line("pathmax g 3 9");
+  EXPECT_EQ(pm.req.op, Op::kPathMax);
+  EXPECT_EQ(pm.req.session, "g");
+  EXPECT_EQ(pm.req.u, 2u);
+  EXPECT_EQ(pm.req.v, 8u);
+  EXPECT_THROW(parse_line("pathmax g 1"), Error);
+  EXPECT_THROW(parse_line("pathmax g 0 2"), Error);  // 1-based
+
+  const WireRequest cn = parse_line("conn g 1 2");
+  EXPECT_EQ(cn.req.op, Op::kConn);
+  EXPECT_EQ(cn.req.u, 0u);
+  EXPECT_EQ(cn.req.v, 1u);
+
+  const WireRequest ct = parse_line("cut g 0.75");
+  EXPECT_EQ(ct.req.op, Op::kCut);
+  EXPECT_DOUBLE_EQ(ct.req.lambda, 0.75);
+  EXPECT_TRUE(ct.req.has_lambda);
+  EXPECT_THROW(parse_line("cut g"), Error);
+  EXPECT_THROW(parse_line("cut g nan"), Error);
+
+  const WireRequest tk = parse_line("topk g 25");
+  EXPECT_EQ(tk.req.op, Op::kTopK);
+  EXPECT_EQ(tk.req.limit, 25u);
+  EXPECT_FALSE(tk.req.has_lambda);
+  const WireRequest tkl = parse_line("topk g 5 lambda=0.5");
+  EXPECT_EQ(tkl.req.limit, 5u);
+  EXPECT_TRUE(tkl.req.has_lambda);
+  EXPECT_DOUBLE_EQ(tkl.req.lambda, 0.5);
+  EXPECT_THROW(parse_line("topk g 0"), Error);
+  EXPECT_THROW(parse_line("topk g"), Error);
+}
+
+TEST(ServeProtocol, RendersQueryResponses) {
+  Response conn;
+  conn.connected = true;
+  conn.index_version = 3;
+  EXPECT_EQ(render_response(Op::kConn, conn), "ok connected=1\n");
+
+  Response pm;
+  pm.pathmax_found = true;
+  pm.pathmax_id = 17;
+  pm.pathmax_u = 0;
+  pm.pathmax_v = 4;
+  pm.pathmax_w = 2.5;
+  EXPECT_EQ(render_response(Op::kPathMax, pm),
+            "ok connected=1 id=17 u=1 v=5 weight=2.5\n");
+  Response disc;
+  EXPECT_EQ(render_response(Op::kPathMax, disc), "ok connected=0\n");
+
+  Response cut;
+  cut.clusters = 4;
+  cut.cut_digest = 0xdeadbeefull;
+  EXPECT_EQ(render_response(Op::kCut, cut),
+            "ok clusters=4 digest=00000000deadbeef\n");
+
+  Response topk;
+  topk.edges.push_back(graph::WEdge{0, 1, 1.5});
+  topk.edges.push_back(graph::WEdge{2, 3, 2.0});
+  topk.edge_ids = {7, 9};
+  EXPECT_EQ(render_response(Op::kTopK, topk),
+            "ok count=2\ne 1 2 1.5 id=7\ne 3 4 2 id=9\n.\n");
+}
+
 }  // namespace

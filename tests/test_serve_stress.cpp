@@ -6,13 +6,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <queue>
+#include <span>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/dendrogram.hpp"
 #include "core/msf.hpp"
 #include "pprim/rng.hpp"
+#include "query/forest_index.hpp"
 #include "serve/service_core.hpp"
 
 namespace {
@@ -131,6 +137,228 @@ TEST(ServeStress, EverySnapshotIsBitIdenticalToScratch) {
   check_snapshot(*last.snapshot, opts.msf);
   svc.shutdown();
 }
+
+/// Brute-force reference for one snapshot's query answers, computed from a
+/// *scratch solve* of the snapshot's live graph (independent of the forest
+/// the service maintained and of the ForestIndex skip tables).
+struct QueryReference {
+  VertexId n = 0;
+  std::unordered_map<EdgeId, WEdge> edge_of;              ///< store id -> edge
+  std::vector<std::vector<std::pair<VertexId, EdgeId>>> adj;  ///< forest
+
+  QueryReference(const SnapshotData& snap, const core::MsfOptions& opts)
+      : n(snap.live.num_vertices),
+        adj(snap.live.num_vertices),
+        // forest_ is declared before dend so sorted_forest may fill it here.
+        dend(snap.live.num_vertices,
+             sorted_forest(snap, core::minimum_spanning_forest_of_candidates(
+                                     snap.live, snap.live_ids, opts))) {
+    edge_of.reserve(snap.live_ids.size());
+    for (std::size_t i = 0; i < snap.live_ids.size(); ++i) {
+      edge_of[snap.live_ids[i]] = snap.live.edges[i];
+    }
+    // The dendrogram ctor above consumed the scratch forest; rebuild the
+    // adjacency from the same sorted edge set for pathmax walks.
+    for (const auto& [id, e] : forest_) {
+      adj[e.u].push_back({e.v, id});
+      adj[e.v].push_back({e.u, id});
+    }
+  }
+
+  /// BFS bottleneck on the scratch forest: <found, edge id, weight>.
+  [[nodiscard]] std::tuple<bool, EdgeId, Weight> path_max(VertexId u,
+                                                          VertexId v) const {
+    std::vector<VertexId> from(n, kInvalidVertex);
+    std::vector<EdgeId> via(n, kInvalidEdge);
+    std::queue<VertexId> q;
+    q.push(u);
+    from[u] = u;
+    while (!q.empty()) {
+      const VertexId x = q.front();
+      q.pop();
+      for (const auto& [y, id] : adj[x]) {
+        if (from[y] != kInvalidVertex) continue;
+        from[y] = x;
+        via[y] = id;
+        q.push(y);
+      }
+    }
+    if (from[v] == kInvalidVertex) return {false, kInvalidEdge, 0};
+    EdgeId best = kInvalidEdge;
+    Weight bw = 0;
+    bool has = false;
+    for (VertexId x = v; x != u; x = from[x]) {
+      const Weight w = edge_of.at(via[x]).w;
+      if (!has || w > bw || (w == bw && via[x] > best)) {
+        bw = w;
+        best = via[x];
+        has = true;
+      }
+    }
+    return {true, best, bw};
+  }
+
+ private:
+  std::vector<std::pair<EdgeId, WEdge>> forest_;
+
+ public:
+  core::Dendrogram dend;
+
+ private:
+  /// The scratch forest ascending by store id — the same edge order the
+  /// ForestIndex feeds its dendrogram, so cut labels are comparable
+  /// bit-for-bit.
+  MsfResult sorted_forest(const SnapshotData& snap, const MsfResult& ref) {
+    std::unordered_map<EdgeId, WEdge> by_id;
+    by_id.reserve(snap.live_ids.size());
+    for (std::size_t i = 0; i < snap.live_ids.size(); ++i) {
+      by_id[snap.live_ids[i]] = snap.live.edges[i];
+    }
+    for (const EdgeId id : ref.edge_ids) forest_.push_back({id, by_id.at(id)});
+    std::sort(forest_.begin(), forest_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    MsfResult out;
+    for (const auto& [id, e] : forest_) {
+      out.edges.push_back(e);
+      out.edge_ids.push_back(id);
+    }
+    out.num_trees = ref.num_trees;
+    return out;
+  }
+};
+
+/// Checks one version-matched (snapshot, answers) pairing against brute
+/// force.  Returns false when the answers were produced at a different
+/// committed version than the snapshot (a write slipped in between) — the
+/// caller retries rather than comparing across versions.
+bool check_queries(ServiceCore& svc, const core::MsfOptions& opts,
+                   const SnapshotData& snap, VertexId u, VertexId v) {
+  Request q;
+  q.session = "g";
+  q.u = u;
+  q.v = v;
+  q.op = Op::kPathMax;
+  const Response pm = svc.call(q);
+  q.op = Op::kConn;
+  const Response cn = svc.call(q);
+  Request cutq;
+  cutq.op = Op::kCut;
+  cutq.session = "g";
+  cutq.lambda = 0.5;
+  cutq.has_lambda = true;
+  const Response cut = svc.call(cutq);
+  if (!pm.ok() || !cn.ok() || !cut.ok()) return false;
+  if (pm.index_version != snap.version || cn.index_version != snap.version ||
+      cut.index_version != snap.version) {
+    return false;  // a concurrent write moved the committed state
+  }
+
+  const QueryReference ref(snap, opts);
+  const auto [found, id, w] = ref.path_max(u, v);
+  EXPECT_EQ(pm.pathmax_found, found);
+  if (found) {
+    EXPECT_EQ(pm.pathmax_id, id);
+    EXPECT_EQ(pm.pathmax_w, w);
+  }
+  EXPECT_EQ(cn.connected, found);
+
+  std::size_t ref_clusters = 0;
+  const std::vector<VertexId> labels = ref.dend.cut_at(0.5, &ref_clusters);
+  EXPECT_EQ(cut.clusters, ref_clusters);
+  EXPECT_EQ(cut.cut_digest,
+            query::labels_digest(std::span<const VertexId>(labels)));
+  return true;
+}
+
+class ServeStressQueryP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServeStressQueryP, ConcurrentQueriesMatchScratchRecomputation) {
+  const int p = GetParam();
+  constexpr VertexId kN = 100;
+  ServeOptions opts;
+  opts.msf.threads = p;
+  opts.dispatchers = 4;
+  ServiceCore svc(opts);
+
+  Request open;
+  open.op = Op::kOpen;
+  open.session = "g";
+  open.num_vertices = kN;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+  {
+    Request ins;
+    ins.op = Op::kInsert;
+    ins.session = "g";
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_below(kN));
+      auto v = static_cast<VertexId>(rng.next_below(kN - 1));
+      if (v >= u) ++v;
+      ins.insertions.push_back(WEdge{u, v, rng.next_double()});
+    }
+    ASSERT_EQ(svc.call(ins).status, Status::kOk);
+  }
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<int> write_failures{0};
+  std::atomic<int> verified{0};
+
+  std::vector<std::thread> threads;
+  for (int wi = 0; wi < 2; ++wi) {
+    threads.emplace_back([&, wi] {
+      Rng rng(500 + static_cast<std::uint64_t>(wi));
+      for (int i = 0; i < 25; ++i) {
+        Request ins;
+        ins.op = Op::kInsert;
+        ins.session = "g";
+        const auto u = static_cast<VertexId>(rng.next_below(kN));
+        auto v = static_cast<VertexId>(rng.next_below(kN - 1));
+        if (v >= u) ++v;
+        ins.insertions.push_back(WEdge{u, v, rng.next_double()});
+        if (!svc.call(ins).ok()) ++write_failures;
+      }
+    });
+  }
+  for (int ri = 0; ri < 2; ++ri) {
+    threads.emplace_back([&, ri] {
+      Rng rng(900 + static_cast<std::uint64_t>(ri));
+      while (!writers_done.load(std::memory_order_acquire)) {
+        Request sr;
+        sr.op = Op::kSnapshot;
+        sr.session = "g";
+        const Response snap = svc.call(sr);
+        if (!snap.ok()) continue;
+        const auto u = static_cast<VertexId>(rng.next_below(kN));
+        auto v = static_cast<VertexId>(rng.next_below(kN - 1));
+        if (v >= u) ++v;
+        if (check_queries(svc, opts.msf, *snap.snapshot, u, v)) ++verified;
+      }
+    });
+  }
+  for (int wi = 0; wi < 2; ++wi) threads[static_cast<std::size_t>(wi)].join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::size_t t = 2; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(write_failures.load(), 0);
+
+  // Quiesced state: pairings now always match, so verify a deterministic
+  // spread of pairs definitively.
+  Request sr;
+  sr.op = Op::kSnapshot;
+  sr.session = "g";
+  const Response snap = svc.call(sr);
+  ASSERT_TRUE(snap.ok());
+  int final_verified = 0;
+  for (VertexId u = 0; u < kN; u += 9) {
+    const VertexId v = (u + 37) % kN;
+    if (u == v) continue;
+    if (check_queries(svc, opts.msf, *snap.snapshot, u, v)) ++final_verified;
+  }
+  EXPECT_GT(final_verified, 0);
+  svc.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeStressQueryP,
+                         ::testing::Values(1, 2, 4, 8));
 
 TEST(ServeStress, MixedReadersAndWritersAcrossSessions) {
   ServeOptions opts;

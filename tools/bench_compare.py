@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Regression gate for the fig-2 step-breakdown bench.
+"""Regression gate comparing a fresh bench JSON against a committed baseline.
 
-Compares a freshly produced fig2_breakdown JSON against a committed
-baseline (bench/baselines/BENCH_07_smoke.json) and fails when the find-min
-acceleration or the compact-graph acceleration regresses:
+The gates run family-conditionally on what the *baseline* contains, so one
+entry point serves every gated bench:
 
+fig2 family (baseline has per-algorithm timing records — BENCH_07):
   * Bor-FAL's find-min share of its own total exceeds the baseline share by
     more than --tolerance (relative, default 15%) plus a small absolute
     slack.  Comparing fractions-of-total rather than raw seconds makes the
@@ -19,6 +19,16 @@ acceleration or the compact-graph acceleration regresses:
     the same graph by more than --champion-tolerance (default 10%) plus an
     absolute slack: the auto-tuner is picking losing strategies.
   * A forest-identity check record is missing or not identical.
+
+query family (baseline has query_rebuild / query_op records — BENCH_08):
+  * pathmax p99 exceeds the baseline p99 by more than --query-tolerance
+    (relative, default 50%) plus an absolute slack of a few hundred
+    microseconds — smoke-scale per-op times are microseconds, where only a
+    complexity-class regression (log n -> n) moves the needle past this.
+  * The index rebuild / apply_batch ratio exceeds
+    max(--max-rebuild-ratio, baseline * (1 + --query-tolerance)) for any
+    batch size: the index no longer rides along with the solve it follows.
+  * A query_pathmax identity record is missing or reports mismatches.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
 Exit: 0 clean, 1 regression, 2 bad input.
@@ -37,6 +47,9 @@ ABS_SLACK = 0.02
 # totals are a few ms, where a single scheduler hiccup outweighs any real
 # algorithmic difference.
 CHAMPION_ABS_SLACK_S = 0.01
+
+# Absolute slack, in microseconds, for the per-op query latency gates.
+QUERY_ABS_SLACK_US = 200.0
 
 
 def load(path):
@@ -57,26 +70,23 @@ def timing_rows(doc):
     return rows
 
 
-def identity_rows(doc):
-    return [r for r in doc.get("records", []) if r.get("check") == "forest_identity"]
+def identity_rows(doc, check):
+    return [r for r in doc.get("records", []) if r.get("check") == check]
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--tolerance", type=float, default=0.15,
-                    help="allowed relative growth of Bor-FAL's find-min share")
-    ap.add_argument("--max-el-compact-share", type=float, default=0.60,
-                    help="hard cap on Bor-EL's compact share of its total")
-    ap.add_argument("--champion-tolerance", type=float, default=0.10,
-                    help="allowed champion slowdown vs the best paper variant")
-    args = ap.parse_args()
+def rebuild_rows(doc):
+    return {r["batch"]: r for r in doc.get("records", [])
+            if r.get("tag") == "query_rebuild"}
 
-    base = timing_rows(load(args.baseline))
-    cur_doc = load(args.current)
+
+def op_rows(doc):
+    return {r["op"]: r for r in doc.get("records", [])
+            if r.get("tag") == "query_op"}
+
+
+def gate_fig2(base_doc, cur_doc, args, failures):
+    base = timing_rows(base_doc)
     cur = timing_rows(cur_doc)
-    failures = []
 
     for key, b in sorted(base.items()):
         alg, density, n = key
@@ -133,7 +143,7 @@ def main():
                     f"loses to the best paper variant ({best_variant:.4f}s) by "
                     f"more than {args.champion_tolerance:.0%}")
 
-    idents = identity_rows(cur_doc)
+    idents = identity_rows(cur_doc, "forest_identity")
     if not idents:
         failures.append("no forest_identity check records in current run")
     for r in idents:
@@ -142,12 +152,95 @@ def main():
     if idents and all(r.get("forests_identical", False) for r in idents):
         print(f"  forest identity: OK ({len(idents)} densities)")
 
+
+def gate_query(base_doc, cur_doc, args, failures):
+    base_ops = op_rows(base_doc)
+    cur_ops = op_rows(cur_doc)
+    for op in ("pathmax", "conn"):
+        b = base_ops.get(op)
+        if b is None:
+            continue
+        c = cur_ops.get(op)
+        if c is None:
+            failures.append(f"query op {op}: missing from current run")
+            continue
+        limit = b["p99_us"] * (1.0 + args.query_tolerance) + QUERY_ABS_SLACK_US
+        verdict = "OK" if c["p99_us"] <= limit else "REGRESSED"
+        print(f"  {op}: p99 {b['p99_us']:.2f}us -> {c['p99_us']:.2f}us "
+              f"(limit {limit:.2f}us) {verdict}")
+        if c["p99_us"] > limit:
+            failures.append(
+                f"query op {op}: p99 {c['p99_us']:.2f}us exceeds baseline "
+                f"{b['p99_us']:.2f}us by more than {args.query_tolerance:.0%}")
+
+    base_reb = rebuild_rows(base_doc)
+    cur_reb = rebuild_rows(cur_doc)
+    for batch, b in sorted(base_reb.items()):
+        c = cur_reb.get(batch)
+        if c is None:
+            failures.append(f"query rebuild batch={batch}: missing from current run")
+            continue
+        limit = max(args.max_rebuild_ratio,
+                    b["ratio"] * (1.0 + args.query_tolerance))
+        verdict = "OK" if c["ratio"] <= limit else "REGRESSED"
+        print(f"  rebuild batch={batch}: ratio {b['ratio']:.2f} -> "
+              f"{c['ratio']:.2f} (limit {limit:.2f}) {verdict}")
+        if c["ratio"] > limit:
+            failures.append(
+                f"query rebuild batch={batch}: rebuild/apply ratio "
+                f"{c['ratio']:.2f} exceeds {limit:.2f} — the index no longer "
+                "rides along with the solve")
+
+    idents = identity_rows(cur_doc, "query_pathmax")
+    if not idents:
+        failures.append("no query_pathmax identity records in current run")
+    for r in idents:
+        if r.get("mismatches", 1) != 0:
+            failures.append(
+                f"query pathmax identity: {r['mismatches']} mismatches over "
+                f"{r.get('pairs')} pairs")
+    if idents and all(r.get("mismatches", 1) == 0 for r in idents):
+        print(f"  query identity: OK ({sum(r.get('pairs', 0) for r in idents)} pairs)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative growth of Bor-FAL's find-min share")
+    ap.add_argument("--max-el-compact-share", type=float, default=0.60,
+                    help="hard cap on Bor-EL's compact share of its total")
+    ap.add_argument("--champion-tolerance", type=float, default=0.10,
+                    help="allowed champion slowdown vs the best paper variant")
+    ap.add_argument("--query-tolerance", type=float, default=0.50,
+                    help="allowed relative growth of query p99 / rebuild ratio")
+    ap.add_argument("--max-rebuild-ratio", type=float, default=1.0,
+                    help="floor of the rebuild/apply ratio limit")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    failures = []
+
+    ran = []
+    if timing_rows(base_doc):
+        gate_fig2(base_doc, cur_doc, args, failures)
+        ran.append("fig2")
+    if rebuild_rows(base_doc) or op_rows(base_doc):
+        gate_query(base_doc, cur_doc, args, failures)
+        ran.append("query")
+    if not ran:
+        print("bench_compare: baseline contains no gated record family",
+              file=sys.stderr)
+        return 2
+
     if failures:
         print("\nbench_compare: FAIL", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print("bench_compare: OK")
+    print(f"bench_compare: OK ({', '.join(ran)})")
     return 0
 
 
