@@ -11,6 +11,15 @@
 //                    summing to 100, where q ops hit the ForestIndex
 //                    (pathmax/conn, occasional topk).  e.g. --mix r40q40w20.
 //
+// Scale-out extensions (BENCH_09):
+//   --transport T    inproc (default, the open-loop mixes above) | uds |
+//                    tcp | both.  Non-inproc transports run the closed-loop
+//                    scale sweep instead: shards in {1, 2, 4}, 2*shards
+//                    sessions, pipelined client windows over a real socket,
+//                    reporting rps plus read/write latency tails per
+//                    (transport, shards) as "serve_scale" JSON records.
+//   --dispatchers N  per-shard dispatcher threads for the scale sweep.
+//
 // Durability extensions (BENCH_06):
 //   --data-dir DIR   run the mixes against a durable service (WAL + group
 //                    commit under --fsync) rooted at DIR; every JSON row
@@ -34,15 +43,21 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common.hpp"
+#include "net/tcp_client.hpp"
+#include "net/tcp_server.hpp"
 #include "persist/wal.hpp"
 #include "serve/service_core.hpp"
+#include "serve/uds_client.hpp"
+#include "serve/uds_server.hpp"
 
 using namespace smp;
 using namespace smp::graph;
@@ -344,6 +359,319 @@ RecoverResult run_recover(const std::string& dir, persist::FsyncPolicy fsync,
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out mode (BENCH_09): the same r90w10 mix over a real transport —
+// UDS line protocol or TCP binary frames — against a sharded core, swept
+// over shard counts.  Clients run closed-loop with a pipelining window of
+// `kWindow` requests per batch (the binary transport sends the batch as ONE
+// frame), so the comparison captures framing + syscall overhead, not
+// client-side think time.
+
+constexpr std::size_t kWindow = 32;
+
+struct ScaleResult {
+  std::size_t ok = 0;
+  std::size_t errors = 0;
+  double wall_s = 0;
+  std::vector<double> read_us;
+  std::vector<double> write_us;
+};
+
+/// One client's worth of requests for one batch: 90 reads / 10 writes.
+/// kind: 0 = write, 1 = read.
+struct BatchOp {
+  int kind;
+  Op op;
+  VertexId u, v;
+  double w;
+};
+
+std::vector<BatchOp> make_batch(std::mt19937_64& rng, VertexId n) {
+  std::uniform_int_distribution<VertexId> vtx(0, n - 1);
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::uniform_real_distribution<double> wgt(0.0, 1.0);
+  std::vector<BatchOp> ops;
+  ops.reserve(kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    BatchOp b{};
+    if (pct(rng) < 90) {
+      b.kind = 1;
+      if (pct(rng) < 50) {
+        b.op = Op::kWeight;
+      } else {
+        b.op = Op::kConnected;
+        b.u = vtx(rng);
+        b.v = vtx(rng);
+        while (b.v == b.u) b.v = vtx(rng);
+      }
+    } else {
+      b.kind = 0;
+      b.op = Op::kInsert;
+      b.u = vtx(rng);
+      b.v = vtx(rng);
+      while (b.v == b.u) b.v = vtx(rng);
+      b.w = wgt(rng);
+    }
+    ops.push_back(b);
+  }
+  return ops;
+}
+
+void record_latency(ScaleResult& r, const BatchOp& b, double us, bool ok) {
+  if (!ok) {
+    ++r.errors;
+    return;
+  }
+  ++r.ok;
+  (b.kind == 1 ? r.read_us : r.write_us).push_back(us);
+}
+
+/// TCP client loop: each batch goes out as one kBatch frame; responses are
+/// matched by correlation id (they may arrive out of order).
+void run_scale_client_tcp(std::uint16_t port,
+                          const std::vector<std::string>& sessions,
+                          VertexId n, std::size_t batches, std::uint64_t seed,
+                          ScaleResult& out) {
+  using Clock = std::chrono::steady_clock;
+  net::TcpClient client("127.0.0.1", port);
+  std::mt19937_64 rng(seed);
+  for (std::size_t bi = 0; bi < batches; ++bi) {
+    const std::string& session = sessions[bi % sessions.size()];
+    const std::vector<BatchOp> ops = make_batch(rng, n);
+    std::vector<Request> reqs;
+    reqs.reserve(ops.size());
+    for (const BatchOp& b : ops) {
+      Request req;
+      req.op = b.op;
+      req.session = session;
+      req.u = b.u;
+      req.v = b.v;
+      if (b.op == Op::kInsert) req.insertions.push_back(WEdge{b.u, b.v, b.w});
+      reqs.push_back(std::move(req));
+    }
+    const auto t0 = Clock::now();
+    const std::vector<std::uint64_t> ids = client.send_batch(reqs);
+    std::unordered_map<std::uint64_t, std::size_t> slot_of;
+    slot_of.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) slot_of[ids[i]] = i;
+    for (std::size_t got = 0; got < ids.size(); ++got) {
+      const net::BinResponse r = client.recv();
+      const double us = std::chrono::duration<double, std::micro>(
+                            Clock::now() - t0)
+                            .count();
+      const auto it = slot_of.find(r.id);
+      if (it == slot_of.end()) continue;
+      record_latency(out, ops[it->second], us, r.resp.ok());
+    }
+  }
+  client.quit();
+}
+
+/// UDS client loop: the same batches as pipelined line-protocol requests
+/// (kWindow lines written back-to-back, then kWindow responses drained).
+void run_scale_client_uds(const std::string& path,
+                          const std::vector<std::string>& sessions,
+                          VertexId n, std::size_t batches, std::uint64_t seed,
+                          ScaleResult& out) {
+  using Clock = std::chrono::steady_clock;
+  UdsClient client(path);
+  std::mt19937_64 rng(seed);
+  char line[128];
+  for (std::size_t bi = 0; bi < batches; ++bi) {
+    const std::string& session = sessions[bi % sessions.size()];
+    const std::vector<BatchOp> ops = make_batch(rng, n);
+    std::vector<std::string> lines;
+    lines.reserve(ops.size());
+    for (const BatchOp& b : ops) {
+      // The wire is 1-based (DIMACS convention).
+      if (b.op == Op::kWeight) {
+        std::snprintf(line, sizeof line, "weight %s", session.c_str());
+      } else if (b.op == Op::kConnected) {
+        std::snprintf(line, sizeof line, "connected %s %llu %llu",
+                      session.c_str(),
+                      static_cast<unsigned long long>(b.u) + 1,
+                      static_cast<unsigned long long>(b.v) + 1);
+      } else {
+        std::snprintf(line, sizeof line, "insert %s %llu %llu %.17g",
+                      session.c_str(),
+                      static_cast<unsigned long long>(b.u) + 1,
+                      static_cast<unsigned long long>(b.v) + 1, b.w);
+      }
+      lines.emplace_back(line);
+    }
+    const auto t0 = Clock::now();
+    for (const std::string& l : lines) client.send_line(l);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::vector<std::string> resp = client.read_response(lines[i]);
+      const double us = std::chrono::duration<double, std::micro>(
+                            Clock::now() - t0)
+                            .count();
+      record_latency(out, ops[i], us,
+                     !resp.empty() && resp.front().rfind("ok", 0) == 0);
+    }
+  }
+}
+
+/// One (transport, shards) configuration: fresh sharded core, 2*shards
+/// sessions spread across the shards by name hash, `clients` closed-loop
+/// connections.  Returns aggregate throughput and latency tails.
+ScaleResult run_scale_config(const std::string& transport, int shards,
+                             int dispatchers, int clients, VertexId n,
+                             EdgeId m, std::size_t batches_per_client,
+                             std::uint64_t seed) {
+  ServeOptions opts;
+  opts.msf.threads = 2;
+  opts.dispatchers = dispatchers;
+  opts.queue_capacity = 1u << 14;
+  opts.coalesce_window_s = 0.002;
+  opts.shards = shards;
+  ServiceCore svc(opts);
+
+  std::vector<std::string> sessions;
+  for (int s = 0; s < 2 * shards; ++s) {
+    sessions.push_back("sc" + std::to_string(s));
+  }
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    Request open;
+    open.op = Op::kOpen;
+    open.session = sessions[s];
+    open.num_vertices = n;
+    if (!svc.call(open).ok()) {
+      std::fprintf(stderr, "scale bench: open %s failed\n",
+                   sessions[s].c_str());
+      std::exit(1);
+    }
+    std::mt19937_64 rng(seed + s);
+    std::uniform_int_distribution<VertexId> vtx(0, n - 1);
+    std::uniform_real_distribution<double> wgt(0.0, 1.0);
+    Request ins;
+    ins.op = Op::kInsert;
+    ins.session = sessions[s];
+    for (EdgeId i = 0; i < m; ++i) {
+      VertexId u = vtx(rng), v = vtx(rng);
+      while (v == u) v = vtx(rng);
+      ins.insertions.push_back(WEdge{u, v, wgt(rng)});
+    }
+    if (!svc.call(ins).ok()) {
+      std::fprintf(stderr, "scale bench: prepopulate failed\n");
+      std::exit(1);
+    }
+  }
+
+  std::unique_ptr<UdsServer> uds;
+  std::unique_ptr<net::TcpServer> tcp;
+  std::string socket_path;
+  std::uint16_t port = 0;
+  if (transport == "uds") {
+    socket_path = (std::filesystem::temp_directory_path() /
+                   ("bench_serve_scale_" + std::to_string(::getpid()) +
+                    ".sock"))
+                      .string();
+    uds = std::make_unique<UdsServer>(
+        svc, UdsServerOptions{.socket_path = socket_path});
+    uds->start();
+  } else {
+    tcp = std::make_unique<net::TcpServer>(svc,
+                                           net::TcpServerOptions{.port = 0});
+    tcp->start();
+    port = tcp->port();
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<ScaleResult> per_client(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::uint64_t s = seed + 31 * static_cast<std::uint64_t>(c);
+      if (transport == "uds") {
+        run_scale_client_uds(socket_path, sessions, n, batches_per_client, s,
+                             per_client[static_cast<std::size_t>(c)]);
+      } else {
+        run_scale_client_tcp(port, sessions, n, batches_per_client, s,
+                             per_client[static_cast<std::size_t>(c)]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ScaleResult total;
+  total.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (ScaleResult& r : per_client) {
+    total.ok += r.ok;
+    total.errors += r.errors;
+    total.read_us.insert(total.read_us.end(), r.read_us.begin(),
+                         r.read_us.end());
+    total.write_us.insert(total.write_us.end(), r.write_us.begin(),
+                          r.write_us.end());
+  }
+  if (uds != nullptr) uds->stop();
+  if (tcp != nullptr) tcp->stop();
+  svc.shutdown();
+  return total;
+}
+
+int run_scale_mode(const std::string& transport, int dispatchers,
+                   const bench::Args& args) {
+  const auto n = static_cast<VertexId>(
+      std::max<std::size_t>(64, args.size(2000, 20000)));
+  const auto m = static_cast<EdgeId>(3 * static_cast<EdgeId>(n));
+  const int clients = std::max(2, args.max_threads / 2);
+  const std::size_t batches_per_client = std::max<std::size_t>(
+      4, args.size(4000, 40000) / kWindow);
+
+  std::vector<std::string> transports;
+  if (transport == "both") {
+    transports = {"uds", "tcp"};
+  } else {
+    transports = {transport};
+  }
+
+  std::printf("bench_serve --transport %s  n=%llu m=%llu clients=%d"
+              " window=%zu dispatchers=%d\n",
+              transport.c_str(), static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(m), clients, kWindow,
+              dispatchers);
+  std::printf("%-6s %7s %10s %8s %8s %9s %9s %9s %9s\n", "trans", "shards",
+              "rps", "ok", "err", "r.p50ms", "r.p99ms", "w.p50ms", "w.p99ms");
+
+  bench::JsonSink sink;
+  for (const int shards : {1, 2, 4}) {
+    for (const std::string& t : transports) {
+      ScaleResult r = run_scale_config(t, shards, dispatchers, clients, n, m,
+                                       batches_per_client, args.seed);
+      const double rps = static_cast<double>(r.ok) / r.wall_s;
+      const double rp50 = quantile_us(r.read_us, 0.50) / 1000.0;
+      const double rp99 = quantile_us(r.read_us, 0.99) / 1000.0;
+      const double wp50 = quantile_us(r.write_us, 0.50) / 1000.0;
+      const double wp99 = quantile_us(r.write_us, 0.99) / 1000.0;
+      std::printf("%-6s %7d %10.1f %8zu %8zu %9.3f %9.3f %9.3f %9.3f\n",
+                  t.c_str(), shards, rps, r.ok, r.errors, rp50, rp99, wp50,
+                  wp99);
+      if (r.errors != 0) {
+        std::fprintf(stderr, "scale bench: %zu request errors\n", r.errors);
+        return 1;
+      }
+      char rec[512];
+      std::snprintf(
+          rec, sizeof rec,
+          "{\"tag\": \"serve_scale\", \"transport\": \"%s\", \"shards\": %d, "
+          "\"dispatchers\": %d, \"clients\": %d, \"window\": %zu, "
+          "\"sessions\": %d, \"mix\": \"r90w10\", \"n\": %llu, \"m\": %llu, "
+          "\"ok\": %zu, \"rps\": %.1f, \"read_p50_ms\": %.3f, "
+          "\"read_p99_ms\": %.3f, \"write_p50_ms\": %.3f, "
+          "\"write_p99_ms\": %.3f}",
+          t.c_str(), shards, dispatchers, clients, kWindow, 2 * shards,
+          static_cast<unsigned long long>(n),
+          static_cast<unsigned long long>(m), r.ok, rps, rp50, rp99, wp50,
+          wp99);
+      sink.add(rec);
+    }
+  }
+  sink.write("bench_serve_scale", args);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -352,6 +680,8 @@ int main(int argc, char** argv) {
   std::string data_dir;
   persist::FsyncPolicy fsync = persist::FsyncPolicy::kInterval;
   bool recover_mode = false;
+  std::string transport = "inproc";
+  int dispatchers = 4;
   std::vector<Mix> mixes;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
@@ -371,6 +701,20 @@ int main(int argc, char** argv) {
       recover_mode = true;
     } else if (std::strcmp(argv[i], "--mix") == 0) {
       mixes.push_back(parse_mix(need("--mix")));
+    } else if (std::strcmp(argv[i], "--transport") == 0) {
+      transport = need("--transport");
+      if (transport != "inproc" && transport != "uds" && transport != "tcp" &&
+          transport != "both") {
+        std::fprintf(stderr,
+                     "bench_serve: --transport wants inproc|uds|tcp|both\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--dispatchers") == 0) {
+      dispatchers = std::atoi(need("--dispatchers"));
+      if (dispatchers < 1) {
+        std::fprintf(stderr, "bench_serve: --dispatchers wants >= 1\n");
+        std::exit(2);
+      }
     } else {
       rest.push_back(argv[i]);
     }
@@ -380,6 +724,9 @@ int main(int argc, char** argv) {
   }
   const bench::Args args =
       bench::parse_args(static_cast<int>(rest.size()), rest.data());
+  if (transport != "inproc") {
+    return run_scale_mode(transport, dispatchers, args);
+  }
   if ((recover_mode || !data_dir.empty()) && data_dir.empty()) {
     data_dir = (std::filesystem::temp_directory_path() /
                 ("bench_serve_data_" + std::to_string(::getpid())))

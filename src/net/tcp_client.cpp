@@ -1,0 +1,164 @@
+#include "net/tcp_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace smp::net {
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw Error(ErrorCode::kInvalidInput, "tcp client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* h = host.empty() || host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, h, &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorCode::kInvalidInput,
+                "tcp client: cannot resolve host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorCode::kInvalidInput,
+                "tcp client: cannot connect to " + host + ":" +
+                    std::to_string(port) + ": " + std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpClient::send_all(const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw Error(ErrorCode::kInvalidInput, "tcp client: connection lost on send");
+  }
+}
+
+std::uint64_t TcpClient::send(const serve::Request& req) {
+  BinRequest br;
+  br.id = next_id_++;
+  br.req = req;
+  std::string msg;
+  encode_request(msg, br);
+  std::string frame;
+  frame_message(frame, msg);
+  send_all(frame);
+  return br.id;
+}
+
+std::vector<std::uint64_t> TcpClient::send_batch(
+    const std::vector<serve::Request>& reqs) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(reqs.size());
+  std::vector<std::string> msgs;
+  msgs.reserve(reqs.size());
+  for (const serve::Request& req : reqs) {
+    BinRequest br;
+    br.id = next_id_++;
+    br.req = req;
+    ids.push_back(br.id);
+    std::string msg;
+    encode_request(msg, br);
+    msgs.push_back(std::move(msg));
+  }
+  std::string frame;
+  frame_batch(frame, msgs);
+  send_all(frame);
+  return ids;
+}
+
+BinResponse TcpClient::recv() {
+  for (;;) {
+    if (!ready_.empty()) {
+      BinResponse r = std::move(ready_.front());
+      ready_.pop_front();
+      return r;
+    }
+    // Decode everything already buffered before reading more.
+    std::string_view payload;
+    std::string err;
+    const DecodeStatus st = try_read_frame(acc_, acc_off_, payload, err);
+    if (st == DecodeStatus::kOk) {
+      std::vector<BinResponse> out;
+      if (!decode_response_payload(payload, out, err))
+        throw Error(ErrorCode::kInvalidInput,
+                    "tcp client: malformed response: " + err);
+      for (BinResponse& r : out) ready_.push_back(std::move(r));
+      continue;
+    }
+    if (st != DecodeStatus::kNeedMore)
+      throw Error(ErrorCode::kInvalidInput,
+                  "tcp client: corrupt response stream: " + err);
+    if (acc_off_ == acc_.size()) {
+      acc_.clear();
+      acc_off_ = 0;
+    } else if (acc_off_ > 65536) {
+      acc_.erase(0, acc_off_);
+      acc_off_ = 0;
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      acc_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw Error(ErrorCode::kInvalidInput,
+                "tcp client: server hung up mid-response");
+  }
+}
+
+serve::Response TcpClient::call(const serve::Request& req) {
+  const std::uint64_t id = send(req);
+  for (;;) {
+    BinResponse r = recv();
+    if (r.id == id) return std::move(r.resp);
+    // A stray response from an earlier pipelined send: keep draining.
+  }
+}
+
+void TcpClient::control(std::uint8_t op) {
+  BinRequest br;
+  br.id = next_id_++;
+  br.quit = op == kOpQuit;
+  br.shutdown = op == kOpShutdown;
+  std::string msg;
+  encode_request(msg, br);
+  std::string frame;
+  frame_message(frame, msg);
+  send_all(frame);
+  const std::uint64_t id = br.id;
+  for (;;) {
+    BinResponse r = recv();
+    if (r.id == id) return;
+  }
+}
+
+void TcpClient::quit() { control(kOpQuit); }
+
+void TcpClient::shutdown() { control(kOpShutdown); }
+
+}  // namespace smp::net

@@ -1,0 +1,64 @@
+#pragma once
+
+// Synchronous client for the TCP binary protocol (net/frame.hpp).  One
+// instance per connection, not thread-safe.  Supports three shapes of use:
+//
+//   * call(req)            — send one request, block for its response
+//   * send(req) / recv()   — pipelining: many sends, then drain responses
+//   * send_batch(reqs)     — many requests in a single kBatch frame (one
+//                            syscall, one CRC), the high-throughput path
+//
+// Responses may arrive out of order; recv() returns them in arrival order
+// with their correlation ids, call() matches on id and stashes strays.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/request.hpp"
+
+namespace smp::net {
+
+class TcpClient {
+ public:
+  /// Connects; throws Error{kInvalidInput} when nobody listens.
+  TcpClient(const std::string& host, std::uint16_t port);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Send one request and block for its response.
+  serve::Response call(const serve::Request& req);
+
+  /// Pipelined send: one kMessage frame per request.  Returns the request id.
+  std::uint64_t send(const serve::Request& req);
+
+  /// Send `reqs` as a single kBatch frame.  Returns the assigned ids in
+  /// request order.
+  std::vector<std::uint64_t> send_batch(const std::vector<serve::Request>& reqs);
+
+  /// Block for the next response (any id).  Throws Error{kInvalidInput} on
+  /// EOF or a malformed server frame.
+  BinResponse recv();
+
+  /// Send the quit control message and read the acknowledgement.
+  void quit();
+
+  /// Send the shutdown control message and read the acknowledgement.
+  void shutdown();
+
+ private:
+  void send_all(const std::string& bytes);
+  void control(std::uint8_t op);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string acc_;
+  std::size_t acc_off_ = 0;
+  std::deque<BinResponse> ready_;
+};
+
+}  // namespace smp::net

@@ -1,0 +1,563 @@
+#include "net/tcp_server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "core/error.hpp"
+#include "net/frame.hpp"
+#include "serve/service_core.hpp"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
+namespace smp::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// Readiness events over a set of fds: epoll where available, poll(2)
+/// elsewhere.  Single-threaded — each I/O thread owns one.
+class Poller {
+ public:
+  struct Ev {
+    int fd;
+    bool in;
+    bool out;
+    bool err;
+  };
+
+#ifdef __linux__
+  Poller() : ep_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~Poller() {
+    if (ep_ >= 0) ::close(ep_);
+  }
+
+  void add(int fd, bool rd, bool wr) { ctl(EPOLL_CTL_ADD, fd, rd, wr); }
+  void mod(int fd, bool rd, bool wr) { ctl(EPOLL_CTL_MOD, fd, rd, wr); }
+  void del(int fd) { ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr); }
+
+  int wait(std::vector<Ev>& out, int timeout_ms) {
+    epoll_event evs[64];
+    int n = ::epoll_wait(ep_, evs, 64, timeout_ms);
+    if (n < 0) n = 0;
+    out.clear();
+    for (int i = 0; i < n; ++i) {
+      Ev e;
+      e.fd = evs[i].data.fd;
+      e.in = (evs[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      e.out = (evs[i].events & EPOLLOUT) != 0;
+      e.err = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(e);
+    }
+    return n;
+  }
+
+ private:
+  void ctl(int op, int fd, bool rd, bool wr) {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    ev.events = (rd ? EPOLLIN : 0u) | (wr ? EPOLLOUT : 0u);
+    ::epoll_ctl(ep_, op, fd, &ev);
+  }
+
+  int ep_;
+#else
+  void add(int fd, bool rd, bool wr) { entries_.push_back({fd, rd, wr}); }
+  void mod(int fd, bool rd, bool wr) {
+    for (auto& e : entries_)
+      if (e.fd == fd) {
+        e.rd = rd;
+        e.wr = wr;
+      }
+  }
+  void del(int fd) {
+    std::erase_if(entries_, [fd](const Entry& e) { return e.fd == fd; });
+  }
+
+  int wait(std::vector<Ev>& out, int timeout_ms) {
+    std::vector<pollfd> pfds;
+    pfds.reserve(entries_.size());
+    for (const Entry& e : entries_)
+      pfds.push_back({e.fd,
+                      static_cast<short>((e.rd ? POLLIN : 0) |
+                                         (e.wr ? POLLOUT : 0)),
+                      0});
+    int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n < 0) n = 0;
+    out.clear();
+    for (const pollfd& p : pfds) {
+      if (p.revents == 0) continue;
+      Ev e;
+      e.fd = p.fd;
+      e.in = (p.revents & (POLLIN | POLLHUP)) != 0;
+      e.out = (p.revents & POLLOUT) != 0;
+      e.err = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out.push_back(e);
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    int fd;
+    bool rd;
+    bool wr;
+  };
+  std::vector<Entry> entries_;
+#endif
+};
+
+serve::Response protocol_error(const std::string& detail) {
+  serve::Response r;
+  r.status = serve::Status::kInvalidInput;
+  r.detail = detail;
+  return r;
+}
+
+}  // namespace
+
+struct TcpServer::Conn {
+  int fd = -1;
+  std::size_t owner_slot = 0;  // index into threads_, fixed at accept time
+  std::string client_id;
+  // Input side: owner-thread only.
+  std::string in;
+  std::size_t in_off = 0;
+  bool closing = false;  // owner-thread bookkeeping mirror of closing_any
+  // Output side: shared with dispatcher callbacks.
+  std::mutex out_mu;
+  std::string out;
+  std::size_t out_off = 0;
+  bool want_write = false;  // owner-thread only: EPOLLOUT registered
+  std::atomic<bool> in_processing{false};
+  std::atomic<bool> closed{false};
+  std::atomic<bool> closing_any{false};  // quit/shutdown/EOF seen
+  std::atomic<std::uint64_t> outstanding{0};
+};
+
+struct TcpServer::IoThread {
+  int id = 0;
+  Poller poller;
+  int wake_r = -1;
+  int wake_w = -1;
+  std::thread th;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  std::mutex pending_mu;
+  std::vector<std::shared_ptr<Conn>> pending_adds;
+  std::vector<std::shared_ptr<Conn>> dirty;
+  std::atomic<bool> stop{false};
+
+  IoThread() {
+#ifdef __linux__
+    wake_r = wake_w = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+#else
+    int p[2] = {-1, -1};
+    if (::pipe(p) == 0) {
+      wake_r = p[0];
+      wake_w = p[1];
+      set_nonblocking(wake_r);
+      set_nonblocking(wake_w);
+    }
+#endif
+  }
+
+  ~IoThread() {
+    if (wake_r >= 0) ::close(wake_r);
+    if (wake_w >= 0 && wake_w != wake_r) ::close(wake_w);
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_w, &one, sizeof one);
+  }
+
+  void drain_wake() {
+    std::uint64_t buf[16];
+    while (::read(wake_r, buf, sizeof buf) > 0) {
+    }
+  }
+
+  void mark_dirty(const std::shared_ptr<Conn>& c) {
+    std::lock_guard<std::mutex> lk(pending_mu);
+    dirty.push_back(c);
+  }
+};
+
+TcpServer::TcpServer(serve::ServiceCore& core, TcpServerOptions opts)
+    : core_(core), opts_(opts) {
+  if (opts_.io_threads < 1) opts_.io_threads = 1;
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw Error(ErrorCode::kInvalidInput, "tcp: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, opts_.listen_backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(ErrorCode::kInvalidInput,
+                "tcp: cannot listen on port " + std::to_string(opts_.port) +
+                    ": " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+
+  threads_.reserve(static_cast<std::size_t>(opts_.io_threads));
+  for (int i = 0; i < opts_.io_threads; ++i) {
+    auto io = std::make_shared<IoThread>();
+    io->id = i;
+    threads_.push_back(io);
+  }
+  for (int i = 0; i < opts_.io_threads; ++i) {
+    IoThread& io = *threads_[static_cast<std::size_t>(i)];
+    io.poller.add(io.wake_r, true, false);
+    if (i == 0) io.poller.add(listen_fd_, true, false);
+    io.th = std::thread([this, &io, i] { io_loop(io, i == 0); });
+  }
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    started_ = true;
+    stopped_ = false;
+  }
+  core_.add_listener("tcp:" + std::to_string(port_));
+}
+
+void TcpServer::wait() {
+  std::unique_lock<std::mutex> lk(wait_mu_);
+  wait_cv_.wait(lk, [this] { return wait_done_; });
+}
+
+void TcpServer::notify_stop_wait() {
+  std::lock_guard<std::mutex> lk(wait_mu_);
+  wait_done_ = true;
+  wait_cv_.notify_all();
+}
+
+void TcpServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    if (!started_ || stopped_) {
+      notify_stop_wait();
+      return;
+    }
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  for (auto& io : threads_) {
+    io->stop.store(true, std::memory_order_release);
+    io->wake();
+  }
+  for (auto& io : threads_) {
+    if (io->th.joinable()) io->th.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  core_.remove_listener("tcp:" + std::to_string(port_));
+  notify_stop_wait();
+}
+
+void TcpServer::io_loop(IoThread& io, bool is_listener) {
+  std::vector<Poller::Ev> events;
+  std::vector<std::shared_ptr<Conn>> batch;
+  while (!io.stop.load(std::memory_order_acquire)) {
+    // Adopt connections handed over by the acceptor.
+    {
+      std::lock_guard<std::mutex> lk(io.pending_mu);
+      batch.swap(io.pending_adds);
+    }
+    for (auto& c : batch) {
+      io.conns.emplace(c->fd, c);
+      io.poller.add(c->fd, true, false);
+    }
+    batch.clear();
+    // Flush connections dirtied by dispatcher-thread completions.
+    {
+      std::lock_guard<std::mutex> lk(io.pending_mu);
+      batch.swap(io.dirty);
+    }
+    for (auto& c : batch) {
+      if (!c->closed.load(std::memory_order_acquire)) flush(io, c);
+    }
+    batch.clear();
+
+    io.poller.wait(events, 500);
+    for (const Poller::Ev& ev : events) {
+      if (ev.fd == io.wake_r) {
+        io.drain_wake();
+        continue;
+      }
+      if (is_listener && ev.fd == listen_fd_) {
+        accept_ready(io);
+        continue;
+      }
+      auto it = io.conns.find(ev.fd);
+      if (it == io.conns.end()) continue;
+      std::shared_ptr<Conn> conn = it->second;
+      if (ev.in) handle_readable(io, conn);
+      if (!conn->closed.load(std::memory_order_acquire) && ev.out)
+        flush(io, conn);
+      if (!conn->closed.load(std::memory_order_acquire) && ev.err && !ev.in)
+        close_conn(io, conn);
+    }
+  }
+  // Shutdown: drop every connection this thread owns.
+  std::vector<std::shared_ptr<Conn>> all;
+  all.reserve(io.conns.size());
+  for (auto& [fd, c] : io.conns) all.push_back(c);
+  for (auto& c : all) close_conn(io, c);
+}
+
+void TcpServer::accept_ready(IoThread& io) {
+  (void)io;
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error: try again on next event
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->client_id =
+        "tcp:" + std::to_string(next_client_.fetch_add(1,
+                                                       std::memory_order_relaxed));
+    const std::size_t slot =
+        next_io_.fetch_add(1, std::memory_order_relaxed) % threads_.size();
+    conn->owner_slot = slot;
+    IoThread& target = *threads_[slot];
+    {
+      std::lock_guard<std::mutex> lk(target.pending_mu);
+      target.pending_adds.push_back(std::move(conn));
+    }
+    target.wake();
+  }
+}
+
+void TcpServer::handle_readable(IoThread& io, const std::shared_ptr<Conn>& conn) {
+  char buf[65536];
+  bool peer_eof = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof buf) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(io, conn);
+    return;
+  }
+
+  conn->in_processing.store(true, std::memory_order_release);
+  process_input(io, conn);
+  conn->in_processing.store(false, std::memory_order_release);
+
+  if (peer_eof) {
+    conn->closing = true;
+    conn->closing_any.store(true, std::memory_order_release);
+  }
+  flush(io, conn);
+}
+
+void TcpServer::process_input(IoThread& io, const std::shared_ptr<Conn>& conn) {
+  auto owner = threads_[static_cast<std::size_t>(io.id)];
+  auto respond_error = [&](const std::string& detail) {
+    BinResponse br;
+    br.id = 0;
+    br.op = serve::Op::kPing;
+    br.resp = protocol_error(detail);
+    std::string frame;
+    encode_response_frame(frame, br);
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    if (!conn->closed.load(std::memory_order_relaxed)) conn->out += frame;
+  };
+
+  while (!conn->closing) {
+    std::string_view payload;
+    std::string err;
+    const DecodeStatus st =
+        try_read_frame(conn->in, conn->in_off, payload, err);
+    if (st == DecodeStatus::kNeedMore) break;
+    if (st == DecodeStatus::kFatal) {
+      // The stream cannot be resynchronised; answer, then close after the
+      // flush drains the error.
+      respond_error(err);
+      conn->closing = true;
+      conn->closing_any.store(true, std::memory_order_release);
+      ::shutdown(conn->fd, SHUT_RD);
+      break;
+    }
+    if (st == DecodeStatus::kBadFrame) {
+      respond_error(err);
+      continue;
+    }
+    std::vector<BinRequest> msgs;
+    const bool ok = decode_request_payload(payload, msgs, err);
+    for (BinRequest& m : msgs) dispatch_message(conn, std::move(m));
+    if (!ok) respond_error(err);
+  }
+
+  // Compact the consumed prefix so the buffer does not grow without bound.
+  if (conn->in_off == conn->in.size()) {
+    conn->in.clear();
+    conn->in_off = 0;
+  } else if (conn->in_off > 65536) {
+    conn->in.erase(0, conn->in_off);
+    conn->in_off = 0;
+  }
+}
+
+void TcpServer::dispatch_message(const std::shared_ptr<Conn>& conn,
+                                 BinRequest&& msg) {
+  // The owner handle outlives the server via shared_ptr, so dispatcher
+  // callbacks completing after stop() still have a valid wake target.
+  std::shared_ptr<IoThread> owner = threads_[conn->owner_slot];
+
+  auto append_response = [](const std::shared_ptr<Conn>& c,
+                            const std::shared_ptr<IoThread>& own,
+                            BinResponse&& br) {
+    std::string frame;
+    encode_response_frame(frame, br);
+    {
+      std::lock_guard<std::mutex> lk(c->out_mu);
+      if (c->closed.load(std::memory_order_relaxed)) return;
+      c->out += frame;
+    }
+    if (!c->in_processing.load(std::memory_order_acquire)) {
+      own->mark_dirty(c);
+      own->wake();
+    }
+  };
+
+  if (msg.quit || msg.shutdown) {
+    BinResponse br;
+    br.id = msg.id;
+    br.op = serve::Op::kPing;
+    br.resp.status = serve::Status::kOk;
+    append_response(conn, owner, std::move(br));
+    conn->closing = true;
+    conn->closing_any.store(true, std::memory_order_release);
+    if (msg.shutdown) notify_stop_wait();
+    return;
+  }
+  if (msg.req.op == serve::Op::kSnapshot) {
+    BinResponse br;
+    br.id = msg.id;
+    br.op = serve::Op::kSnapshot;
+    br.resp = protocol_error("snapshot is in-process only");
+    append_response(conn, owner, std::move(br));
+    return;
+  }
+
+  msg.req.client_id = conn->client_id;
+  const std::uint64_t id = msg.id;
+  const serve::Op op = msg.req.op;
+  conn->outstanding.fetch_add(1, std::memory_order_acq_rel);
+  core_.submit(std::move(msg.req),
+               [conn, owner, id, op, append_response](serve::Response r) {
+                 BinResponse br;
+                 br.id = id;
+                 br.op = op;
+                 br.resp = std::move(r);
+                 append_response(conn, owner, std::move(br));
+                 conn->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+                 if (conn->closing_any.load(std::memory_order_acquire)) {
+                   owner->mark_dirty(conn);
+                   owner->wake();
+                 }
+               });
+}
+
+void TcpServer::flush(IoThread& io, const std::shared_ptr<Conn>& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  bool drained = false;
+  bool dead = false;
+  bool over_budget = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    while (conn->out_off < conn->out.size()) {
+      const ssize_t n =
+          ::send(conn->fd, conn->out.data() + conn->out_off,
+                 conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      dead = true;
+      break;
+    }
+    if (conn->out_off == conn->out.size()) {
+      conn->out.clear();
+      conn->out_off = 0;
+      drained = true;
+    } else if (conn->out.size() - conn->out_off > opts_.max_outbound_bytes) {
+      over_budget = true;
+    }
+  }
+  if (dead || over_budget) {
+    close_conn(io, conn);
+    return;
+  }
+  if (!drained && !conn->want_write) {
+    conn->want_write = true;
+    io.poller.mod(conn->fd, true, true);
+  } else if (drained && conn->want_write) {
+    conn->want_write = false;
+    io.poller.mod(conn->fd, true, false);
+  }
+  if (drained && conn->closing &&
+      conn->outstanding.load(std::memory_order_acquire) == 0) {
+    close_conn(io, conn);
+  }
+}
+
+void TcpServer::close_conn(IoThread& io, const std::shared_ptr<Conn>& conn) {
+  if (conn->closed.exchange(true, std::memory_order_acq_rel)) return;
+  io.poller.del(conn->fd);
+  ::close(conn->fd);
+  io.conns.erase(conn->fd);
+}
+
+}  // namespace smp::net

@@ -1,0 +1,106 @@
+#pragma once
+
+// TCP binary-protocol server: an event-loop transport in front of
+// serve::ServiceCore, serving the length-prefixed CRC-framed protocol of
+// net/frame.hpp.
+//
+// Architecture: a small pool of I/O threads, each running its own poller
+// (epoll on Linux, poll(2) elsewhere) over a disjoint set of connections.
+// Thread 0 additionally owns the listening socket and hands accepted
+// connections out round-robin.  Frames are decoded on the owning I/O thread;
+// each decoded request is submitted to the ServiceCore, which executes
+// cheap snapshot reads inline on the I/O thread (the priority lane) and
+// queues writes to the session's shard.  Responses carry the request id and
+// are written back in completion order — out-of-order relative to the
+// requests, which is what lets one connection pipeline reads past a
+// coalescing write.
+//
+// Malformed input is answered, not punished: a CRC-corrupt frame or an
+// undecodable message produces an error response (correlation id 0 when the
+// id could not be parsed) and the connection stays up.  Only an oversized
+// length prefix — after which the stream cannot be resynchronised — closes
+// the connection, and even then after an error response is flushed.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smp::serve {
+class ServiceCore;
+}
+
+namespace smp::net {
+
+struct TcpServerOptions {
+  /// Port to bind (loopback + any).  0 picks an ephemeral port; read it
+  /// back with port() after start().
+  std::uint16_t port = 0;
+  /// I/O event-loop threads.  Values < 1 are clamped to 1.
+  int io_threads = 2;
+  int listen_backlog = 128;
+  /// A connection whose unsent response backlog exceeds this is dropped:
+  /// the peer has stopped reading and buffering further is unbounded risk.
+  std::size_t max_outbound_bytes = 64u << 20;
+};
+
+class TcpServer {
+ public:
+  TcpServer(serve::ServiceCore& core, TcpServerOptions opts);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and spawns the I/O threads.  Throws Error{kInvalidInput}
+  /// when the port cannot be bound.
+  void start();
+
+  /// The bound port (after start()); useful with opts.port == 0.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client sends the shutdown control message or stop() is
+  /// called from another thread.
+  void wait();
+
+  /// Stops accepting, closes all connections, joins the I/O threads.
+  /// Idempotent.
+  void stop();
+
+ private:
+  struct IoThread;
+  struct Conn;
+
+  void io_loop(IoThread& io, bool is_listener);
+  void accept_ready(IoThread& io);
+  void handle_readable(IoThread& io, const std::shared_ptr<Conn>& conn);
+  void process_input(IoThread& io, const std::shared_ptr<Conn>& conn);
+  void dispatch_message(const std::shared_ptr<Conn>& conn,
+                        struct BinRequest&& msg);
+  void flush(IoThread& io, const std::shared_ptr<Conn>& conn);
+  void close_conn(IoThread& io, const std::shared_ptr<Conn>& conn);
+  void notify_stop_wait();
+
+  serve::ServiceCore& core_;
+  TcpServerOptions opts_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::shared_ptr<IoThread>> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_client_{0};
+  std::atomic<std::size_t> next_io_{0};
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  bool wait_done_ = false;
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+  bool started_ = false;
+};
+
+}  // namespace smp::net

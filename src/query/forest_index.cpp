@@ -54,11 +54,8 @@ ForestIndex::ForestIndex(ThreadTeam& team, const dynamic::EdgeStore& store,
                          std::span<const graph::EdgeId> forest_ids,
                          std::uint64_t version) {
   const auto t0 = std::chrono::steady_clock::now();
-  const graph::VertexId n = store.num_vertices();
   const std::size_t mf = forest_ids.size();
   stats_.version = version;
-  stats_.num_vertices = n;
-  stats_.num_forest_edges = mf;
 
   // 1. Gather the forest, ascending store id.  Position in fedges_ is the
   // input index build_weight_ranks breaks ties by, so rank order ==
@@ -68,6 +65,25 @@ ForestIndex::ForestIndex(ThreadTeam& team, const dynamic::EdgeStore& store,
   parallel_for(team, mf, [&](std::size_t i) {
     fedges_[i] = store.edge(forest_ids[i]);
   });
+  build(team, store.num_vertices(), t0);
+}
+
+ForestIndex::ForestIndex(ThreadTeam& team, graph::VertexId num_vertices,
+                         std::vector<graph::WEdge> fedges,
+                         std::vector<graph::EdgeId> fids,
+                         std::uint64_t version) {
+  const auto t0 = std::chrono::steady_clock::now();
+  stats_.version = version;
+  fedges_ = std::move(fedges);
+  fids_ = std::move(fids);
+  build(team, num_vertices, t0);
+}
+
+void ForestIndex::build(ThreadTeam& team, graph::VertexId n,
+                        std::chrono::steady_clock::time_point t0) {
+  const std::size_t mf = fedges_.size();
+  stats_.num_vertices = n;
+  stats_.num_forest_edges = mf;
 
   graph::EdgeList fel(n);
   fel.edges = fedges_;
@@ -273,16 +289,17 @@ ForestIndex::Cut ForestIndex::cut(graph::Weight threshold,
   return c;
 }
 
-std::vector<ForestIndex::TopkEdge> ForestIndex::top_k(
-    ThreadTeam& team, const dynamic::EdgeStore& store, std::size_t k,
-    std::optional<graph::Weight> lambda) const {
-  std::vector<TopkEdge> out;
-  if (k == 0) return out;
-  std::vector<graph::VertexId> labels;
-  if (lambda.has_value()) (void)cut(*lambda, &labels);
-  const graph::VertexId* cl = labels.empty() ? nullptr : labels.data();
+namespace {
 
-  const auto slots = static_cast<std::size_t>(store.size());
+/// The shared top_k scan kernel: `slots` positions, each exposing a sort key
+/// (kEmptyKey = skip), a store id, and the edge itself.  Positions must be
+/// ascending by store id so positional and id tie-breaks agree.
+template <typename KeyFn, typename IdFn, typename EdgeFn>
+std::vector<ForestIndex::TopkEdge> scan_top_k(ThreadTeam& team,
+                                              std::size_t slots, std::size_t k,
+                                              KeyFn&& key_of, IdFn&& id_of,
+                                              EdgeFn&& edge_of) {
+  std::vector<ForestIndex::TopkEdge> out;
   const std::size_t block = 1024;
   const std::size_t num_blocks = (slots + block - 1) / block;
   const int p = team.size();
@@ -309,17 +326,7 @@ std::vector<ForestIndex::TopkEdge> ForestIndex::top_k(
       const std::size_t bn = hi - lo;
       // Key pass: weight bits for live cluster-crossing edges, all-ones
       // (loses every min) for the rest.
-      for (std::size_t i = 0; i < bn; ++i) {
-        const auto id = static_cast<graph::EdgeId>(lo + i);
-        std::uint64_t key = core::kEmptyKey;
-        if (store.is_live(id)) {
-          const graph::WEdge& e = store.edge(id);
-          if (cl == nullptr || cl[e.u] != cl[e.v]) {
-            key = core::monotone_weight_bits(e.w);
-          }
-        }
-        keys[i] = key;
-      }
+      for (std::size_t i = 0; i < bn; ++i) keys[i] = key_of(lo + i);
       // SIMD skim: repeatedly pull the block's argmin; once it cannot beat
       // the heap's bound the whole remainder of the block is out.
       for (;;) {
@@ -329,13 +336,12 @@ std::vector<ForestIndex::TopkEdge> ForestIndex::top_k(
         if (heap.size() == k) {
           const Cand& worst = heap.front();
           if (bits > worst.bits) break;
-          if (bits == worst.bits &&
-              static_cast<graph::EdgeId>(lo + a) > worst.id) {
+          if (bits == worst.bits && id_of(lo + a) > worst.id) {
             keys[a] = core::kEmptyKey;
             continue;
           }
         }
-        consider(Cand{bits, static_cast<graph::EdgeId>(lo + a)});
+        consider(Cand{bits, id_of(lo + a)});
         keys[a] = core::kEmptyKey;
       }
     });
@@ -347,10 +353,56 @@ std::vector<ForestIndex::TopkEdge> ForestIndex::top_k(
   if (all.size() > k) all.resize(k);
   out.reserve(all.size());
   for (const Cand& c : all) {
-    const graph::WEdge& e = store.edge(c.id);
-    out.push_back(TopkEdge{c.id, e.u, e.v, e.w});
+    const graph::WEdge e = edge_of(c.id);
+    out.push_back(ForestIndex::TopkEdge{c.id, e.u, e.v, e.w});
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<ForestIndex::TopkEdge> ForestIndex::top_k(
+    ThreadTeam& team, const dynamic::EdgeStore& store, std::size_t k,
+    std::optional<graph::Weight> lambda) const {
+  if (k == 0) return {};
+  std::vector<graph::VertexId> labels;
+  if (lambda.has_value()) (void)cut(*lambda, &labels);
+  const graph::VertexId* cl = labels.empty() ? nullptr : labels.data();
+  return scan_top_k(
+      team, static_cast<std::size_t>(store.size()), k,
+      [&](std::size_t pos) {
+        const auto id = static_cast<graph::EdgeId>(pos);
+        if (!store.is_live(id)) return core::kEmptyKey;
+        const graph::WEdge& e = store.edge(id);
+        if (cl != nullptr && cl[e.u] == cl[e.v]) return core::kEmptyKey;
+        return core::monotone_weight_bits(e.w);
+      },
+      [](std::size_t pos) { return static_cast<graph::EdgeId>(pos); },
+      [&](graph::EdgeId id) { return store.edge(id); });
+}
+
+std::vector<ForestIndex::TopkEdge> ForestIndex::top_k(
+    ThreadTeam& team, std::span<const graph::WEdge> live,
+    std::span<const graph::EdgeId> live_ids, std::size_t k,
+    std::optional<graph::Weight> lambda) const {
+  if (k == 0) return {};
+  std::vector<graph::VertexId> labels;
+  if (lambda.has_value()) (void)cut(*lambda, &labels);
+  const graph::VertexId* cl = labels.empty() ? nullptr : labels.data();
+  // Positions enumerate the snapshot's live edges; live_ids is ascending, so
+  // positional order and store-id order agree as the kernel requires.
+  return scan_top_k(
+      team, live.size(), k,
+      [&](std::size_t pos) {
+        const graph::WEdge& e = live[pos];
+        if (cl != nullptr && cl[e.u] == cl[e.v]) return core::kEmptyKey;
+        return core::monotone_weight_bits(e.w);
+      },
+      [&](std::size_t pos) { return live_ids[pos]; },
+      [&](graph::EdgeId id) {
+        const auto it = std::lower_bound(live_ids.begin(), live_ids.end(), id);
+        return live[static_cast<std::size_t>(it - live_ids.begin())];
+      });
 }
 
 }  // namespace smp::query

@@ -95,6 +95,14 @@ class ForestIndex {
   ForestIndex(ThreadTeam& team, const dynamic::EdgeStore& store,
               std::span<const graph::EdgeId> forest_ids, std::uint64_t version);
 
+  /// Builds from an already-materialized forest — no EdgeStore needed.
+  /// `fedges` must be ascending by store id and `fids` its parallel store
+  /// ids (exactly what a serve-layer MVCC snapshot captures at publish
+  /// time), so the index can be built long after the store has moved on.
+  ForestIndex(ThreadTeam& team, graph::VertexId num_vertices,
+              std::vector<graph::WEdge> fedges,
+              std::vector<graph::EdgeId> fids, std::uint64_t version);
+
   [[nodiscard]] std::uint64_t version() const { return stats_.version; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::chrono::steady_clock::time_point built_at() const {
@@ -128,6 +136,15 @@ class ForestIndex {
       ThreadTeam& team, const dynamic::EdgeStore& store, std::size_t k,
       std::optional<graph::Weight> lambda) const;
 
+  /// top_k over an immutable live-edge snapshot (`live` parallel to
+  /// `live_ids`, ascending store ids) instead of the mutable store — the
+  /// MVCC read path, needing no lock at all.  Identical results to the
+  /// store overload on the same committed state.
+  [[nodiscard]] std::vector<TopkEdge> top_k(
+      ThreadTeam& team, std::span<const graph::WEdge> live,
+      std::span<const graph::EdgeId> live_ids, std::size_t k,
+      std::optional<graph::Weight> lambda) const;
+
   // --- topology accessors (tests; later: replacement-edge search) ---
   [[nodiscard]] graph::VertexId num_vertices() const {
     return stats_.num_vertices;
@@ -155,6 +172,10 @@ class ForestIndex {
   }
 
  private:
+  /// Shared build phases 2–5; fedges_/fids_/stats_.version already set.
+  void build(ThreadTeam& team, graph::VertexId num_vertices,
+             std::chrono::steady_clock::time_point t0);
+
   [[nodiscard]] const core::Dendrogram& dendrogram() const;
 
   Stats stats_;

@@ -23,8 +23,9 @@ std::string histogram_json(const Histogram& h) {
 
 }  // namespace
 
-std::string MetricsRegistry::to_json(std::size_t queue_capacity,
-                                     double uptime_s) const {
+std::string MetricsRegistry::to_json(
+    std::size_t queue_capacity, double uptime_s,
+    const std::vector<std::uint64_t>& shard_depths) const {
   const auto u64 = [](const std::atomic<std::uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
@@ -41,6 +42,21 @@ std::string MetricsRegistry::to_json(std::size_t queue_capacity,
       "}",
       queue_capacity, u64(queue_depth), u64(max_queue_depth), u64(submitted),
       u64(rejected_overload), u64(rejected_shutdown));
+  json += buf;
+  json += ", \"shards\": [";
+  for (std::size_t i = 0; i < shard_depths.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s{\"id\": %zu, \"depth\": %" PRIu64 "}",
+                  i == 0 ? "" : ", ", i, shard_depths[i]);
+    json += buf;
+  }
+  json += "]";
+  std::snprintf(buf, sizeof buf,
+                ", \"serving\": {\"reads_inline\": %" PRIu64
+                ", \"rejected_rate_limited\": %" PRIu64
+                ", \"snapshots_published\": %" PRIu64
+                ", \"epochs_reclaimed\": %" PRIu64 "}",
+                u64(reads_inline), u64(rejected_rate_limited),
+                u64(snapshots_published), u64(epochs_reclaimed));
   json += buf;
   std::snprintf(buf, sizeof buf,
                 ", \"coalescing\": {\"apply_batches\": %" PRIu64

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "persist/session_log.hpp"
 #include "pprim/histogram.hpp"
@@ -33,6 +34,16 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> rejected_shutdown{0};
   std::atomic<std::uint64_t> queue_depth{0};      ///< gauge
   std::atomic<std::uint64_t> max_queue_depth{0};  ///< high-water mark
+
+  // --- scale-out serving ---
+  /// Read-shaped ops served inline on the submitting thread (the priority
+  /// lane) instead of crossing a shard queue.
+  std::atomic<std::uint64_t> reads_inline{0};
+  /// Write/admin ops shed by the per-client token bucket.
+  std::atomic<std::uint64_t> rejected_rate_limited{0};
+  /// MVCC epochs published / retired off session snapshot rings.
+  std::atomic<std::uint64_t> snapshots_published{0};
+  std::atomic<std::uint64_t> epochs_reclaimed{0};
 
   // --- write coalescing ---
   /// apply_batch calls issued (each serves >= 1 write request).
@@ -102,6 +113,10 @@ class MetricsRegistry {
     rejected_shutdown.store(0, std::memory_order_relaxed);
     queue_depth.store(0, std::memory_order_relaxed);
     max_queue_depth.store(0, std::memory_order_relaxed);
+    reads_inline.store(0, std::memory_order_relaxed);
+    rejected_rate_limited.store(0, std::memory_order_relaxed);
+    snapshots_published.store(0, std::memory_order_relaxed);
+    epochs_reclaimed.store(0, std::memory_order_relaxed);
     apply_batches.store(0, std::memory_order_relaxed);
     coalesced_writes.store(0, std::memory_order_relaxed);
     coalesce_size.reset();
@@ -128,11 +143,14 @@ class MetricsRegistry {
     }
   }
 
-  /// One JSON object with build info, queue/admission counters, coalescing
-  /// stats and per-op latency percentiles (p50/p95/p99/max, microseconds).
-  /// Ops that never completed are omitted.
-  [[nodiscard]] std::string to_json(std::size_t queue_capacity,
-                                    double uptime_s) const;
+  /// One JSON object with build info, queue/admission counters, per-shard
+  /// queue depths, coalescing stats, serving-lane counters and per-op
+  /// latency percentiles (p50/p95/p99/max, microseconds).  Ops that never
+  /// completed are omitted.  `shard_depths` holds each shard queue's
+  /// current depth (one entry for the unsharded configuration).
+  [[nodiscard]] std::string to_json(
+      std::size_t queue_capacity, double uptime_s,
+      const std::vector<std::uint64_t>& shard_depths = {}) const;
 };
 
 }  // namespace smp::serve

@@ -1,0 +1,104 @@
+#include "serve/placement.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace smp::serve::placement {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ShardRing::ShardRing(int shards, int vnodes) : shards_(std::max(1, shards)) {
+  vnodes = std::max(1, vnodes);
+  ring_.reserve(static_cast<std::size_t>(shards_) *
+                static_cast<std::size_t>(vnodes));
+  char buf[48];
+  for (int s = 0; s < shards_; ++s) {
+    for (int v = 0; v < vnodes; ++v) {
+      std::snprintf(buf, sizeof buf, "shard-%d#%d", s, v);
+      ring_.emplace_back(fnv1a(buf), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int ShardRing::shard_for(std::string_view key) const {
+  if (shards_ == 1) return 0;
+  const std::uint64_t h = fnv1a(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, int>& p, std::uint64_t x) {
+        return p.first < x;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+std::vector<int> parse_cpulist(std::string_view s) {
+  std::vector<int> out;
+  std::size_t i = 0;
+  const auto read_int = [&](long& v) {
+    std::size_t start = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == start) return false;
+    v = std::stol(std::string(s.substr(start, i - start)));
+    return true;
+  };
+  while (i < s.size()) {
+    long lo = 0;
+    if (!read_int(lo)) return {};
+    long hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (!read_int(hi)) return {};
+    }
+    if (hi < lo || hi - lo > 4096) return {};
+    for (long c = lo; c <= hi; ++c) out.push_back(static_cast<int>(c));
+    while (i < s.size() && (s[i] == ',' || s[i] == '\n' || s[i] == ' ')) ++i;
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> numa_nodes() {
+  std::vector<std::vector<int>> nodes;
+#ifdef __linux__
+  for (int n = 0; n < 1024; ++n) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(n) + "/cpulist";
+    std::ifstream f(path);
+    if (!f.is_open()) break;
+    std::string list;
+    std::getline(f, list);
+    std::vector<int> cpus = parse_cpulist(list);
+    if (!cpus.empty()) nodes.push_back(std::move(cpus));
+  }
+#endif
+  return nodes;
+}
+
+void pin_current_thread(const std::vector<int>& cpus) {
+  if (cpus.empty()) return;
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+#endif
+}
+
+}  // namespace smp::serve::placement

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smp::serve::placement {
+
+/// FNV-1a 64-bit — the session-name hash of the shard ring (and the digest
+/// primitive the query layer already uses, kept dependency-free here).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s);
+
+/// Consistent-hash ring mapping session names onto solver shards.  Each
+/// shard owns `vnodes` virtual points on the ring; a name maps to the
+/// first point clockwise of its hash.  Consistency is the point: growing
+/// the shard count by one moves only ~1/shards of the keyspace, so a
+/// future dynamic-resharding path can migrate a bounded set of sessions
+/// instead of rehashing the world.
+class ShardRing {
+ public:
+  explicit ShardRing(int shards, int vnodes = 64);
+
+  [[nodiscard]] int shard_for(std::string_view key) const;
+  [[nodiscard]] int shards() const { return shards_; }
+
+ private:
+  int shards_;
+  std::vector<std::pair<std::uint64_t, int>> ring_;  ///< sorted by hash
+};
+
+/// Parse a kernel cpulist string ("0-3,8,10-11") into explicit cpu ids.
+/// Malformed input yields an empty list, never a throw — topology parsing
+/// must not take the service down.
+[[nodiscard]] std::vector<int> parse_cpulist(std::string_view s);
+
+/// CPU sets of the machine's NUMA nodes, parsed from
+/// /sys/devices/system/node/node*/cpulist.  Single-node machines (and any
+/// platform without that sysfs tree) return one empty-or-single entry;
+/// callers treat size() <= 1 as "no placement to do".
+[[nodiscard]] std::vector<std::vector<int>> numa_nodes();
+
+/// Pin the calling thread to `cpus`.  No-op when the list is empty or the
+/// platform lacks thread affinity.
+void pin_current_thread(const std::vector<int>& cpus);
+
+}  // namespace smp::serve::placement

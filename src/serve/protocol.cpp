@@ -114,6 +114,11 @@ WireRequest parse_line(const std::string& line) {
     if (ms <= 0) bad("deadline must be positive milliseconds");
     wr.req.deadline_s = ms / 1000.0;
   }
+  if (consume_option(toks, "epoch", &opt)) {
+    // MVCC pin for reads/queries: answer from this committed epoch instead
+    // of the latest.  Ignored by ops that don't read session state.
+    wr.req.pin_epoch = parse_u64(opt, "bad epoch");
+  }
 
   const std::string& verb = toks[0];
   if (verb == "quit") {
@@ -278,7 +283,25 @@ std::string render_response(Op op, const Response& r) {
       std::string out = "ok queue=" + std::to_string(r.health_queue_depth) +
                         " sessions=" + std::to_string(r.health_sessions) +
                         " lsn=" + std::to_string(r.lsn) + " uptime_s=" + buf;
-      // Per-session query-index status, present when a session was named.
+      // Scale-out gauges: per-shard queue depths, retired MVCC epochs, and
+      // the transports currently listening.
+      if (!r.shard_depths.empty()) {
+        out += " shards=";
+        for (std::size_t i = 0; i < r.shard_depths.size(); ++i) {
+          if (i > 0) out += ",";
+          out += std::to_string(r.shard_depths[i]);
+        }
+      }
+      out += " reclaimed=" + std::to_string(r.reclaimed_epochs);
+      if (!r.listeners.empty()) {
+        out += " listeners=";
+        for (std::size_t i = 0; i < r.listeners.size(); ++i) {
+          if (i > 0) out += ",";
+          out += r.listeners[i];
+        }
+      }
+      // Per-session status, present when a session was named.
+      if (r.index_status) out += " epoch=" + std::to_string(r.epoch);
       if (r.index_status && !r.index_present) out += " index=none";
       if (r.index_present) {
         out += " index_version=" + std::to_string(r.index_version);

@@ -31,11 +31,12 @@ inline constexpr std::size_t kMaxTopK = 100000;
 ///   cut NAME LAMBDA
 ///   topk NAME K [lambda=L]
 ///
-/// any of which may end with `deadline=MS` (milliseconds).  Vertices are
-/// 1-based on the wire (DIMACS convention) and 0-based in the returned
-/// Request.  Throws Error{kInvalidInput} on anything malformed; the server
-/// answers those with `err invalid_input ...` instead of dropping the
-/// connection.
+/// any of which may end with `deadline=MS` (milliseconds) and/or
+/// `epoch=E` (pin a read/query to MVCC epoch E; 0 or absent = latest).
+/// Vertices are 1-based on the wire (DIMACS convention) and 0-based in the
+/// returned Request.  Throws Error{kInvalidInput} on anything malformed;
+/// the server answers those with `err invalid_input ...` instead of
+/// dropping the connection.
 [[nodiscard]] WireRequest parse_line(const std::string& line);
 
 /// Renders a core response as wire text — one `ok ...` / `err ...` header

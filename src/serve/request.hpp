@@ -102,6 +102,7 @@ enum class Status : int {
   kAlreadyExists,
   kShuttingDown,
   kInternal,
+  kRateLimited,  ///< per-client token bucket empty (tiered back-pressure)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Status s) {
@@ -126,6 +127,8 @@ enum class Status : int {
       return "shutting_down";
     case Status::kInternal:
       return "internal";
+    case Status::kRateLimited:
+      return "rate_limited";
   }
   return "?";
 }
@@ -156,6 +159,13 @@ struct Request {
   /// carrying the id of an already-committed one is answered from the
   /// committed state instead of being applied twice (see Response::dedup).
   std::string idem_id;
+  /// Reads and queries: pin the answer to this MVCC epoch (a committed
+  /// session version).  0 = latest.  Pinning an epoch that has fallen off
+  /// the session's retire ring is an error, not a stale answer.
+  std::uint64_t pin_epoch = 0;
+  /// Transport-assigned client identity for per-client token-bucket rate
+  /// limiting.  Empty = unattributed (never rate limited).
+  std::string client_id;
 };
 
 /// In-process snapshot payload (kSnapshot): the live graph, its store ids,
@@ -206,6 +216,12 @@ struct Response {
   std::uint64_t health_queue_depth = 0;
   std::size_t health_sessions = 0;
   double uptime_s = 0;
+  std::vector<std::uint64_t> shard_depths;  // kHealth: per-shard queue depth
+  std::uint64_t reclaimed_epochs = 0;  // kHealth: retired MVCC snapshots
+  std::vector<std::string> listeners;  // kHealth: active transport listeners
+  /// MVCC epoch the answer was served from (reads/queries), or the epoch a
+  /// write committed as.  Equals the committed session version.
+  std::uint64_t epoch = 0;
   // Query ops.  `index_version` is the committed version of the ForestIndex
   // snapshot that produced the answer (kPathMax/kConn/kCut/kTopK).
   std::uint64_t index_version = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <deque>
 #include <exception>
 #include <filesystem>
@@ -17,6 +18,7 @@
 #include "dynamic/dynamic_msf.hpp"
 #include "graph/io.hpp"
 #include "query/forest_index.hpp"
+#include "serve/protocol.hpp"
 
 namespace smp::serve {
 
@@ -25,12 +27,34 @@ using graph::EdgeList;
 using graph::VertexId;
 using graph::WEdge;
 
-/// One named graph session.  `state_mu` is the reader/writer lock of the
-/// tentpole: reads share it, the write flusher and recompute/compact hold it
-/// exclusively.  The pending list + flushing flag implement write
-/// coalescing; the cc cache memoizes forest component labels per committed
-/// forest version so repeated connectivity queries cost O(1) after the
-/// first.
+/// One published MVCC epoch of a session: the committed live graph + forest
+/// (SnapshotData, immutable once published) plus lazily built read caches —
+/// the materialized forest edge list, the forest component labels, and the
+/// query ForestIndex.  A reader holding a shared_ptr to one of these
+/// answers weight/edges/connected/pathmax/conn/cut/topk bit-identically to
+/// a scratch solve of this epoch's graph, no matter how far the session has
+/// moved on since.
+struct SessionSnapshot {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<SnapshotData> data;
+
+  /// Lazy caches, each built at most once from `data` alone.  aux_mu guards
+  /// the cheap ones; the index (expensive, separately buildable) has its
+  /// own mutex so a slow index build never blocks a `connected` read.
+  mutable std::mutex aux_mu;
+  mutable std::shared_ptr<const std::vector<WEdge>> fedges;
+  mutable std::shared_ptr<const core::CcResult> cc;
+  mutable std::mutex index_mu;
+  mutable std::shared_ptr<const query::ForestIndex> index;
+};
+
+/// One named graph session.  `state_mu` is the writer lock: the write
+/// flusher and recompute/compact hold it exclusively.  Reads never take it
+/// — every committed mutation publishes an immutable SessionSnapshot into
+/// the epoch ring, and reads serve from a ring entry (latest by default,
+/// pinned via Request::pin_epoch otherwise), making them wait-free with
+/// respect to writers.  The pending list + flushing flag implement write
+/// coalescing.
 struct Session {
   std::string name;
 
@@ -39,28 +63,27 @@ struct Session {
   std::uint64_t version = 0;  ///< committed-mutation counter, guarded by state_mu
   std::atomic<bool> ready{false};  ///< set once the initial solve committed
 
+  ServiceCore::Shard* home = nullptr;  ///< shard placement, fixed at open
+
   std::mutex pending_mu;
   std::vector<ServiceCore::QueuedRequest> pending;
   bool flushing = false;
 
-  std::mutex cc_mu;
-  std::uint64_t cc_version = ~std::uint64_t{0};
-  core::CcResult cc;
+  // --- MVCC epoch ring ---
+  /// snap_mu guards only the deque itself (push/retire/back); the snapshots
+  /// are immutable, so a reader copies one shared_ptr and drops the mutex.
+  std::mutex snap_mu;
+  std::deque<std::shared_ptr<SessionSnapshot>> snaps;
+  std::atomic<std::uint64_t> reclaimed_epochs{0};
 
   // --- query engine (src/query) ---
   /// Lock-free mirror of `version`, updated by every committer right after
-  /// the bump: the query fast path compares it against the published
-  /// index's version without touching state_mu.
+  /// the bump: health compares it against the latest snapshot's index
+  /// version without touching state_mu.
   std::atomic<std::uint64_t> committed_version{0};
   /// Set by the first query op; write flushes only rebuild the index
   /// eagerly for sessions that actually serve queries.
   std::atomic<bool> query_active{false};
-  /// Guards the `index` pointer swap and serializes rebuilds (the cc_mu
-  /// pattern).  Readers copy the shared_ptr and drop the mutex — the index
-  /// object itself is immutable, so a whole-object swap means no query ever
-  /// observes a half-built index.
-  std::mutex index_mu;
-  std::shared_ptr<const query::ForestIndex> index;
   std::atomic<std::uint64_t> index_rebuilds{0};
 
   // --- durability (log is null when the service runs without a data dir).
@@ -123,6 +146,29 @@ bool valid_session_name(const std::string& name) {
   return true;
 }
 
+/// Read-shaped ops serve from an immutable MVCC snapshot: no state lock, no
+/// queueing — submit() executes them inline (the priority lane).
+bool is_read_shaped(Op op) {
+  switch (op) {
+    case Op::kWeight:
+    case Op::kConnected:
+    case Op::kForestEdges:
+    case Op::kSnapshot:
+    case Op::kPathMax:
+    case Op::kConn:
+    case Op::kCut:
+    case Op::kTopK:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_query_op(Op op) {
+  return op == Op::kPathMax || op == Op::kConn || op == Op::kCut ||
+         op == Op::kTopK;
+}
+
 /// Bound on remembered idempotency ids per session; old ids age out FIFO.
 constexpr std::size_t kIdemWindow = 65536;
 
@@ -156,7 +202,8 @@ std::vector<std::pair<std::string, std::uint64_t>> idem_window(
 /// path that changes what a scratch solve of the session would return
 /// (apply / recompute / repair / compact — compaction renumbers the store
 /// ids the query index holds) goes through here, so the lock-free mirror
-/// the query fast path reads stays in step with the locked counter.
+/// stays in step with the locked counter.  The committer publishes an MVCC
+/// snapshot once its run of bumps is complete.
 void bump_version(Session& s) {
   ++s.version;
   s.committed_version.store(s.version, std::memory_order_release);
@@ -169,15 +216,68 @@ void fill_forest_facts(Response& r, const dynamic::DynamicMsf& m) {
   r.live_edges = m.store().num_live();
 }
 
+void fill_snapshot_facts(Response& r, const SnapshotData& d) {
+  r.weight = d.weight;
+  r.trees = d.trees;
+  r.forest_edges = d.forest_ids.size();
+  r.live_edges = d.live.num_edges();
+}
+
+/// The snapshot's forest edges (ascending by store id), built once under
+/// aux_mu.  forest_ids is a subsequence of live_ids and both are ascending,
+/// so a two-pointer merge materializes the list in one pass.
+std::shared_ptr<const std::vector<WEdge>> snapshot_forest_edges(
+    const SessionSnapshot& snap) {
+  std::lock_guard<std::mutex> lk(snap.aux_mu);
+  if (snap.fedges != nullptr) return snap.fedges;
+  const SnapshotData& d = *snap.data;
+  auto fe = std::make_shared<std::vector<WEdge>>();
+  fe->reserve(d.forest_ids.size());
+  std::size_t pos = 0;
+  for (const EdgeId id : d.forest_ids) {
+    while (pos < d.live_ids.size() && d.live_ids[pos] < id) ++pos;
+    if (pos < d.live_ids.size() && d.live_ids[pos] == id) {
+      fe->push_back(d.live.edges[pos]);
+    }
+  }
+  snap.fedges = fe;
+  return fe;
+}
+
+/// The snapshot's forest component labels (kConnected), built once.
+std::shared_ptr<const core::CcResult> snapshot_cc(const SessionSnapshot& snap) {
+  const auto fe = snapshot_forest_edges(snap);
+  std::lock_guard<std::mutex> lk(snap.aux_mu);
+  if (snap.cc != nullptr) return snap.cc;
+  EdgeList fg(snap.data->live.num_vertices);
+  fg.edges = *fe;
+  auto cc = std::make_shared<core::CcResult>(core::connected_components(fg, 1));
+  snap.cc = cc;
+  return cc;
+}
+
 std::uint64_t pair_key(VertexId u, VertexId v) {
   if (u > v) std::swap(u, v);
   return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+int auto_shards() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // One shard per four hardware threads: a shard spends its parallelism on
+  // its solver team, not on shard count, and small machines stay at 1.
+  return std::max(1, static_cast<int>(hw / 4));
 }
 
 ServeOptions normalize(ServeOptions opts) {
   opts.msf.threads = std::max(1, opts.msf.threads);
   opts.dispatchers = std::max(1, opts.dispatchers);
   opts.queue_capacity = std::max<std::size_t>(1, opts.queue_capacity);
+  if (opts.shards == 0) opts.shards = auto_shards();
+  opts.shards = std::max(1, opts.shards);
+  opts.snapshot_ring = std::max(1, opts.snapshot_ring);
+  if (opts.rate_limit_rps > 0 && opts.rate_limit_burst <= 0) {
+    opts.rate_limit_burst = opts.rate_limit_rps;
+  }
   // Per-request budgets are installed by the dispatcher; a caller-supplied
   // one would dangle across requests.
   opts.msf.budget = nullptr;
@@ -190,15 +290,38 @@ ServeOptions normalize(ServeOptions opts) {
 
 ServiceCore::ServiceCore(ServeOptions opts)
     : opts_(normalize(std::move(opts))),
-      solver_team_(opts_.msf.threads),
       started_(Clock::now()),
-      queue_(opts_.queue_capacity) {
+      ring_(opts_.shards) {
+  // Shards first: recovery schedules replay solves on their teams.  With
+  // several memory nodes, shard i's solver team pins to node i mod nodes so
+  // each shard's working set stays node-local.
+  const std::vector<std::vector<int>> nodes = placement::numa_nodes();
+  shards_.reserve(static_cast<std::size_t>(opts_.shards));
+  for (int i = 0; i < opts_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = i;
+    shard->team = std::make_unique<ThreadTeam>(opts_.msf.threads);
+    shard->queue =
+        std::make_unique<BoundedQueue<QueuedRequest>>(opts_.queue_capacity);
+    if (nodes.size() > 1 && opts_.shards > 1) {
+      shard->cpus = nodes[static_cast<std::size_t>(i) % nodes.size()];
+      const std::vector<int>& cpus = shard->cpus;
+      // Workers self-pin; tid 0 is this (caller) thread and stays free.
+      shard->team->run([&cpus](TeamCtx& ctx) {
+        if (ctx.tid() != 0) placement::pin_current_thread(cpus);
+      });
+    }
+    shards_.push_back(std::move(shard));
+  }
   // Recovery happens before the first dispatcher exists, so every restored
   // session is fully replayed before any request can observe it.
   if (!opts_.data_dir.empty()) recover_sessions();
-  dispatchers_.reserve(static_cast<std::size_t>(opts_.dispatchers));
-  for (int i = 0; i < opts_.dispatchers; ++i) {
-    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  for (auto& shard : shards_) {
+    shard->dispatchers.reserve(static_cast<std::size_t>(opts_.dispatchers));
+    for (int i = 0; i < opts_.dispatchers; ++i) {
+      Shard* sp = shard.get();
+      shard->dispatchers.emplace_back([this, sp] { dispatcher_loop(*sp); });
+    }
   }
 }
 
@@ -207,8 +330,10 @@ ServiceCore::~ServiceCore() { shutdown(); }
 void ServiceCore::shutdown() {
   std::call_once(shutdown_once_, [&] {
     stopping_.store(true, std::memory_order_release);
-    queue_.close();  // admitted requests still drain
-    for (auto& t : dispatchers_) t.join();
+    for (auto& shard : shards_) shard->queue->close();  // admitted work drains
+    for (auto& shard : shards_) {
+      for (auto& t : shard->dispatchers) t.join();
+    }
     if (!opts_.data_dir.empty() && opts_.clean_shutdown) {
       // Graceful drain: every write is flushed and logged, so a final
       // snapshot + CLEAN marker lets the next startup skip replay.
@@ -230,6 +355,42 @@ void ServiceCore::shutdown() {
   });
 }
 
+void ServiceCore::add_listener(const std::string& name) {
+  std::lock_guard<std::mutex> lk(listeners_mu_);
+  listeners_.push_back(name);
+}
+
+void ServiceCore::remove_listener(const std::string& name) {
+  std::lock_guard<std::mutex> lk(listeners_mu_);
+  const auto it = std::find(listeners_.begin(), listeners_.end(), name);
+  if (it != listeners_.end()) listeners_.erase(it);
+}
+
+ServiceCore::Shard& ServiceCore::shard_of(const std::string& session_name) {
+  if (shards_.size() == 1 || session_name.empty()) return *shards_[0];
+  return *shards_[static_cast<std::size_t>(ring_.shard_for(session_name))];
+}
+
+bool ServiceCore::rate_admit(const std::string& client_id) {
+  if (opts_.rate_limit_rps <= 0 || client_id.empty()) return true;
+  std::lock_guard<std::mutex> lk(rl_mu_);
+  const auto now = Clock::now();
+  TokenBucket& b = buckets_[client_id];
+  if (b.last == Clock::time_point{}) {
+    b.tokens = opts_.rate_limit_burst;  // first sight: a full bucket
+    b.last = now;
+  }
+  const double dt = std::chrono::duration<double>(now - b.last).count();
+  b.tokens = std::min(opts_.rate_limit_burst,
+                      b.tokens + opts_.rate_limit_rps * dt);
+  b.last = now;
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
 bool ServiceCore::submit(Request req, std::function<void(Response)> done) {
   metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
   QueuedRequest qr;
@@ -244,7 +405,41 @@ bool ServiceCore::submit(Request req, std::function<void(Response)> done) {
         qr.submitted + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(dl));
   }
-  if (!queue_.try_push(std::move(qr))) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    metrics_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    qr.done(make_error(Status::kShuttingDown, "service is shutting down"));
+    return false;
+  }
+  const bool read_lane = is_read_shaped(qr.req.op);
+  // Tiered back-pressure: write/admin ops pay the per-client token bucket;
+  // read-shaped ops ride the priority lane below and are never limited.
+  if (!read_lane && !rate_admit(qr.req.client_id)) {
+    metrics_.rejected_rate_limited.fetch_add(1, std::memory_order_relaxed);
+    qr.done(make_error(Status::kRateLimited,
+                       "client '" + qr.req.client_id + "' over rate limit"));
+    return false;
+  }
+  if (read_lane) {
+    // The read priority lane: snapshot reads are wait-free, so they run
+    // inline on the submitting (transport) thread — no queueing behind
+    // writes, no dispatcher handoff, and overload shedding never touches
+    // them.  Unknown sessions fall through to the queue for the uniform
+    // kNotFound path.
+    if (const std::shared_ptr<Session> s = find_session(qr.req.session)) {
+      metrics_.reads_inline.fetch_add(1, std::memory_order_relaxed);
+      try {
+        finish(qr, is_query_op(qr.req.op) ? do_query(*s, qr)
+                                          : do_read(*s, qr));
+      } catch (const Error& e) {
+        finish(qr, make_error(status_of(e), e.what()));
+      } catch (const std::exception& e) {
+        finish(qr, make_error(Status::kInternal, e.what()));
+      }
+      return true;
+    }
+  }
+  Shard& shard = shard_of(qr.req.session);
+  if (!shard.queue->try_push(std::move(qr))) {
     // try_push only consumes the item on success, so qr is intact here.
     const bool down = stopping_.load(std::memory_order_acquire);
     auto& counter = down ? metrics_.rejected_shutdown : metrics_.rejected_overload;
@@ -254,7 +449,7 @@ bool ServiceCore::submit(Request req, std::function<void(Response)> done) {
                             : "request queue is full"));
     return false;
   }
-  metrics_.record_queue_depth(queue_.size());
+  metrics_.record_queue_depth(shard.queue->size());
   return true;
 }
 
@@ -268,12 +463,16 @@ Response ServiceCore::call(Request req) {
 std::string ServiceCore::stats_json() const {
   const double uptime =
       std::chrono::duration<double>(Clock::now() - started_).count();
-  return metrics_.to_json(queue_.capacity(), uptime);
+  std::vector<std::uint64_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& shard : shards_) depths.push_back(shard->queue->size());
+  return metrics_.to_json(opts_.queue_capacity, uptime, depths);
 }
 
-void ServiceCore::dispatcher_loop() {
-  while (auto item = queue_.pop()) {
-    metrics_.record_queue_depth(queue_.size());
+void ServiceCore::dispatcher_loop(Shard& shard) {
+  if (!shard.cpus.empty()) placement::pin_current_thread(shard.cpus);
+  while (auto item = shard.queue->pop()) {
+    metrics_.record_queue_depth(shard.queue->size());
     execute(std::move(*item));
   }
 }
@@ -363,6 +562,96 @@ void ServiceCore::execute(QueuedRequest qr) {
   }
 }
 
+void ServiceCore::publish_snapshot_locked(Session& s) {
+  {
+    std::lock_guard<std::mutex> lk(s.snap_mu);
+    if (!s.snaps.empty() && s.snaps.back()->epoch == s.version) {
+      // Nothing committed since the last publish (e.g. a failed repair left
+      // the version in place) — the published epoch stays immutable.
+      return;
+    }
+  }
+  auto snap = std::make_shared<SessionSnapshot>();
+  auto data = std::make_shared<SnapshotData>();
+  data->live = s.msf->store().live_graph(&data->live_ids);
+  data->forest_ids = s.msf->forest_edge_ids();
+  data->weight = s.msf->total_weight();
+  data->trees = s.msf->num_trees();
+  data->version = s.version;
+  snap->epoch = s.version;
+  snap->data = std::move(data);
+  {
+    std::lock_guard<std::mutex> lk(s.snap_mu);
+    s.snaps.push_back(std::move(snap));
+    while (s.snaps.size() > static_cast<std::size_t>(opts_.snapshot_ring)) {
+      s.snaps.pop_front();
+      s.reclaimed_epochs.fetch_add(1, std::memory_order_relaxed);
+      metrics_.epochs_reclaimed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  metrics_.snapshots_published.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<SessionSnapshot> ServiceCore::pinned_snapshot(
+    Session& s, std::uint64_t pin_epoch, Response* err) {
+  std::lock_guard<std::mutex> lk(s.snap_mu);
+  if (s.snaps.empty()) {
+    *err = make_error(Status::kInternal, "session has no published snapshot");
+    return nullptr;
+  }
+  if (pin_epoch == 0) return s.snaps.back();
+  for (const auto& snap : s.snaps) {
+    if (snap->epoch == pin_epoch) return snap;
+  }
+  if (pin_epoch > s.snaps.back()->epoch) {
+    *err = make_error(Status::kInvalidInput,
+                      "epoch " + std::to_string(pin_epoch) +
+                          " not committed yet (latest is " +
+                          std::to_string(s.snaps.back()->epoch) + ")");
+  } else {
+    *err = make_error(Status::kInvalidInput,
+                      "epoch " + std::to_string(pin_epoch) +
+                          " retired (ring keeps " +
+                          std::to_string(s.snaps.size()) +
+                          " epochs, oldest is " +
+                          std::to_string(s.snaps.front()->epoch) + ")");
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const query::ForestIndex> ServiceCore::snapshot_index(
+    Session& s, SessionSnapshot& snap, bool eager) {
+  // index_mu serializes concurrent builders: the first one builds, the rest
+  // find the published index under the same mutex.
+  std::lock_guard<std::mutex> lk(snap.index_mu);
+  if (snap.index != nullptr) return snap.index;
+  std::vector<WEdge> fedges = *snapshot_forest_edges(snap);
+  std::vector<EdgeId> fids = snap.data->forest_ids;
+  std::shared_ptr<const query::ForestIndex> idx;
+  if (eager) {
+    // Flusher path (exclusive state lock held): build in parallel on the
+    // session's shard team.
+    std::lock_guard<std::mutex> solver(s.home->solver_mu);
+    idx = std::make_shared<query::ForestIndex>(
+        *s.home->team, snap.data->live.num_vertices, std::move(fedges),
+        std::move(fids), snap.epoch);
+  } else {
+    // Read path: build inline on the calling thread — a ThreadTeam of one
+    // runs regions in place with zero threading overhead, and the shard
+    // team stays free for solves.
+    ThreadTeam local(1);
+    idx = std::make_shared<query::ForestIndex>(
+        local, snap.data->live.num_vertices, std::move(fedges),
+        std::move(fids), snap.epoch);
+  }
+  snap.index = idx;
+  s.index_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  metrics_.index_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  metrics_.index_rebuild_us.record(
+      static_cast<std::uint64_t>(idx->stats().build_seconds * 1e6));
+  return idx;
+}
+
 Response ServiceCore::do_open(const Request& req) {
   if (!valid_session_name(req.session)) {
     return make_error(Status::kInvalidInput,
@@ -374,6 +663,7 @@ Response ServiceCore::do_open(const Request& req) {
   }
   auto session = std::make_shared<Session>();
   session->name = req.session;
+  session->home = &shard_of(req.session);
   {
     // Reserve the name first so two concurrent opens cannot both build the
     // (possibly expensive) initial solve for it.
@@ -394,7 +684,7 @@ Response ServiceCore::do_open(const Request& req) {
   try {
     dynamic::DynamicMsfOptions dopts;
     dopts.msf = opts_.msf;
-    dopts.team = &solver_team_;
+    dopts.team = session->home->team.get();
     if (req.path.empty()) {
       session->msf = std::make_unique<dynamic::DynamicMsf>(req.num_vertices,
                                                            dopts);
@@ -403,8 +693,8 @@ Response ServiceCore::do_open(const Request& req) {
                           req.path.compare(req.path.size() - 5, 5, ".smpg") == 0;
       const EdgeList g = binary ? graph::read_binary_file(req.path)
                                 : graph::read_dimacs_file(req.path);
-      // The initial solve is scheduled like any other on the shared team.
-      std::lock_guard<std::mutex> solver(solver_mu_);
+      // The initial solve is scheduled like any other on the home shard.
+      std::lock_guard<std::mutex> solver(session->home->solver_mu);
       session->msf = std::make_unique<dynamic::DynamicMsf>(g, dopts);
     }
   } catch (const Error& e) {
@@ -438,6 +728,9 @@ Response ServiceCore::do_open(const Request& req) {
       return make_error(status_of(e), e.what());
     }
   }
+  // Epoch 0 — the initial committed state — publishes before the session is
+  // visible, so a read can never find an empty ring.
+  publish_snapshot_locked(*session);
   session->ready.store(true, std::memory_order_release);
   Response r;
   fill_forest_facts(r, *session->msf);
@@ -485,16 +778,30 @@ Response ServiceCore::do_list() {
 
 Response ServiceCore::do_health(const Request& req) {
   Response r;
-  r.health_queue_depth = queue_.size();
+  std::uint64_t depth_sum = 0;
+  r.shard_depths.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::uint64_t d = shard->queue->size();
+    r.shard_depths.push_back(d);
+    depth_sum += d;
+  }
+  r.health_queue_depth = depth_sum;
   r.uptime_s = std::chrono::duration<double>(Clock::now() - started_).count();
+  {
+    std::lock_guard<std::mutex> lk(listeners_mu_);
+    r.listeners = listeners_;
+  }
   std::lock_guard<std::mutex> lk(sessions_mu_);
   std::uint64_t lsn = 0;
+  std::uint64_t reclaimed = 0;
   std::size_t count = 0;
   for (const auto& [name, s] : sessions_) {
     if (!s->ready.load(std::memory_order_acquire)) continue;
     ++count;
     lsn = std::max(lsn, s->committed_lsn.load(std::memory_order_relaxed));
+    reclaimed += s->reclaimed_epochs.load(std::memory_order_relaxed);
   }
+  r.reclaimed_epochs = reclaimed;
   if (!req.session.empty()) {
     const auto it = sessions_.find(req.session);
     if (it == sessions_.end() ||
@@ -504,14 +811,19 @@ Response ServiceCore::do_health(const Request& req) {
     }
     Session& s = *it->second;
     lsn = s.committed_lsn.load(std::memory_order_relaxed);
-    // Per-session query-index status.  The pointer copy is the only thing
-    // under index_mu; the index object itself is immutable.
+    r.epoch = s.committed_version.load(std::memory_order_acquire);
+    // Per-session query-index status, read off the latest MVCC snapshot.
     r.index_status = true;
     r.index_rebuilds = s.index_rebuilds.load(std::memory_order_relaxed);
-    std::shared_ptr<const query::ForestIndex> idx;
+    std::shared_ptr<SessionSnapshot> snap;
     {
-      std::lock_guard<std::mutex> ilk(s.index_mu);
-      idx = s.index;
+      std::lock_guard<std::mutex> slk(s.snap_mu);
+      if (!s.snaps.empty()) snap = s.snaps.back();
+    }
+    std::shared_ptr<const query::ForestIndex> idx;
+    if (snap != nullptr) {
+      std::lock_guard<std::mutex> ilk(snap->index_mu);
+      idx = snap->index;
     }
     if (idx != nullptr) {
       r.index_present = true;
@@ -533,136 +845,69 @@ Response ServiceCore::do_health(const Request& req) {
 }
 
 Response ServiceCore::do_read(Session& s, const QueuedRequest& qr) {
-  std::shared_lock<std::shared_mutex> lk(s.state_mu);
-  const dynamic::DynamicMsf& m = *s.msf;
+  Response err;
+  const std::shared_ptr<SessionSnapshot> snap =
+      pinned_snapshot(s, qr.req.pin_epoch, &err);
+  if (snap == nullptr) return err;
+  const SnapshotData& d = *snap->data;
   Response r;
+  r.epoch = snap->epoch;
   switch (qr.req.op) {
     case Op::kWeight:
-      fill_forest_facts(r, m);
+      fill_snapshot_facts(r, d);
       return r;
     case Op::kConnected: {
-      const VertexId n = m.store().num_vertices();
+      const VertexId n = d.live.num_vertices;
       if (qr.req.u >= n || qr.req.v >= n) {
         return make_error(Status::kInvalidInput, "vertex out of range");
       }
-      // Forest component labels, memoized per committed forest version.
-      // Rebuilding under the shared state lock is safe: writers need the
-      // exclusive lock to change the forest, so the cache cannot go stale
-      // mid-build, and cc_mu serializes concurrent readers rebuilding.
-      std::lock_guard<std::mutex> cc_lk(s.cc_mu);
-      if (s.cc_version != s.version) {
-        EdgeList fg(n);
-        fg.edges.reserve(m.forest_edge_ids().size());
-        for (const EdgeId id : m.forest_edge_ids()) {
-          fg.edges.push_back(m.store().edge(id));
-        }
-        s.cc = core::connected_components(fg, 1);
-        s.cc_version = s.version;
-      }
-      r.connected = s.cc.label[qr.req.u] == s.cc.label[qr.req.v];
+      const auto cc = snapshot_cc(*snap);
+      r.connected = cc->label[qr.req.u] == cc->label[qr.req.v];
       return r;
     }
     case Op::kForestEdges: {
-      fill_forest_facts(r, m);
-      const auto& forest = m.forest_edge_ids();
-      r.edges_total = forest.size();
+      fill_snapshot_facts(r, d);
+      const auto fe = snapshot_forest_edges(*snap);
+      r.edges_total = fe->size();
       const std::size_t take = qr.req.limit == 0
-                                   ? forest.size()
-                                   : std::min(qr.req.limit, forest.size());
-      r.edges.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        r.edges.push_back(m.store().edge(forest[i]));
-      }
+                                   ? fe->size()
+                                   : std::min(qr.req.limit, fe->size());
+      r.edges.assign(fe->begin(),
+                     fe->begin() + static_cast<std::ptrdiff_t>(take));
       return r;
     }
-    case Op::kSnapshot: {
-      auto snap = std::make_shared<SnapshotData>();
-      snap->live = m.store().live_graph(&snap->live_ids);
-      snap->forest_ids = m.forest_edge_ids();
-      snap->weight = m.total_weight();
-      snap->trees = m.num_trees();
-      snap->version = s.version;
-      fill_forest_facts(r, m);
-      r.snapshot = std::move(snap);
+    case Op::kSnapshot:
+      // The published SnapshotData is immutable and shared — handing the
+      // pointer out is the whole copy.
+      fill_snapshot_facts(r, d);
+      r.snapshot = snap->data;
       return r;
-    }
     default:
       return make_error(Status::kInternal, "bad read dispatch");
   }
 }
 
-std::shared_ptr<const query::ForestIndex> ServiceCore::index_snapshot(
-    Session& s) {
-  std::lock_guard<std::mutex> lk(s.index_mu);
-  return s.index;
-}
-
-std::shared_ptr<const query::ForestIndex> ServiceCore::refresh_index_locked(
-    Session& s) {
-  // index_mu serializes concurrent rebuilders (the cc_mu pattern): the
-  // first one builds, the rest find the fresh index published under the
-  // same mutex.  `s.version` is stable — the caller holds state_mu.
-  std::lock_guard<std::mutex> lk(s.index_mu);
-  if (s.index != nullptr && s.index->version() == s.version) return s.index;
-  std::shared_ptr<const query::ForestIndex> idx;
-  {
-    std::lock_guard<std::mutex> solver(solver_mu_);
-    idx = std::make_shared<query::ForestIndex>(
-        solver_team_, s.msf->store(),
-        std::span<const EdgeId>(s.msf->forest_edge_ids()), s.version);
-  }
-  s.index = idx;
-  s.index_rebuilds.fetch_add(1, std::memory_order_relaxed);
-  metrics_.index_rebuilds.fetch_add(1, std::memory_order_relaxed);
-  metrics_.index_rebuild_us.record(
-      static_cast<std::uint64_t>(idx->stats().build_seconds * 1e6));
-  return idx;
-}
-
 Response ServiceCore::do_query(Session& s, const QueuedRequest& qr) {
   s.query_active.store(true, std::memory_order_relaxed);
   const Request& req = qr.req;
-  std::shared_ptr<const query::ForestIndex> idx;
   Response r;
-  if (req.op == Op::kTopK) {
-    if (req.limit == 0) {
-      return make_error(Status::kInvalidInput, "topk needs k >= 1");
-    }
-    // topk reads the mutable EdgeStore, not just the index, so it runs
-    // under the shared lock like any other read (concurrent with reads,
-    // excluded from the flusher's apply).
-    std::shared_lock<std::shared_mutex> state(s.state_mu);
-    idx = refresh_index_locked(s);
-    r.index_version = idx->version();
-    std::optional<graph::Weight> lambda;
-    if (req.has_lambda) lambda = req.lambda;
-    std::vector<query::ForestIndex::TopkEdge> top;
-    {
-      // The scan runs as a team region; solver_mu keeps the team exclusive.
-      std::lock_guard<std::mutex> solver(solver_mu_);
-      top = idx->top_k(solver_team_, s.msf->store(), req.limit, lambda);
-    }
-    r.edges.reserve(top.size());
-    r.edge_ids.reserve(top.size());
-    for (const auto& e : top) {
-      r.edges.push_back(WEdge{e.u, e.v, e.w});
-      r.edge_ids.push_back(e.id);
-    }
-    return r;
+  const std::shared_ptr<SessionSnapshot> snap =
+      pinned_snapshot(s, req.pin_epoch, &r);
+  if (snap == nullptr) return r;
+  // Fast path: the snapshot's index is already built (eagerly at a flush
+  // tail, or by an earlier query against this epoch).
+  std::shared_ptr<const query::ForestIndex> idx;
+  {
+    std::lock_guard<std::mutex> lk(snap->index_mu);
+    idx = snap->index;
   }
-
-  // pathmax / conn / cut: fast path first — if the published index matches
-  // the committed version, answer from it without touching the state lock,
-  // so these reads never queue behind a coalesced write burst.
-  idx = index_snapshot(s);
-  if (idx != nullptr &&
-      idx->version() == s.committed_version.load(std::memory_order_acquire)) {
+  if (idx != nullptr) {
     metrics_.index_hits.fetch_add(1, std::memory_order_relaxed);
   } else {
     metrics_.index_misses.fetch_add(1, std::memory_order_relaxed);
-    std::shared_lock<std::shared_mutex> state(s.state_mu);
-    idx = refresh_index_locked(s);
+    idx = snapshot_index(s, *snap, /*eager=*/false);
   }
+  r.epoch = snap->epoch;
   r.index_version = idx->version();
   const VertexId n = idx->num_vertices();
   switch (req.op) {
@@ -693,9 +938,42 @@ Response ServiceCore::do_query(Session& s, const QueuedRequest& qr) {
       return r;
     }
     case Op::kCut: {
+      if (!std::isfinite(req.lambda)) {
+        return make_error(Status::kInvalidInput, "lambda must be finite");
+      }
       const query::ForestIndex::Cut c = idx->cut(req.lambda);
       r.clusters = c.num_clusters;
       r.cut_digest = c.labels_digest;
+      return r;
+    }
+    case Op::kTopK: {
+      // The line protocol validates these before the core; the binary
+      // protocol hands requests straight through, so the core re-checks.
+      if (req.limit == 0 || req.limit > kMaxTopK) {
+        return make_error(Status::kInvalidInput,
+                          "topk needs k in [1, " + std::to_string(kMaxTopK) +
+                              "]");
+      }
+      std::optional<graph::Weight> lambda;
+      if (req.has_lambda) {
+        if (!std::isfinite(req.lambda)) {
+          return make_error(Status::kInvalidInput, "lambda must be finite");
+        }
+        lambda = req.lambda;
+      }
+      const SnapshotData& d = *snap->data;
+      // The scan runs over the snapshot's immutable live edges — no lock,
+      // inline on this thread.
+      ThreadTeam local(1);
+      const std::vector<query::ForestIndex::TopkEdge> top = idx->top_k(
+          local, std::span<const WEdge>(d.live.edges),
+          std::span<const EdgeId>(d.live_ids), req.limit, lambda);
+      r.edges.reserve(top.size());
+      r.edge_ids.reserve(top.size());
+      for (const auto& e : top) {
+        r.edges.push_back(WEdge{e.u, e.v, e.w});
+        r.edge_ids.push_back(e.id);
+      }
       return r;
     }
     default:
@@ -715,13 +993,15 @@ Response ServiceCore::do_recompute(Session& s, const QueuedRequest& qr) {
   try {
     s.msf->set_budget(bounded ? &budget : nullptr);
     {
-      std::lock_guard<std::mutex> solver(solver_mu_);
+      std::lock_guard<std::mutex> solver(s.home->solver_mu);
       s.msf->recompute();
     }
     s.msf->set_budget(nullptr);
     bump_version(s);
+    publish_snapshot_locked(s);
     fill_forest_facts(r, *s.msf);
     r.applied = true;
+    r.epoch = s.version;
     return r;
   } catch (const Error& e) {
     // recompute() does not mutate the store, so a budget failure leaves the
@@ -742,18 +1022,20 @@ Response ServiceCore::do_compact(Session& s) {
   // Compaction renumbers store ids, which every later WAL record names —
   // replay must reproduce the renumbering at exactly this point.
   const std::uint64_t lsn = log_compact_record(s);
+  publish_snapshot_locked(s);
   Response r;
   fill_forest_facts(r, *s.msf);
   r.remapped = after;
   r.applied = true;
   r.lsn = lsn;
+  r.epoch = s.version;
   lk.unlock();
   if (lsn != 0) s.log->wait_durable(lsn);
   return r;
 }
 
 void ServiceCore::maybe_compact(Session& s) {
-  // Caller holds the exclusive state lock.
+  // Caller holds the exclusive state lock and publishes the snapshot after.
   const std::size_t slots = s.msf->store().size();
   const std::size_t live = s.msf->store().num_live();
   if (slots < opts_.compact_min_slots) return;
@@ -845,6 +1127,7 @@ void ServiceCore::flush_writes(Session& s) {
             r.dedup = true;
             r.lsn = hit->second;
             r.idem_id = w.req.idem_id;
+            r.epoch = s.version;
             finish(w, std::move(r));
             ++i;
             continue;
@@ -941,7 +1224,7 @@ void ServiceCore::flush_writes(Session& s) {
       if (members.empty()) continue;
 
       // One apply_batch for the whole group — this is the coalescing the
-      // tentpole is about: burst traffic pays one sparsified solve.
+      // serving layer is about: burst traffic pays one sparsified solve.
       ExecutionBudget budget;
       const bool bounded = earliest != kNoDeadline;
       if (bounded) {
@@ -951,7 +1234,7 @@ void ServiceCore::flush_writes(Session& s) {
       try {
         s.msf->set_budget(bounded ? &budget : nullptr);
         {
-          std::lock_guard<std::mutex> solver(solver_mu_);
+          std::lock_guard<std::mutex> solver(s.home->solver_mu);
           s.msf->apply_batch(ins, del);
         }
         s.msf->set_budget(nullptr);
@@ -964,15 +1247,16 @@ void ServiceCore::flush_writes(Session& s) {
         // same exclusive lock as the mutation so log order == store order.
         const std::uint64_t lsn = log_applied_group(
             s, std::move(ins), std::move(del), std::move(group_idem));
-        // Compact before the ack goes out so a reader that sees the write
-        // response also sees the post-compaction store (and a due snapshot
-        // below captures the compacted, smaller store).
+        // Compact before the snapshot publishes so a reader that sees the
+        // write response also sees the post-compaction store.
         maybe_compact(s);
-        // Query-active sessions get their ForestIndex rebuilt eagerly while
-        // we still hold the exclusive lock — but only when no further
-        // writes are pending, so a coalesced burst pays one rebuild at its
-        // tail, not one per group.  Sized by the acceptance gate: the
-        // rebuild must stay within 1x of the apply_batch solve it follows.
+        // Publish the committed state as the newest MVCC epoch — from here
+        // on reads serve this (or a pinned older) snapshot.
+        publish_snapshot_locked(s);
+        // Query-active sessions get the new epoch's ForestIndex built
+        // eagerly on the shard team while we still hold the exclusive lock
+        // — but only when no further writes are pending, so a coalesced
+        // burst pays one build at its tail, not one per group.
         if (opts_.query_index_eager &&
             s.query_active.load(std::memory_order_relaxed)) {
           bool more;
@@ -980,13 +1264,21 @@ void ServiceCore::flush_writes(Session& s) {
             std::lock_guard<std::mutex> lk(s.pending_mu);
             more = !s.pending.empty();
           }
-          if (!more && i >= batch.size()) refresh_index_locked(s);
+          if (!more && i >= batch.size()) {
+            std::shared_ptr<SessionSnapshot> snap;
+            {
+              std::lock_guard<std::mutex> lk(s.snap_mu);
+              snap = s.snaps.back();
+            }
+            snapshot_index(s, *snap, /*eager=*/true);
+          }
         }
         Response base;
         fill_forest_facts(base, *s.msf);
         base.applied = true;
         base.coalesced = members.size();
         base.lsn = lsn;
+        base.epoch = s.version;
         if (s.log != nullptr && s.log->snapshot_due()) {
           snapshot_session_locked(s);
         }
@@ -1020,6 +1312,7 @@ void ServiceCore::flush_writes(Session& s) {
               s, std::move(ins), std::move(del), std::move(group_idem));
           repair_after_failed_apply(s);
           maybe_compact(s);
+          publish_snapshot_locked(s);
           Response r = make_error(st, e.what());
           r.applied = true;
           r.coalesced = members.size();
@@ -1039,6 +1332,7 @@ void ServiceCore::flush_writes(Session& s) {
             s, std::move(ins), std::move(del), std::move(group_idem));
         repair_after_failed_apply(s);
         maybe_compact(s);
+        publish_snapshot_locked(s);
         Response r = make_error(Status::kInternal, e.what());
         r.applied = true;
         r.lsn = lsn;
@@ -1117,9 +1411,10 @@ void ServiceCore::recover_sessions() {
 
     auto session = std::make_shared<Session>();
     session->name = name;
+    session->home = &shard_of(name);
     dynamic::DynamicMsfOptions dopts;
     dopts.msf = opts_.msf;
-    dopts.team = &solver_team_;
+    dopts.team = session->home->team.get();
     const std::size_t tail_records = st.tail.size();
     try {
       session->msf = std::make_unique<dynamic::DynamicMsf>(
@@ -1134,6 +1429,10 @@ void ServiceCore::recover_sessions() {
     }
     session->committed_lsn.store(session->log->last_lsn(),
                                  std::memory_order_relaxed);
+    // One snapshot for the recovered state: replay published nothing (a
+    // live-graph copy per replay group would be pure waste), so the final
+    // state becomes the ring's first epoch here.
+    publish_snapshot_locked(*session);
     session->ready.store(true, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lk(sessions_mu_);
@@ -1196,7 +1495,7 @@ void ServiceCore::replay_tail(Session& s,
       ++j;
     }
     {
-      std::lock_guard<std::mutex> solver(solver_mu_);
+      std::lock_guard<std::mutex> solver(s.home->solver_mu);
       s.msf->apply_batch(ins, del);
     }
     bump_version(s);
@@ -1267,7 +1566,7 @@ void ServiceCore::snapshot_session_locked(Session& s) {
 void ServiceCore::repair_after_failed_apply(Session& s) {
   metrics_.solver_repairs.fetch_add(1, std::memory_order_relaxed);
   try {
-    std::lock_guard<std::mutex> solver(solver_mu_);
+    std::lock_guard<std::mutex> solver(s.home->solver_mu);
     s.msf->recompute();
     bump_version(s);
   } catch (...) {

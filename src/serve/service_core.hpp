@@ -9,12 +9,14 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/msf.hpp"
 #include "persist/session_log.hpp"
 #include "pprim/thread_team.hpp"
 #include "serve/metrics.hpp"
+#include "serve/placement.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 
@@ -24,21 +26,23 @@ class ForestIndex;
 
 namespace smp::serve {
 
-struct Session;  // service_core.cpp
+struct Session;          // service_core.cpp
+struct SessionSnapshot;  // service_core.cpp
 
 struct ServeOptions {
   /// Solver backend for every session: algorithm, seed, fallback policy.
-  /// `msf.threads` sizes the shared solver ThreadTeam — one pool for the
-  /// whole service, scheduled one solve at a time; per-request budgets are
-  /// installed by the dispatcher, so any budget set here is ignored.
+  /// `msf.threads` sizes each shard's solver ThreadTeam; within one shard
+  /// solves are scheduled one at a time; per-request budgets are installed
+  /// by the dispatcher, so any budget set here is ignored.
   core::MsfOptions msf;
-  /// Dispatcher threads executing requests off the queue.  Reads on one
-  /// session run concurrently (shared lock), so this is also the read
-  /// concurrency; it must be >= 2 for write coalescing to ever happen (one
-  /// thread flushing while others feed the session's pending list).
+  /// Dispatcher threads per shard executing requests off that shard's
+  /// queue.  Reads are served inline on the submitting thread when
+  /// possible; queued work (writes, admin ops, reads against a not-yet-open
+  /// session) needs >= 2 dispatchers for write coalescing to ever happen
+  /// (one thread flushing while others feed the session's pending list).
   int dispatchers = 4;
-  /// Admission-controlled request queue bound: a submit against a full
-  /// queue fails fast with kOverloaded instead of growing the backlog.
+  /// Per-shard admission-controlled request queue bound: a submit against a
+  /// full queue fails fast with kOverloaded instead of growing the backlog.
   std::size_t queue_capacity = 256;
   /// Deadline applied to requests that carry none; 0 = unbounded.
   double default_deadline_s = 0;
@@ -54,9 +58,31 @@ struct ServeOptions {
   std::size_t compact_min_slots = 4096;
   /// Rebuild a query-active session's ForestIndex eagerly at the end of each
   /// write flush (while no further writes are pending), so the query fast
-  /// path finds a version-matched index instead of rebuilding lazily under
-  /// the shared lock.  Sessions that never saw a query op never pay this.
+  /// path finds a pre-built index on the latest snapshot instead of building
+  /// lazily on the read path.  Sessions that never saw a query op never pay
+  /// this.
   bool query_index_eager = true;
+
+  // --- scale-out serving (PR 9) ---
+  /// Solver shards: each shard owns a ThreadTeam, a bounded request queue
+  /// and its dispatcher pool; sessions are placed on shards by consistent
+  /// hashing of the session name.  1 (default) reproduces the single-pool
+  /// behavior of earlier PRs exactly; 0 auto-sizes from the machine's
+  /// hardware threads.
+  int shards = 1;
+  /// MVCC snapshot ring: how many committed epochs each session retains for
+  /// pinned reads.  Older epochs are reclaimed (and pinning them fails with
+  /// kInvalidInput).  Minimum 1 — the latest epoch always exists.
+  int snapshot_ring = 8;
+  /// Per-client token-bucket rate limit on write/admin ops (requests per
+  /// second, 0 = off).  Read-shaped ops ride the priority lane and are never
+  /// rate limited — under overload the cheap reads keep flowing while
+  /// writers are shed with kRateLimited.  Clients are identified by
+  /// Request::client_id (stamped by the transports); unattributed requests
+  /// are never limited.
+  double rate_limit_rps = 0;
+  /// Bucket depth (burst allowance); 0 = same as rate_limit_rps.
+  double rate_limit_burst = 0;
 
   // --- durability (PR 6) ---
   /// Root of the durable state: each session persists to
@@ -81,21 +107,27 @@ struct ServeOptions {
 };
 
 /// Transport-agnostic core of the MSF service: owns named graph sessions
-/// (EdgeStore + DynamicMsf each), a bounded MPMC request queue, the
-/// dispatcher pool, the shared solver ThreadTeam, and the metrics registry.
-/// The UDS daemon, the in-process bench and the tests all drive exactly
-/// this object — the wire protocol is a thin layer on top.
+/// (EdgeStore + DynamicMsf each), the solver shards (ThreadTeam + bounded
+/// MPMC queue + dispatcher pool each), and the metrics registry.  The UDS
+/// daemon, the TCP daemon, the in-process bench and the tests all drive
+/// exactly this object — the wire protocols are thin layers on top.
 ///
 /// Concurrency model per session:
-///  * reads take a shared lock and run concurrently (with each other and
-///    with reads on other sessions);
+///  * every committed mutation publishes an immutable epoch-stamped MVCC
+///    snapshot (live graph + forest + lazily built query index); reads and
+///    queries serve from a snapshot without ever touching the writer lock,
+///    so they are wait-free with respect to writers and are executed inline
+///    on the submitting thread (the read priority lane);
+///  * a bounded ring of recent epochs stays pinnable (Request::pin_epoch);
+///    epochs that fall off the ring are reclaimed and refuse pins;
 ///  * writes enter a per-session pending list; one dispatcher becomes the
 ///    flusher, merges every compatible queued write into a single
 ///    apply_batch under the exclusive lock, and answers all of them —
 ///    coalescing N queued writes into one sparsified solve;
-///  * solves (initial, apply, recompute) are scheduled one at a time on the
-///    shared ThreadTeam, so cross-session solver load queues here instead
-///    of oversubscribing the machine.
+///  * solves (initial, apply, recompute) are scheduled one at a time per
+///    shard on that shard's ThreadTeam; sessions hash onto shards by name,
+///    so cross-session solver load spreads across shards instead of
+///    queueing behind one pool.
 ///
 /// Every request carries a deadline (its own or the default) mapped onto
 /// smp::ExecutionBudget: a slow solve returns kDeadlineExceeded at the next
@@ -112,10 +144,10 @@ class ServiceCore {
   ServiceCore& operator=(const ServiceCore&) = delete;
 
   /// Asynchronous entry point: admit the request or fail fast.  `done` is
-  /// invoked exactly once, on a dispatcher thread (or inline for a
-  /// rejection), and must not block on the service.  Returns false when the
-  /// request was rejected up front (queue full or shutting down; `done` has
-  /// already run with kOverloaded / kShuttingDown).
+  /// invoked exactly once — inline on this thread for read-shaped ops and
+  /// rejections, on a dispatcher thread otherwise — and must not block on
+  /// the service.  Returns false when the request was rejected up front
+  /// (queue full, rate limited, or shutting down; `done` has already run).
   bool submit(Request req, std::function<void(Response)> done);
 
   /// Synchronous convenience wrapper around submit().
@@ -125,10 +157,18 @@ class ServiceCore {
   /// Idempotent; the destructor calls it.
   void shutdown();
 
+  /// Transport registry, reported by the health verb: servers announce
+  /// themselves ("uds:/path", "tcp:9090") on start and retract on stop.
+  void add_listener(const std::string& name);
+  void remove_listener(const std::string& name);
+
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] std::string stats_json() const;
   [[nodiscard]] const ServeOptions& options() const { return opts_; }
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
   /// What startup recovery did (sessions restored, records replayed, torn
   /// tails truncated, snapshot generations skipped) — one line per event,
   /// for the daemon to log.  Empty when persistence is off or the data dir
@@ -149,11 +189,31 @@ class ServiceCore {
     Clock::time_point deadline;  ///< Clock::time_point::max() = none
   };
 
-  void dispatcher_loop();
+  /// One solver shard: a ThreadTeam (one solve at a time, serialized by
+  /// solver_mu), a bounded request queue with its dispatcher pool, and the
+  /// NUMA cpu set its team threads are pinned to (empty = no pinning).
+  struct Shard {
+    int id = 0;
+    std::unique_ptr<ThreadTeam> team;
+    std::mutex solver_mu;  ///< serializes solves on `team`
+    std::unique_ptr<BoundedQueue<QueuedRequest>> queue;
+    std::vector<std::thread> dispatchers;
+    std::vector<int> cpus;
+  };
+
+  struct TokenBucket {
+    double tokens = 0;
+    Clock::time_point last{};
+  };
+
+  void dispatcher_loop(Shard& shard);
   void execute(QueuedRequest qr);
   void finish(QueuedRequest& qr, Response r);
 
+  [[nodiscard]] Shard& shard_of(const std::string& session_name);
   [[nodiscard]] std::shared_ptr<Session> find_session(const std::string& name);
+  /// Token-bucket admission for write/admin ops; true = admit.
+  [[nodiscard]] bool rate_admit(const std::string& client_id);
 
   Response do_open(const Request& req);
   Response do_drop(const Request& req);
@@ -162,20 +222,27 @@ class ServiceCore {
   Response do_read(Session& s, const QueuedRequest& qr);
   Response do_recompute(Session& s, const QueuedRequest& qr);
   Response do_compact(Session& s);
-  /// kPathMax / kConn / kCut / kTopK.  The first three serve entirely from
-  /// the session's published ForestIndex when it matches the committed
-  /// version — no state lock, so they never queue behind coalesced writes;
-  /// a stale index is rebuilt under the shared lock.  kTopK also scans the
-  /// live EdgeStore and always runs under the shared lock.
+  /// kPathMax / kConn / kCut / kTopK, served entirely from the MVCC
+  /// snapshot the request pins (latest by default): no state lock, so they
+  /// never queue behind coalesced writes.
   Response do_query(Session& s, const QueuedRequest& qr);
-  /// The currently published index (possibly stale or null); lock-free
-  /// apart from the pointer-swap mutex.
-  [[nodiscard]] std::shared_ptr<const query::ForestIndex> index_snapshot(
-      Session& s);
-  /// Returns a version-matched index, rebuilding on the solver team if the
-  /// published one is stale.  Caller must hold s.state_mu (shared or
-  /// exclusive) so `version` cannot move underneath the build.
-  std::shared_ptr<const query::ForestIndex> refresh_index_locked(Session& s);
+
+  // --- MVCC snapshot machinery ---
+  /// Publishes an immutable snapshot of the session's committed state as
+  /// the newest epoch, retiring the oldest ring entry when the ring is
+  /// full.  Caller holds the exclusive state lock (or the session is not
+  /// yet visible).
+  void publish_snapshot_locked(Session& s);
+  /// The snapshot for `pin_epoch` (0 = latest).  Returns nullptr and fills
+  /// `err` when the epoch was retired or never committed.
+  [[nodiscard]] std::shared_ptr<SessionSnapshot> pinned_snapshot(
+      Session& s, std::uint64_t pin_epoch, Response* err);
+  /// The snapshot's ForestIndex, building it on first use.  `eager` builds
+  /// on the session's shard team (caller: the write flusher, holding the
+  /// exclusive state lock); lazy builds run inline on the calling thread.
+  std::shared_ptr<const query::ForestIndex> snapshot_index(
+      Session& s, SessionSnapshot& snap, bool eager);
+
   void enqueue_write(const std::shared_ptr<Session>& s, QueuedRequest qr);
   void flush_writes(Session& s);
   void maybe_compact(Session& s);
@@ -201,17 +268,22 @@ class ServiceCore {
   void snapshot_session_locked(Session& s);
 
   ServeOptions opts_;
-  ThreadTeam solver_team_;
-  std::mutex solver_mu_;  ///< serializes solves on solver_team_
   MetricsRegistry metrics_;
   Clock::time_point started_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  placement::ShardRing ring_;
 
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
   std::vector<std::string> recovery_notes_;
 
-  BoundedQueue<QueuedRequest> queue_;
-  std::vector<std::thread> dispatchers_;
+  std::mutex listeners_mu_;
+  std::vector<std::string> listeners_;
+
+  std::mutex rl_mu_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+
   std::atomic<bool> stopping_{false};
   std::once_flag shutdown_once_;
 };

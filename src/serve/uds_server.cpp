@@ -114,6 +114,7 @@ void UdsServer::start() {
     fail("listen");
   }
   started_ = true;
+  core_.add_listener("uds:" + opts_.socket_path);
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -145,6 +146,7 @@ void UdsServer::stop() {
     conns_.clear();
   }
   ::unlink(opts_.socket_path.c_str());
+  core_.remove_listener("uds:" + opts_.socket_path);
   {
     std::lock_guard<std::mutex> lk(wait_mu_);
     wake_waiters_ = true;
@@ -227,6 +229,9 @@ void UdsServer::serve_connection(Connection& conn) {
       if (line.empty()) continue;
       try {
         WireRequest wr = parse_line(line);
+        // Per-connection client identity for the rate limiter; UDS peers
+        // are local, so the fd is as good an identity as the transport has.
+        wr.req.client_id = "uds#" + std::to_string(fd);
         if (wr.quit || wr.shutdown) {
           drain_all();
           send_all(fd, "ok\n");

@@ -315,4 +315,128 @@ TEST(ServeCore, ShutdownDrainsAndRejectsLateSubmits) {
   svc.shutdown();  // idempotent
 }
 
+TEST(ServeCore, ShardedSessionsBehaveLikeSinglePool) {
+  ServeOptions opts;
+  opts.shards = 3;
+  opts.dispatchers = 2;
+  ServiceCore svc(opts);
+  EXPECT_EQ(svc.shard_count(), 3);
+
+  // Sessions land on shards by name hash; every one must behave exactly as
+  // under the single-pool layout — same answers, same validation.
+  for (const char* name : {"alpha", "bravo", "charlie", "delta", "echo"}) {
+    Request open = make(Op::kOpen, name);
+    open.num_vertices = 10;
+    ASSERT_EQ(svc.call(open).status, Status::kOk) << name;
+    Request ins = insert_req(name, {{0, 1, 1.0}, {1, 2, 2.0}});
+    const Response r = svc.call(ins);
+    ASSERT_EQ(r.status, Status::kOk) << name;
+    EXPECT_DOUBLE_EQ(r.weight, 3.0);
+    Request conn = make(Op::kConnected, name);
+    conn.u = 0;
+    conn.v = 2;
+    EXPECT_TRUE(svc.call(conn).connected);
+  }
+  const Response list = svc.call(make(Op::kList));
+  EXPECT_EQ(list.sessions.size(), 5u);
+
+  // health reports one queue gauge per shard.
+  const Response health = svc.call(make(Op::kHealth));
+  ASSERT_EQ(health.status, Status::kOk);
+  EXPECT_EQ(health.shard_depths.size(), 3u);
+  svc.shutdown();
+}
+
+TEST(ServeCore, AutoShardCountIsPositive) {
+  ServeOptions opts;
+  opts.shards = 0;  // auto-size from hardware threads
+  ServiceCore svc(opts);
+  EXPECT_GE(svc.shard_count(), 1);
+  EXPECT_EQ(svc.call(make(Op::kPing)).status, Status::kOk);
+  svc.shutdown();
+}
+
+TEST(ServeCore, HealthReportsEpochAndListeners) {
+  ServiceCore svc;
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 8;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+  ASSERT_EQ(svc.call(insert_req("g", {{0, 1, 1.0}})).status, Status::kOk);
+
+  svc.add_listener("tcp:1234");
+  svc.add_listener("uds:/tmp/test.sock");
+  Response health = svc.call(make(Op::kHealth, "g"));
+  ASSERT_EQ(health.status, Status::kOk);
+  EXPECT_EQ(health.epoch, 1u);  // the committed version of session g
+  ASSERT_EQ(health.listeners.size(), 2u);
+  svc.remove_listener("tcp:1234");
+  health = svc.call(make(Op::kHealth));
+  EXPECT_EQ(health.listeners.size(), 1u);
+  svc.shutdown();
+}
+
+TEST(ServeCore, StatsJsonNestsShardAndServingGauges) {
+  ServeOptions opts;
+  opts.shards = 2;
+  ServiceCore svc(opts);
+  ASSERT_EQ(svc.call(make(Op::kPing)).status, Status::kOk);
+  const Response stats = svc.call(make(Op::kStats));
+  ASSERT_EQ(stats.status, Status::kOk);
+  for (const char* key :
+       {"\"shards\"", "\"depth\"", "\"serving\"", "\"reads_inline\"",
+        "\"rejected_rate_limited\"", "\"snapshots_published\"",
+        "\"epochs_reclaimed\""}) {
+    EXPECT_NE(stats.stats_json.find(key), std::string::npos) << key;
+  }
+  svc.shutdown();
+}
+
+TEST(ServeCore, PerClientRateLimitShedsWritersButNeverReaders) {
+  ServeOptions opts;
+  opts.rate_limit_rps = 1;  // one write per second per client
+  opts.rate_limit_burst = 2;
+  ServiceCore svc(opts);
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 32;
+  open.client_id = "admin";
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  // A client hammering writes exhausts its bucket fast...
+  int limited = 0;
+  for (int i = 0; i < 8; ++i) {
+    Request ins = insert_req(
+        "g", {{static_cast<VertexId>(i), static_cast<VertexId>(i + 1), 1.0}});
+    ins.client_id = "writer-1";
+    const Response r = svc.call(ins);
+    if (r.status == Status::kRateLimited) ++limited;
+  }
+  EXPECT_GT(limited, 0);
+  EXPECT_GT(svc.metrics().rejected_rate_limited.load(), 0u);
+
+  // ...while its reads (the priority lane) always get through,
+  for (int i = 0; i < 20; ++i) {
+    Request w = make(Op::kWeight, "g");
+    w.client_id = "writer-1";
+    EXPECT_EQ(svc.call(w).status, Status::kOk);
+  }
+  // and unattributed requests (in-process callers) are never limited.
+  for (int i = 0; i < 5; ++i) {
+    const Response r = svc.call(
+        insert_req("g", {{static_cast<VertexId>(i), 31, 2.0}}));
+    EXPECT_EQ(r.status, Status::kOk);
+  }
+  svc.shutdown();
+}
+
+TEST(ServeCore, InlineReadLaneServesWithoutQueueing) {
+  ServiceCore svc;
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 8;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+  const std::uint64_t before = svc.metrics().reads_inline.load();
+  ASSERT_EQ(svc.call(make(Op::kWeight, "g")).status, Status::kOk);
+  EXPECT_GT(svc.metrics().reads_inline.load(), before);
+  svc.shutdown();
+}
+
 }  // namespace

@@ -1,0 +1,306 @@
+// MVCC read snapshots: every forest-changing commit publishes an immutable
+// epoch-stamped snapshot, reads/queries pin epochs, and a pinned answer is
+// bit-identical to a from-scratch solve of that epoch's live graph — even
+// while writers advance the session underneath.  Retired epochs fail with a
+// clean kInvalidInput, never a stale or torn answer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/msf.hpp"
+#include "pprim/rng.hpp"
+#include "serve/service_core.hpp"
+
+namespace {
+
+using namespace smp;
+using namespace smp::graph;
+using namespace smp::serve;
+
+Request make(Op op, std::string session = {}) {
+  Request r;
+  r.op = op;
+  r.session = std::move(session);
+  return r;
+}
+
+/// Scratch-solves the snapshot's live graph with the same backend and
+/// demands bit-identity with the forest the snapshot carries.
+void check_against_scratch(const SnapshotData& snap,
+                           const core::MsfOptions& opts) {
+  const MsfResult ref = core::minimum_spanning_forest_of_candidates(
+      snap.live, snap.live_ids, opts);
+  std::vector<EdgeId> ref_forest = ref.edge_ids;
+  std::sort(ref_forest.begin(), ref_forest.end());
+  ASSERT_EQ(snap.forest_ids, ref_forest);
+
+  std::unordered_map<EdgeId, Weight> weight_of;
+  weight_of.reserve(snap.live_ids.size());
+  for (std::size_t i = 0; i < snap.live_ids.size(); ++i) {
+    weight_of[snap.live_ids[i]] = snap.live.edges[i].w;
+  }
+  Weight ref_weight = 0;
+  for (const EdgeId id : snap.forest_ids) ref_weight += weight_of.at(id);
+  ASSERT_EQ(snap.weight, ref_weight);
+  ASSERT_EQ(snap.trees, ref.num_trees);
+}
+
+/// Forest connectivity of a snapshot by union-find — the reference a pinned
+/// kConnected answer must reproduce.
+class SnapshotUf {
+ public:
+  explicit SnapshotUf(const SnapshotData& snap)
+      : parent_(snap.live.num_vertices) {
+    for (VertexId i = 0; i < snap.live.num_vertices; ++i) parent_[i] = i;
+    std::unordered_map<EdgeId, WEdge> edge_of;
+    edge_of.reserve(snap.live_ids.size());
+    for (std::size_t i = 0; i < snap.live_ids.size(); ++i) {
+      edge_of[snap.live_ids[i]] = snap.live.edges[i];
+    }
+    for (const EdgeId id : snap.forest_ids) {
+      const WEdge& e = edge_of.at(id);
+      parent_[find(e.u)] = find(e.v);
+    }
+  }
+
+  bool connected(VertexId u, VertexId v) { return find(u) == find(v); }
+
+ private:
+  VertexId find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  std::vector<VertexId> parent_;
+};
+
+TEST(ServeMvcc, WritesAdvanceEpochsAndPinnedReadsAreImmutable) {
+  ServeOptions opts;
+  opts.snapshot_ring = 16;
+  ServiceCore svc(opts);
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 20;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  // Serial writes: each commit is one epoch.  Record the facts each commit
+  // acknowledged with.
+  struct Committed {
+    std::uint64_t epoch;
+    Weight weight;
+    std::size_t forest;
+  };
+  std::vector<Committed> history;
+  for (int i = 0; i < 6; ++i) {
+    Request ins = make(Op::kInsert, "g");
+    ins.insertions = {{static_cast<VertexId>(i), static_cast<VertexId>(i + 1),
+                       1.0 + i}};
+    const Response r = svc.call(ins);
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_GT(r.epoch, history.empty() ? 0u : history.back().epoch);
+    history.push_back({r.epoch, r.weight, r.forest_edges});
+  }
+
+  // Every recorded epoch is still in the ring: pinned reads reproduce the
+  // exact acknowledged state, repeatedly, regardless of later commits.
+  for (int round = 0; round < 2; ++round) {
+    for (const Committed& c : history) {
+      Request w = make(Op::kWeight, "g");
+      w.pin_epoch = c.epoch;
+      const Response r = svc.call(w);
+      ASSERT_EQ(r.status, Status::kOk);
+      EXPECT_EQ(r.epoch, c.epoch);
+      EXPECT_EQ(r.weight, c.weight);  // bit-identical, not approximately
+      EXPECT_EQ(r.forest_edges, c.forest);
+
+      Request s = make(Op::kSnapshot, "g");
+      s.pin_epoch = c.epoch;
+      const Response sr = svc.call(s);
+      ASSERT_EQ(sr.status, Status::kOk);
+      ASSERT_NE(sr.snapshot, nullptr);
+      EXPECT_EQ(sr.snapshot->version, c.epoch);
+      EXPECT_EQ(sr.snapshot->weight, c.weight);
+    }
+  }
+
+  // Pinning an epoch that was never committed is an error, not a wait.
+  Request future = make(Op::kWeight, "g");
+  future.pin_epoch = 999;
+  const Response fr = svc.call(future);
+  EXPECT_EQ(fr.status, Status::kInvalidInput);
+  EXPECT_NE(fr.detail.find("not committed"), std::string::npos);
+  svc.shutdown();
+}
+
+TEST(ServeMvcc, RetiredEpochsFailCleanlyAndAreCounted) {
+  ServeOptions opts;
+  opts.snapshot_ring = 2;  // keep only the 2 newest epochs
+  ServiceCore svc(opts);
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = 16;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+
+  std::vector<std::uint64_t> epochs;
+  for (int i = 0; i < 5; ++i) {
+    Request ins = make(Op::kInsert, "g");
+    ins.insertions = {{static_cast<VertexId>(i), static_cast<VertexId>(i + 1),
+                       0.5}};
+    const Response r = svc.call(ins);
+    ASSERT_EQ(r.status, Status::kOk);
+    epochs.push_back(r.epoch);
+  }
+
+  // The oldest epochs fell off the ring: pinning them is a clean error that
+  // names the retention window.
+  Request stale = make(Op::kWeight, "g");
+  stale.pin_epoch = epochs.front();
+  const Response sr = svc.call(stale);
+  EXPECT_EQ(sr.status, Status::kInvalidInput);
+  EXPECT_NE(sr.detail.find("retired"), std::string::npos);
+
+  // The newest two still answer.
+  for (std::size_t k = epochs.size() - 2; k < epochs.size(); ++k) {
+    Request w = make(Op::kWeight, "g");
+    w.pin_epoch = epochs[k];
+    EXPECT_EQ(svc.call(w).status, Status::kOk) << "epoch " << epochs[k];
+  }
+
+  // health surfaces the reclamation count (epoch 0 + the early commits).
+  const Response health = svc.call(make(Op::kHealth));
+  ASSERT_EQ(health.status, Status::kOk);
+  EXPECT_GE(health.reclaimed_epochs, 3u);
+  EXPECT_GT(svc.metrics().epochs_reclaimed.load(), 0u);
+  EXPECT_GT(svc.metrics().snapshots_published.load(), 0u);
+  svc.shutdown();
+}
+
+class ServeMvccP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServeMvccP, PinnedReadersSeeScratchIdenticalStateUnderWriters) {
+  const int p = GetParam();
+  constexpr VertexId kN = 120;
+  ServeOptions opts;
+  opts.msf.threads = p;
+  opts.dispatchers = 4;
+  opts.shards = 2;          // MVCC must hold across the sharded layout too
+  opts.snapshot_ring = 32;  // generous: most pins land inside the window
+  ServiceCore svc(opts);
+
+  Request open = make(Op::kOpen, "g");
+  open.num_vertices = kN;
+  ASSERT_EQ(svc.call(open).status, Status::kOk);
+  {
+    Request ins = make(Op::kInsert, "g");
+    Rng rng(11);
+    for (int i = 0; i < 150; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_below(kN));
+      auto v = static_cast<VertexId>(rng.next_below(kN - 1));
+      if (v >= u) ++v;
+      ins.insertions.push_back(WEdge{u, v, rng.next_double()});
+    }
+    ASSERT_EQ(svc.call(ins).status, Status::kOk);
+  }
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<int> write_failures{0};
+  std::atomic<int> verified{0};
+  std::atomic<int> retired_hits{0};
+
+  std::vector<std::thread> threads;
+  for (int wi = 0; wi < 2; ++wi) {
+    threads.emplace_back([&, wi] {
+      Rng rng(700 + static_cast<std::uint64_t>(wi));
+      for (int i = 0; i < 30; ++i) {
+        Request ins = make(Op::kInsert, "g");
+        const auto u = static_cast<VertexId>(rng.next_below(kN));
+        auto v = static_cast<VertexId>(rng.next_below(kN - 1));
+        if (v >= u) ++v;
+        ins.insertions.push_back(WEdge{u, v, rng.next_double()});
+        if (!svc.call(ins).ok()) ++write_failures;
+      }
+    });
+  }
+  for (int ri = 0; ri < 2; ++ri) {
+    threads.emplace_back([&, ri] {
+      Rng rng(300 + static_cast<std::uint64_t>(ri));
+      while (!writers_done.load(std::memory_order_acquire)) {
+        // Grab the latest epoch's snapshot, then pin that epoch explicitly
+        // for everything that follows: whatever the writers do next, these
+        // answers must all describe the SAME committed state.
+        const Response latest = svc.call(make(Op::kSnapshot, "g"));
+        if (!latest.ok()) continue;
+        const std::uint64_t epoch = latest.snapshot->version;
+
+        Request w = make(Op::kWeight, "g");
+        w.pin_epoch = epoch;
+        const Response wr = svc.call(w);
+        if (wr.status == Status::kInvalidInput) {
+          ++retired_hits;  // the ring advanced past our pin; a clean miss
+          continue;
+        }
+        ASSERT_EQ(wr.status, Status::kOk);
+        ASSERT_EQ(wr.epoch, epoch);
+        ASSERT_EQ(wr.weight, latest.snapshot->weight);
+        ASSERT_EQ(wr.forest_edges, latest.snapshot->forest_ids.size());
+
+        Request s = make(Op::kSnapshot, "g");
+        s.pin_epoch = epoch;
+        const Response sr = svc.call(s);
+        if (sr.status == Status::kInvalidInput) {
+          ++retired_hits;
+          continue;
+        }
+        ASSERT_EQ(sr.status, Status::kOk);
+        ASSERT_EQ(sr.snapshot->version, epoch);
+        ASSERT_EQ(sr.snapshot->forest_ids, latest.snapshot->forest_ids);
+        check_against_scratch(*sr.snapshot, opts.msf);
+
+        // Pinned connectivity agrees with union-find over the pinned forest.
+        SnapshotUf uf(*latest.snapshot);
+        for (int probe = 0; probe < 4; ++probe) {
+          const auto u = static_cast<VertexId>(rng.next_below(kN));
+          auto v = static_cast<VertexId>(rng.next_below(kN - 1));
+          if (v >= u) ++v;
+          Request conn = make(Op::kConnected, "g");
+          conn.u = u;
+          conn.v = v;
+          conn.pin_epoch = epoch;
+          const Response cr = svc.call(conn);
+          if (cr.status == Status::kInvalidInput &&
+              cr.detail.find("retired") != std::string::npos) {
+            ++retired_hits;
+            break;
+          }
+          ASSERT_EQ(cr.status, Status::kOk);
+          ASSERT_EQ(cr.epoch, epoch);
+          ASSERT_EQ(cr.connected, uf.connected(u, v)) << u << "-" << v;
+        }
+        ++verified;
+      }
+    });
+  }
+  for (int wi = 0; wi < 2; ++wi) {
+    threads[static_cast<std::size_t>(wi)].join();
+  }
+  writers_done.store(true, std::memory_order_release);
+  for (std::size_t t = 2; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(write_failures.load(), 0);
+  EXPECT_GT(verified.load(), 0);
+
+  // Quiesced: the latest epoch must also be scratch-identical.
+  const Response last = svc.call(make(Op::kSnapshot, "g"));
+  ASSERT_TRUE(last.ok());
+  check_against_scratch(*last.snapshot, opts.msf);
+  svc.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeMvccP, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace

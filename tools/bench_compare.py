@@ -30,6 +30,22 @@ query family (baseline has query_rebuild / query_op records — BENCH_08):
     batch size: the index no longer rides along with the solve it follows.
   * A query_pathmax identity record is missing or reports mismatches.
 
+serve_scale family (baseline has serve_scale records — BENCH_09):
+  * TCP throughput falls below UDS/(1 + --transport-tolerance) at the same
+    shard count *within the current run* — same-machine comparison, so CI
+    speed cancels out.  The binary framing exists to beat (or at worst
+    match) the line protocol; losing by more means framing overhead crept
+    in.
+  * read p99 exceeds the baseline p99 by more than --serve-tolerance
+    (relative, default 75%) plus a millisecond of absolute slack.
+  * Sharding efficiency drops below --min-shard-efficiency: rps at S shards
+    must reach at least that fraction of rps(1 shard) * expected, where
+    expected = min(S, max(1, hw/2)) and hw is the current run's
+    hardware_concurrency.  On a single-core CI box expected stays 1 and the
+    gate degenerates to "more shards must not wreck throughput", which is
+    exactly what is checkable there.
+  * Any serve_scale record reports request errors.
+
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
 Exit: 0 clean, 1 regression, 2 bad input.
 """
@@ -50,6 +66,10 @@ CHAMPION_ABS_SLACK_S = 0.01
 
 # Absolute slack, in microseconds, for the per-op query latency gates.
 QUERY_ABS_SLACK_US = 200.0
+
+# Absolute slack, in milliseconds, for the serve_scale read-p99 gate:
+# socket round-trips on a loaded CI box jitter by whole milliseconds.
+SERVE_ABS_SLACK_MS = 1.0
 
 
 def load(path):
@@ -82,6 +102,81 @@ def rebuild_rows(doc):
 def op_rows(doc):
     return {r["op"]: r for r in doc.get("records", [])
             if r.get("tag") == "query_op"}
+
+
+def scale_rows(doc):
+    return {(r["transport"], r["shards"]): r for r in doc.get("records", [])
+            if r.get("tag") == "serve_scale"}
+
+
+def gate_serve_scale(base_doc, cur_doc, args, failures):
+    base = scale_rows(base_doc)
+    cur = scale_rows(cur_doc)
+
+    for key in sorted(base):
+        if key not in cur:
+            failures.append(
+                f"serve_scale {key[0]} shards={key[1]}: missing from current run")
+    for (transport, shards), c in sorted(cur.items()):
+        if c.get("errors", 0):
+            failures.append(
+                f"serve_scale {transport} shards={shards}: "
+                f"{c['errors']} request errors")
+
+    # Transport gate: tcp vs uds at the same shard count, within this run.
+    shard_counts = sorted({s for (t, s) in cur if t == "tcp"})
+    for s in shard_counts:
+        tcp = cur.get(("tcp", s))
+        uds = cur.get(("uds", s))
+        if tcp is None or uds is None:
+            continue
+        floor = uds["rps"] / (1.0 + args.transport_tolerance)
+        verdict = "OK" if tcp["rps"] >= floor else "REGRESSED"
+        print(f"  transport shards={s}: tcp {tcp['rps']:.0f} rps vs uds "
+              f"{uds['rps']:.0f} rps (floor {floor:.0f}) {verdict}")
+        if tcp["rps"] < floor:
+            failures.append(
+                f"serve_scale shards={s}: tcp {tcp['rps']:.0f} rps trails uds "
+                f"{uds['rps']:.0f} rps by more than {args.transport_tolerance:.0%}")
+
+    # Latency gate: read p99 vs the committed baseline, per (transport, shards).
+    for key, b in sorted(base.items()):
+        c = cur.get(key)
+        if c is None:
+            continue
+        limit = b["read_p99_ms"] * (1.0 + args.serve_tolerance) + SERVE_ABS_SLACK_MS
+        verdict = "OK" if c["read_p99_ms"] <= limit else "REGRESSED"
+        print(f"  {key[0]} shards={key[1]}: read p99 {b['read_p99_ms']:.3f}ms -> "
+              f"{c['read_p99_ms']:.3f}ms (limit {limit:.3f}ms) {verdict}")
+        if c["read_p99_ms"] > limit:
+            failures.append(
+                f"serve_scale {key[0]} shards={key[1]}: read p99 "
+                f"{c['read_p99_ms']:.3f}ms exceeds baseline "
+                f"{b['read_p99_ms']:.3f}ms by more than {args.serve_tolerance:.0%}")
+
+    # Scaling gate: hardware-aware — a laptop-class CI runner cannot show
+    # 4-shard speedups, so expectations are capped by the cores the current
+    # run actually had.
+    hw = cur_doc.get("meta", {}).get("hardware_concurrency", 1) or 1
+    for transport in sorted({t for (t, s) in cur}):
+        base_rps = cur.get((transport, 1), {}).get("rps")
+        if not base_rps:
+            continue
+        for (t, s), c in sorted(cur.items()):
+            if t != transport or s <= 1:
+                continue
+            expected = min(s, max(1, hw // 2))
+            eff = c["rps"] / (base_rps * expected)
+            verdict = "OK" if eff >= args.min_shard_efficiency else "REGRESSED"
+            print(f"  {transport} shards={s}: scaling efficiency {eff:.2f} "
+                  f"(expected x{expected} on hw={hw}, "
+                  f"floor {args.min_shard_efficiency:.2f}) {verdict}")
+            if eff < args.min_shard_efficiency:
+                failures.append(
+                    f"serve_scale {transport} shards={s}: scaling efficiency "
+                    f"{eff:.2f} below {args.min_shard_efficiency:.2f} "
+                    f"(rps {c['rps']:.0f} vs {base_rps:.0f} at 1 shard, "
+                    f"hw={hw})")
 
 
 def gate_fig2(base_doc, cur_doc, args, failures):
@@ -217,6 +312,12 @@ def main():
                     help="allowed relative growth of query p99 / rebuild ratio")
     ap.add_argument("--max-rebuild-ratio", type=float, default=1.0,
                     help="floor of the rebuild/apply ratio limit")
+    ap.add_argument("--transport-tolerance", type=float, default=0.15,
+                    help="how far tcp rps may trail uds rps in the same run")
+    ap.add_argument("--serve-tolerance", type=float, default=0.75,
+                    help="allowed relative growth of serve read p99")
+    ap.add_argument("--min-shard-efficiency", type=float, default=0.70,
+                    help="floor on rps(S) / (rps(1) * expected speedup)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -230,6 +331,9 @@ def main():
     if rebuild_rows(base_doc) or op_rows(base_doc):
         gate_query(base_doc, cur_doc, args, failures)
         ran.append("query")
+    if scale_rows(base_doc):
+        gate_serve_scale(base_doc, cur_doc, args, failures)
+        ran.append("serve_scale")
     if not ran:
         print("bench_compare: baseline contains no gated record family",
               file=sys.stderr)

@@ -1,12 +1,16 @@
-// smpmsf-client — line-protocol client for smpmsf-server.
+// smpmsf-client — client for smpmsf-server, over either transport.
 //
-//   smpmsf-client --socket PATH [-e "CMD"]... [--script FILE] [--clients N]
-//                 [--retries N] [--backoff-ms MS]
+//   smpmsf-client --socket PATH|tcp://HOST:PORT [-e "CMD"]... [--script FILE]
+//                 [--clients N] [--retries N] [--backoff-ms MS]
 //
-// Commands come from -e flags (in order), a script file, or stdin (one per
-// line; blank lines and # comments skipped).  --clients N runs the same
-// command list over N concurrent connections, tagging output lines [i] —
-// the one-binary way to put multiple concurrent clients on a session.
+// A plain PATH speaks the UDS line protocol; a tcp://HOST:PORT target
+// speaks the binary frame protocol (src/net) and renders responses through
+// the same line-protocol renderer, so output is byte-identical between
+// transports.  Commands come from -e flags (in order), a script file, or
+// stdin (one per line; blank lines and # comments skipped).  --clients N
+// runs the same command list over N concurrent connections, tagging output
+// lines [i] — the one-binary way to put multiple concurrent clients on a
+// session.
 //
 // --retries N survives a lost connection (server restart, crash+recovery):
 // the client reconnects with exponential backoff + jitter and resends the
@@ -14,7 +18,7 @@
 // a unique idempotency id (unless the command carries its own id=), so a
 // resend of a write the server already committed dedups server-side instead
 // of applying twice — the response says dedup=1 and echoes the original
-// commit LSN.
+// commit LSN.  The semantics are transport-independent.
 //
 // Exit codes: 0 every response ok, 1 any err response or lost connection,
 // 2 usage, 3 cannot connect.
@@ -33,20 +37,124 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "net/tcp_client.hpp"
+#include "serve/protocol.hpp"
 #include "serve/uds_client.hpp"
 
 namespace {
 
+using namespace smp;
+
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
-               "usage: smpmsf-client --socket PATH [-e \"CMD\"]..."
-               " [--script FILE] [--clients N]\n"
+               "usage: smpmsf-client --socket PATH|tcp://HOST:PORT"
+               " [-e \"CMD\"]...\n"
+               "                     [--script FILE] [--clients N]\n"
                "                     [--retries N] [--backoff-ms MS]\n");
   std::exit(2);
 }
 
 std::mutex print_mu;
+
+/// Where to connect: a UDS path, or host+port when `tcp` is set.
+struct Endpoint {
+  bool tcp = false;
+  std::string path_or_host;
+  std::uint16_t port = 0;
+};
+
+Endpoint parse_endpoint(const std::string& target) {
+  Endpoint ep;
+  if (target.rfind("tcp://", 0) != 0) {
+    ep.path_or_host = target;
+    return ep;
+  }
+  const std::string rest = target.substr(6);
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+    usage(("bad tcp target '" + target + "' (want tcp://HOST:PORT)").c_str());
+  }
+  ep.tcp = true;
+  ep.path_or_host = rest.substr(0, colon);
+  const long port = std::strtol(rest.c_str() + colon + 1, nullptr, 10);
+  if (port < 1 || port > 65535) {
+    usage(("bad port in '" + target + "'").c_str());
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+/// One connection, either transport, presenting the line-protocol surface:
+/// send a command line, get back the response lines.  Connection loss
+/// throws smp::Error (the retry loop's signal); a malformed command over
+/// TCP is parsed client-side and answered with the same `err invalid_input`
+/// line the server would send, keeping output transport-identical.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+  virtual std::vector<std::string> request(const std::string& line) = 0;
+};
+
+class UdsConn : public Conn {
+ public:
+  explicit UdsConn(const std::string& path) : client_(path) {}
+  std::vector<std::string> request(const std::string& line) override {
+    return client_.request(line);
+  }
+
+ private:
+  serve::UdsClient client_;
+};
+
+class TcpConn : public Conn {
+ public:
+  TcpConn(const std::string& host, std::uint16_t port) : client_(host, port) {}
+
+  std::vector<std::string> request(const std::string& line) override {
+    serve::WireRequest wr;
+    try {
+      wr = serve::parse_line(line);
+    } catch (const Error& e) {
+      return {std::string("err invalid_input ") + e.what()};
+    }
+    if (wr.quit || wr.shutdown) {
+      if (wr.shutdown) {
+        client_.shutdown();
+      } else {
+        client_.quit();
+      }
+      return {"ok"};
+    }
+    const serve::Response resp = client_.call(wr.req);
+    return split_lines(serve::render_response(wr.req.op, resp));
+  }
+
+ private:
+  static std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    for (std::size_t nl = text.find('\n', start); nl != std::string::npos;
+         nl = text.find('\n', start)) {
+      lines.push_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+    if (start < text.size()) lines.push_back(text.substr(start));
+    // The renderer terminates multi-line payloads with a lone "." that the
+    // UDS client also strips; drop it for identical output.
+    if (!lines.empty() && lines.back() == ".") lines.pop_back();
+    return lines;
+  }
+
+  net::TcpClient client_;
+};
+
+std::unique_ptr<Conn> connect(const Endpoint& ep) {
+  if (ep.tcp) {
+    return std::make_unique<TcpConn>(ep.path_or_host, ep.port);
+  }
+  return std::make_unique<UdsConn>(ep.path_or_host);
+}
 
 bool is_write_command(const std::string& cmd) {
   return cmd.rfind("insert ", 0) == 0 || cmd.rfind("delete ", 0) == 0;
@@ -59,9 +167,8 @@ bool has_idem_id(const std::string& cmd) {
 /// Runs the command list over one connection, reconnecting up to `retries`
 /// times on a lost connection; returns 1 on any err response or when the
 /// retries are exhausted.
-int run_commands(const std::string& socket_path,
-                 std::vector<std::string> commands, int idx, bool tag,
-                 int retries, int backoff_ms) {
+int run_commands(const Endpoint& ep, std::vector<std::string> commands,
+                 int idx, bool tag, int retries, int backoff_ms) {
   // Stamp writes with per-run-unique idempotency ids so a resend after a
   // reconnect cannot double-apply.  The nonce keeps ids from colliding
   // across client invocations against the same long-lived session.
@@ -80,13 +187,11 @@ int run_commands(const std::string& socket_path,
 
   int rc = 0;
   int attempts_left = retries;
-  std::unique_ptr<smp::serve::UdsClient> client;
+  std::unique_ptr<Conn> client;
   std::size_t k = 0;
   while (k < commands.size()) {
     try {
-      if (client == nullptr) {
-        client = std::make_unique<smp::serve::UdsClient>(socket_path);
-      }
+      if (client == nullptr) client = connect(ep);
       const std::vector<std::string> resp = client->request(commands[k]);
       std::lock_guard<std::mutex> lk(print_mu);
       for (const std::string& line : resp) {
@@ -125,7 +230,7 @@ int run_commands(const std::string& socket_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path;
+  std::string target;
   std::string script;
   std::vector<std::string> commands;
   int clients = 1;
@@ -138,7 +243,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--socket") {
-      socket_path = value();
+      target = value();
     } else if (a == "-e") {
       commands.push_back(value());
     } else if (a == "--script") {
@@ -153,10 +258,11 @@ int main(int argc, char** argv) {
       usage(("unknown flag " + a).c_str());
     }
   }
-  if (socket_path.empty()) usage("--socket PATH is required");
+  if (target.empty()) usage("--socket PATH|tcp://HOST:PORT is required");
   if (clients < 1) usage("--clients must be >= 1");
   if (retries < 0) usage("--retries must be >= 0");
   if (backoff_ms < 1) usage("--backoff-ms must be >= 1");
+  const Endpoint ep = parse_endpoint(target);
 
   if (!script.empty()) {
     std::ifstream is(script);
@@ -179,11 +285,11 @@ int main(int argc, char** argv) {
   }
   if (cleaned.empty()) usage("no commands (use -e, --script or stdin)");
 
-  // Probe the socket so "nothing is listening" is a distinct exit code;
+  // Probe the endpoint so "nothing is listening" is a distinct exit code;
   // with --retries the probe waits out a server that is still restarting.
   for (int left = retries;;) {
     try {
-      smp::serve::UdsClient probe(socket_path);
+      connect(ep);
       break;
     } catch (const smp::Error& ex) {
       if (left-- <= 0) {
@@ -195,7 +301,7 @@ int main(int argc, char** argv) {
   }
 
   if (clients == 1) {
-    return run_commands(socket_path, cleaned, 0, false, retries, backoff_ms);
+    return run_commands(ep, cleaned, 0, false, retries, backoff_ms);
   }
   std::vector<int> rcs(static_cast<std::size_t>(clients), 0);
   std::vector<std::thread> threads;
@@ -203,7 +309,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < clients; ++i) {
     threads.emplace_back([&, i] {
       rcs[static_cast<std::size_t>(i)] =
-          run_commands(socket_path, cleaned, i, true, retries, backoff_ms);
+          run_commands(ep, cleaned, i, true, retries, backoff_ms);
     });
   }
   int rc = 0;

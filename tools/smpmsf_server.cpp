@@ -1,12 +1,23 @@
-// smpmsf-server — the MSF serving daemon: a ServiceCore behind an AF_UNIX
-// line-protocol socket (grammar in docs/SERVING.md).
+// smpmsf-server — the MSF serving daemon: a ServiceCore behind one or both
+// transports (AF_UNIX line protocol, TCP binary protocol; grammar and frame
+// layout in docs/SERVING.md).
 //
-//   smpmsf-server --socket PATH [--threads P] [--dispatchers N]
-//                 [--queue-cap N] [--default-deadline MS]
+//   smpmsf-server (--socket PATH | --listen SPEC[,SPEC])
+//                 [--threads P] [--dispatchers N] [--shards N]
+//                 [--io-threads N] [--queue-cap N] [--default-deadline MS]
 //                 [--coalesce-window MS] [--alg A] [--seed S]
+//                 [--snapshot-ring N] [--rate-limit-rps R]
+//                 [--rate-limit-burst B]
 //                 [--data-dir DIR] [--fsync always|interval|none]
 //                 [--fsync-interval MS] [--snapshot-every RECORDS]
 //                 [--snapshot-retain N] [--crash-at SITE[:SKIP]]
+//
+// Each --listen SPEC is `uds:PATH` or `tcp:PORT` (tcp:0 picks an ephemeral
+// port, printed on startup); `--socket PATH` is shorthand for
+// `--listen uds:PATH`.  Both transports share the one ServiceCore, so a
+// session opened over TCP is visible over UDS and vice versa.  --shards
+// splits the solver into N independent pools (0 auto-sizes from hardware
+// threads); --io-threads sizes the TCP event-loop pool.
 //
 // With --data-dir every session is durable: acknowledged writes are
 // WAL-logged and group-committed under the chosen fsync policy, snapshots
@@ -15,21 +26,26 @@
 // (chaos testing; see tools/chaos_recovery.py).
 //
 // Runs in the foreground until SIGINT/SIGTERM or a client sends the
-// `shutdown` verb; either way it drains admitted requests, disconnects
-// clients, unlinks the socket and exits 0.  Exit codes otherwise match the
-// CLI: 2 usage, 3 invalid input.
+// `shutdown` verb on either transport; either way it drains admitted
+// requests, disconnects clients, unlinks the socket and exits 0.  Exit
+// codes otherwise match the CLI: 2 usage, 3 invalid input.
 #include <pthread.h>
 #include <signal.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/msf.hpp"
+#include "net/tcp_server.hpp"
 #include "persist/wal.hpp"
 #include "pprim/fault.hpp"
 #include "serve/service_core.hpp"
@@ -42,14 +58,19 @@ using namespace smp;
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
-               "usage: smpmsf-server --socket PATH [--threads P]"
-               " [--dispatchers N] [--queue-cap N]\n"
-               "                     [--default-deadline MS]"
-               " [--coalesce-window MS] [--alg A] [--seed S]\n"
+               "usage: smpmsf-server (--socket PATH | --listen SPEC[,SPEC])\n"
+               "                     [--threads P] [--dispatchers N]"
+               " [--shards N] [--io-threads N]\n"
+               "                     [--queue-cap N] [--default-deadline MS]"
+               " [--coalesce-window MS]\n"
+               "                     [--alg A] [--seed S] [--snapshot-ring N]\n"
+               "                     [--rate-limit-rps R]"
+               " [--rate-limit-burst B]\n"
                "                     [--data-dir DIR]"
                " [--fsync always|interval|none] [--fsync-interval MS]\n"
                "                     [--snapshot-every RECORDS]"
-               " [--snapshot-retain N] [--crash-at SITE[:SKIP]]\n");
+               " [--snapshot-retain N] [--crash-at SITE[:SKIP]]\n"
+               "  SPEC: uds:PATH | tcp:PORT (tcp:0 = ephemeral)\n");
   std::exit(2);
 }
 
@@ -83,11 +104,45 @@ core::Algorithm parse_algorithm(const std::string& s) {
               "unknown algorithm '" + s + "' (valid: " + valid + ")");
 }
 
+struct Listeners {
+  std::string uds_path;        // empty = no UDS listener
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;  // 0 = ephemeral
+};
+
+void parse_listen(const std::string& arg, Listeners& out) {
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    std::size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string spec = arg.substr(start, comma - start);
+    start = comma + 1;
+    if (spec.empty()) continue;
+    if (spec.rfind("uds:", 0) == 0) {
+      if (!out.uds_path.empty()) usage("duplicate uds: listen spec");
+      out.uds_path = spec.substr(4);
+      if (out.uds_path.empty()) usage("uds: spec needs a path");
+    } else if (spec.rfind("tcp:", 0) == 0) {
+      if (out.tcp) usage("duplicate tcp: listen spec");
+      const long port = std::strtol(spec.c_str() + 4, nullptr, 10);
+      if (spec.size() == 4 || port < 0 || port > 65535) {
+        usage(("bad tcp port in '" + spec + "'").c_str());
+      }
+      out.tcp = true;
+      out.tcp_port = static_cast<std::uint16_t>(port);
+    } else {
+      usage(("bad listen spec '" + spec + "' (want uds:PATH or tcp:PORT)")
+                .c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path;
+  Listeners listen;
   std::string crash_at;
+  int io_threads = 2;
   serve::ServeOptions opts;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -97,11 +152,17 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (a == "--socket") {
-        socket_path = value();
+        listen.uds_path = value();
+      } else if (a == "--listen") {
+        parse_listen(value(), listen);
       } else if (a == "--threads") {
         opts.msf.threads = std::atoi(value().c_str());
       } else if (a == "--dispatchers") {
         opts.dispatchers = std::atoi(value().c_str());
+      } else if (a == "--shards") {
+        opts.shards = std::atoi(value().c_str());
+      } else if (a == "--io-threads") {
+        io_threads = std::atoi(value().c_str());
       } else if (a == "--queue-cap") {
         opts.queue_capacity =
             static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
@@ -113,6 +174,12 @@ int main(int argc, char** argv) {
         opts.msf.algorithm = parse_algorithm(value());
       } else if (a == "--seed") {
         opts.msf.seed = std::strtoull(value().c_str(), nullptr, 10);
+      } else if (a == "--snapshot-ring") {
+        opts.snapshot_ring = std::atoi(value().c_str());
+      } else if (a == "--rate-limit-rps") {
+        opts.rate_limit_rps = std::strtod(value().c_str(), nullptr);
+      } else if (a == "--rate-limit-burst") {
+        opts.rate_limit_burst = std::strtod(value().c_str(), nullptr);
       } else if (a == "--data-dir") {
         opts.data_dir = value();
       } else if (a == "--fsync") {
@@ -130,7 +197,9 @@ int main(int argc, char** argv) {
         usage(("unknown flag " + a).c_str());
       }
     }
-    if (socket_path.empty()) usage("--socket PATH is required");
+    if (listen.uds_path.empty() && !listen.tcp) {
+      usage("need --socket PATH or --listen (uds:PATH and/or tcp:PORT)");
+    }
     if (!crash_at.empty()) {
       // Chaos harness: kill this process (exit 137, no flush, no
       // destructors) at the (SKIP+1)-th hit of a named persist crash point.
@@ -158,12 +227,32 @@ int main(int argc, char** argv) {
     for (const std::string& note : core.recovery_notes()) {
       std::printf("smpmsf-server: %s\n", note.c_str());
     }
-    serve::UdsServer server(core, {.socket_path = socket_path});
-    server.start();
-    std::printf("smpmsf-server: listening on %s (threads=%d dispatchers=%d"
-                " queue=%zu",
-                socket_path.c_str(), core.options().msf.threads,
+    std::unique_ptr<serve::UdsServer> uds;
+    std::unique_ptr<net::TcpServer> tcp;
+    if (!listen.uds_path.empty()) {
+      uds = std::make_unique<serve::UdsServer>(
+          core, serve::UdsServerOptions{.socket_path = listen.uds_path});
+      uds->start();
+    }
+    if (listen.tcp) {
+      tcp = std::make_unique<net::TcpServer>(
+          core,
+          net::TcpServerOptions{.port = listen.tcp_port,
+                                .io_threads = io_threads < 1 ? 1 : io_threads});
+      tcp->start();
+    }
+
+    std::string where;
+    if (uds != nullptr) where += "uds:" + listen.uds_path;
+    if (tcp != nullptr) {
+      if (!where.empty()) where += ",";
+      where += "tcp:" + std::to_string(tcp->port());
+    }
+    std::printf("smpmsf-server: listening on %s (threads=%d shards=%d"
+                " dispatchers=%d queue=%zu",
+                where.c_str(), core.options().msf.threads, core.shard_count(),
                 core.options().dispatchers, core.options().queue_capacity);
+    if (tcp != nullptr) std::printf(" io-threads=%d", io_threads);
     if (!opts.data_dir.empty()) {
       std::printf(" data-dir=%s fsync=%s", opts.data_dir.c_str(),
                   std::string(persist::to_string(core.options().fsync)).c_str());
@@ -172,22 +261,59 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     std::atomic<bool> exiting{false};
+    const auto stop_all = [&] {
+      if (uds != nullptr) uds->stop();
+      if (tcp != nullptr) tcp->stop();
+    };
     std::thread watcher([&] {
       int sig = 0;
       sigwait(&sigs, &sig);
       if (exiting.load()) return;  // woken by main for a clean wire shutdown
       std::printf("smpmsf-server: caught %s, draining\n", strsignal(sig));
       std::fflush(stdout);
-      server.stop();
+      stop_all();
     });
 
-    server.wait();   // a wire `shutdown` or the watcher's stop() wakes this
+    // A wire `shutdown` on either transport (or the watcher's stop_all)
+    // wakes the matching wait(); stopping both transports then releases the
+    // other waiter thread too.
+    {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      const auto wake = [&] {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          done = true;
+        }
+        cv.notify_all();
+      };
+      std::vector<std::thread> waiters;
+      if (uds != nullptr) {
+        waiters.emplace_back([&] {
+          uds->wait();
+          wake();
+        });
+      }
+      if (tcp != nullptr) {
+        waiters.emplace_back([&] {
+          tcp->wait();
+          wake();
+        });
+      }
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return done; });
+      }
+      stop_all();
+      for (std::thread& t : waiters) t.join();
+    }
     exiting.store(true);
     // Unblock the watcher if the shutdown came over the wire (no-op if it
     // already consumed a real signal).
     pthread_kill(watcher.native_handle(), SIGTERM);
     watcher.join();
-    server.stop();   // idempotent
+    stop_all();  // idempotent
     core.shutdown();
     std::printf("smpmsf-server: stopped\n");
     return 0;
