@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/msf.hpp"
+#include "pprim/machine.hpp"
 #include "seq/seq_msf.hpp"
 
 namespace bench {
@@ -151,13 +152,17 @@ void JsonSink::write(const std::string& bench_name, const Args& args) const {
                "  \"meta\": {\"scale\": %g, \"paper\": %s, \"max_threads\": %d, "
                "\"seed\": %llu, \"reps\": %d, \"hardware_concurrency\": %u, "
                "\"threads_requested\": %d, \"threads_available\": %u, "
-               "\"oversubscribed\": %s},\n"
-               "  \"records\": [\n",
+               "\"oversubscribed\": %s, \"machine\": %s",
                bench_name.c_str(), args.scale, args.paper ? "true" : "false",
                args.max_threads, static_cast<unsigned long long>(args.seed),
                args.reps, hw, args.max_threads, hw,
                (hw != 0 && args.max_threads > static_cast<int>(hw)) ? "true"
-                                                                    : "false");
+                                                                    : "false",
+               smp::machine_profile_json().c_str());
+  for (const auto& [key, value] : meta_extra_) {
+    std::fprintf(f, ", \"%s\": %s", key.c_str(), value.c_str());
+  }
+  std::fprintf(f, "},\n  \"records\": [\n");
   for (std::size_t i = 0; i < records_.size(); ++i) {
     std::fprintf(f, "    %s%s\n", records_[i].c_str(),
                  i + 1 < records_.size() ? "," : "");

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/edge_list.hpp"
@@ -52,15 +53,23 @@ SeqBest run_sequential_baselines(const smp::graph::EdgeList& g, int reps);
 /// Collects machine-readable result rows and writes them as one JSON
 /// document.  Each row is a complete JSON object literal the bench formats
 /// itself (flat string/number fields); write() wraps them with a meta block
-/// (sizes, thread cap, seed, reps, hardware concurrency) so a result file is
-/// self-describing.  No-op when --json was not given.
+/// (sizes, thread cap, seed, reps, hardware concurrency, and always a
+/// "machine" MachineProfile object — committed baselines must carry the host
+/// they were recorded on) so a result file is self-describing.  No-op when
+/// --json was not given.
 class JsonSink {
  public:
   void add(std::string record) { records_.push_back(std::move(record)); }
+  /// Splice an extra `"key": value_json` pair into the meta block (e.g. the
+  /// auto-calibration result).  `value_json` must be a complete JSON value.
+  void add_meta(std::string key, std::string value_json) {
+    meta_extra_.emplace_back(std::move(key), std::move(value_json));
+  }
   void write(const std::string& bench_name, const Args& args) const;
 
  private:
   std::vector<std::string> records_;
+  std::vector<std::pair<std::string, std::string>> meta_extra_;
 };
 
 /// The Fig. 4/5/6 harness: per parallel algorithm × thread count, wall time

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/atomic_min.hpp"
+#include "core/bor_fal_packed.hpp"
 #include "core/detail.hpp"
 #include "core/find_min.hpp"
 #include "core/hook_jump.hpp"
@@ -51,53 +52,31 @@ using graph::WeightOrder;
 /// ctx.barrier()).  The no-progress exit is decided uniformly: every thread
 /// reads the shared `any` flag after the connect barrier and leaves the
 /// region together; the orchestrator then breaks out of the loop.
-MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
-  const VertexId n = g.num_vertices;
-  StepTimes st;
-  WallTimer phase;
-
+///
+/// The packed loop lives in bor_fal_packed_engine so the compressed-CSR
+/// streaming path (core/compressed_solve.cpp) can drive the identical
+/// engine from decoded varint rows without ever materializing an EdgeList.
+std::vector<EdgeId> bor_fal_packed_engine(ThreadTeam& team,
+                                          PackedSolveInput in,
+                                          const MsfOptions& opts,
+                                          StepTimes& st) {
+  const VertexId n = in.n;
   const int p = team.size();
-  const FindMinMode mode = resolve_find_min_mode(opts.find_min, g.edges.size());
-  const bool packed = mode == FindMinMode::kSimd;
   const int lb_threads = find_min_local_best_threads(opts);
   const std::size_t lb_cutoff = find_min_local_best_cutoff(opts);
   const std::size_t prune_block = find_min_prune_block(opts);
 
-  // Scan path: the full CSR (targets / weights / origs per arc).  Packed
-  // path: the key array IS the adjacency structure — each arc slot holds a
-  // ⟨rank, target⟩ key, so only the n + 1 offsets are materialized and the
-  // target/weight/orig arrays (plus a separate key-packing pass over them)
-  // never exist.  The payload being the TARGET vertex means the prune loop
-  // tests labels[key_index(k)] with no detour through a 2m-entry arc array
-  // (labels is n entries and cache-resident), and the chosen input edge
-  // falls out of the rank permutation (rank_to_edge) at selection time.
-  std::unique_ptr<std::uint64_t[]> keys;  // packed path: per arc slot
-  std::vector<std::uint32_t> rank_to_edge;  // packed path: rank → input edge
-  std::vector<EdgeId> packed_offsets;
-  const CsrGraph csr = packed ? CsrGraph{} : CsrGraph(g);
-  if (packed) {
-    const std::vector<std::uint32_t> rank =
-        build_weight_ranks(team, g, &rank_to_edge);
-    build_packed_arcs(g, n, rank, packed_offsets, keys);
-  }
-  const auto& offsets = packed ? packed_offsets : csr.offsets();
+  const std::vector<EdgeId>& offsets = in.offsets;
+  const std::unique_ptr<std::uint64_t[]> keys = std::move(in.keys);
+  const std::vector<std::uint32_t>& rank_to_edge = in.rank_to_edge;
   const EdgeId num_arcs = offsets.back();
   FlexAdjList fal(n, offsets);
-  const auto& targets = csr.targets();
-  const auto& weights = csr.arc_weights();
-  const auto& origs = csr.arc_origs();
 
-  detail::EdgeCollector collector(team.size());
-  std::vector<std::atomic<EdgeId>> best;  // scan path: per supervertex arc id
-  std::vector<std::uint64_t> best_keys;   // packed path: per supervertex key
-  std::vector<Padded<std::uint64_t>> pruned_partial;
+  detail::EdgeCollector collector(p);
+  std::vector<std::uint64_t> best_keys(n);  // per supervertex key
+  std::vector<Padded<std::uint64_t>> pruned_partial(
+      static_cast<std::size_t>(p));
   LocalBestScratch local_best;
-  if (packed) {
-    best_keys.resize(n);
-    pruned_partial.resize(static_cast<std::size_t>(p));
-  } else {
-    best = std::vector<std::atomic<EdgeId>>(n);
-  }
   std::vector<VertexId> parent(n);
   ComponentsScratch comp_scratch;
   FlexAdjList::ContractScratch contract_scratch;
@@ -105,19 +84,17 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
   std::atomic<std::size_t> scan_cursor{0};
   EdgeId live_total = num_arcs;
   bool first_iter = true;
-  st.other += phase.elapsed_s();
 
   for (;;) {
     iteration_checkpoint(opts, "Bor-FAL iteration");
     const VertexId cur_n = fal.num_super();
     if (opts.iteration_stats) {
-      // Packed path: the live-arc working set (monotone non-increasing).
-      // Scan path: m never shrinks under lazy filtering — always 2m.
+      // The live-arc working set (monotone non-increasing).
       IterationStat is;
       is.vertices = cur_n;
-      is.directed_edges = packed ? live_total : num_arcs;
+      is.directed_edges = live_total;
       is.live_fraction =
-          (packed && num_arcs > 0)
+          num_arcs > 0
               ? static_cast<double>(live_total) / static_cast<double>(num_arcs)
               : 1.0;
       is.strategy = CompactStrategy::kPointer;  // contraction never rebuilds
@@ -126,106 +103,85 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
     const std::uint64_t regions_before = team.regions_started();
     any.store(false, std::memory_order_relaxed);
     scan_cursor.store(0, std::memory_order_relaxed);
-    const bool local_best_on = packed && !first_iter && p > 1 &&
-                               p >= lb_threads && cur_n <= lb_cutoff;
+    const bool local_best_on =
+        !first_iter && p > 1 && p >= lb_threads && cur_n <= lb_cutoff;
 
     team.run([&](TeamCtx& ctx) {
       WallTimer t0;
       // --- find-min -------------------------------------------------------
       if (ctx.tid() == 0) fault_point("bor-fal.find-min");
       const auto labels = fal.labels();
-      if (packed) {
-        if (ctx.tid() == 0) fault_point("bor-fal.find-min.prune");
-        std::uint64_t pruned = 0;
-        if (first_iter) {
-          // Iteration 1 fast path: labels are still the identity and the
-          // input has no self-loops, so no arc can prune and slot x belongs
-          // to original vertex x alone — a pure streaming SIMD argmin per
-          // adjacency block, with plain stores instead of atomics and no
-          // separate sentinel-init pass.
-          for_range_dynamic(ctx, scan_cursor, n, prune_block, [&](std::size_t x) {
-            const EdgeId lo = offsets[x];
-            const EdgeId end = offsets[x + 1];
-            best_keys[x] = end == lo
-                               ? kEmptyKey
-                               : keys[lo + u64_argmin(keys.get() + lo, end - lo)];
-          });
-        } else {
-          if (local_best_on) {
-            if (ctx.tid() == 0) local_best.ensure(p, cur_n);
-            ctx.barrier();
-            std::uint64_t* slab = local_best.slab(ctx.tid());
-            std::fill(slab, slab + cur_n, kEmptyKey);
-          } else {
-            for_range(ctx, cur_n,
-                      [&](std::size_t s) { best_keys[s] = kEmptyKey; });
-          }
-          ctx.barrier();
-          const auto live_end = fal.live_ends();
-          std::uint64_t* mine =
-              local_best_on ? local_best.slab(ctx.tid()) : nullptr;
-          // Per original vertex: compact newly dead arcs out of the live
-          // prefix, then one SIMD argmin over the survivors and a single
-          // publish into the owning supervertex's slot.  Dynamic chunks: live
-          // prefix lengths skew wildly after a few contractions.
-          for_range_dynamic(ctx, scan_cursor, n, prune_block, [&](std::size_t x) {
-            const VertexId s = labels[x];
-            const EdgeId lo = offsets[x];
-            EdgeId end = live_end[x];
-            for (EdgeId i = lo; i < end;) {
-              if (labels[key_index(keys[i])] == s) {
-                --end;
-                std::swap(keys[i], keys[end]);
-                ++pruned;
-              } else {
-                ++i;
-              }
-            }
-            live_end[x] = end;
-            if (end == lo) return;
-            const std::uint64_t k =
-                keys[lo + u64_argmin(keys.get() + lo, end - lo)];
-            if (mine != nullptr) {
-              if (k < mine[s]) mine[s] = k;
-            } else {
-              atomic_min_u64(best_keys[s], k);
-            }
-          });
-        }
-        pruned_partial[static_cast<std::size_t>(ctx.tid())].value = pruned;
-        ctx.barrier();
-        if (local_best_on) {
-          merge_local_best_in_region(
-              ctx, local_best, std::span<std::uint64_t>(best_keys.data(), cur_n));
-          ctx.barrier();
-        }
-        if (ctx.tid() == 0) {
-          std::uint64_t total_pruned = 0;
-          for (int t = 0; t < p; ++t) {
-            total_pruned += pruned_partial[static_cast<std::size_t>(t)].value;
-          }
-          st.pruned_arcs += total_pruned;
-          live_total -= total_pruned;
-        }
+      if (ctx.tid() == 0) fault_point("bor-fal.find-min.prune");
+      std::uint64_t pruned = 0;
+      if (first_iter) {
+        // Iteration 1 fast path: labels are still the identity and the
+        // input has no self-loops, so no arc can prune and slot x belongs
+        // to original vertex x alone — a pure streaming SIMD argmin per
+        // adjacency block, with plain stores instead of atomics and no
+        // separate sentinel-init pass.
+        for_range_dynamic(ctx, scan_cursor, n, prune_block, [&](std::size_t x) {
+          const EdgeId lo = offsets[x];
+          const EdgeId end = offsets[x + 1];
+          best_keys[x] = end == lo
+                             ? kEmptyKey
+                             : keys[lo + u64_argmin(keys.get() + lo, end - lo)];
+        });
       } else {
-        // Seed kernel: all m edges checked every iteration, each processor
-        // covering O(m/p), racing two-word atomic write-mins per arc.
-        for_range(ctx, cur_n, [&](std::size_t s) {
-          best[s].store(kInvalidEdge, std::memory_order_relaxed);
-        });
+        if (local_best_on) {
+          if (ctx.tid() == 0) local_best.ensure(p, cur_n);
+          ctx.barrier();
+          std::uint64_t* slab = local_best.slab(ctx.tid());
+          std::fill(slab, slab + cur_n, kEmptyKey);
+        } else {
+          for_range(ctx, cur_n,
+                    [&](std::size_t s) { best_keys[s] = kEmptyKey; });
+        }
         ctx.barrier();
-        const auto better = [&](EdgeId a, EdgeId b) {
-          return WeightOrder{weights[a], origs[a]} <
-                 WeightOrder{weights[b], origs[b]};
-        };
-        for_range(ctx, n, [&](std::size_t x) {
+        const auto live_end = fal.live_ends();
+        std::uint64_t* mine =
+            local_best_on ? local_best.slab(ctx.tid()) : nullptr;
+        // Per original vertex: compact newly dead arcs out of the live
+        // prefix, then one SIMD argmin over the survivors and a single
+        // publish into the owning supervertex's slot.  Dynamic chunks: live
+        // prefix lengths skew wildly after a few contractions.
+        for_range_dynamic(ctx, scan_cursor, n, prune_block, [&](std::size_t x) {
           const VertexId s = labels[x];
-          for (EdgeId a = offsets[x]; a < offsets[x + 1]; ++a) {
-            if (labels[targets[a]] == s) continue;  // supervertex self-loop
-            atomic_write_min(best[s], a, better);
+          const EdgeId lo = offsets[x];
+          EdgeId end = live_end[x];
+          for (EdgeId i = lo; i < end;) {
+            if (labels[key_index(keys[i])] == s) {
+              --end;
+              std::swap(keys[i], keys[end]);
+              ++pruned;
+            } else {
+              ++i;
+            }
+          }
+          live_end[x] = end;
+          if (end == lo) return;
+          const std::uint64_t k =
+              keys[lo + u64_argmin(keys.get() + lo, end - lo)];
+          if (mine != nullptr) {
+            if (k < mine[s]) mine[s] = k;
+          } else {
+            atomic_min_u64(best_keys[s], k);
           }
         });
+      }
+      pruned_partial[static_cast<std::size_t>(ctx.tid())].value = pruned;
+      ctx.barrier();
+      if (local_best_on) {
+        merge_local_best_in_region(
+            ctx, local_best, std::span<std::uint64_t>(best_keys.data(), cur_n));
         ctx.barrier();
+      }
+      if (ctx.tid() == 0) {
+        std::uint64_t total_pruned = 0;
+        for (int t = 0; t < p; ++t) {
+          total_pruned += pruned_partial[static_cast<std::size_t>(t)].value;
+        }
+        st.pruned_arcs += total_pruned;
+        live_total -= total_pruned;
       }
 
       // --- connect-components ---------------------------------------------
@@ -236,42 +192,23 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
       }
       fault_point("bor-fal.connect.region");
       bool local_any = false;
-      if (packed) {
-        for_range(ctx, cur_n, [&](std::size_t s) {
-          const std::uint64_t bk = best_keys[s];
-          if (bk == kEmptyKey) {
-            parent[s] = static_cast<VertexId>(s);
-            return;
-          }
-          local_any = true;
-          const VertexId other = labels[key_index(bk)];
-          parent[s] = other;
-          // Same undirected edge ⇔ same weight rank (ranks are unique).
-          const std::uint64_t ob = best_keys[other];
-          const bool other_also_chose =
-              ob != kEmptyKey && key_rank(ob) == key_rank(bk);
-          if (!(other_also_chose && other < s)) {
-            collector.add(ctx.tid(), rank_to_edge[key_rank(bk)]);
-          }
-        });
-      } else {
-        for_range(ctx, cur_n, [&](std::size_t s) {
-          const EdgeId b = best[s].load(std::memory_order_relaxed);
-          if (b == kInvalidEdge) {
-            parent[s] = static_cast<VertexId>(s);
-            return;
-          }
-          local_any = true;
-          const VertexId other = labels[targets[b]];
-          parent[s] = other;
-          const EdgeId ob = best[other].load(std::memory_order_relaxed);
-          const bool other_also_chose =
-              ob != kInvalidEdge && origs[ob] == origs[b];
-          if (!(other_also_chose && other < s)) {
-            collector.add(ctx.tid(), origs[b]);
-          }
-        });
-      }
+      for_range(ctx, cur_n, [&](std::size_t s) {
+        const std::uint64_t bk = best_keys[s];
+        if (bk == kEmptyKey) {
+          parent[s] = static_cast<VertexId>(s);
+          return;
+        }
+        local_any = true;
+        const VertexId other = labels[key_index(bk)];
+        parent[s] = other;
+        // Same undirected edge ⇔ same weight rank (ranks are unique).
+        const std::uint64_t ob = best_keys[other];
+        const bool other_also_chose =
+            ob != kEmptyKey && key_rank(ob) == key_rank(bk);
+        if (!(other_also_chose && other < s)) {
+          collector.add(ctx.tid(), rank_to_edge[key_rank(bk)]);
+        }
+      });
       if (local_any) any.store(true, std::memory_order_relaxed);
       ctx.barrier();
       // Uniform exit decision: nobody writes `any` past the barrier.
@@ -297,6 +234,145 @@ MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opt
     });
 
     first_iter = false;
+    if (opts.phase_stats) {
+      opts.phase_stats->iterations += 1;
+      opts.phase_stats->regions += team.regions_started() - regions_before;
+    }
+    if (!any.load(std::memory_order_relaxed)) break;
+  }
+  return collector.gather();
+}
+
+MsfResult bor_fal_msf(ThreadTeam& team, const EdgeList& g, const MsfOptions& opts) {
+  const VertexId n = g.num_vertices;
+  StepTimes st;
+  WallTimer phase;
+
+  const int p = team.size();
+  const FindMinMode mode = resolve_find_min_mode(opts.find_min, g.edges.size());
+
+  if (mode == FindMinMode::kSimd) {
+    PackedSolveInput in;
+    in.n = n;
+    const std::vector<std::uint32_t> rank =
+        build_weight_ranks(team, g, &in.rank_to_edge);
+    build_packed_arcs(g, n, rank, in.offsets, in.keys);
+    st.other += phase.elapsed_s();
+    std::vector<EdgeId> ids = bor_fal_packed_engine(team, std::move(in), opts, st);
+    phase.reset();
+    MsfResult res = detail::assemble_result(g, std::move(ids));
+    st.other += phase.elapsed_s();
+    if (opts.step_times) *opts.step_times += st;
+    return res;
+  }
+
+  // Scan path (FindMinMode::kScan): the seed kernel, kept verbatim as the
+  // A/B baseline — full CSR, all m edges checked every iteration.
+  const std::size_t prune_block = find_min_prune_block(opts);
+  (void)prune_block;
+  const CsrGraph csr(g);
+  const auto& offsets = csr.offsets();
+  const EdgeId num_arcs = offsets.back();
+  FlexAdjList fal(n, offsets);
+  const auto& targets = csr.targets();
+  const auto& weights = csr.arc_weights();
+  const auto& origs = csr.arc_origs();
+
+  detail::EdgeCollector collector(p);
+  std::vector<std::atomic<EdgeId>> best(n);  // per supervertex arc id
+  std::vector<VertexId> parent(n);
+  ComponentsScratch comp_scratch;
+  FlexAdjList::ContractScratch contract_scratch;
+  std::atomic<bool> any{false};
+  st.other += phase.elapsed_s();
+
+  for (;;) {
+    iteration_checkpoint(opts, "Bor-FAL iteration");
+    const VertexId cur_n = fal.num_super();
+    if (opts.iteration_stats) {
+      // m never shrinks under lazy filtering — always 2m.
+      IterationStat is;
+      is.vertices = cur_n;
+      is.directed_edges = num_arcs;
+      is.live_fraction = 1.0;
+      is.strategy = CompactStrategy::kPointer;  // contraction never rebuilds
+      opts.iteration_stats->push_back(is);
+    }
+    const std::uint64_t regions_before = team.regions_started();
+    any.store(false, std::memory_order_relaxed);
+
+    team.run([&](TeamCtx& ctx) {
+      WallTimer t0;
+      // --- find-min -------------------------------------------------------
+      if (ctx.tid() == 0) fault_point("bor-fal.find-min");
+      const auto labels = fal.labels();
+      // Seed kernel: all m edges checked every iteration, each processor
+      // covering O(m/p), racing two-word atomic write-mins per arc.
+      for_range(ctx, cur_n, [&](std::size_t s) {
+        best[s].store(kInvalidEdge, std::memory_order_relaxed);
+      });
+      ctx.barrier();
+      const auto better = [&](EdgeId a, EdgeId b) {
+        return WeightOrder{weights[a], origs[a]} <
+               WeightOrder{weights[b], origs[b]};
+      };
+      for_range(ctx, n, [&](std::size_t x) {
+        const VertexId s = labels[x];
+        for (EdgeId a = offsets[x]; a < offsets[x + 1]; ++a) {
+          if (labels[targets[a]] == s) continue;  // supervertex self-loop
+          atomic_write_min(best[s], a, better);
+        }
+      });
+      ctx.barrier();
+
+      // --- connect-components ---------------------------------------------
+      if (ctx.tid() == 0) {
+        st.find_min += t0.elapsed_s();
+        t0.reset();
+        fault_point("bor-fal.connect");
+      }
+      fault_point("bor-fal.connect.region");
+      bool local_any = false;
+      for_range(ctx, cur_n, [&](std::size_t s) {
+        const EdgeId b = best[s].load(std::memory_order_relaxed);
+        if (b == kInvalidEdge) {
+          parent[s] = static_cast<VertexId>(s);
+          return;
+        }
+        local_any = true;
+        const VertexId other = labels[targets[b]];
+        parent[s] = other;
+        const EdgeId ob = best[other].load(std::memory_order_relaxed);
+        const bool other_also_chose =
+            ob != kInvalidEdge && origs[ob] == origs[b];
+        if (!(other_also_chose && other < s)) {
+          collector.add(ctx.tid(), origs[b]);
+        }
+      });
+      if (local_any) any.store(true, std::memory_order_relaxed);
+      ctx.barrier();
+      // Uniform exit decision: nobody writes `any` past the barrier.
+      if (!any.load(std::memory_order_relaxed)) {
+        if (ctx.tid() == 0) st.connect += t0.elapsed_s();
+        return;  // every component fully contracted
+      }
+      pointer_jump_components_in_region(
+          ctx, std::span<VertexId>(parent.data(), cur_n), comp_scratch);
+      const VertexId next_n = densify_labels_in_region(
+          ctx, std::span<VertexId>(parent.data(), cur_n), comp_scratch);
+
+      // --- compact-graph: sort + pointer ops + lookup-table update --------
+      if (ctx.tid() == 0) {
+        st.connect += t0.elapsed_s();
+        t0.reset();
+        fault_point("bor-fal.compact");
+      }
+      fault_point("bor-fal.compact.region");
+      fal.contract(ctx, std::span<const VertexId>(parent.data(), cur_n), next_n,
+                   contract_scratch);
+      if (ctx.tid() == 0) st.compact += t0.elapsed_s();
+    });
+
     if (opts.phase_stats) {
       opts.phase_stats->iterations += 1;
       opts.phase_stats->regions += team.regions_started() - regions_before;

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "core/msf.hpp"
+#include "graph/compressed_csr.hpp"
+#include "pprim/thread_team.hpp"
+
+namespace smp::core {
+
+/// MSF over a compressed CSR (the billion-edge path, see
+/// graph/compressed_csr.hpp).
+///
+/// Edge ids in the result are *compressed* edge ids — positions in the
+/// canonical row walk — which index g.weights() and g.decode_edge_list()
+/// alike.  Since CompressedCsr::build keeps the canonically-minimal parallel
+/// edge, the forest equals minimum_spanning_forest(g.decode_edge_list())
+/// edge-for-edge and bit-for-bit.
+///
+/// Dispatch: when the packed find-min path applies (m <= 2^31, mode not
+/// kScan) and the algorithm contracts via Bor-FAL (kBorFAL, or kChampion
+/// whose sparse-graph pick is Bor-FAL), the solve STREAMS: weight ranks come
+/// from the flat f64 section, the packed ⟨rank, target⟩ arcs are scattered
+/// straight out of the varint rows (build_packed_arcs over CompressedCsr),
+/// and result assembly is one more row walk — no EdgeList or CsrGraph is
+/// ever materialized, so peak memory stays ~20 B/edge past the graph itself.
+/// Anything else (kScan A/B runs, the non-FAL algorithms, oversized m) falls
+/// back to eager decode_edge_list() + the standard dispatcher, trading
+/// memory for generality.
+[[nodiscard]] graph::MsfResult minimum_spanning_forest_compressed(
+    const graph::CompressedCsr& g, const MsfOptions& opts = {});
+
+/// Team-reusing variant (see the ThreadTeam overload of
+/// minimum_spanning_forest for the contract).
+[[nodiscard]] graph::MsfResult minimum_spanning_forest_compressed(
+    ThreadTeam& team, const graph::CompressedCsr& g,
+    const MsfOptions& opts = {});
+
+}  // namespace smp::core

@@ -4,6 +4,7 @@
 #include <memory>
 #include <thread>
 
+#include "graph/compressed_csr.hpp"
 #include "pprim/partition.hpp"
 
 namespace smp::core {
@@ -39,10 +40,16 @@ constexpr int kRankPackedIdxBits = 24;
 
 }  // namespace
 
-std::vector<std::uint32_t> build_weight_ranks(
-    ThreadTeam& team, const graph::EdgeList& g,
+namespace {
+
+// Shared rank-build engine: the only thing the two public overloads differ
+// in is where weight i comes from, so the whole sort is templated on that
+// accessor (EdgeList AoS gather vs the compressed graph's flat weight
+// array) and instantiated twice below.
+template <class WeightAt>
+std::vector<std::uint32_t> build_weight_ranks_impl(
+    ThreadTeam& team, std::size_t m, WeightAt w_at,
     std::vector<std::uint32_t>* rank_to_edge) {
-  const std::size_t m = g.edges.size();
   std::vector<std::uint32_t> rank(m);
   if (m == 0) {
     if (rank_to_edge != nullptr) rank_to_edge->clear();
@@ -56,7 +63,7 @@ std::vector<std::uint32_t> build_weight_ranks(
 
   if (m < kRankSeqCutoff) {
     for (std::size_t i = 0; i < m; ++i) {
-      keys[i] = monotone_weight_bits(g.edges[i].w);
+      keys[i] = monotone_weight_bits(w_at(i));
       idx[i] = static_cast<std::uint32_t>(i);
     }
     std::sort(idx.get(), idx.get() + m, [&](std::uint32_t a, std::uint32_t b) {
@@ -89,7 +96,7 @@ std::vector<std::uint32_t> build_weight_ranks(
           (std::uint64_t{1} << kRankPackedIdxBits) - 1;
       std::uint64_t key_or = 0;
       for (std::size_t i = 0; i < m; ++i) {
-        const std::uint64_t k = monotone_weight_bits(g.edges[i].w);
+        const std::uint64_t k = monotone_weight_bits(w_at(i));
         keys[i] = (k & ~kIdxMask) | i;
         key_or |= k;
       }
@@ -128,7 +135,7 @@ std::vector<std::uint32_t> build_weight_ranks(
           bool mixed = false;
           for (std::size_t k = i; k < j; ++k) {
             const auto e = static_cast<std::uint32_t>(vsrc[k] & kIdxMask);
-            run.emplace_back(monotone_weight_bits(g.edges[e].w), e);
+            run.emplace_back(monotone_weight_bits(w_at(e)), e);
             mixed = mixed || run.back().first != run.front().first;
           }
           if (mixed) {
@@ -154,7 +161,7 @@ std::vector<std::uint32_t> build_weight_ranks(
 
     std::uint64_t key_or = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      const std::uint64_t k = monotone_weight_bits(g.edges[i].w);
+      const std::uint64_t k = monotone_weight_bits(w_at(i));
       keys[i] = k;
       idx[i] = static_cast<std::uint32_t>(i);
       key_or |= k;
@@ -205,7 +212,7 @@ std::vector<std::uint32_t> build_weight_ranks(
     {
       std::uint64_t acc = 0;
       for (std::size_t i = r.begin; i < r.end; ++i) {
-        const std::uint64_t k = monotone_weight_bits(g.edges[i].w);
+        const std::uint64_t k = monotone_weight_bits(w_at(i));
         keys[i] = k;
         idx[i] = static_cast<std::uint32_t>(i);
         acc |= k;
@@ -274,6 +281,24 @@ std::vector<std::uint32_t> build_weight_ranks(
   return rank;
 }
 
+}  // namespace
+
+std::vector<std::uint32_t> build_weight_ranks(
+    ThreadTeam& team, const graph::EdgeList& g,
+    std::vector<std::uint32_t>* rank_to_edge) {
+  return build_weight_ranks_impl(
+      team, g.edges.size(), [&](std::size_t i) { return g.edges[i].w; },
+      rank_to_edge);
+}
+
+std::vector<std::uint32_t> build_weight_ranks(
+    ThreadTeam& team, std::span<const graph::Weight> weights,
+    std::vector<std::uint32_t>* rank_to_edge) {
+  return build_weight_ranks_impl(
+      team, weights.size(), [&](std::size_t i) { return weights[i]; },
+      rank_to_edge);
+}
+
 void build_packed_arcs(const graph::EdgeList& g, graph::VertexId n,
                        std::span<const std::uint32_t> rank,
                        std::vector<graph::EdgeId>& offsets,
@@ -293,6 +318,42 @@ void build_packed_arcs(const graph::EdgeList& g, graph::VertexId n,
     const std::uint32_t r = rank[i];
     keys[cursor[e.u]++] = pack_key(r, e.v);
     keys[cursor[e.v]++] = pack_key(r, e.u);
+  }
+}
+
+void build_packed_arcs(const graph::CompressedCsr& g,
+                       std::span<const std::uint32_t> rank,
+                       std::vector<graph::EdgeId>& offsets,
+                       std::unique_ptr<std::uint64_t[]>& keys) {
+  using graph::EdgeId;
+  using graph::VertexId;
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  // Decode targets once (bulk varint kernel): 4 bytes/edge of scratch is
+  // the only uncompressed structure this path ever materializes — the
+  // 16-byte WEdge list never exists.
+  std::vector<VertexId> targets(static_cast<std::size_t>(m));
+  g.decode_targets(targets.data());
+
+  offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    offsets[std::size_t{u} + 1] += g.out_degree(u);
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    ++offsets[std::size_t{targets[static_cast<std::size_t>(e)]} + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  keys = std::make_unique_for_overwrite<std::uint64_t[]>(offsets.back());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    const EdgeId e_end = g.edge_offset(u + 1);
+    for (EdgeId e = g.edge_offset(u); e < e_end; ++e) {
+      const VertexId v = targets[static_cast<std::size_t>(e)];
+      const std::uint32_t r = rank[static_cast<std::size_t>(e)];
+      keys[cursor[u]++] = pack_key(r, v);
+      keys[cursor[v]++] = pack_key(r, u);
+    }
   }
 }
 

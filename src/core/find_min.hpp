@@ -14,6 +14,10 @@
 #include "pprim/thread_team.hpp"
 #include "pprim/tuning.hpp"
 
+namespace smp::graph {
+class CompressedCsr;
+}
+
 namespace smp::core {
 
 /// Shared find-min layer (FindMinMode::kSimd / kAuto).
@@ -105,6 +109,12 @@ inline constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
     ThreadTeam& team, const graph::EdgeList& g,
     std::vector<std::uint32_t>* rank_to_edge = nullptr);
 
+/// Same sort over a flat weight array — the compressed-graph path, whose
+/// weights are already a contiguous f64 section, skips the AoS gather.
+[[nodiscard]] std::vector<std::uint32_t> build_weight_ranks(
+    ThreadTeam& team, std::span<const graph::Weight> weights,
+    std::vector<std::uint32_t>* rank_to_edge = nullptr);
+
 /// Packed-path adjacency build: n + 1 offsets plus one pre-packed
 /// ⟨rank, target⟩ key per directed arc, straight from the edge list.  This
 /// replaces a full CsrGraph for Bor-FAL's packed find-min — the key array
@@ -112,6 +122,15 @@ inline constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
 /// the separate key-packing pass over them, with its random rank gathers —
 /// here rank[e] is a sequential read) are never materialized.
 void build_packed_arcs(const graph::EdgeList& g, graph::VertexId n,
+                       std::span<const std::uint32_t> rank,
+                       std::vector<graph::EdgeId>& offsets,
+                       std::unique_ptr<std::uint64_t[]>& keys);
+
+/// Decode-on-the-fly variant over the compressed CSR: streams the varint
+/// rows straight into packed ⟨rank, target⟩ keys.  The only uncompressed
+/// scratch is one u32 target per edge for the scatter; no EdgeList or
+/// CsrGraph is ever materialized (the eager path costs 16 B/edge more).
+void build_packed_arcs(const graph::CompressedCsr& g,
                        std::span<const std::uint32_t> rank,
                        std::vector<graph::EdgeId>& offsets,
                        std::unique_ptr<std::uint64_t[]>& keys);

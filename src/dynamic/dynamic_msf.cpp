@@ -30,6 +30,25 @@ DynamicMsf::DynamicMsf(const EdgeList& initial, DynamicMsfOptions opts)
   recompute_weight();
 }
 
+DynamicMsf::DynamicMsf(EdgeStore store, DynamicMsfOptions opts)
+    : store_(std::move(store)), opts_(std::move(opts)) {
+  // Candidate-set solve over the full live graph: ids come back in store id
+  // space, which for a fresh slab store is the identity.  The EdgeList copy
+  // live_graph materializes is transient — it dies with this frame while the
+  // store keeps serving from its mmap base.
+  std::vector<EdgeId> ids;
+  const EdgeList live = store_.live_graph(&ids);
+  MsfResult r =
+      opts_.team != nullptr
+          ? core::minimum_spanning_forest_of_candidates(*opts_.team, live, ids,
+                                                        opts_.msf)
+          : core::minimum_spanning_forest_of_candidates(live, ids, opts_.msf);
+  forest_ = std::move(r.edge_ids);
+  std::sort(forest_.begin(), forest_.end());
+  trees_ = r.num_trees;
+  recompute_weight();
+}
+
 DynamicMsf::DynamicMsf(VertexId num_vertices, DynamicMsfOptions opts)
     : store_(num_vertices), opts_(std::move(opts)) {
   core::validate_request(EdgeList(num_vertices), opts_.msf);

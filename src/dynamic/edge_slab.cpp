@@ -1,0 +1,104 @@
+#include "dynamic/edge_slab.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace smp::dynamic {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'P', 'B'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 24;
+
+[[noreturn]] void fail(const std::string& path, const std::string& what,
+                       std::uint64_t offset) {
+  throw Error(ErrorCode::kInvalidInput, "edge slab " + path + ": " + what +
+                                            " at offset " +
+                                            std::to_string(offset));
+}
+
+void check_record(const std::string& path, const graph::WEdge& e,
+                  graph::VertexId n, std::uint64_t offset) {
+  if (e.u == e.v) {
+    fail(path, "self-loop at vertex " + std::to_string(e.u), offset);
+  }
+  if (e.u >= n || e.v >= n) {
+    fail(path,
+         "endpoint out of range (" + std::to_string(e.u) + ", " +
+             std::to_string(e.v) + ") with n = " + std::to_string(n),
+         offset);
+  }
+  if (!std::isfinite(e.w)) fail(path, "non-finite weight", offset);
+}
+
+}  // namespace
+
+EdgeSlab EdgeSlab::open(const std::string& path) {
+  static_assert(sizeof(graph::WEdge) == 16);
+  graph::MmapFile map = graph::MmapFile::open(path);
+  if (map.size() < kHeaderBytes) {
+    fail(path, "short header (" + std::to_string(map.size()) + " bytes)",
+         map.size());
+  }
+  const std::uint8_t* base = map.data();
+  if (std::memcmp(base, kMagic, 4) != 0) {
+    fail(path, "bad magic (not an SMPB slab)", 0);
+  }
+  std::uint32_t version, n;
+  std::uint64_t m;
+  std::memcpy(&version, base + 4, 4);
+  std::memcpy(&n, base + 8, 4);
+  std::memcpy(&m, base + 16, 8);  // offset 12 is padding: m stays 8-aligned
+  if (version != kVersion) fail(path, "unsupported version", 4);
+  const std::uint64_t expect =
+      kHeaderBytes + m * std::uint64_t{sizeof(graph::WEdge)};
+  if (map.size() != expect) {
+    fail(path,
+         "file size " + std::to_string(map.size()) + " != expected " +
+             std::to_string(expect) + " for " + std::to_string(m) +
+             " records (truncated or trailing bytes)",
+         map.size() < expect ? map.size() : expect);
+  }
+  EdgeSlab s;
+  s.n_ = n;
+  s.m_ = m;
+  s.edges_ = reinterpret_cast<const graph::WEdge*>(base + kHeaderBytes);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    check_record(path, s.edges_[i], n,
+                 kHeaderBytes + i * sizeof(graph::WEdge));
+  }
+  s.map_ = std::move(map);
+  return s;
+}
+
+void EdgeSlab::write_file(const std::string& path, const graph::EdgeList& g) {
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    check_record(path, g.edges[i], g.num_vertices,
+                 kHeaderBytes + i * sizeof(graph::WEdge));
+  }
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw Error(ErrorCode::kInvalidInput,
+                "edge slab " + path + ": cannot open for write");
+  }
+  const std::uint32_t n = g.num_vertices;
+  const std::uint32_t pad = 0;
+  const std::uint64_t m = g.edges.size();
+  os.write(kMagic, 4);
+  os.write(reinterpret_cast<const char*>(&kVersion), 4);
+  os.write(reinterpret_cast<const char*>(&n), 4);
+  os.write(reinterpret_cast<const char*>(&pad), 4);
+  os.write(reinterpret_cast<const char*>(&m), 8);
+  os.write(reinterpret_cast<const char*>(g.edges.data()),
+           static_cast<std::streamsize>(m * sizeof(graph::WEdge)));
+  if (!os) {
+    throw Error(ErrorCode::kInvalidInput,
+                "edge slab " + path + ": write failed");
+  }
+}
+
+}  // namespace smp::dynamic

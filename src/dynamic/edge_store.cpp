@@ -38,9 +38,19 @@ EdgeStore::EdgeStore(const EdgeList& g) : n_(g.num_vertices) {
   live_ = edges_.size();
 }
 
+EdgeStore::EdgeStore(std::shared_ptr<const EdgeSlab> slab)
+    : n_(slab->num_vertices()),
+      base_(std::move(slab)),
+      base_m_(base_->num_edges()) {
+  // EdgeSlab::open already enforced the insertion invariants per record, so
+  // adoption is O(m) flag bytes, not another validation pass.
+  dead_.assign(static_cast<std::size_t>(base_m_), 0);
+  live_ = static_cast<std::size_t>(base_m_);
+}
+
 EdgeId EdgeStore::insert(VertexId u, VertexId v, Weight w) {
   check_edge(u, v, w, n_);
-  const EdgeId id = edges_.size();
+  const EdgeId id = size();
   edges_.push_back(WEdge{u, v, w});
   dead_.push_back(0);
   ++live_;
@@ -57,7 +67,7 @@ void EdgeStore::erase(EdgeId id) {
   dead_[static_cast<std::size_t>(id)] = 1;
   --live_;
   if (pair_index_built_) {
-    const auto& e = edges_[static_cast<std::size_t>(id)];
+    const auto& e = edge(id);
     auto [it, last] = pair_index_.equal_range(pair_key(e.u, e.v));
     for (; it != last; ++it) {
       if (it->second == id) {
@@ -71,9 +81,9 @@ void EdgeStore::erase(EdgeId id) {
 void EdgeStore::ensure_pair_index() const {
   if (pair_index_built_) return;
   pair_index_.reserve(live_);
-  for (EdgeId id = 0; id < edges_.size(); ++id) {
+  for (EdgeId id = 0; id < size(); ++id) {
     if (dead_[static_cast<std::size_t>(id)]) continue;
-    const auto& e = edges_[static_cast<std::size_t>(id)];
+    const auto& e = edge(id);
     pair_index_.emplace(pair_key(e.u, e.v), id);
   }
   pair_index_built_ = true;
@@ -89,26 +99,30 @@ std::optional<EdgeId> EdgeStore::find_live(VertexId u, VertexId v) const {
       best = id;
       continue;
     }
-    const WeightOrder cand{edges_[static_cast<std::size_t>(id)].w, id};
-    const WeightOrder cur{edges_[static_cast<std::size_t>(*best)].w, *best};
+    const WeightOrder cand{edge(id).w, id};
+    const WeightOrder cur{edge(*best).w, *best};
     if (cand < cur) best = id;
   }
   return best;
 }
 
 std::vector<EdgeId> EdgeStore::compact() {
-  std::vector<EdgeId> remap(edges_.size(), graph::kInvalidEdge);
+  std::vector<EdgeId> remap(static_cast<std::size_t>(size()),
+                            graph::kInvalidEdge);
+  std::vector<WEdge> kept;
+  kept.reserve(live_);
   EdgeId next = 0;
-  for (EdgeId id = 0; id < edges_.size(); ++id) {
+  for (EdgeId id = 0; id < size(); ++id) {
     if (dead_[static_cast<std::size_t>(id)]) continue;
     remap[static_cast<std::size_t>(id)] = next;
-    // In-place left-compaction: next <= id always, so the move never
-    // clobbers an unvisited slot.
-    edges_[static_cast<std::size_t>(next)] = edges_[static_cast<std::size_t>(id)];
+    kept.push_back(edge(id));
     ++next;
   }
-  edges_.resize(static_cast<std::size_t>(next));
-  edges_.shrink_to_fit();
+  // Compaction materializes everything into the owned tail and releases the
+  // mmap base (a compacted slab no longer matches its file anyway).
+  base_.reset();
+  base_m_ = 0;
+  edges_ = std::move(kept);
   dead_.assign(edges_.size(), 0);
   dead_.shrink_to_fit();
   live_ = edges_.size();
@@ -144,12 +158,14 @@ T take(const unsigned char* data, std::size_t size, std::size_t& off,
 
 void EdgeStore::serialize(std::string& out) const {
   put<std::uint32_t>(out, n_);
-  put<std::uint64_t>(out, edges_.size());
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    put<std::uint32_t>(out, edges_[i].u);
-    put<std::uint32_t>(out, edges_[i].v);
-    put<double>(out, edges_[i].w);
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(dead_[i]));
+  put<std::uint64_t>(out, size());
+  for (EdgeId i = 0; i < size(); ++i) {
+    const WEdge& e = edge(i);
+    put<std::uint32_t>(out, e.u);
+    put<std::uint32_t>(out, e.v);
+    put<double>(out, e.w);
+    put<std::uint8_t>(out,
+                      static_cast<std::uint8_t>(dead_[static_cast<std::size_t>(i)]));
   }
 }
 
@@ -194,9 +210,9 @@ EdgeList EdgeStore::live_graph(std::vector<EdgeId>* out_ids) const {
     out_ids->clear();
     out_ids->reserve(live_);
   }
-  for (EdgeId id = 0; id < edges_.size(); ++id) {
+  for (EdgeId id = 0; id < size(); ++id) {
     if (dead_[static_cast<std::size_t>(id)]) continue;
-    g.edges.push_back(edges_[static_cast<std::size_t>(id)]);
+    g.edges.push_back(edge(id));
     if (out_ids != nullptr) out_ids->push_back(id);
   }
   return g;

@@ -1,18 +1,25 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "dynamic/edge_slab.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/types.hpp"
 
 namespace smp::dynamic {
 
 /// Mutable edge container backing the batch-dynamic subsystem.
+///
+/// Storage is two layers: an optional read-only mmap-backed base slab
+/// (billion-edge sessions preload one; see EdgeSlab) followed by an owned
+/// append-only tail.  Ids are global across both layers, so everything
+/// below is layout-agnostic.
 ///
 /// Edges get a *store id* on insertion — their index in the append-only
 /// slab — and keep it forever: deletion tombstones the slot instead of
@@ -38,18 +45,28 @@ class EdgeStore {
   /// Throws Error{kInvalidInput} on self-loops, out-of-range endpoints or
   /// non-finite weights.
   explicit EdgeStore(const graph::EdgeList& g);
+  /// Adopts a validated mmap-backed slab as the base layer: slots
+  /// [0, slab->num_edges()) serve reads straight from the mapped file (zero
+  /// heap bytes per edge), while later insert()s append to an owned tail —
+  /// store-id semantics are identical to the all-owned store.  compact()
+  /// and restore() drop the base layer (they materialize owned slots).
+  explicit EdgeStore(std::shared_ptr<const EdgeSlab> slab);
 
   [[nodiscard]] graph::VertexId num_vertices() const { return n_; }
   /// Total slots, live and tombstoned; also the next id to be assigned.
-  [[nodiscard]] graph::EdgeId size() const { return edges_.size(); }
+  [[nodiscard]] graph::EdgeId size() const { return base_m_ + edges_.size(); }
   [[nodiscard]] std::size_t num_live() const { return live_; }
   [[nodiscard]] bool is_live(graph::EdgeId id) const {
-    return id < edges_.size() && !dead_[static_cast<std::size_t>(id)];
+    return id < size() && !dead_[static_cast<std::size_t>(id)];
   }
   /// The edge in slot `id` (live or tombstoned; id must be < size()).
   [[nodiscard]] const graph::WEdge& edge(graph::EdgeId id) const {
-    return edges_[static_cast<std::size_t>(id)];
+    return id < base_m_
+               ? base_->edges()[static_cast<std::size_t>(id)]
+               : edges_[static_cast<std::size_t>(id - base_m_)];
   }
+  /// Slots served from the mmap-backed base layer (0 = fully owned).
+  [[nodiscard]] graph::EdgeId base_size() const { return base_m_; }
 
   /// Appends a live edge and returns its store id.
   /// Throws Error{kInvalidInput} like the adopting constructor.
@@ -115,8 +132,12 @@ class EdgeStore {
   }
 
   graph::VertexId n_ = 0;
-  std::vector<graph::WEdge> edges_;
-  std::vector<char> dead_;  ///< parallel to edges_; 1 = tombstoned
+  /// Base layer: validated mmap-backed records for ids [0, base_m_).
+  /// Shared so snapshot copies of the store share one mapping.
+  std::shared_ptr<const EdgeSlab> base_;
+  graph::EdgeId base_m_ = 0;
+  std::vector<graph::WEdge> edges_;  ///< owned tail: ids [base_m_, size())
+  std::vector<char> dead_;  ///< parallel to ALL slots; 1 = tombstoned
   std::size_t live_ = 0;
   /// pair_key -> live store ids, built on first find_live (delete-by-id
   /// workloads never pay for it).

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/mmap_file.hpp"
+#include "graph/types.hpp"
+#include "pprim/varint.hpp"
+
+namespace smp::graph {
+
+/// Delta/varint-compressed CSR: the billion-edge storage format (.smpz).
+///
+/// Each undirected edge is stored ONCE, on its smaller endpoint, so the
+/// structure is an upper-triangular adjacency: vertex u's row holds its
+/// neighbors v >= u in strictly increasing order, encoded as LEB128 varints
+/// of the gaps (first value = v0 - u, then v_i - v_{i-1}; see
+/// pprim/varint.hpp).  Edge *identity* is implicit — edge id e is the e-th
+/// arc of the row walk — which is what keeps the structure under ~4 bytes
+/// per edge on degree-10 graphs: no per-edge id, no reverse arc.  Weights
+/// stay a raw f64 array indexed by that implicit id (they are incompressible
+/// and the solvers touch them exactly once, to build weight ranks).
+///
+/// Canonical order invariant: rows are built from the edge list after
+/// normalizing u <= v, sorting by (u, v) and deduplicating parallel edges
+/// keeping the ⟨weight, input-id⟩-minimal one — the same canonical choice
+/// as canonicalize_parallel_edges, so the forest computed on the compressed
+/// graph equals the forest on the canonicalized uncompressed graph
+/// edge-for-edge (the bit-identity suite pins this at p in {1,2,4,8}).
+///
+/// On-disk layout (native-endian, like SMPG; sections 8-byte aligned):
+///   header   { "SMPZ", u32 version=1, u32 flags, u32 n, u64 m, u64 adj_bytes }
+///   edge_offsets   (n+1) x u32    row -> first implicit edge id
+///   byte_offsets   (n+1) x u32    row -> first adjacency byte (u64 when
+///                                 flags bit0 set, i.e. adj_bytes >= 4 GiB)
+///   adjacency      adj_bytes x u8 concatenated varint gap streams
+///   weights        m x f64
+///
+/// open_file() maps the file read-only and VALIDATES everything once —
+/// header geometry, offset monotonicity, per-row varint structure (so the
+/// trusted SIMD bulk decoder can never overrun), target range/monotonicity,
+/// weight finiteness; any violation throws smp::Error{kInvalidInput} naming
+/// the path and byte offset.  After that every decode runs the unchecked
+/// fast path.
+class CompressedCsr {
+ public:
+  CompressedCsr() = default;
+
+  /// Builds from an arbitrary edge list: normalizes endpoints, sorts,
+  /// dedups parallel edges canonically.  `kept_input_ids` (optional out)
+  /// maps each compressed edge id to the input index of the edge it kept.
+  [[nodiscard]] static CompressedCsr build(
+      const EdgeList& g, std::vector<EdgeId>* kept_input_ids = nullptr);
+
+  /// The canonicalized edge list build() compressed — decode_edge_list()
+  /// returns exactly this.  Exposed so callers can solve the identical
+  /// input uncompressed for comparison.
+  [[nodiscard]] EdgeList decode_edge_list() const;
+
+  /// Decodes every target (larger endpoint) in implicit edge-id order via
+  /// the bulk varint kernel + per-row prefix reconstruction.  `out` must
+  /// hold num_edges() values.  This is the hot load of the streaming solve
+  /// path and what the decode-GB/s bench times.
+  void decode_targets(VertexId* out) const;
+
+  /// Decodes row `u` (targets only) into out[0 .. out_degree(u)).
+  void decode_row(VertexId u, VertexId* out) const;
+
+  [[nodiscard]] VertexId num_vertices() const { return n_; }
+  [[nodiscard]] EdgeId num_edges() const { return m_; }
+  [[nodiscard]] EdgeId edge_offset(VertexId u) const { return edge_off_[u]; }
+  [[nodiscard]] std::uint32_t out_degree(VertexId u) const {
+    return edge_off_[u + 1] - edge_off_[u];
+  }
+  /// Smaller endpoint of edge e in O(log n) (binary search of edge_offsets);
+  /// row walks get it for free.
+  [[nodiscard]] VertexId source_of(EdgeId e) const;
+  [[nodiscard]] const Weight* weights() const { return weights_; }
+  [[nodiscard]] Weight weight(EdgeId e) const { return weights_[e]; }
+
+  /// Sequential row walk: fn(EdgeId id, VertexId u, VertexId v, Weight w)
+  /// in implicit edge-id order.
+  template <class Fn>
+  void for_each_edge(Fn&& fn) const {
+    const std::uint8_t* p = adj_;
+    for (VertexId u = 0; u < n_; ++u) {
+      VertexId v = u;
+      const EdgeId e_end = edge_off_[u + 1];
+      for (EdgeId e = edge_off_[u]; e < e_end; ++e) {
+        v += decode_gap(p);
+        fn(e, u, v, weights_[e]);
+      }
+    }
+  }
+
+  /// Adjacency varint bytes alone.
+  [[nodiscard]] std::size_t adjacency_bytes() const { return adj_bytes_; }
+  /// Adjacency + both offset arrays — the "structure" term of bytes/edge
+  /// (weights are reported separately; see docs/PERFORMANCE.md).
+  [[nodiscard]] std::size_t structure_bytes() const;
+  /// Structure + weights: total resident bytes of the graph.
+  [[nodiscard]] std::size_t total_bytes() const {
+    return structure_bytes() + sizeof(Weight) * static_cast<std::size_t>(m_);
+  }
+  [[nodiscard]] bool mapped() const { return !map_.path().empty(); }
+
+  void write_file(const std::string& path) const;
+  /// Maps and fully validates a .smpz file (see class comment).
+  [[nodiscard]] static CompressedCsr open_file(const std::string& path);
+
+ private:
+  static VertexId decode_gap(const std::uint8_t*& p) {
+    return varint_decode_u32(p);
+  }
+  [[nodiscard]] std::uint64_t byte_off(VertexId u) const {
+    return off64_ ? byte_off64_[u] : byte_off32_[u];
+  }
+  void adopt_views(bool off64);
+
+  VertexId n_ = 0;
+  EdgeId m_ = 0;
+  std::size_t adj_bytes_ = 0;
+  bool off64_ = false;
+
+  // Owned storage (build path) — empty when mmap-backed.
+  std::vector<std::uint32_t> own_edge_off_;
+  std::vector<std::uint32_t> own_byte_off32_;
+  std::vector<std::uint64_t> own_byte_off64_;
+  std::vector<std::uint8_t> own_adj_;
+  std::vector<Weight> own_weights_;
+  MmapFile map_;
+
+  // Views into whichever storage backs the instance.
+  const std::uint32_t* edge_off_ = nullptr;
+  const std::uint32_t* byte_off32_ = nullptr;
+  const std::uint64_t* byte_off64_ = nullptr;
+  const std::uint8_t* adj_ = nullptr;
+  const Weight* weights_ = nullptr;
+};
+
+/// Streaming .smpz writer for graphs that never fit in memory: feed edges in
+/// canonical order (u <= v normalized by the caller, (u, v) strictly
+/// lexicographically increasing — i.e. already merged and deduplicated) and
+/// finish() produces a file CompressedCsr::open_file accepts.  Only the two
+/// offset arrays are held in RAM (12(n+1) bytes); adjacency varints and
+/// weights stream through side files that finish() splices into place.
+/// smpmsf-convert's k-way run merge is the intended producer.
+class CompressedCsrWriter {
+ public:
+  /// Creates `path` plus two `path + ".adj"/".w"` side files (replaced on
+  /// finish, removed on destruction).  Throws Error{kInvalidInput} when any
+  /// of the three cannot be opened.
+  CompressedCsrWriter(std::string path, VertexId n);
+  ~CompressedCsrWriter();
+  CompressedCsrWriter(const CompressedCsrWriter&) = delete;
+  CompressedCsrWriter& operator=(const CompressedCsrWriter&) = delete;
+
+  /// Requires u <= v, no self-loop, v < n, (u, v) strictly greater than the
+  /// previous call's pair, finite w; throws Error{kInvalidInput} otherwise.
+  void add_edge(VertexId u, VertexId v, Weight w);
+
+  /// Assembles the final file; returns the edge count.  The writer is spent
+  /// afterwards.
+  EdgeId finish();
+
+ private:
+  void catch_up_rows(VertexId u);
+
+  std::string path_;
+  VertexId n_ = 0;
+  EdgeId m_ = 0;
+  VertexId row_ = 0;
+  VertexId prev_v_ = 0;
+  bool have_prev_ = false;
+  bool finished_ = false;
+  std::uint64_t adj_bytes_ = 0;
+  std::vector<std::uint32_t> edge_off_;
+  std::vector<std::uint64_t> byte_off_;
+  std::vector<std::uint8_t> adj_buf_;
+  std::vector<Weight> w_buf_;
+  std::FILE* adj_file_ = nullptr;
+  std::FILE* w_file_ = nullptr;
+};
+
+}  // namespace smp::graph

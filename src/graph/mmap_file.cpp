@@ -1,0 +1,84 @@
+#include "graph/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace smp::graph {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw Error(ErrorCode::kInvalidInput,
+              "mmap " + path + ": " + what + " (" + std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+MmapFile MmapFile::open(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "cannot stat");
+  }
+  MmapFile m;
+  m.path_ = path;
+  m.size_ = static_cast<std::size_t>(st.st_size);
+  if (m.size_ == 0) {
+    ::close(fd);
+    return m;
+  }
+  void* p = ::mmap(nullptr, m.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    fail(path, "map of " + std::to_string(m.size_) + " bytes failed");
+  }
+  m.data_ = static_cast<const std::uint8_t*>(p);
+  return m;
+#else
+  (void)path;
+  throw Error(ErrorCode::kInvalidInput,
+              "mmap " + path + ": not supported on this platform");
+#endif
+}
+
+MmapFile::~MmapFile() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    this->~MmapFile();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace smp::graph

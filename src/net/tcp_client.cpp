@@ -40,20 +40,63 @@ TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
 }
 
 TcpClient::~TcpClient() {
+  // Best effort: anything still queued belongs on the wire (a caller may
+  // have pipelined fire-and-forget writes and dropped the client).
+  try {
+    flush_pending();
+  } catch (...) {
+  }
   if (fd_ >= 0) ::close(fd_);
 }
 
-void TcpClient::send_all(const std::string& bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n =
-        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
+namespace {
+/// Flush once the queue holds this much — bounds client memory while still
+/// letting request bursts coalesce.
+constexpr std::size_t kFlushThresholdBytes = std::size_t{256} << 10;
+/// iovecs per sendmsg gather (well under any platform IOV_MAX).
+constexpr std::size_t kMaxIov = 64;
+}  // namespace
+
+void TcpClient::queue_frame(std::string frame) {
+  pending_bytes_ += frame.size();
+  pending_.push_back(std::move(frame));
+  if (pending_bytes_ >= kFlushThresholdBytes) flush_pending();
+}
+
+void TcpClient::flush_pending() {
+  while (!pending_.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < pending_.size() && cnt < kMaxIov; ++i) {
+      const std::string& s = pending_[i];
+      const std::size_t off = i == 0 ? pending_off_ : 0;
+      iov[cnt].iov_base = const_cast<char*>(s.data() + off);
+      iov[cnt].iov_len = s.size() - off;
+      ++cnt;
     }
-    if (n < 0 && errno == EINTR) continue;
-    throw Error(ErrorCode::kInvalidInput, "tcp client: connection lost on send");
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorCode::kInvalidInput,
+                  "tcp client: connection lost on send");
+    }
+    // Retire fully-written frames; a partial write leaves pending_off_
+    // pointing at the resume byte of the (new) front frame.
+    std::size_t left = static_cast<std::size_t>(n);
+    pending_bytes_ -= left;
+    while (left > 0) {
+      const std::size_t avail = pending_.front().size() - pending_off_;
+      if (left < avail) {
+        pending_off_ += left;
+        break;
+      }
+      left -= avail;
+      pending_.pop_front();
+      pending_off_ = 0;
+    }
   }
 }
 
@@ -65,7 +108,7 @@ std::uint64_t TcpClient::send(const serve::Request& req) {
   encode_request(msg, br);
   std::string frame;
   frame_message(frame, msg);
-  send_all(frame);
+  queue_frame(std::move(frame));
   return br.id;
 }
 
@@ -86,11 +129,12 @@ std::vector<std::uint64_t> TcpClient::send_batch(
   }
   std::string frame;
   frame_batch(frame, msgs);
-  send_all(frame);
+  queue_frame(std::move(frame));
   return ids;
 }
 
 BinResponse TcpClient::recv() {
+  flush_pending();  // the server cannot answer requests it has not seen
   for (;;) {
     if (!ready_.empty()) {
       BinResponse r = std::move(ready_.front());
@@ -149,7 +193,7 @@ void TcpClient::control(std::uint8_t op) {
   encode_request(msg, br);
   std::string frame;
   frame_message(frame, msg);
-  send_all(frame);
+  queue_frame(std::move(frame));
   const std::uint64_t id = br.id;
   for (;;) {
     BinResponse r = recv();

@@ -34,6 +34,14 @@ class TcpClient {
   serve::Response call(const serve::Request& req);
 
   /// Pipelined send: one kMessage frame per request.  Returns the request id.
+  ///
+  /// Frames are not written to the socket immediately: they queue in the
+  /// client and are coalesced into one sendmsg/iovec gather the next time
+  /// the client needs the wire — recv()/call()/quit()/shutdown(), the
+  /// destructor, or the queue passing ~256 KiB.  A burst of N pipelined
+  /// sends therefore costs O(N / IOV) syscalls instead of N, with no
+  /// observable protocol difference (responses are only ever awaited
+  /// through recv(), which flushes first).
   std::uint64_t send(const serve::Request& req);
 
   /// Send `reqs` as a single kBatch frame.  Returns the assigned ids in
@@ -51,7 +59,11 @@ class TcpClient {
   void shutdown();
 
  private:
-  void send_all(const std::string& bytes);
+  /// Queue one encoded frame; flushes when the queue exceeds the threshold.
+  void queue_frame(std::string frame);
+  /// Write every queued frame with sendmsg/iovec gathers (partial-write and
+  /// EINTR safe).  No-op when nothing is pending.
+  void flush_pending();
   void control(std::uint8_t op);
 
   int fd_ = -1;
@@ -59,6 +71,9 @@ class TcpClient {
   std::string acc_;
   std::size_t acc_off_ = 0;
   std::deque<BinResponse> ready_;
+  std::deque<std::string> pending_;  // encoded frames not yet on the wire
+  std::size_t pending_off_ = 0;      // bytes of pending_.front() already sent
+  std::size_t pending_bytes_ = 0;    // total unsent bytes across pending_
 };
 
 }  // namespace smp::net

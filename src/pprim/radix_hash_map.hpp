@@ -157,8 +157,10 @@ void radix_hash_dedup_in_region(TeamCtx& ctx, std::vector<T>& data,
   }
 
   // Sequential path, gated on input size ONLY (never on p) so the output is
-  // bit-identical across team sizes.
-  if (n < kCompactHashSeqCutoff) {
+  // bit-identical across team sizes.  The gate value is the runtime tuning
+  // knob (machine calibration may move it); like every cutoff it must not
+  // change while a region executes, so all threads read the same value.
+  if (n < compact_hash_seq_cutoff()) {
     if (p > 1) ctx.barrier();  // entry: all threads read the header first
     if (ctx.tid() == 0) {
       HashDedupStats local;

@@ -66,6 +66,8 @@ inline constexpr int kDominatedTableBits = 11;
 namespace tuning_detail {
 inline std::atomic<std::size_t> g_parallel_for_cutoff{kDefaultParallelForCutoff};
 inline std::atomic<std::size_t> g_sample_sort_cutoff{kDefaultSampleSortCutoff};
+inline std::atomic<std::size_t> g_compact_hash_seq_cutoff{
+    kCompactHashSeqCutoff};
 }  // namespace tuning_detail
 
 [[nodiscard]] inline std::size_t parallel_for_cutoff() {
@@ -74,6 +76,14 @@ inline std::atomic<std::size_t> g_sample_sort_cutoff{kDefaultSampleSortCutoff};
 [[nodiscard]] inline std::size_t sample_sort_cutoff() {
   return tuning_detail::g_sample_sort_cutoff.load(std::memory_order_relaxed);
 }
+/// Runtime value of the radix hash-map's sequential gate (see
+/// kCompactHashSeqCutoff).  Still read per input size only, never per team
+/// size, so dedup output stays bit-identical across p for any fixed setting;
+/// machine auto-calibration re-derives it from the measured L2 size.
+[[nodiscard]] inline std::size_t compact_hash_seq_cutoff() {
+  return tuning_detail::g_compact_hash_seq_cutoff.load(
+      std::memory_order_relaxed);
+}
 
 inline void set_parallel_for_cutoff(std::size_t n) {
   tuning_detail::g_parallel_for_cutoff.store(n, std::memory_order_relaxed);
@@ -81,20 +91,28 @@ inline void set_parallel_for_cutoff(std::size_t n) {
 inline void set_sample_sort_cutoff(std::size_t n) {
   tuning_detail::g_sample_sort_cutoff.store(n, std::memory_order_relaxed);
 }
+inline void set_compact_hash_seq_cutoff(std::size_t n) {
+  tuning_detail::g_compact_hash_seq_cutoff.store(n, std::memory_order_relaxed);
+}
 
 /// RAII override of the global cutoffs.  A zero value means "keep the current
 /// setting" (the MsfOptions convention); the previous values are restored on
 /// destruction, so nested solves with different overrides compose.
 class ScopedTuning {
  public:
-  ScopedTuning(std::size_t pf_cutoff, std::size_t ss_cutoff)
-      : saved_pf_(parallel_for_cutoff()), saved_ss_(sample_sort_cutoff()) {
+  ScopedTuning(std::size_t pf_cutoff, std::size_t ss_cutoff,
+               std::size_t hash_seq_cutoff = 0)
+      : saved_pf_(parallel_for_cutoff()),
+        saved_ss_(sample_sort_cutoff()),
+        saved_hash_(compact_hash_seq_cutoff()) {
     if (pf_cutoff != 0) set_parallel_for_cutoff(pf_cutoff);
     if (ss_cutoff != 0) set_sample_sort_cutoff(ss_cutoff);
+    if (hash_seq_cutoff != 0) set_compact_hash_seq_cutoff(hash_seq_cutoff);
   }
   ~ScopedTuning() {
     set_parallel_for_cutoff(saved_pf_);
     set_sample_sort_cutoff(saved_ss_);
+    set_compact_hash_seq_cutoff(saved_hash_);
   }
 
   ScopedTuning(const ScopedTuning&) = delete;
@@ -103,6 +121,7 @@ class ScopedTuning {
  private:
   std::size_t saved_pf_;
   std::size_t saved_ss_;
+  std::size_t saved_hash_;
 };
 
 }  // namespace smp

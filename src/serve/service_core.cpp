@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <cmath>
 #include <deque>
 #include <exception>
@@ -16,6 +17,7 @@
 #include "core/connected_components.hpp"
 #include "core/error.hpp"
 #include "dynamic/dynamic_msf.hpp"
+#include "dynamic/edge_slab.hpp"
 #include "graph/io.hpp"
 #include "query/forest_index.hpp"
 #include "serve/protocol.hpp"
@@ -685,14 +687,26 @@ Response ServiceCore::do_open(const Request& req) {
     dynamic::DynamicMsfOptions dopts;
     dopts.msf = opts_.msf;
     dopts.team = session->home->team.get();
+    const auto has_suffix = [&](const char* sfx) {
+      const std::size_t len = std::strlen(sfx);
+      return req.path.size() > len &&
+             req.path.compare(req.path.size() - len, len, sfx) == 0;
+    };
     if (req.path.empty()) {
       session->msf = std::make_unique<dynamic::DynamicMsf>(req.num_vertices,
                                                            dopts);
+    } else if (has_suffix(".slab")) {
+      // mmap-backed preload: the store adopts the slab as its base layer, so
+      // the session serves edge reads from the page cache instead of a heap
+      // copy (the --preload path for billion-edge sessions).
+      auto slab = std::make_shared<const dynamic::EdgeSlab>(
+          dynamic::EdgeSlab::open(req.path));
+      std::lock_guard<std::mutex> solver(session->home->solver_mu);
+      session->msf = std::make_unique<dynamic::DynamicMsf>(
+          dynamic::EdgeStore(std::move(slab)), dopts);
     } else {
-      const bool binary = req.path.size() > 5 &&
-                          req.path.compare(req.path.size() - 5, 5, ".smpg") == 0;
-      const EdgeList g = binary ? graph::read_binary_file(req.path)
-                                : graph::read_dimacs_file(req.path);
+      const EdgeList g = has_suffix(".smpg") ? graph::read_binary_file(req.path)
+                                             : graph::read_dimacs_file(req.path);
       // The initial solve is scheduled like any other on the home shard.
       std::lock_guard<std::mutex> solver(session->home->solver_mu);
       session->msf = std::make_unique<dynamic::DynamicMsf>(g, dopts);

@@ -46,6 +46,25 @@ serve_scale family (baseline has serve_scale records — BENCH_09):
     exactly what is checkable there.
   * Any serve_scale record reports request errors.
 
+scale family (baseline has scale_storage / scale_solve records — BENCH_10):
+  * Compressed-CSR structure bytes/edge exceed --max-bytes-per-edge
+    (default 5.0) on a degree-10 graph — absolute property of the current
+    run; the format promises ~4 B/edge there.
+  * Compressed-path solve exceeds uncompressed * (1 + --scale-tolerance)
+    (default 25%) plus an absolute slack, compared within the current run so
+    CI speed cancels out.
+  * Auto-calibrated cutoffs make Champion more than --calibration-tolerance
+    (default 5%) slower than the compile-time defaults, within the current
+    run: calibration must never regress.
+  * A compressed_identity check record is missing or not identical.
+
+Independently of the gate families, the baseline's recorded MachineProfile
+is checked against the current host: a baseline recorded on ONE hardware
+thread gets a loud warning (its "scaling" numbers are oversubscription
+artifacts, as BENCH_05/BENCH_09 were), and any profile field that differs
+between baseline host and current host is printed so cross-machine noise in
+the relative gates is explainable.
+
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
 Exit: 0 clean, 1 regression, 2 bad input.
 """
@@ -70,6 +89,11 @@ QUERY_ABS_SLACK_US = 200.0
 # Absolute slack, in milliseconds, for the serve_scale read-p99 gate:
 # socket round-trips on a loaded CI box jitter by whole milliseconds.
 SERVE_ABS_SLACK_MS = 1.0
+
+# Absolute slack, in seconds, for the scale-family solve-ratio gates:
+# smoke-scale solves are tens of milliseconds, where a scheduler hiccup
+# moves the compressed/uncompressed ratio past any relative tolerance.
+SCALE_ABS_SLACK_S = 0.01
 
 
 def load(path):
@@ -107,6 +131,124 @@ def op_rows(doc):
 def scale_rows(doc):
     return {(r["transport"], r["shards"]): r for r in doc.get("records", [])
             if r.get("tag") == "serve_scale"}
+
+
+def storage_rows(doc):
+    return {r["m"]: r for r in doc.get("records", [])
+            if r.get("tag") == "scale_storage"}
+
+
+def compressed_solve_rows(doc):
+    return {(r["m"], r["threads"]): r for r in doc.get("records", [])
+            if r.get("tag") == "scale_solve"}
+
+
+def tuning_rows(doc):
+    return {r["m"]: r for r in doc.get("records", [])
+            if r.get("tag") == "scale_tuning"}
+
+
+def machine_of(doc):
+    return doc.get("meta", {}).get("machine", {})
+
+
+def report_machine(base_doc, cur_doc):
+    """Satellite check, independent of the gate families: surface what host
+    the committed baseline was recorded on and how this host differs."""
+    base_meta = base_doc.get("meta", {})
+    bm = machine_of(base_doc)
+    cm = machine_of(cur_doc)
+    base_hw = bm.get("hardware_threads", base_meta.get("hardware_concurrency"))
+    if base_hw == 1:
+        print("  WARNING: baseline was recorded on ONE hardware thread — its "
+              "multi-thread timings are oversubscription artifacts, and the "
+              "relative scaling gates only check that more threads do not "
+              "wreck throughput")
+    if not bm and not cm:
+        return
+    if not bm:
+        print("  note: baseline has no MachineProfile (recorded before "
+              "BENCH_10); current host shown for the record:")
+        for k in sorted(cm):
+            print(f"    {k}: {cm[k]}")
+        return
+    diffs = [(k, bm.get(k), cm.get(k))
+             for k in sorted(set(bm) | set(cm)) if bm.get(k) != cm.get(k)]
+    if diffs:
+        print("  machine profile differs from baseline host "
+              "(relative gates absorb this, absolute ones may not):")
+        for k, b, c in diffs:
+            print(f"    {k}: baseline {b} -> current {c}")
+    else:
+        print("  machine profile matches the baseline host")
+
+
+def gate_scale(base_doc, cur_doc, args, failures):
+    base_sto = storage_rows(base_doc)
+    cur_sto = storage_rows(cur_doc)
+    for m in sorted(base_sto):
+        if m not in cur_sto:
+            failures.append(f"scale_storage m={m}: missing from current run")
+    # Footprint gate: absolute property of the current run — the compressed
+    # format promises ~4 structure bytes/edge at degree 10, gate at 5.
+    for m, c in sorted(cur_sto.items()):
+        if c.get("density") != 10:
+            continue
+        bpe = c["structure_bytes_per_edge"]
+        verdict = "OK" if bpe <= args.max_bytes_per_edge else "REGRESSED"
+        print(f"  storage m={m}: {bpe:.2f} structure B/edge "
+              f"(limit {args.max_bytes_per_edge:.1f}), "
+              f"decode {c['decode_gbps']:.2f} GB/s {verdict}")
+        if bpe > args.max_bytes_per_edge:
+            failures.append(
+                f"scale_storage m={m}: {bpe:.2f} structure bytes/edge exceeds "
+                f"{args.max_bytes_per_edge:.1f} on a degree-10 graph")
+
+    # Streaming gate: compressed vs uncompressed within the current run.
+    base_sol = compressed_solve_rows(base_doc)
+    cur_sol = compressed_solve_rows(cur_doc)
+    for key in sorted(base_sol):
+        if key not in cur_sol:
+            failures.append(
+                f"scale_solve m={key[0]} p={key[1]}: missing from current run")
+    for (m, p), c in sorted(cur_sol.items()):
+        limit = c["uncompressed_s"] * (1.0 + args.scale_tolerance) + SCALE_ABS_SLACK_S
+        verdict = "OK" if c["compressed_s"] <= limit else "REGRESSED"
+        print(f"  solve m={m} p={p}: compressed {c['compressed_s']:.4f}s vs "
+              f"uncompressed {c['uncompressed_s']:.4f}s "
+              f"(limit {limit:.4f}s) {verdict}")
+        if c["compressed_s"] > limit:
+            failures.append(
+                f"scale_solve m={m} p={p}: compressed solve "
+                f"{c['compressed_s']:.4f}s exceeds uncompressed "
+                f"{c['uncompressed_s']:.4f}s by more than "
+                f"{args.scale_tolerance:.0%}")
+        if not c.get("identical", False):
+            failures.append(
+                f"scale_solve m={m} p={p}: compressed and uncompressed "
+                "forests differ")
+
+    # Calibration gate: auto-tuned cutoffs must never lose to the defaults.
+    for m, c in sorted(tuning_rows(cur_doc).items()):
+        limit = c["default_s"] * (1.0 + args.calibration_tolerance) + SCALE_ABS_SLACK_S
+        verdict = "OK" if c["calibrated_s"] <= limit else "REGRESSED"
+        print(f"  tuning m={m}: calibrated {c['calibrated_s']:.4f}s vs "
+              f"default {c['default_s']:.4f}s (limit {limit:.4f}s) {verdict}")
+        if c["calibrated_s"] > limit:
+            failures.append(
+                f"scale_tuning m={m}: calibrated cutoffs make Champion "
+                f"{c['calibrated_s']:.4f}s vs {c['default_s']:.4f}s default "
+                f"(> {args.calibration_tolerance:.0%} regression)")
+
+    idents = identity_rows(cur_doc, "compressed_identity")
+    if not idents:
+        failures.append("no compressed_identity check records in current run")
+    for r in idents:
+        if not r.get("identical", False):
+            failures.append(
+                f"compressed identity failed at m={r.get('m')}")
+    if idents and all(r.get("identical", False) for r in idents):
+        print(f"  compressed identity: OK ({len(idents)} sizes)")
 
 
 def gate_serve_scale(base_doc, cur_doc, args, failures):
@@ -318,11 +460,19 @@ def main():
                     help="allowed relative growth of serve read p99")
     ap.add_argument("--min-shard-efficiency", type=float, default=0.70,
                     help="floor on rps(S) / (rps(1) * expected speedup)")
+    ap.add_argument("--max-bytes-per-edge", type=float, default=5.0,
+                    help="cap on compressed-CSR structure bytes/edge at d=10")
+    ap.add_argument("--scale-tolerance", type=float, default=0.25,
+                    help="how far the compressed solve may trail uncompressed")
+    ap.add_argument("--calibration-tolerance", type=float, default=0.05,
+                    help="allowed Champion slowdown under calibrated cutoffs")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
     cur_doc = load(args.current)
     failures = []
+
+    report_machine(base_doc, cur_doc)
 
     ran = []
     if timing_rows(base_doc):
@@ -334,6 +484,9 @@ def main():
     if scale_rows(base_doc):
         gate_serve_scale(base_doc, cur_doc, args, failures)
         ran.append("serve_scale")
+    if storage_rows(base_doc) or compressed_solve_rows(base_doc):
+        gate_scale(base_doc, cur_doc, args, failures)
+        ran.append("scale")
     if not ran:
         print("bench_compare: baseline contains no gated record family",
               file=sys.stderr)

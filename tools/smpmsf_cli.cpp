@@ -56,11 +56,14 @@
 #include "core/verify_msf.hpp"
 #include "core/msf.hpp"
 #include "dynamic/dynamic_msf.hpp"
+#include "core/compressed_solve.hpp"
+#include "graph/compressed_csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "graph/validate.hpp"
 #include "pprim/build_info.hpp"
+#include "pprim/machine.hpp"
 #include "pprim/simd.hpp"
 #include "pprim/timer.hpp"
 
@@ -86,8 +89,12 @@ using namespace smp::graph;
                " [--deferred-compact auto|on|off]"
                " [--compact-live-threshold X] [--compact-chunk N]\n"
                "               [--mode static|dynamic] [--batch-size N]"
-               " [--update-trace FILE] FILE\n"
+               " [--update-trace FILE]\n"
+               "               [--graph-format auto|edges|compressed]"
+               " [--auto-tune] FILE\n"
                "  smpmsf cc [--threads P] FILE\n"
+               "formats by extension: .smpg binary, .smpz compressed csr,"
+               " else DIMACS text\n"
                "types: random mesh2d mesh2d60 mesh3d40 geometric str0-str3 rmat\n"
                "algs:  champion bor-el bor-al bor-alm bor-fal mst-bc bor-uf par-kruskal filter-kruskal sample-filter"
                " prim kruskal boruvka\n");
@@ -169,11 +176,18 @@ bool ends_with(const std::string& s, const char* suffix) {
 }
 
 EdgeList load(const std::string& path) {
+  if (ends_with(path, ".smpz")) {
+    // Eager decode: fine for info/convert; solve keeps the compressed form
+    // (see cmd_solve) so big graphs never materialize an edge list.
+    return CompressedCsr::open_file(path).decode_edge_list();
+  }
   return ends_with(path, ".smpg") ? read_binary_file(path) : read_dimacs_file(path);
 }
 
 void store(const std::string& path, const EdgeList& g) {
-  if (ends_with(path, ".smpg")) {
+  if (ends_with(path, ".smpz")) {
+    CompressedCsr::build(g).write_file(path);
+  } else if (ends_with(path, ".smpg")) {
     write_binary_file(path, g);
   } else {
     write_dimacs_file(path, g);
@@ -211,7 +225,8 @@ struct Flags {
 
 Flags parse(int argc, char** argv, int from) {
   Flags f;
-  static const char* kSwitches[] = {"--validate", "--steps", "--no-fallback"};
+  static const char* kSwitches[] = {"--validate", "--steps", "--no-fallback",
+                                    "--auto-tune"};
   for (int i = from; i < argc; ++i) {
     const std::string a = argv[i];
     bool is_switch = false;
@@ -280,6 +295,16 @@ int cmd_gen(const Flags& f) {
 
 int cmd_info(const Flags& f) {
   if (f.positional.size() != 1) usage("info needs exactly one FILE");
+  if (ends_with(f.positional[0], ".smpz")) {
+    const CompressedCsr c = CompressedCsr::open_file(f.positional[0]);
+    std::printf("format: compressed csr (.smpz)\n");
+    std::printf("structure: %zu bytes (%.2f B/edge), adjacency %zu bytes\n",
+                c.structure_bytes(),
+                c.num_edges() > 0 ? static_cast<double>(c.structure_bytes()) /
+                                        static_cast<double>(c.num_edges())
+                                  : 0.0,
+                c.adjacency_bytes());
+  }
   const EdgeList g = load(f.positional[0]);
   const auto ds = degree_stats(g);
   std::printf("vertices: %u\nedges: %llu\ncomponents: %zu\n", g.num_vertices,
@@ -428,8 +453,8 @@ int solve_dynamic(const Flags& f, const EdgeList& g,
 /// PhaseStats / StepTimes instrumentation and the result facts — the
 /// machine-readable sibling of the human solve output.
 void write_stats_json(const std::string& path, const std::string& alg,
-                      const core::MsfOptions& opts, const EdgeList& g,
-                      const MsfResult& r, double secs,
+                      const core::MsfOptions& opts, VertexId num_vertices,
+                      EdgeId num_edges, const MsfResult& r, double secs,
                       const core::StepTimes& steps,
                       const core::PhaseStats& pstats) {
   std::ofstream os(path);
@@ -458,7 +483,7 @@ void write_stats_json(const std::string& path, const std::string& alg,
   // SIMD ISA the dispatcher picked, and how many arcs live-arc pruning
   // retired (0 in scan mode or for algorithms without pruning).
   const core::FindMinMode resolved =
-      core::resolve_find_min_mode(opts.find_min, g.num_edges());
+      core::resolve_find_min_mode(opts.find_min, num_edges);
   std::snprintf(buf, sizeof buf,
                 ", \"find_min\": {\"mode\": \"%s\", \"resolved\": \"%s\""
                 ", \"kernel\": \"%s\", \"pruned_arcs\": %llu}",
@@ -468,9 +493,11 @@ void write_stats_json(const std::string& path, const std::string& alg,
   os << buf;
   std::snprintf(buf, sizeof buf,
                 ", \"graph\": {\"vertices\": %u, \"edges\": %llu}",
-                g.num_vertices,
-                static_cast<unsigned long long>(g.num_edges()));
+                num_vertices, static_cast<unsigned long long>(num_edges));
   os << buf;
+  // Host facts: which machine produced these numbers (see pprim/machine.hpp;
+  // bench JSONs carry the same block, and bench_compare.py diffs it).
+  os << ", \"machine\": " << smp::machine_profile_json();
   std::snprintf(buf, sizeof buf, ", \"seconds\": %.6f", secs);
   os << buf;
   std::snprintf(buf, sizeof buf,
@@ -518,7 +545,29 @@ void write_stats_json(const std::string& path, const std::string& alg,
 
 int cmd_solve(const Flags& f) {
   if (f.positional.size() != 1) usage("solve needs exactly one FILE");
-  const EdgeList g = load(f.positional[0]);
+  const std::string& file = f.positional[0];
+  // --graph-format: how the solver sees the graph.  "compressed" keeps (or
+  // builds) the delta/varint CSR and solves through the streaming path;
+  // "edges" forces the classic EdgeList even for a .smpz file; "auto" picks
+  // by extension.
+  const std::string gfmt = f.get("--graph-format").value_or("auto");
+  if (gfmt != "auto" && gfmt != "edges" && gfmt != "compressed") {
+    throw smp::Error(smp::ErrorCode::kInvalidInput,
+                     "unknown graph format '" + gfmt +
+                         "' (valid: auto edges compressed)");
+  }
+  const bool compressed =
+      gfmt == "compressed" || (gfmt == "auto" && ends_with(file, ".smpz"));
+  std::optional<CompressedCsr> cz;
+  EdgeList g;
+  if (compressed) {
+    cz = ends_with(file, ".smpz") ? CompressedCsr::open_file(file)
+                                  : CompressedCsr::build(load(file));
+  } else {
+    g = load(file);
+  }
+  const VertexId num_vertices = compressed ? cz->num_vertices() : g.num_vertices;
+  const EdgeId num_edges = compressed ? cz->num_edges() : g.num_edges();
   const std::string alg = f.get("--alg").value_or("champion");
   const int threads = static_cast<int>(f.num("--threads", 1));
   const std::uint64_t seed = f.num("--seed", 1);
@@ -544,6 +593,17 @@ int cmd_solve(const Flags& f) {
     opts.compact_live_threshold = *thr;
   }
   opts.compact_chunk = static_cast<std::size_t>(f.num("--compact-chunk", 0));
+
+  // --auto-tune: measure this machine's crossover points and install them as
+  // the process-global cutoffs before solving (see pprim/machine.hpp).
+  if (f.has("--auto-tune")) {
+    const auto cal = smp::auto_calibrate();
+    std::printf(
+        "auto-tune: parallel-for cutoff %zu, sample-sort cutoff %zu,"
+        " hash-seq cutoff %zu (%.3fs)\n",
+        cal.parallel_for_cutoff, cal.sample_sort_cutoff,
+        cal.compact_hash_seq_cutoff, cal.elapsed_s);
+  }
 
   // Asking for more threads than the machine has is legal (the paper's
   // oversubscription runs do exactly that) but silently skews timings, so
@@ -588,14 +648,25 @@ int cmd_solve(const Flags& f) {
   const SolveMode mode = parse_mode(f.get("--mode").value_or("static"));
   if (mode == SolveMode::kDynamic) {
     if (stats_path) usage("--stats-json needs --mode static");
+    if (compressed) usage("--mode dynamic needs an edge-list input");
     return solve_dynamic(f, g, opts, alg);
   }
   if (f.get("--update-trace") || f.get("--batch-size")) {
     usage("--update-trace/--batch-size need --mode dynamic");
   }
 
+  if (compressed) {
+    std::printf("storage: compressed csr, %.2f structure B/edge"
+                " (+%zu B/edge weights)%s\n",
+                num_edges > 0 ? static_cast<double>(cz->structure_bytes()) /
+                                    static_cast<double>(num_edges)
+                              : 0.0,
+                sizeof(Weight), cz->mapped() ? ", mmap" : "");
+  }
   WallTimer t;
-  const MsfResult r = core::minimum_spanning_forest(g, opts);
+  const MsfResult r = compressed
+                          ? core::minimum_spanning_forest_compressed(*cz, opts)
+                          : core::minimum_spanning_forest(g, opts);
   const double secs = t.elapsed_s();
   std::printf("%s (p=%d): %zu edges, weight %.6f, %zu tree(s), %.3fs\n",
               alg.c_str(), threads, r.edges.size(), r.total_weight, r.num_trees,
@@ -604,7 +675,8 @@ int cmd_solve(const Flags& f) {
     std::printf("note: degraded to sequential kruskal (memory budget)\n");
   }
   if (stats_path) {
-    write_stats_json(*stats_path, alg, opts, g, r, secs, steps, pstats);
+    write_stats_json(*stats_path, alg, opts, num_vertices, num_edges, r, secs,
+                     steps, pstats);
     std::printf("stats: wrote %s\n", stats_path->c_str());
   }
   if (f.has("--steps")) {
@@ -613,7 +685,10 @@ int cmd_solve(const Flags& f) {
   }
   if (f.has("--validate")) {
     // Full check: structure (membership/acyclicity/maximality) plus the
-    // cycle property for every non-forest edge, in O(m log n).
+    // cycle property for every non-forest edge, in O(m log n).  The
+    // compressed path verifies against its canonical decoded list — the
+    // same graph the solve saw.
+    if (compressed) g = cz->decode_edge_list();
     std::string err;
     const bool ok = core::verify_msf(g, r, &err);
     std::printf("validation: %s\n", ok ? "OK" : err.c_str());

@@ -11,6 +11,15 @@
 //                 [--data-dir DIR] [--fsync always|interval|none]
 //                 [--fsync-interval MS] [--snapshot-every RECORDS]
 //                 [--snapshot-retain N] [--crash-at SITE[:SKIP]]
+//                 [--preload NAME=PATH]... [--auto-tune]
+//
+// --preload opens session NAME from PATH before any listener starts (the
+// server exits 3 if the open fails), so clients never observe the initial
+// solve of a big graph.  A .slab PATH is adopted as the session store's
+// mmap base layer (see dynamic/edge_slab.hpp) — the billion-edge path;
+// .smpg and DIMACS load like the open verb.  --auto-tune runs the
+// machine-calibration pass (pprim/machine.hpp) once at startup and installs
+// the measured cutoffs for every solve the server runs.
 //
 // Each --listen SPEC is `uds:PATH` or `tcp:PORT` (tcp:0 picks an ephemeral
 // port, printed on startup); `--socket PATH` is shorthand for
@@ -48,6 +57,8 @@
 #include "net/tcp_server.hpp"
 #include "persist/wal.hpp"
 #include "pprim/fault.hpp"
+#include "pprim/machine.hpp"
+#include "serve/request.hpp"
 #include "serve/service_core.hpp"
 #include "serve/uds_server.hpp"
 
@@ -70,7 +81,9 @@ using namespace smp;
                " [--fsync always|interval|none] [--fsync-interval MS]\n"
                "                     [--snapshot-every RECORDS]"
                " [--snapshot-retain N] [--crash-at SITE[:SKIP]]\n"
-               "  SPEC: uds:PATH | tcp:PORT (tcp:0 = ephemeral)\n");
+               "                     [--preload NAME=PATH]... [--auto-tune]\n"
+               "  SPEC: uds:PATH | tcp:PORT (tcp:0 = ephemeral)\n"
+               "  PATH: .slab (mmap store base) | .smpg | DIMACS text\n");
   std::exit(2);
 }
 
@@ -143,6 +156,8 @@ int main(int argc, char** argv) {
   Listeners listen;
   std::string crash_at;
   int io_threads = 2;
+  bool auto_tune = false;
+  std::vector<std::pair<std::string, std::string>> preloads;
   serve::ServeOptions opts;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -193,6 +208,15 @@ int main(int argc, char** argv) {
         opts.snapshot_retain = std::atoi(value().c_str());
       } else if (a == "--crash-at") {
         crash_at = value();
+      } else if (a == "--preload") {
+        const std::string spec = value();
+        const std::size_t eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+          usage(("bad --preload spec '" + spec + "' (want NAME=PATH)").c_str());
+        }
+        preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      } else if (a == "--auto-tune") {
+        auto_tune = true;
       } else {
         usage(("unknown flag " + a).c_str());
       }
@@ -223,9 +247,38 @@ int main(int argc, char** argv) {
     pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
     signal(SIGPIPE, SIG_IGN);
 
+    if (auto_tune) {
+      const auto cal = smp::auto_calibrate();
+      std::printf("smpmsf-server: auto-tune parallel-for=%zu sample-sort=%zu"
+                  " hash-seq=%zu (%.3fs)\n",
+                  cal.parallel_for_cutoff, cal.sample_sort_cutoff,
+                  cal.compact_hash_seq_cutoff, cal.elapsed_s);
+    }
+
     serve::ServiceCore core(opts);
     for (const std::string& note : core.recovery_notes()) {
       std::printf("smpmsf-server: %s\n", note.c_str());
+    }
+    // Preloads run before any listener exists: a failed open is a startup
+    // error, and clients can never race the initial solve.  A recovered
+    // durable session with the same name wins (kAlreadyExists is fine).
+    for (const auto& [name, path] : preloads) {
+      serve::Request req;
+      req.op = serve::Op::kOpen;
+      req.session = name;
+      req.path = path;
+      const serve::Response resp = core.call(std::move(req));
+      if (resp.status == serve::Status::kAlreadyExists) {
+        std::printf("smpmsf-server: preload '%s': recovered session kept\n",
+                    name.c_str());
+      } else if (resp.status != serve::Status::kOk) {
+        throw Error(ErrorCode::kInvalidInput,
+                    "preload '" + name + "' from " + path + ": " + resp.detail);
+      } else {
+        std::printf("smpmsf-server: preloaded '%s' from %s (%zu forest edges,"
+                    " %zu trees)\n",
+                    name.c_str(), path.c_str(), resp.forest_edges, resp.trees);
+      }
     }
     std::unique_ptr<serve::UdsServer> uds;
     std::unique_ptr<net::TcpServer> tcp;
